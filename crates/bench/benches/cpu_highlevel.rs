@@ -1,0 +1,54 @@
+//! Criterion benches for the CPU-side high-level operations of Table 8:
+//! KeySwitch and MULT+ReLin on all three HEAX parameter sets, plus
+//! rotation (the other KeySwitch client) and rescaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heax_bench::workloads::prepare;
+use heax_ckks::{Evaluator, GaloisKeys, ParamSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_highlevel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_highlevel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for set in ParamSet::ALL {
+        let w = prepare(set);
+        let eval = Evaluator::new(&w.ctx);
+        let mut rng = StdRng::seed_from_u64(1);
+        let gks = GaloisKeys::generate(&w.ctx, &w.sk, &[1], &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("keyswitch", set.name()), &set, |b, _| {
+            b.iter(|| {
+                black_box(
+                    eval.key_switch(w.ct_prod.component(2), w.rlk.ksk(), w.ct_prod.level())
+                        .expect("keyswitch"),
+                )
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mult_relin", set.name()),
+            &set,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        eval.multiply_relin(&w.ct_a, &w.ct_b, &w.rlk)
+                            .expect("multiply_relin"),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("rotate", set.name()), &set, |b, _| {
+            b.iter(|| black_box(eval.rotate(&w.ct_a, 1, &gks).expect("rotate")));
+        });
+        group.bench_with_input(BenchmarkId::new("rescale", set.name()), &set, |b, _| {
+            b.iter(|| black_box(eval.rescale(&w.ct_prod).expect("rescale")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_highlevel);
+criterion_main!(benches);

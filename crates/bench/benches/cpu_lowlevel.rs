@@ -1,0 +1,47 @@
+//! Criterion benches for the CPU-side low-level operations of Table 7:
+//! NTT, INTT, and dyadic multiplication of single residue polynomials,
+//! for all three HEAX parameter sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heax_bench::workloads::prepare;
+use heax_ckks::ParamSet;
+use std::hint::black_box;
+
+fn bench_lowlevel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_lowlevel");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for set in ParamSet::ALL {
+        let w = prepare(set);
+        let table = w.ctx.ntt_table(0).clone();
+        let m = w.ctx.moduli()[0];
+
+        group.bench_with_input(BenchmarkId::new("ntt", set.name()), &set, |b, _| {
+            let mut buf = w.residue.clone();
+            b.iter(|| {
+                table.forward_auto(black_box(&mut buf));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("intt", set.name()), &set, |b, _| {
+            let mut buf = w.residue_ntt.clone();
+            b.iter(|| {
+                table.inverse_auto(black_box(&mut buf));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dyadic", set.name()), &set, |b, _| {
+            let a = w.residue_ntt.clone();
+            let mut out = w.residue.clone();
+            b.iter(|| {
+                for (x, y) in out.iter_mut().zip(&a) {
+                    *x = m.mul_mod(*x, *y);
+                }
+                black_box(&mut out);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowlevel);
+criterion_main!(benches);

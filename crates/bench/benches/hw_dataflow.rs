@@ -1,0 +1,52 @@
+//! Criterion benches for the hardware simulators themselves: how fast the
+//! cycle-accurate models run on the host (simulation throughput, not
+//! modeled FPGA throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heax_ckks::ParamSet;
+use heax_core::arch::DesignPoint;
+use heax_hw::board::Board;
+use heax_hw::keyswitch_pipeline::schedule;
+use heax_hw::mult_dataflow::{MultModuleConfig, MultModuleSim};
+use heax_hw::ntt_dataflow::{NttModuleConfig, NttModuleSim};
+use heax_math::ntt::NttTable;
+use heax_math::primes::generate_ntt_primes;
+use heax_math::word::Modulus;
+use std::hint::black_box;
+
+fn bench_dataflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_dataflow");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for n in [4096usize, 8192] {
+        let p = Modulus::new(generate_ntt_primes(45, 1, n).unwrap()[0]).unwrap();
+        let table = NttTable::new(n, p).unwrap();
+        let input: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) % p.value())
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("ntt_module_sim", n), &n, |b, _| {
+            let sim = NttModuleSim::new(NttModuleConfig::new(n, 16).unwrap(), &table).unwrap();
+            b.iter(|| black_box(sim.forward(&input)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("mult_module_sim", n), &n, |b, _| {
+            let sim = MultModuleSim::new(MultModuleConfig::new(n, 16).unwrap(), p).unwrap();
+            let ct1 = vec![input.clone(), input.clone()];
+            let ct2 = vec![input.clone(), input.clone()];
+            b.iter(|| black_box(sim.multiply(&ct1, &ct2)));
+        });
+    }
+
+    group.bench_function("keyswitch_schedule_setb_16ops", |b| {
+        let dp = DesignPoint::derive(Board::stratix10(), ParamSet::SetB).unwrap();
+        b.iter(|| black_box(schedule(&dp.arch, 16).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataflow);
+criterion_main!(benches);

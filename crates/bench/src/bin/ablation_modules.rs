@@ -1,0 +1,62 @@
+//! Ablation — one big NTT0 module vs several smaller ones (Section 4.3,
+//! "Number of Cores vs. Number of Modules").
+//!
+//! Balancing INTT0 against the first NTT layer needs `k·ncINTT0` NTT-core
+//! throughput. The paper argues for splitting it into `m0` modules:
+//! fewer ALMs (the MUX trees grow as `O(nc·log nc)`) and more reliable
+//! place-and-route, at the cost of extra BRAM (each module owns its data
+//! and output memories). This harness quantifies that trade-off with the
+//! Table 4-calibrated module model, plus the throughput of each option.
+
+use heax_bench::render_table;
+use heax_ckks::ParamSet;
+use heax_core::resources::{module_cost, ModuleKind};
+use heax_hw::ntt_dataflow::NttModuleConfig;
+
+fn main() {
+    for set in [ParamSet::SetB, ParamSet::SetC] {
+        let n = set.n();
+        let k = set.k();
+        let nc_intt0 = if set == ParamSet::SetC { 8 } else { 16 };
+        let total_cores = k * nc_intt0;
+        let mut rows = Vec::new();
+        for m0 in [1usize, 2, 4, 8] {
+            if total_cores / m0 < 1 || !((total_cores / m0).is_power_of_two()) {
+                continue;
+            }
+            let per_module = total_cores / m0;
+            if per_module > 64 {
+                continue;
+            }
+            let r = module_cost(ModuleKind::Ntt, per_module, n) * m0 as u64;
+            let feasible = per_module <= 32; // >32 cores fails P&R (paper)
+            let cycles = NttModuleConfig::new(n, per_module)
+                .map(|c| c.transform_cycles())
+                .unwrap_or(0);
+            rows.push(vec![
+                m0.to_string(),
+                per_module.to_string(),
+                r.alm.to_string(),
+                r.reg.to_string(),
+                r.m20k.to_string(),
+                cycles.to_string(),
+                if feasible { "yes" } else { "no (P&R)" }.to_string(),
+            ]);
+        }
+        print!(
+            "{}",
+            render_table(
+                &format!(
+                    "Ablation: splitting {total_cores} NTT0 cores into m0 modules ({} n={n})",
+                    set.name()
+                ),
+                &["m0", "cores/mod", "ALM", "REG", "M20K", "cyc/NTT", "routable"],
+                &rows,
+            )
+        );
+    }
+    println!();
+    println!("Reading: as m0 grows, ALM/REG drop (smaller MUX trees) while M20K");
+    println!("rises (replicated data/output memories) — the paper picks m0 = min(k, 4).");
+    println!("A single 64-core module is not routable (>32-core synthesis fails).");
+}

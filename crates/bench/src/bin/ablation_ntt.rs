@@ -1,0 +1,48 @@
+//! Ablation — CPU NTT kernel styles: the paper-faithful Algorithm 3
+//! (full reduction per butterfly) vs the Harvey lazy-reduction variant
+//! SEAL's production kernels use. Quantifies how much of the CPU
+//! baseline's headroom is kernel engineering rather than algorithm.
+
+use heax_bench::{fmt_ops, measure_ops_per_sec, render_table};
+use heax_math::ntt::NttTable;
+use heax_math::primes::generate_ntt_primes;
+use heax_math::word::Modulus;
+
+fn main() {
+    let budget_ms = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    let mut rows = Vec::new();
+    for n in [4096usize, 8192, 16384] {
+        let p = generate_ntt_primes(48, 1, n).expect("primes")[0];
+        let table = NttTable::new(n, Modulus::new(p).expect("modulus")).expect("table");
+        let input: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) % p)
+            .collect();
+
+        let mut buf = input.clone();
+        let standard = measure_ops_per_sec(|| table.forward(&mut buf), budget_ms);
+        let mut buf = input.clone();
+        let lazy = measure_ops_per_sec(|| table.forward_lazy(&mut buf), budget_ms);
+
+        rows.push(vec![
+            n.to_string(),
+            fmt_ops(standard),
+            fmt_ops(lazy),
+            format!("{:.2}x", lazy / standard),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: CPU forward-NTT kernel (ops/s, single residue)",
+            &["n", "Algorithm 3 (strict)", "Harvey lazy", "lazy gain"],
+            &rows,
+        )
+    );
+    println!();
+    println!("Both kernels produce bit-identical output (tested). The lazy variant");
+    println!("defers modular correction across stages, approximating SEAL's");
+    println!("production kernel; the Table 7 CPU baseline uses the strict kernel.");
+}

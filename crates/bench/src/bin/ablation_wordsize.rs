@@ -1,0 +1,58 @@
+//! Ablation — 54-bit vs 64-bit native word size (Section 4).
+//!
+//! Reproduces the paper's claim that switching from 64- to 54-bit native
+//! operations saves 1.4×–2.25× DSPs across the HE parameter sets, after
+//! accounting for the possible increase in RNS modulus count.
+
+use heax_bench::render_table;
+use heax_ckks::ParamSet;
+use heax_hw::wordsize::{
+    datapath_dsp_cost, dsps_per_multiplier, moduli_needed, reduction_factor, MultiplierStyle,
+};
+
+fn main() {
+    println!("single multiplier cost (27-bit DSP tiles):");
+    println!(
+        "  54x54 naive: {} DSPs | 64x64 naive: {} DSPs | 64x64 Toom-Cook: {} DSPs",
+        dsps_per_multiplier(54, MultiplierStyle::Naive),
+        dsps_per_multiplier(64, MultiplierStyle::Naive),
+        dsps_per_multiplier(64, MultiplierStyle::ToomCook),
+    );
+
+    let mut rows = Vec::new();
+    for set in ParamSet::ALL {
+        let bits = set.total_modulus_bits();
+        rows.push(vec![
+            set.name().to_string(),
+            bits.to_string(),
+            moduli_needed(bits, 54).to_string(),
+            moduli_needed(bits, 64).to_string(),
+            datapath_dsp_cost(bits, 54, MultiplierStyle::Naive).to_string(),
+            datapath_dsp_cost(bits, 64, MultiplierStyle::Naive).to_string(),
+            datapath_dsp_cost(bits, 64, MultiplierStyle::ToomCook).to_string(),
+            format!("{:.2}x", reduction_factor(bits, MultiplierStyle::Naive)),
+            format!("{:.2}x", reduction_factor(bits, MultiplierStyle::ToomCook)),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: word size — DSPs per modular-multiplier array",
+            &[
+                "Set",
+                "mod bits",
+                "k@54",
+                "k@64",
+                "DSP@54",
+                "DSP@64 naive",
+                "DSP@64 TC",
+                "red. naive",
+                "red. TC"
+            ],
+            &rows,
+        )
+    );
+    println!();
+    println!("Paper: \"by switching from 64-bit native operations to 54-bit, we");
+    println!("observe between 1.4x to 2.25x reduction in the number of DSP units\".");
+}

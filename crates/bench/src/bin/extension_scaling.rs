@@ -1,0 +1,103 @@
+//! Extension — projecting HEAX beyond the paper's parameter range.
+//!
+//! The paper stops at `n = 2^14` ("choosing 2^15 (or higher) results in
+//! enormous computation blow-up and are also rarely used in practice").
+//! The architecture derivation and resource/performance models are fully
+//! parametric, so this harness answers: what *would* a Set-D (`n = 2^15`,
+//! bootstrapping-class modulus) instantiation look like on the Stratix 10,
+//! and on a hypothetical board with twice its resources?
+
+use heax_bench::render_table;
+use heax_core::arch::arch_for_intt0;
+use heax_core::resources::{base_design_resources, design_resources, ksk_bram, KskPlacement};
+use heax_hw::board::Board;
+use heax_hw::xfer::DramModel;
+
+fn main() {
+    // Sweep (n, k) from the paper's sets up to Set-D: n = 2^15, k = 16
+    // (a ~880-bit modulus, the bootstrapping-capable regime).
+    let s10 = Board::stratix10();
+    let mut rows = Vec::new();
+    for (name, n, k) in [
+        ("Set-A", 1usize << 12, 2usize),
+        ("Set-B", 1 << 13, 4),
+        ("Set-C", 1 << 14, 8),
+        ("Set-D*", 1 << 15, 16),
+    ] {
+        // Re-run the automatic derivation loop at this scale.
+        let mut chosen = None;
+        for log_nc in (0..=5u32).rev() {
+            let arch = arch_for_intt0(n, k, 1 << log_nc);
+            if arch.validate().is_err() {
+                continue;
+            }
+            let placement = KskPlacement::choose(&s10, &arch);
+            let total = design_resources(&s10, &arch, placement);
+            if total.fits_within(s10.budget()) {
+                chosen = Some((arch, placement, total));
+                break;
+            }
+        }
+        match chosen {
+            Some((arch, placement, total)) => {
+                let interval = arch.steady_interval_cycles();
+                let ops = s10.cycles_to_ops_per_sec(interval);
+                let interval_us = interval as f64 / s10.freq_hz() * 1e6;
+                let dram_ok = DramModel::for_board(&s10).sustains_ksk(n, k, interval_us);
+                rows.push(vec![
+                    name.to_string(),
+                    format!("2^{}", n.trailing_zeros()),
+                    k.to_string(),
+                    arch.summary(),
+                    format!("{:?}", placement),
+                    format!("{:.0}%", 100.0 * total.alm as f64 / s10.budget().alm as f64),
+                    format!("{ops:.0}"),
+                    if dram_ok { "ok".into() } else { "INSUFFICIENT".into() },
+                ]);
+            }
+            None => rows.push(vec![
+                name.to_string(),
+                format!("2^{}", n.trailing_zeros()),
+                k.to_string(),
+                "does not fit".to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            "Extension: scaling the derivation beyond the paper (Stratix 10)",
+            &["Set", "n", "k", "derived architecture", "ksk", "ALM", "KeySwitch/s", "DRAM BW"],
+            &rows,
+        )
+    );
+
+    // The DRAM feasibility cliff for Set-D.
+    let n = 1usize << 15;
+    let k = 16usize;
+    let arch = arch_for_intt0(n, k, 8);
+    let interval_us =
+        arch.steady_interval_cycles() as f64 / s10.freq_hz() * 1e6;
+    println!();
+    println!(
+        "Set-D* ksk = {:.0} Mb per op; at a {:.0} us interval the stream needs {:.1} GBps \
+         (Stratix 10 has {:.0}).",
+        DramModel::ksk_bits(n, k) as f64 / 1e6,
+        interval_us,
+        DramModel::required_ksk_gbps(n, k, interval_us),
+        s10.dram_bandwidth_gbps(),
+    );
+    let base = base_design_resources(&s10, &arch);
+    let with_keys = base + ksk_bram(n, k);
+    println!(
+        "on-chip keys would need {} M20K of the chip's {} — off-chip is forced.",
+        with_keys.m20k,
+        s10.budget().m20k
+    );
+    println!();
+    println!("(*) Set-D is this reproduction's extrapolation, not a paper configuration.");
+}

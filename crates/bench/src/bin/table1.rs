@@ -1,0 +1,35 @@
+//! Table 1 — Summary of FPGA boards' specifications.
+
+use heax_bench::render_table;
+use heax_hw::board::Board;
+
+fn main() {
+    let rows: Vec<Vec<String>> = [Board::arria10(), Board::stratix10()]
+        .iter()
+        .map(|b| {
+            vec![
+                b.name().to_string(),
+                b.chip().to_string(),
+                b.budget().dsp.to_string(),
+                format!("{:.2}M", b.budget().reg as f64 / 1e6),
+                format!("{}K", b.budget().alm / 1000),
+                format!("{}Mb", b.budget().bram_bits >> 20),
+                format!("{:.1}K", b.budget().m20k as f64 / 1000.0),
+                b.dram_channels().to_string(),
+                format!("{:.0}", b.dram_bandwidth_gbps()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Table 1: FPGA board specifications",
+            &[
+                "Board", "Chip", "DSP", "REG", "ALM", "BRAM bits", "#M20K", "#chnl", "BW (GBps)"
+            ],
+            &rows,
+        )
+    );
+    println!("\nPaper values: Arria 10 — 1518 DSP, 1.71M REG, 427K ALM, 53Mb, 2.7K M20K, 2 ch, 34 GBps");
+    println!("              Stratix 10 — 5760 DSP, 3.73M REG, 933K ALM, 229Mb, 11.7K M20K, 4 ch, 64 GBps");
+}

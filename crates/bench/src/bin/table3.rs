@@ -1,0 +1,31 @@
+//! Table 3 — Resource consumption of each computation core.
+
+use heax_bench::render_table;
+use heax_hw::cores::CoreKind;
+
+fn main() {
+    let rows: Vec<Vec<String>> = CoreKind::ALL
+        .iter()
+        .map(|k| {
+            let c = k.cost();
+            vec![
+                k.name().to_string(),
+                c.dsp.to_string(),
+                c.reg.to_string(),
+                c.alm.to_string(),
+                k.pipeline_stages().to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Table 3: per-core resources (model = paper's measured values)",
+            &["Core", "DSP", "REG", "ALM", "#Stages"],
+            &rows,
+        )
+    );
+    println!("\nThese are the paper's measured per-core costs, used as the unit");
+    println!("costs of the resource model (DSP counts follow from the 54-bit");
+    println!("datapath: a 54x54 product uses four 27-bit DSPs).");
+}

@@ -1,0 +1,73 @@
+//! Table 4 — Resource consumption and cycle counts of the basic modules
+//! at 4/8/16/32 cores.
+//!
+//! Two sources are printed side by side:
+//! * the calibrated model of `heax_core::resources::module_cost` (exact at
+//!   the calibration points, by construction);
+//! * the dataflow simulators' cycle counts, next to the paper's "Cycles"
+//!   column — which, as documented in DESIGN.md, matches `n = 2^12` for
+//!   NTT/INTT even though the BRAM figures are quoted for Set-B
+//!   (`n = 2^13`), and is a further 2× lower for the 16/32-core MULT rows.
+
+use heax_bench::render_table;
+use heax_core::resources::{module_cost, ModuleKind};
+use heax_hw::mult_dataflow::MultModuleConfig;
+use heax_hw::ntt_dataflow::NttModuleConfig;
+
+fn main() {
+    let n_bram = 8192; // BRAM figures quoted for Set-B
+    let n_cycles = 4096; // cycle figures consistent with n = 2^12
+
+    let paper_cycles_mult = [1024u64, 512, 128, 64];
+    let paper_cycles_ntt = [6144u64, 3072, 1536, 768];
+
+    for (kind, label, paper_cycles) in [
+        (ModuleKind::Mult, "MULT", &paper_cycles_mult),
+        (ModuleKind::Ntt, "NTT", &paper_cycles_ntt),
+        (ModuleKind::Intt, "INTT", &paper_cycles_ntt),
+    ] {
+        let mut rows = Vec::new();
+        for (i, cores) in [4usize, 8, 16, 32].into_iter().enumerate() {
+            let r = module_cost(kind, cores, n_bram);
+            let model_cycles = match kind {
+                ModuleKind::Mult => MultModuleConfig::new(n_cycles, cores)
+                    .expect("valid")
+                    .pair_cycles(),
+                _ => NttModuleConfig::new(n_cycles, cores)
+                    .expect("valid")
+                    .transform_cycles(),
+            };
+            rows.push(vec![
+                cores.to_string(),
+                r.dsp.to_string(),
+                r.reg.to_string(),
+                r.alm.to_string(),
+                r.bram_bits.to_string(),
+                r.m20k.to_string(),
+                model_cycles.to_string(),
+                paper_cycles[i].to_string(),
+            ]);
+        }
+        print!(
+            "{}",
+            render_table(
+                &format!("Table 4: {label} module (BRAM @ n=2^13; cycles @ n=2^12)"),
+                &[
+                    "#Cores",
+                    "DSP",
+                    "REG",
+                    "ALM",
+                    "BRAM bits",
+                    "#M20K",
+                    "model cyc",
+                    "paper cyc"
+                ],
+                &rows,
+            )
+        );
+    }
+    println!();
+    println!("Formulas: NTT/INTT n*log n/(2*nc); MULT pair n/nc. The paper's");
+    println!("16/32-core MULT cycle entries are 2x below the formula (its 4/8-core");
+    println!("entries match); Tables 7-8 confirm the formulas — see EXPERIMENTS.md.");
+}

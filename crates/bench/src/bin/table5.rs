@@ -1,0 +1,43 @@
+//! Table 5 — KeySwitch architecture parameters, derived automatically.
+
+use heax_bench::render_table;
+use heax_core::arch::DesignPoint;
+
+fn main() {
+    let paper = [
+        "1xINTT(8) -> 2xNTT(8) -> 3xDyad(4) -> 2xINTT(4) -> 2xNTT(8) -> 2xMult(2)",
+        "1xINTT(16) -> 2xNTT(16) -> 3xDyad(8) -> 2xINTT(8) -> 2xNTT(16) -> 2xMult(4)",
+        "1xINTT(16) -> 4xNTT(16) -> 5xDyad(8) -> 2xINTT(4) -> 2xNTT(16) -> 2xMult(4)",
+        "1xINTT(8) -> 4xNTT(16) -> 5xDyad(8) -> 2xINTT(1) -> 2xNTT(8) -> 2xMult(4)",
+    ];
+    let mut rows = Vec::new();
+    for (dp, paper_row) in DesignPoint::paper_rows().iter().zip(paper) {
+        let derived = dp.arch.summary();
+        rows.push(vec![
+            dp.board.chip().split_whitespace().next().unwrap_or("").to_string(),
+            dp.set.to_string(),
+            derived.clone(),
+            if derived == paper_row { "exact".into() } else { "DIFFERS".into() },
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Table 5: derived KeySwitch architectures (vs paper)",
+            &["FPGA", "Set", "derived architecture", "vs paper"],
+            &rows,
+        )
+    );
+    println!();
+    for dp in DesignPoint::paper_rows() {
+        println!(
+            "{:10} {}: f1 = {}, f2 = {}, steady interval = {} cycles, ksk in {:?}",
+            dp.board.name(),
+            dp.set,
+            dp.arch.f1(),
+            dp.arch.f2(),
+            dp.arch.steady_interval_cycles(),
+            dp.ksk_placement,
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Table 8 — high-level operations per second (KeySwitch, MULT+ReLin):
+//! CPU (measured) vs HEAX (model), plus the §5.1 DRAM bandwidth check.
+
+use heax_bench::{fmt_ops, fmt_speedup, measure_ops_per_sec, render_table, workloads};
+use heax_ckks::Evaluator;
+use heax_core::arch::DesignPoint;
+use heax_core::perf::{estimate, paper_cpu_ops_per_sec, paper_heax_ops_per_sec, HeaxOp};
+use heax_hw::xfer::DramModel;
+
+fn main() {
+    let budget_ms = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500u64);
+    let mut rows = Vec::new();
+    for dp in DesignPoint::paper_rows() {
+        eprintln!("preparing {} / {} ...", dp.board.name(), dp.set);
+        let w = workloads::prepare(dp.set);
+        let eval = Evaluator::new(&w.ctx);
+        for op in [HeaxOp::KeySwitch, HeaxOp::MultRelin] {
+            let cpu = match op {
+                HeaxOp::KeySwitch => measure_ops_per_sec(
+                    || {
+                        let _ = eval
+                            .key_switch(
+                                w.ct_prod.component(2),
+                                w.rlk.ksk(),
+                                w.ct_prod.level(),
+                            )
+                            .expect("keyswitch");
+                    },
+                    budget_ms,
+                ),
+                HeaxOp::MultRelin => measure_ops_per_sec(
+                    || {
+                        let _ = eval
+                            .multiply_relin(&w.ct_a, &w.ct_b, &w.rlk)
+                            .expect("multiply_relin");
+                    },
+                    budget_ms,
+                ),
+                _ => unreachable!(),
+            };
+            let heax = estimate(&dp, op);
+            let paper_cpu = paper_cpu_ops_per_sec(dp.set, op);
+            let paper_heax = paper_heax_ops_per_sec(&dp.board, dp.set, op).expect("row");
+            rows.push(vec![
+                format!("{}/{}", dp.board.name(), dp.set),
+                op.name().to_string(),
+                fmt_ops(cpu),
+                fmt_ops(heax.ops_per_sec),
+                fmt_speedup(heax.ops_per_sec / cpu),
+                fmt_ops(paper_cpu),
+                fmt_ops(paper_heax),
+                fmt_speedup(paper_heax / paper_cpu),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            "Table 8: high-level ops/second — this repro vs paper",
+            &[
+                "Design", "Op", "our CPU", "HEAX model", "speedup", "paper CPU", "paper HEAX",
+                "paper spd"
+            ],
+            &rows,
+        )
+    );
+
+    // §5.1 footer: ksk streaming feasibility for Set-C.
+    println!();
+    println!("-- Section 5.1 DRAM check (Set-C keys streamed from DRAM) --");
+    let dp = DesignPoint::paper_rows().into_iter().last().expect("set-c");
+    let interval_us = estimate(&dp, HeaxOp::KeySwitch).op_us;
+    let required = DramModel::required_ksk_gbps(dp.set.n(), dp.set.k(), interval_us);
+    let dram = DramModel::for_board(&dp.board);
+    println!(
+        "ksk size = {:.1} Mb, KeySwitch interval = {:.0} us -> required BW = {:.2} GBps; \
+         available = {:.0} GBps over {} channels -> {}",
+        DramModel::ksk_bits(dp.set.n(), dp.set.k()) as f64 / 1e6,
+        interval_us,
+        required,
+        dram.bandwidth_gbps,
+        dram.channels,
+        if dram.sustains_ksk(dp.set.n(), dp.set.k(), interval_us) {
+            "SUSTAINED (paper: 49.28 GBps < 64 GBps)"
+        } else {
+            "NOT SUSTAINED"
+        }
+    );
+}

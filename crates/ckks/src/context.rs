@@ -1,0 +1,234 @@
+//! Precomputed context shared by all CKKS operations.
+
+use std::sync::Arc;
+
+use heax_math::fft::SpecialFft;
+use heax_math::ntt::NttTable;
+use heax_math::rns::{RnsBasis, RnsFloorConstants, RnsGadget};
+use heax_math::word::Modulus;
+
+use crate::params::CkksParams;
+use crate::CkksError;
+
+/// Immutable precomputed data: NTT tables for every modulus in the chain,
+/// per-level RNS bases, the key-switching gadget, and flooring constants
+/// for both rescaling and modulus switching.
+///
+/// Cheap to clone (`Arc` internally is not needed; users typically wrap the
+/// context in an [`Arc`] themselves — the provided [`CkksContext::new_arc`]
+/// does so).
+#[derive(Clone, Debug)]
+pub struct CkksContext {
+    params: CkksParams,
+    /// Moduli in chain order: ciphertext primes `p_0..p_{k-1}`, then the
+    /// special prime.
+    moduli: Vec<Modulus>,
+    /// NTT tables aligned with `moduli`.
+    ntt_tables: Vec<NttTable>,
+    /// `bases[l]` = RNS basis over `p_0..p_l`.
+    bases: Vec<RnsBasis>,
+    /// Key-switching gadget over the full ciphertext basis + special prime.
+    gadget: RnsGadget,
+    /// `rescale_consts[l]` = constants for dropping `p_l` at level `l ≥ 1`
+    /// (index 0 unused).
+    rescale_consts: Vec<Option<RnsFloorConstants>>,
+    /// `modswitch_consts[l]` = constants for flooring the special prime at
+    /// level `l`.
+    modswitch_consts: Vec<RnsFloorConstants>,
+    /// Canonical-embedding FFT for the encoder.
+    fft: SpecialFft,
+}
+
+impl CkksContext {
+    /// Precomputes all tables for the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction failures (non-NTT-friendly or
+    /// non-coprime moduli — impossible for parameters accepted by
+    /// [`CkksParams::new`]).
+    pub fn new(params: CkksParams) -> Result<Self, CkksError> {
+        let n = params.n();
+        let moduli: Result<Vec<Modulus>, _> =
+            params.moduli().iter().map(|&p| Modulus::new(p)).collect();
+        let moduli = moduli?;
+        let ntt_tables: Result<Vec<NttTable>, _> =
+            moduli.iter().map(|&m| NttTable::new(n, m)).collect();
+        let ntt_tables = ntt_tables?;
+
+        let k = params.k();
+        let special = moduli[k];
+        let q_moduli = &moduli[..k];
+
+        let mut bases = Vec::with_capacity(k);
+        for l in 0..k {
+            bases.push(RnsBasis::from_moduli(q_moduli[..=l].to_vec())?);
+        }
+        let gadget = RnsGadget::new(&bases[k - 1], &special)?;
+
+        let mut rescale_consts = Vec::with_capacity(k);
+        rescale_consts.push(None);
+        for l in 1..k {
+            rescale_consts.push(Some(RnsFloorConstants::new(
+                &q_moduli[..l],
+                &q_moduli[l],
+            )?));
+        }
+        let mut modswitch_consts = Vec::with_capacity(k);
+        for l in 0..k {
+            modswitch_consts.push(RnsFloorConstants::new(&q_moduli[..=l], &special)?);
+        }
+
+        let fft = SpecialFft::new(n / 2)?;
+
+        Ok(Self {
+            params,
+            moduli,
+            ntt_tables,
+            bases,
+            gadget,
+            rescale_consts,
+            modswitch_consts,
+            fft,
+        })
+    }
+
+    /// Convenience: build and wrap in an [`Arc`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CkksContext::new`].
+    pub fn new_arc(params: CkksParams) -> Result<Arc<Self>, CkksError> {
+        Ok(Arc::new(Self::new(params)?))
+    }
+
+    /// The validated parameters.
+    #[inline]
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    /// All moduli (ciphertext primes then special).
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// Ciphertext prime moduli active at `level` (`p_0..p_level`).
+    #[inline]
+    pub fn level_moduli(&self, level: usize) -> &[Modulus] {
+        &self.moduli[..=level]
+    }
+
+    /// The special prime.
+    #[inline]
+    pub fn special_modulus(&self) -> &Modulus {
+        &self.moduli[self.params.k()]
+    }
+
+    /// NTT tables aligned with [`CkksContext::moduli`].
+    #[inline]
+    pub fn ntt_tables(&self) -> &[NttTable] {
+        &self.ntt_tables
+    }
+
+    /// NTT table for modulus index `i` in the chain.
+    #[inline]
+    pub fn ntt_table(&self, i: usize) -> &NttTable {
+        &self.ntt_tables[i]
+    }
+
+    /// NTT table for the special prime.
+    #[inline]
+    pub fn special_ntt_table(&self) -> &NttTable {
+        &self.ntt_tables[self.params.k()]
+    }
+
+    /// RNS basis over `p_0..p_level`.
+    #[inline]
+    pub fn basis(&self, level: usize) -> &RnsBasis {
+        &self.bases[level]
+    }
+
+    /// Key-switching gadget (full basis).
+    #[inline]
+    pub fn gadget(&self) -> &RnsGadget {
+        &self.gadget
+    }
+
+    /// Flooring constants for rescaling away `p_level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level == 0` (nothing below to rescale into); callers
+    /// check [`CkksError::LevelExhausted`] first.
+    #[inline]
+    pub fn rescale_constants(&self, level: usize) -> &RnsFloorConstants {
+        self.rescale_consts[level]
+            .as_ref()
+            .expect("rescale below level 1 is checked by callers")
+    }
+
+    /// Flooring constants for switching away the special prime at `level`.
+    #[inline]
+    pub fn modswitch_constants(&self, level: usize) -> &RnsFloorConstants {
+        &self.modswitch_consts[level]
+    }
+
+    /// Encoder FFT.
+    #[inline]
+    pub fn fft(&self) -> &SpecialFft {
+        &self.fft
+    }
+
+    /// Maximum level (`k - 1`).
+    #[inline]
+    pub fn max_level(&self) -> usize {
+        self.params.max_level()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+
+    #[test]
+    fn context_builds_for_all_sets() {
+        for set in [ParamSet::SetA] {
+            let ctx = CkksContext::new(CkksParams::from_set(set).unwrap()).unwrap();
+            assert_eq!(ctx.moduli().len(), set.k() + 1);
+            assert_eq!(ctx.ntt_tables().len(), set.k() + 1);
+            assert_eq!(ctx.max_level(), set.k() - 1);
+            assert_eq!(ctx.basis(0).len(), 1);
+            assert_eq!(ctx.basis(ctx.max_level()).len(), set.k());
+        }
+    }
+
+    #[test]
+    fn small_context_tables_consistent() {
+        let params = small();
+        let ctx = CkksContext::new(params).unwrap();
+        for (m, t) in ctx.moduli().iter().zip(ctx.ntt_tables()) {
+            assert_eq!(m.value(), t.modulus().value());
+            assert_eq!(t.n(), ctx.n());
+        }
+        assert_eq!(
+            ctx.special_modulus().value(),
+            ctx.params().special_modulus()
+        );
+    }
+
+    pub(crate) fn small() -> CkksParams {
+        // Tiny config for fast tests: n = 64, three ciphertext primes +
+        // special prime (depth-2 capable), scale 2^32.
+        let chain = heax_math::primes::generate_prime_chain(&[40, 40, 40, 41], 64).unwrap();
+        CkksParams::new(64, chain, (1u64 << 32) as f64).unwrap()
+    }
+}

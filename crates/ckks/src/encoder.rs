@@ -1,0 +1,273 @@
+//! CKKS encoder/decoder (client-side canonical embedding).
+//!
+//! `n/2` complex slots are packed into one plaintext polynomial: the slot
+//! vector is mapped through the inverse special FFT, scaled by Δ, rounded
+//! to integers, and lifted into RNS/NTT form. Decoding reverses the path,
+//! using exact Garner CRT composition with centering.
+//!
+//! Per the paper (Section 1, "Client-Side and Server-Side Computation"),
+//! encoding and decoding run on the client and are *not* accelerated; they
+//! exist here to verify the server-side pipeline end to end.
+
+use heax_math::fft::Complex64;
+use heax_math::poly::{Representation, RnsPoly};
+
+use crate::ciphertext::Plaintext;
+use crate::context::CkksContext;
+use crate::CkksError;
+
+/// Encoder bound: |rounded coefficient| must stay below 2^119 so the i128
+/// lift into RNS is exact.
+const MAX_COEFF_MAGNITUDE: f64 = 6.6e35; // ~2^119
+
+/// Encodes and decodes complex vectors.
+///
+/// # Examples
+///
+/// ```
+/// use heax_ckks::{CkksContext, CkksEncoder, CkksParams, ParamSet};
+/// use heax_math::fft::Complex64;
+///
+/// # fn main() -> Result<(), heax_ckks::CkksError> {
+/// let ctx = CkksContext::new(CkksParams::from_set(ParamSet::SetA)?)?;
+/// let encoder = CkksEncoder::new(&ctx);
+/// let values = vec![Complex64::new(1.5, 0.0), Complex64::new(-2.25, 3.0)];
+/// let pt = encoder.encode(&values, ctx.params().scale(), ctx.max_level())?;
+/// let decoded = encoder.decode(&pt)?;
+/// assert!((decoded[0].re - 1.5).abs() < 1e-6);
+/// assert!((decoded[1].im - 3.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CkksEncoder<'a> {
+    ctx: &'a CkksContext,
+}
+
+impl<'a> CkksEncoder<'a> {
+    /// Creates an encoder borrowing the context.
+    pub fn new(ctx: &'a CkksContext) -> Self {
+        Self { ctx }
+    }
+
+    /// Number of complex slots.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.ctx.n() / 2
+    }
+
+    /// Encodes up to `slots` complex values (zero-padded) at the given
+    /// scale and level.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::TooManySlots`] if more than `n/2` values are given;
+    /// [`CkksError::EncodingOverflow`] if `scale·|value|` exceeds the
+    /// representable coefficient range.
+    pub fn encode(
+        &self,
+        values: &[Complex64],
+        scale: f64,
+        level: usize,
+    ) -> Result<Plaintext, CkksError> {
+        let slots = self.slots();
+        if values.len() > slots {
+            return Err(CkksError::TooManySlots {
+                got: values.len(),
+                slots,
+            });
+        }
+        let mut vals = vec![Complex64::default(); slots];
+        vals[..values.len()].copy_from_slice(values);
+        self.ctx.fft().embed_inverse(&mut vals);
+
+        let n = self.ctx.n();
+        let moduli = self.ctx.level_moduli(level);
+        let mut poly = RnsPoly::zero(n, moduli, Representation::Coefficient);
+        for (j, v) in vals.iter().enumerate() {
+            let re = (v.re * scale).round();
+            let im = (v.im * scale).round();
+            if !(re.abs() < MAX_COEFF_MAGNITUDE && im.abs() < MAX_COEFF_MAGNITUDE) {
+                return Err(CkksError::EncodingOverflow);
+            }
+            let re = re as i128;
+            let im = im as i128;
+            for (i, p) in moduli.iter().enumerate() {
+                poly.residue_mut(i)[j] = p.reduce_i128(re);
+                poly.residue_mut(i)[j + slots] = p.reduce_i128(im);
+            }
+        }
+        poly.ntt_forward(self.ctx.ntt_tables())?;
+        Ok(Plaintext::from_parts(poly, level, scale))
+    }
+
+    /// Encodes real values (imaginary parts zero).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CkksEncoder::encode`].
+    pub fn encode_real(
+        &self,
+        values: &[f64],
+        scale: f64,
+        level: usize,
+    ) -> Result<Plaintext, CkksError> {
+        let complex: Vec<Complex64> = values.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        self.encode(&complex, scale, level)
+    }
+
+    /// Encodes a single scalar replicated into every slot.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CkksEncoder::encode`].
+    pub fn encode_scalar(
+        &self,
+        value: f64,
+        scale: f64,
+        level: usize,
+    ) -> Result<Plaintext, CkksError> {
+        let vals = vec![Complex64::new(value, 0.0); self.slots()];
+        self.encode(&vals, scale, level)
+    }
+
+    /// Decodes a plaintext back into `n/2` complex slot values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates representation errors (the plaintext must be in NTT form,
+    /// as all plaintexts produced by this library are).
+    pub fn decode(&self, pt: &Plaintext) -> Result<Vec<Complex64>, CkksError> {
+        let slots = self.slots();
+        let mut poly = pt.poly.clone();
+        poly.ntt_inverse(self.ctx.ntt_tables())?;
+
+        let basis = self.ctx.basis(pt.level);
+        let k = poly.num_residues();
+        let mut residues = vec![0u64; k];
+        let mut vals = vec![Complex64::default(); slots];
+        for (j, v) in vals.iter_mut().enumerate() {
+            for i in 0..k {
+                residues[i] = poly.residue(i)[j];
+            }
+            let re = basis.compose_centered_f64(&residues);
+            for i in 0..k {
+                residues[i] = poly.residue(i)[j + slots];
+            }
+            let im = basis.compose_centered_f64(&residues);
+            *v = Complex64::new(re / pt.scale, im / pt.scale);
+        }
+        self.ctx.fft().embed_forward(&mut vals);
+        Ok(vals)
+    }
+
+    /// Decodes only real parts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CkksEncoder::decode`].
+    pub fn decode_real(&self, pt: &Plaintext) -> Result<Vec<f64>, CkksError> {
+        Ok(self.decode(pt)?.into_iter().map(|c| c.re).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::tests::small;
+    use crate::context::CkksContext;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(small()).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ctx = ctx();
+        let enc = CkksEncoder::new(&ctx);
+        let vals: Vec<Complex64> = (0..enc.slots())
+            .map(|i| Complex64::new((i as f64 * 0.37).sin() * 3.0, (i as f64).cos()))
+            .collect();
+        let pt = enc
+            .encode(&vals, ctx.params().scale(), ctx.max_level())
+            .unwrap();
+        let back = enc.decode(&pt).unwrap();
+        for (a, b) in back.iter().zip(&vals) {
+            assert!((*a - *b).abs() < 1e-3, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn partial_vector_zero_pads() {
+        let ctx = ctx();
+        let enc = CkksEncoder::new(&ctx);
+        let pt = enc
+            .encode_real(&[5.0, -7.0], ctx.params().scale(), ctx.max_level())
+            .unwrap();
+        let back = enc.decode_real(&pt).unwrap();
+        assert!((back[0] - 5.0).abs() < 1e-3);
+        assert!((back[1] + 7.0).abs() < 1e-3);
+        for &v in &back[2..] {
+            assert!(v.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scalar_fills_all_slots() {
+        let ctx = ctx();
+        let enc = CkksEncoder::new(&ctx);
+        let pt = enc
+            .encode_scalar(2.5, ctx.params().scale(), ctx.max_level())
+            .unwrap();
+        for v in enc.decode_real(&pt).unwrap() {
+            assert!((v - 2.5).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn too_many_values_rejected() {
+        let ctx = ctx();
+        let enc = CkksEncoder::new(&ctx);
+        let too_many = vec![Complex64::default(); enc.slots() + 1];
+        assert!(matches!(
+            enc.encode(&too_many, 16.0, 0),
+            Err(CkksError::TooManySlots { .. })
+        ));
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let ctx = ctx();
+        let enc = CkksEncoder::new(&ctx);
+        assert!(matches!(
+            enc.encode_real(&[1e40], 1e40, ctx.max_level()),
+            Err(CkksError::EncodingOverflow)
+        ));
+    }
+
+    #[test]
+    fn lower_level_encoding_has_fewer_residues() {
+        let ctx = ctx();
+        let enc = CkksEncoder::new(&ctx);
+        let pt = enc.encode_real(&[1.0], ctx.params().scale(), 0).unwrap();
+        assert_eq!(pt.poly().num_residues(), 1);
+        let back = enc.decode_real(&pt).unwrap();
+        assert!((back[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn encode_is_additive() {
+        // encode(a) + encode(b) decodes to a + b: the embedding is linear.
+        let ctx = ctx();
+        let enc = CkksEncoder::new(&ctx);
+        let s = ctx.params().scale();
+        let a = enc.encode_real(&[1.0, 2.0, 3.0], s, ctx.max_level()).unwrap();
+        let b = enc.encode_real(&[0.5, -1.0, 4.0], s, ctx.max_level()).unwrap();
+        let sum_poly = a.poly().add(b.poly()).unwrap();
+        let sum = Plaintext::from_parts(sum_poly, ctx.max_level(), s);
+        let back = enc.decode_real(&sum).unwrap();
+        assert!((back[0] - 1.5).abs() < 1e-3);
+        assert!((back[1] - 1.0).abs() < 1e-3);
+        assert!((back[2] - 7.0).abs() < 1e-3);
+    }
+}

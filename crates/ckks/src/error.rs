@@ -1,0 +1,117 @@
+//! Error type for the CKKS scheme.
+
+use core::fmt;
+
+use heax_math::MathError;
+
+/// Errors produced by CKKS operations.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CkksError {
+    /// Underlying arithmetic error.
+    Math(MathError),
+    /// Parameter validation failed.
+    InvalidParameters {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Operands live at different levels of the modulus chain.
+    LevelMismatch {
+        /// Level of the left operand.
+        a: usize,
+        /// Level of the right operand.
+        b: usize,
+    },
+    /// Operands carry different scales (beyond f64 tolerance).
+    ScaleMismatch {
+        /// Scale of the left operand.
+        a: f64,
+        /// Scale of the right operand.
+        b: f64,
+    },
+    /// A ciphertext has an unsupported number of polynomial components.
+    InvalidCiphertext {
+        /// Number of components found.
+        components: usize,
+        /// What the operation expected.
+        expected: &'static str,
+    },
+    /// The operation would consume a modulus that is not there.
+    LevelExhausted,
+    /// A rotation was requested for a step with no generated Galois key.
+    MissingGaloisKey {
+        /// The Galois element that was needed.
+        galois_elt: usize,
+    },
+    /// Too many values passed to the encoder.
+    TooManySlots {
+        /// Values provided.
+        got: usize,
+        /// Slots available (n/2).
+        slots: usize,
+    },
+    /// Encoded coefficient magnitude exceeds what the encoder can represent.
+    EncodingOverflow,
+}
+
+impl fmt::Display for CkksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Math(e) => write!(f, "math error: {e}"),
+            Self::InvalidParameters { reason } => write!(f, "invalid parameters: {reason}"),
+            Self::LevelMismatch { a, b } => {
+                write!(f, "operands at different levels: {a} vs {b}")
+            }
+            Self::ScaleMismatch { a, b } => {
+                write!(f, "operands have different scales: {a} vs {b}")
+            }
+            Self::InvalidCiphertext {
+                components,
+                expected,
+            } => write!(
+                f,
+                "ciphertext has {components} components, expected {expected}"
+            ),
+            Self::LevelExhausted => write!(f, "modulus chain exhausted: cannot drop below level 0"),
+            Self::MissingGaloisKey { galois_elt } => {
+                write!(f, "no Galois key generated for element {galois_elt}")
+            }
+            Self::TooManySlots { got, slots } => {
+                write!(f, "{got} values exceed the {slots} available slots")
+            }
+            Self::EncodingOverflow => {
+                write!(f, "encoded coefficient exceeds representable magnitude")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for CkksError {
+    fn from(e: MathError) -> Self {
+        Self::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CkksError::LevelMismatch { a: 1, b: 2 };
+        assert!(e.to_string().contains("different levels"));
+        let m: CkksError = MathError::EmptyBasis.into();
+        assert!(std::error::Error::source(&m).is_some());
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CkksError>();
+    }
+}

@@ -1,0 +1,763 @@
+//! Homomorphic evaluation: the server-side operations HEAX accelerates.
+//!
+//! * [`Evaluator::add`] / [`Evaluator::sub`] — `CKKS.Add` (Section 3.2);
+//! * [`Evaluator::multiply`] — `CKKS.Mul`, Algorithm 5 (dyadic products of
+//!   all component pairs; the MULT module in hardware);
+//! * [`Evaluator::rescale`] — `CKKS.Rescale`, Algorithm 6;
+//! * [`Evaluator::key_switch`] — `KeySwitch`, Algorithm 7 (the KeySwitch
+//!   module in hardware);
+//! * [`Evaluator::relinearize`] — `CKKS.Relin` (key switch on `c₂`);
+//! * [`Evaluator::rotate`] / [`Evaluator::conjugate`] — Galois automorphism
+//!   plus key switch.
+//!
+//! One deliberate deviation from the paper's pseudo-code: Algorithm 7 ends
+//! with `ct' ← CKKS.Add(ct, ct')`, which as written would add the *old*
+//! `c₁` into the key-switched `c₁` component. As in SEAL (which the
+//! algorithm transcribes), the key-switched pair must replace the
+//! component being switched: relinearization computes
+//! `(c₀ + f₀, c₁ + f₁)` where `(f₀, f₁) = KeySwitchInner(c₂)`, and rotation
+//! computes `(τ(c₀) + f₀, f₁)` where `(f₀, f₁) = KeySwitchInner(τ(c₁))`.
+//! [`Evaluator::key_switch`] exposes the inner primitive directly.
+
+use heax_math::poly::{Representation, RnsPoly};
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::flooring::{floor_last, floor_special};
+use crate::galois::{galois_elt_conjugate, galois_elt_from_step};
+use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
+use crate::CkksError;
+
+/// Relative tolerance when comparing scales of operands.
+const SCALE_RTOL: f64 = 1e-9;
+
+/// Stateless evaluator borrowing a context.
+#[derive(Clone, Debug)]
+pub struct Evaluator<'a> {
+    ctx: &'a CkksContext,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator.
+    pub fn new(ctx: &'a CkksContext) -> Self {
+        Self { ctx }
+    }
+
+    /// The context.
+    #[inline]
+    pub fn context(&self) -> &CkksContext {
+        self.ctx
+    }
+
+    fn check_pair(&self, a: &Ciphertext, b: &Ciphertext) -> Result<(), CkksError> {
+        if a.level != b.level {
+            return Err(CkksError::LevelMismatch {
+                a: a.level,
+                b: b.level,
+            });
+        }
+        if !scales_match(a.scale, b.scale) {
+            return Err(CkksError::ScaleMismatch {
+                a: a.scale,
+                b: b.scale,
+            });
+        }
+        Ok(())
+    }
+
+    /// `CKKS.Add`: component-wise sum. Operands may have different sizes
+    /// (e.g. a 3-component product plus a fresh ciphertext).
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::LevelMismatch`] / [`CkksError::ScaleMismatch`] when the
+    /// operands disagree.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        self.check_pair(a, b)?;
+        let (longer, shorter) = if a.size() >= b.size() { (a, b) } else { (b, a) };
+        let mut polys = longer.polys.clone();
+        for (dst, src) in polys.iter_mut().zip(&shorter.polys) {
+            dst.add_assign(src)?;
+        }
+        Ciphertext::from_parts(polys, a.level, a.scale)
+    }
+
+    /// Component-wise difference (`a - b`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::add`].
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        self.check_pair(a, b)?;
+        let size = a.size().max(b.size());
+        let mut polys = Vec::with_capacity(size);
+        let zero = RnsPoly::zero(
+            self.ctx.n(),
+            self.ctx.level_moduli(a.level),
+            Representation::Ntt,
+        );
+        for i in 0..size {
+            let ai = a.polys.get(i).unwrap_or(&zero);
+            let bi = b.polys.get(i).unwrap_or(&zero);
+            polys.push(ai.sub(bi)?);
+        }
+        Ciphertext::from_parts(polys, a.level, a.scale)
+    }
+
+    /// Negation.
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        Ciphertext {
+            polys: a.polys.iter().map(RnsPoly::neg).collect(),
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// Adds a plaintext into the `c₀` component.
+    ///
+    /// # Errors
+    ///
+    /// Level/scale mismatches as in [`Evaluator::add`].
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
+        if a.level != pt.level {
+            return Err(CkksError::LevelMismatch {
+                a: a.level,
+                b: pt.level,
+            });
+        }
+        if !scales_match(a.scale, pt.scale) {
+            return Err(CkksError::ScaleMismatch {
+                a: a.scale,
+                b: pt.scale,
+            });
+        }
+        let mut out = a.clone();
+        out.polys[0].add_assign(&pt.poly)?;
+        Ok(out)
+    }
+
+    /// Subtracts a plaintext from the `c₀` component.
+    ///
+    /// # Errors
+    ///
+    /// Level/scale mismatches as in [`Evaluator::add`].
+    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
+        if a.level != pt.level {
+            return Err(CkksError::LevelMismatch {
+                a: a.level,
+                b: pt.level,
+            });
+        }
+        if !scales_match(a.scale, pt.scale) {
+            return Err(CkksError::ScaleMismatch {
+                a: a.scale,
+                b: pt.scale,
+            });
+        }
+        let mut out = a.clone();
+        out.polys[0] = out.polys[0].sub(&pt.poly)?;
+        Ok(out)
+    }
+
+    /// Ciphertext-plaintext multiplication (the C-P mode of the MULT
+    /// module): every component is multiplied dyadically by the plaintext.
+    /// The output scale is the product of scales.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::LevelMismatch`] when levels disagree.
+    pub fn multiply_plain(
+        &self,
+        a: &Ciphertext,
+        pt: &Plaintext,
+    ) -> Result<Ciphertext, CkksError> {
+        if a.level != pt.level {
+            return Err(CkksError::LevelMismatch {
+                a: a.level,
+                b: pt.level,
+            });
+        }
+        let mut polys = Vec::with_capacity(a.size());
+        for c in &a.polys {
+            polys.push(c.dyadic_mul(&pt.poly)?);
+        }
+        Ciphertext::from_parts(polys, a.level, a.scale * pt.scale)
+    }
+
+    /// `CKKS.Mul`, Algorithm 5, generalized to α- and β-component inputs
+    /// as the MULT module is (Section 4.1): the output has `α + β - 1`
+    /// components `c_t = Σ_{i+j=t} a_i ⊙ b_j`.
+    ///
+    /// # Errors
+    ///
+    /// Level/scale mismatches as in [`Evaluator::add`].
+    pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        self.check_pair(a, b)?;
+        let alpha = a.size();
+        let beta = b.size();
+        let out_size = alpha + beta - 1;
+        let zero = RnsPoly::zero(
+            self.ctx.n(),
+            self.ctx.level_moduli(a.level),
+            Representation::Ntt,
+        );
+        let mut polys = vec![zero; out_size];
+        for i in 0..alpha {
+            for j in 0..beta {
+                polys[i + j].dyadic_mul_acc(&a.polys[i], &b.polys[j])?;
+            }
+        }
+        Ciphertext::from_parts(polys, a.level, a.scale * b.scale)
+    }
+
+    /// Squares a ciphertext (multiply with itself).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::multiply`].
+    pub fn square(&self, a: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        self.multiply(a, a)
+    }
+
+    /// Multiplies by a small signed integer constant *without* touching
+    /// the scale or consuming a level: every residue is scaled by
+    /// `[v]_{p_i}`. Noise grows by `|v|`.
+    pub fn multiply_integer(&self, a: &Ciphertext, v: i64) -> Ciphertext {
+        let moduli = self.ctx.level_moduli(a.level);
+        let scalars: Vec<u64> = moduli.iter().map(|m| m.reduce_i64(v)).collect();
+        let mut out = a.clone();
+        for p in &mut out.polys {
+            p.scale_per_residue(&scalars);
+        }
+        out
+    }
+
+    /// Sums many ciphertexts (tree-free left fold; noise grows linearly).
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::InvalidCiphertext`] on an empty list; level/scale
+    /// mismatches as in [`Evaluator::add`].
+    pub fn add_many(&self, cts: &[Ciphertext]) -> Result<Ciphertext, CkksError> {
+        let (first, rest) = cts.split_first().ok_or(CkksError::InvalidCiphertext {
+            components: 0,
+            expected: "at least one ciphertext",
+        })?;
+        let mut acc = first.clone();
+        for ct in rest {
+            acc = self.add(&acc, ct)?;
+        }
+        Ok(acc)
+    }
+
+    /// `CKKS.Rescale`, Algorithm 6: floors every component by the last
+    /// active prime, dropping one level and dividing the scale by that
+    /// prime.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::LevelExhausted`] at level 0.
+    pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        if a.level == 0 {
+            return Err(CkksError::LevelExhausted);
+        }
+        let dropped = self.ctx.moduli()[a.level].value() as f64;
+        let mut polys = Vec::with_capacity(a.size());
+        for c in &a.polys {
+            polys.push(floor_last(c, self.ctx, a.level)?);
+        }
+        Ciphertext::from_parts(polys, a.level - 1, a.scale / dropped)
+    }
+
+    /// Drops to the next level *without* scaling (modulus switching of the
+    /// ciphertext basis only): simply forgets the last residue. Used to
+    /// align levels of operands.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::LevelExhausted`] at level 0.
+    pub fn mod_switch_to_next(&self, a: &Ciphertext) -> Result<Ciphertext, CkksError> {
+        if a.level == 0 {
+            return Err(CkksError::LevelExhausted);
+        }
+        let mut polys = Vec::with_capacity(a.size());
+        for c in &a.polys {
+            let mut p = c.clone();
+            p.pop_residue();
+            polys.push(p);
+        }
+        Ciphertext::from_parts(polys, a.level - 1, a.scale)
+    }
+
+    /// The inner key-switching primitive (Algorithm 7, lines 1–19): given a
+    /// single NTT-form polynomial `target` over the basis of `level` and a
+    /// key-switching key, produces the pair `(f₀, f₁)` over the same basis
+    /// such that `f₀ + f₁·s ≈ target·s'`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Math`] on representation/shape mismatches.
+    pub fn key_switch(
+        &self,
+        target: &RnsPoly,
+        ksk: &KeySwitchKey,
+        level: usize,
+    ) -> Result<(RnsPoly, RnsPoly), CkksError> {
+        let ctx = self.ctx;
+        if target.representation() != Representation::Ntt {
+            return Err(CkksError::Math(
+                heax_math::MathError::RepresentationMismatch,
+            ));
+        }
+        if target.num_residues() != level + 1 {
+            return Err(CkksError::Math(heax_math::MathError::LengthMismatch {
+                expected: level + 1,
+                got: target.num_residues(),
+            }));
+        }
+        let n = ctx.n();
+        let k = ctx.params().k();
+        // Extended basis: active primes + special prime.
+        let mut ext_chain: Vec<_> = ctx.level_moduli(level).to_vec();
+        ext_chain.push(*ctx.special_modulus());
+        let ext_len = ext_chain.len();
+
+        let mut acc0 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
+        let mut acc1 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
+
+        // k iterations, one per input RNS component (Alg. 7, lines 2-18).
+        for i in 0..=level {
+            // a ← INTT_{p_i}(c̃_{1,i})            (line 3)
+            let mut a_coeff = target.residue(i).to_vec();
+            ctx.ntt_table(i).inverse_auto(&mut a_coeff);
+
+            let (ksk_b, ksk_a) = ksk.component(i);
+
+            for j in 0..ext_len {
+                // Chain index of extended position j (special prime last).
+                let chain_idx = if j <= level { j } else { k };
+                let m = &ext_chain[j];
+                // b̃: reuse the NTT form when i == j (line 9), otherwise
+                // reduce in coefficient space and re-NTT (lines 6-7, 14-15).
+                let b_ntt: Vec<u64> = if chain_idx == i {
+                    target.residue(i).to_vec()
+                } else {
+                    let mut b: Vec<u64> =
+                        a_coeff.iter().map(|&x| m.reduce_u64(x)).collect();
+                    ctx.ntt_table(chain_idx).forward_auto(&mut b);
+                    b
+                };
+                // Accumulate b̃ ⊙ d̃_{i,0/1,j}      (lines 11-12, 16-17)
+                let kb = ksk_b.residue(chain_idx);
+                let ka = ksk_a.residue(chain_idx);
+                let d0 = acc0.residue_mut(j);
+                for (t, d) in d0.iter_mut().enumerate() {
+                    *d = m.add_mod(*d, m.mul_mod(b_ntt[t], kb[t]));
+                }
+                let d1 = acc1.residue_mut(j);
+                for (t, d) in d1.iter_mut().enumerate() {
+                    *d = m.add_mod(*d, m.mul_mod(b_ntt[t], ka[t]));
+                }
+            }
+        }
+
+        // Modulus switching: floor both accumulators by the special prime
+        // (line 19).
+        let f0 = floor_special(&acc0, ctx, level)?;
+        let f1 = floor_special(&acc1, ctx, level)?;
+        Ok((f0, f1))
+    }
+
+    /// `CKKS.Relin`: key-switches the `c₂` component of a 3-component
+    /// ciphertext back onto `(c₀, c₁)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::InvalidCiphertext`] unless the input has exactly three
+    /// components.
+    pub fn relinearize(
+        &self,
+        a: &Ciphertext,
+        rlk: &RelinKey,
+    ) -> Result<Ciphertext, CkksError> {
+        if a.size() != 3 {
+            return Err(CkksError::InvalidCiphertext {
+                components: a.size(),
+                expected: "exactly 3",
+            });
+        }
+        let (f0, f1) = self.key_switch(&a.polys[2], &rlk.ksk, a.level)?;
+        let c0 = a.polys[0].add(&f0)?;
+        let c1 = a.polys[1].add(&f1)?;
+        Ciphertext::from_parts(vec![c0, c1], a.level, a.scale)
+    }
+
+    /// Multiply then relinearize — the paper's "MULT+ReLin" composite
+    /// operation (Table 8).
+    ///
+    /// # Errors
+    ///
+    /// Union of [`Evaluator::multiply`] and [`Evaluator::relinearize`].
+    pub fn multiply_relin(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        rlk: &RelinKey,
+    ) -> Result<Ciphertext, CkksError> {
+        let prod = self.multiply(a, b)?;
+        self.relinearize(&prod, rlk)
+    }
+
+    /// Rotates slots left by `step` (negative = right): applies the Galois
+    /// automorphism to both components, then key-switches the `c₁`
+    /// component back to the original key.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::MissingGaloisKey`] if no key was generated for the
+    /// step; [`CkksError::InvalidCiphertext`] for non-2-component inputs
+    /// (relinearize first).
+    pub fn rotate(
+        &self,
+        a: &Ciphertext,
+        step: i64,
+        gks: &GaloisKeys,
+    ) -> Result<Ciphertext, CkksError> {
+        self.apply_galois(a, galois_elt_from_step(step, self.ctx.n()), gks)
+    }
+
+    /// Complex conjugation of all slots.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::rotate`].
+    pub fn conjugate(
+        &self,
+        a: &Ciphertext,
+        gks: &GaloisKeys,
+    ) -> Result<Ciphertext, CkksError> {
+        self.apply_galois(a, galois_elt_conjugate(self.ctx.n()), gks)
+    }
+
+    /// Applies an arbitrary Galois element (rotation generalization).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::rotate`].
+    pub fn apply_galois(
+        &self,
+        a: &Ciphertext,
+        elt: usize,
+        gks: &GaloisKeys,
+    ) -> Result<Ciphertext, CkksError> {
+        if a.size() != 2 {
+            return Err(CkksError::InvalidCiphertext {
+                components: a.size(),
+                expected: "exactly 2 (relinearize first)",
+            });
+        }
+        let ksk = gks.key(elt)?;
+        let table = gks.permutation(elt)?;
+        let c0 = crate::galois::apply_galois_ntt(&a.polys[0], table)?;
+        let c1 = crate::galois::apply_galois_ntt(&a.polys[1], table)?;
+        let (f0, f1) = self.key_switch(&c1, ksk, a.level)?;
+        let c0 = c0.add(&f0)?;
+        Ciphertext::from_parts(vec![c0, f1], a.level, a.scale)
+    }
+}
+
+/// Whether two scales are equal within the evaluator's tolerance.
+pub fn scales_match(a: f64, b: f64) -> bool {
+    (a - b).abs() <= SCALE_RTOL * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::tests::small;
+    use crate::encoder::CkksEncoder;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::keys::{PublicKey, SecretKey};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Harness {
+        ctx: CkksContext,
+        sk: SecretKey,
+        pk: PublicKey,
+        rlk: RelinKey,
+        rng: StdRng,
+    }
+
+    fn harness(seed: u64) -> Harness {
+        let ctx = CkksContext::new(small()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut rng);
+        Harness {
+            ctx,
+            sk,
+            pk,
+            rlk,
+            rng,
+        }
+    }
+
+    impl Harness {
+        fn encrypt(&mut self, vals: &[f64]) -> Ciphertext {
+            let enc = CkksEncoder::new(&self.ctx);
+            let pt = enc
+                .encode_real(vals, self.ctx.params().scale(), self.ctx.max_level())
+                .unwrap();
+            Encryptor::new(&self.ctx, &self.pk)
+                .encrypt(&pt, &mut self.rng)
+                .unwrap()
+        }
+
+        fn decrypt(&self, ct: &Ciphertext) -> Vec<f64> {
+            let enc = CkksEncoder::new(&self.ctx);
+            let pt = Decryptor::new(&self.ctx, &self.sk).decrypt(ct).unwrap();
+            enc.decode_real(&pt).unwrap()
+        }
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let mut h = harness(31);
+        let a = h.encrypt(&[1.0, 2.0, -3.0]);
+        let b = h.encrypt(&[0.5, -1.0, 10.0]);
+        let ev = Evaluator::new(&h.ctx);
+        let sum = ev.add(&a, &b).unwrap();
+        let got = h.decrypt(&sum);
+        for (g, w) in got.iter().zip([1.5, 1.0, 7.0]) {
+            assert!((g - w).abs() < 1e-2, "{g} vs {w}");
+        }
+        let diff = ev.sub(&a, &b).unwrap();
+        let got = h.decrypt(&diff);
+        for (g, w) in got.iter().zip([0.5, 3.0, -13.0]) {
+            assert!((g - w).abs() < 1e-2, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_multiplication_and_relin() {
+        let mut h = harness(32);
+        let a = h.encrypt(&[1.5, 2.0, -3.0]);
+        let b = h.encrypt(&[2.0, -0.5, 4.0]);
+        let ev = Evaluator::new(&h.ctx);
+        let prod = ev.multiply(&a, &b).unwrap();
+        assert_eq!(prod.size(), 3);
+        // 3-component ciphertext decrypts correctly (Σ c_i s^i).
+        let got = h.decrypt(&prod);
+        for (g, w) in got.iter().zip([3.0, -1.0, -12.0]) {
+            assert!((g - w).abs() < 1e-1, "{g} vs {w} (pre-relin)");
+        }
+        // Relinearized back to 2 components, same values.
+        let lin = ev.relinearize(&prod, &h.rlk).unwrap();
+        assert_eq!(lin.size(), 2);
+        let got = h.decrypt(&lin);
+        for (g, w) in got.iter().zip([3.0, -1.0, -12.0]) {
+            assert!((g - w).abs() < 1e-1, "{g} vs {w} (post-relin)");
+        }
+    }
+
+    #[test]
+    fn rescale_drops_level_and_scale() {
+        let mut h = harness(33);
+        let a = h.encrypt(&[2.0]);
+        let b = h.encrypt(&[3.0]);
+        let ev = Evaluator::new(&h.ctx);
+        let prod = ev.multiply_relin(&a, &b, &h.rlk).unwrap();
+        let scale_before = prod.scale();
+        let rs = ev.rescale(&prod).unwrap();
+        assert_eq!(rs.level(), h.ctx.max_level() - 1);
+        let p_dropped = h.ctx.moduli()[h.ctx.max_level()].value() as f64;
+        assert!((rs.scale() - scale_before / p_dropped).abs() < 1.0);
+        let got = h.decrypt(&rs);
+        assert!((got[0] - 6.0).abs() < 1e-1, "{}", got[0]);
+    }
+
+    #[test]
+    fn multiply_plain_and_add_plain() {
+        let mut h = harness(34);
+        let a = h.encrypt(&[1.0, -2.0]);
+        let enc = CkksEncoder::new(&h.ctx);
+        let scale = h.ctx.params().scale();
+        let pt = enc
+            .encode_real(&[3.0, 3.0], scale, h.ctx.max_level())
+            .unwrap();
+        let ev = Evaluator::new(&h.ctx);
+        let prod = ev.multiply_plain(&a, &pt).unwrap();
+        let got = h.decrypt(&prod);
+        assert!((got[0] - 3.0).abs() < 1e-1);
+        assert!((got[1] + 6.0).abs() < 1e-1);
+
+        let sum = ev.add_plain(&a, &pt).unwrap();
+        let got = h.decrypt(&sum);
+        assert!((got[0] - 4.0).abs() < 1e-2);
+        assert!((got[1] - 1.0).abs() < 1e-2);
+
+        let diff = ev.sub_plain(&a, &pt).unwrap();
+        let got = h.decrypt(&diff);
+        assert!((got[0] + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn level_and_scale_mismatches_rejected() {
+        let mut h = harness(35);
+        let a = h.encrypt(&[1.0]);
+        let b = h.encrypt(&[1.0]);
+        let ev = Evaluator::new(&h.ctx);
+        let dropped = ev.mod_switch_to_next(&b).unwrap();
+        assert!(matches!(
+            ev.add(&a, &dropped),
+            Err(CkksError::LevelMismatch { .. })
+        ));
+        let mut rescaled = a.clone();
+        rescaled.set_scale(a.scale() * 3.0);
+        assert!(matches!(
+            ev.add(&a, &rescaled),
+            Err(CkksError::ScaleMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn relinearize_requires_three_components() {
+        let mut h = harness(36);
+        let a = h.encrypt(&[1.0]);
+        let ev = Evaluator::new(&h.ctx);
+        assert!(matches!(
+            ev.relinearize(&a, &h.rlk),
+            Err(CkksError::InvalidCiphertext { .. })
+        ));
+    }
+
+    #[test]
+    fn rotation_moves_slots() {
+        let mut h = harness(37);
+        let slots = h.ctx.n() / 2;
+        let vals: Vec<f64> = (0..slots).map(|i| i as f64).collect();
+        let a = h.encrypt(&vals);
+        let mut rng = StdRng::seed_from_u64(99);
+        let gks = GaloisKeys::generate(&h.ctx, &h.sk, &[1, -1, 3], &mut rng);
+        let ev = Evaluator::new(&h.ctx);
+        for step in [1i64, -1, 3] {
+            let rot = ev.rotate(&a, step, &gks).unwrap();
+            let got = h.decrypt(&rot);
+            for (j, g) in got.iter().enumerate() {
+                let src = (j as i64 + step).rem_euclid(slots as i64) as usize;
+                assert!(
+                    (g - vals[src]).abs() < 1e-1,
+                    "step {step}: slot {j} got {g}, want {}",
+                    vals[src]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary() {
+        let mut h = harness(38);
+        let enc = CkksEncoder::new(&h.ctx);
+        let vals = vec![
+            heax_math::fft::Complex64::new(1.0, 2.0),
+            heax_math::fft::Complex64::new(-3.0, 0.5),
+        ];
+        let pt = enc
+            .encode(&vals, h.ctx.params().scale(), h.ctx.max_level())
+            .unwrap();
+        let ct = Encryptor::new(&h.ctx, &h.pk)
+            .encrypt(&pt, &mut h.rng)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(100);
+        let gks =
+            GaloisKeys::generate_with_conjugate(&h.ctx, &h.sk, &[], &mut rng);
+        let ev = Evaluator::new(&h.ctx);
+        let conj = ev.conjugate(&ct, &gks).unwrap();
+        let dec = Decryptor::new(&h.ctx, &h.sk).decrypt(&conj).unwrap();
+        let got = enc.decode(&dec).unwrap();
+        assert!((got[0].re - 1.0).abs() < 1e-1);
+        assert!((got[0].im + 2.0).abs() < 1e-1);
+        assert!((got[1].re + 3.0).abs() < 1e-1);
+        assert!((got[1].im + 0.5).abs() < 1e-1);
+    }
+
+    #[test]
+    fn missing_galois_key_rejected() {
+        let mut h = harness(39);
+        let a = h.encrypt(&[1.0]);
+        let mut rng = StdRng::seed_from_u64(101);
+        let gks = GaloisKeys::generate(&h.ctx, &h.sk, &[1], &mut rng);
+        let ev = Evaluator::new(&h.ctx);
+        assert!(matches!(
+            ev.rotate(&a, 5, &gks),
+            Err(CkksError::MissingGaloisKey { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_two_circuit() {
+        // ((a*b rescaled) * c rescaled) uses both levels of the chain.
+        let mut h = harness(40);
+        let a = h.encrypt(&[1.5]);
+        let b = h.encrypt(&[2.0]);
+        let ev = Evaluator::new(&h.ctx);
+        let ab = ev.rescale(&ev.multiply_relin(&a, &b, &h.rlk).unwrap()).unwrap();
+        // Encrypt c directly at the lower level with the matching scale.
+        let enc = CkksEncoder::new(&h.ctx);
+        let pt_c = enc.encode_real(&[4.0], ab.scale(), ab.level()).unwrap();
+        let c = Encryptor::new(&h.ctx, &h.pk)
+            .encrypt(&pt_c, &mut h.rng)
+            .unwrap();
+        let abc = ev
+            .rescale(&ev.multiply_relin(&ab, &c, &h.rlk).unwrap())
+            .unwrap();
+        assert_eq!(abc.level(), 0);
+        let got = h.decrypt(&abc);
+        assert!((got[0] - 12.0).abs() < 0.5, "{}", got[0]);
+    }
+
+    #[test]
+    fn multiply_integer_preserves_scale_and_level() {
+        let mut h = harness(42);
+        let a = h.encrypt(&[1.5, -2.0]);
+        let ev = Evaluator::new(&h.ctx);
+        for v in [3i64, -4, 0, 1] {
+            let scaled = ev.multiply_integer(&a, v);
+            assert_eq!(scaled.level(), a.level());
+            assert_eq!(scaled.scale(), a.scale());
+            let got = h.decrypt(&scaled);
+            assert!((got[0] - 1.5 * v as f64).abs() < 1e-2, "v={v}: {}", got[0]);
+            assert!((got[1] + 2.0 * v as f64).abs() < 1e-2, "v={v}: {}", got[1]);
+        }
+    }
+
+    #[test]
+    fn add_many_sums() {
+        let mut h = harness(43);
+        let cts: Vec<Ciphertext> = (1..=4).map(|i| h.encrypt(&[i as f64])).collect();
+        let ev = Evaluator::new(&h.ctx);
+        let total = ev.add_many(&cts).unwrap();
+        let got = h.decrypt(&total);
+        assert!((got[0] - 10.0).abs() < 1e-2);
+        assert!(matches!(
+            ev.add_many(&[]),
+            Err(CkksError::InvalidCiphertext { .. })
+        ));
+    }
+
+    #[test]
+    fn negate_and_mod_switch() {
+        let mut h = harness(41);
+        let a = h.encrypt(&[2.5]);
+        let ev = Evaluator::new(&h.ctx);
+        let neg = ev.negate(&a);
+        let got = h.decrypt(&neg);
+        assert!((got[0] + 2.5).abs() < 1e-2);
+        let dropped = ev.mod_switch_to_next(&a).unwrap();
+        assert_eq!(dropped.level(), a.level() - 1);
+        let got = h.decrypt(&dropped);
+        assert!((got[0] - 2.5).abs() < 1e-2);
+    }
+}

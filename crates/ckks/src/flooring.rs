@@ -1,0 +1,195 @@
+//! RNS flooring (Algorithm 6): divide-and-floor by one modulus of the
+//! basis, entirely in RNS/NTT form.
+//!
+//! `Floor(C̃, p)` takes the RNS+NTT form of `c ∈ R_{q·p}` and produces the
+//! RNS+NTT form of `⌊c/p⌋ ∈ R_q`:
+//!
+//! 1. `a ← INTT_p(c̃_p)` — bring the dropped residue to coefficient form;
+//! 2. for every remaining modulus `p_i`: `r ← Mod(a, p_i)`,
+//!    `r̃ ← NTT_{p_i}(r)`, `c̃'_i ← (c̃_i − r̃)·[p^{-1}]_{p_i}`.
+//!
+//! Both rescaling (dropping the last ciphertext prime) and modulus
+//! switching at the end of key switching (dropping the special prime) are
+//! instances of this routine — in the hardware they are the `INTT1 → NTT1 →
+//! MS` tail of the KeySwitch module (Figure 5).
+
+use heax_math::poly::{Representation, RnsPoly};
+
+use crate::context::CkksContext;
+use crate::CkksError;
+
+/// Floors away the **special prime**: input spans `p_0..p_level` plus the
+/// special prime (as its last residue); output spans `p_0..p_level`.
+///
+/// # Errors
+///
+/// Returns [`CkksError::Math`] if the input is not in NTT form or its
+/// residue count is not `level + 2`.
+pub(crate) fn floor_special(
+    c: &RnsPoly,
+    ctx: &CkksContext,
+    level: usize,
+) -> Result<RnsPoly, CkksError> {
+    floor_impl(c, ctx, level, true)
+}
+
+/// Floors away the **last ciphertext prime** `p_level` (rescaling): input
+/// spans `p_0..p_level`; output spans `p_0..p_{level-1}`.
+///
+/// # Errors
+///
+/// Returns [`CkksError::LevelExhausted`] at level 0 and [`CkksError::Math`]
+/// on representation mismatches.
+pub(crate) fn floor_last(
+    c: &RnsPoly,
+    ctx: &CkksContext,
+    level: usize,
+) -> Result<RnsPoly, CkksError> {
+    if level == 0 {
+        return Err(CkksError::LevelExhausted);
+    }
+    floor_impl(c, ctx, level, false)
+}
+
+fn floor_impl(
+    c: &RnsPoly,
+    ctx: &CkksContext,
+    level: usize,
+    special: bool,
+) -> Result<RnsPoly, CkksError> {
+    if c.representation() != Representation::Ntt {
+        return Err(CkksError::Math(
+            heax_math::MathError::RepresentationMismatch,
+        ));
+    }
+    let keep = if special { level + 1 } else { level };
+    if c.num_residues() != keep + 1 {
+        return Err(CkksError::Math(heax_math::MathError::LengthMismatch {
+            expected: keep + 1,
+            got: c.num_residues(),
+        }));
+    }
+    let n = ctx.n();
+    let drop_table = if special {
+        ctx.special_ntt_table()
+    } else {
+        ctx.ntt_table(level)
+    };
+    let consts = if special {
+        ctx.modswitch_constants(level)
+    } else {
+        ctx.rescale_constants(level)
+    };
+
+    // Step 1: INTT the dropped residue (Algorithm 6, line 1).
+    let mut a = c.residue(keep).to_vec();
+    drop_table.inverse_auto(&mut a);
+
+    // Step 2: fold into every remaining modulus (lines 2-7).
+    let out_moduli = ctx.level_moduli(if special { level } else { level - 1 });
+    let mut out = RnsPoly::zero(n, out_moduli, Representation::Ntt);
+    for (i, pi) in out_moduli.iter().enumerate() {
+        let mut r: Vec<u64> = a.iter().map(|&x| pi.reduce_u64(x)).collect();
+        ctx.ntt_table(i).forward_auto(&mut r);
+        let inv = consts.inv(i);
+        let src = c.residue(i);
+        let dst = out.residue_mut(i);
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = inv.mul_red(pi.sub_mod(src[j], r[j]), pi);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::tests::small;
+
+    /// Flooring an exact multiple of the dropped prime divides exactly.
+    #[test]
+    fn floor_exact_multiple() {
+        let ctx = CkksContext::new(small()).unwrap();
+        let n = ctx.n();
+        let level = ctx.max_level();
+        let k = ctx.params().k();
+        let p_sp = ctx.special_modulus().value();
+
+        // c = p_sp * v for a small v: floor(c / p_sp) == v.
+        let mut chain: Vec<_> = ctx.level_moduli(level).to_vec();
+        chain.push(*ctx.special_modulus());
+        let mut c = RnsPoly::zero(n, &chain, Representation::Coefficient);
+        let v: Vec<u64> = (0..n as u64).map(|j| j % 50).collect();
+        for (i, m) in chain.iter().enumerate() {
+            for (j, dst) in c.residue_mut(i).iter_mut().enumerate() {
+                *dst = m.mul_mod(m.reduce_u64(p_sp), m.reduce_u64(v[j]));
+            }
+        }
+        let mut tables: Vec<_> = (0..k).map(|i| ctx.ntt_table(i).clone()).collect();
+        tables.push(ctx.special_ntt_table().clone());
+        c.ntt_forward(&tables).unwrap();
+
+        let mut floored = floor_special(&c, &ctx, level).unwrap();
+        floored.ntt_inverse(ctx.ntt_tables()).unwrap();
+        for (i, _m) in ctx.level_moduli(level).iter().enumerate() {
+            for (j, &got) in floored.residue(i).iter().enumerate() {
+                assert_eq!(got, v[j] % ctx.moduli()[i].value(), "res {i} coeff {j}");
+            }
+        }
+    }
+
+    /// Flooring a general value is off by at most 1 from true division
+    /// (the floor of the centered representative differs by the fractional
+    /// part only).
+    #[test]
+    fn floor_general_value_close() {
+        let ctx = CkksContext::new(small()).unwrap();
+        let n = ctx.n();
+        let level = 1usize; // basis p0, p1; drop p1 via rescale path
+        let p0 = ctx.moduli()[0];
+        let p1 = ctx.moduli()[1];
+
+        // Known integer x in [0, p0*p1): floor path vs integer division.
+        let x: u128 = 0x1234_5678_9abc_def0;
+        let moduli = ctx.level_moduli(level).to_vec();
+        let mut c = RnsPoly::zero(n, &moduli, Representation::Coefficient);
+        c.residue_mut(0)[0] = (x % p0.value() as u128) as u64;
+        c.residue_mut(1)[0] = (x % p1.value() as u128) as u64;
+        let tables: Vec<_> = (0..2).map(|i| ctx.ntt_table(i).clone()).collect();
+        c.ntt_forward(&tables).unwrap();
+
+        let mut floored = floor_last(&c, &ctx, level).unwrap();
+        assert_eq!(floored.num_residues(), 1);
+        floored.ntt_inverse(&tables[..1]).unwrap();
+        let got = floored.residue(0)[0];
+        let expect = (x / p1.value() as u128) % p0.value() as u128;
+        let diff = (got as i128 - expect as i128).rem_euclid(p0.value() as i128);
+        assert!(
+            diff <= 1 || diff >= p0.value() as i128 - 1,
+            "floor deviates by more than 1: got {got}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn floor_at_level_zero_is_exhausted() {
+        let ctx = CkksContext::new(small()).unwrap();
+        let c = RnsPoly::zero(ctx.n(), ctx.level_moduli(0), Representation::Ntt);
+        assert!(matches!(
+            floor_last(&c, &ctx, 0),
+            Err(CkksError::LevelExhausted)
+        ));
+    }
+
+    #[test]
+    fn floor_checks_shape() {
+        let ctx = CkksContext::new(small()).unwrap();
+        // Wrong representation.
+        let mut chain: Vec<_> = ctx.level_moduli(ctx.max_level()).to_vec();
+        chain.push(*ctx.special_modulus());
+        let c = RnsPoly::zero(ctx.n(), &chain, Representation::Coefficient);
+        assert!(floor_special(&c, &ctx, ctx.max_level()).is_err());
+        // Wrong residue count.
+        let c = RnsPoly::zero(ctx.n(), &chain[..2], Representation::Ntt);
+        assert!(floor_special(&c, &ctx, ctx.max_level()).is_err());
+    }
+}

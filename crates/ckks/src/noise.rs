@@ -1,0 +1,162 @@
+//! Noise measurement utilities.
+//!
+//! CKKS is an *approximate* scheme: every ciphertext carries an error term
+//! whose growth determines how many operations remain before decryption
+//! becomes meaningless. These helpers quantify that error for tests,
+//! parameter exploration, and the EXPERIMENTS.md error reports. They all
+//! require the secret key and therefore live strictly on the client side.
+
+use heax_math::fft::Complex64;
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoder::CkksEncoder;
+use crate::encrypt::Decryptor;
+use crate::keys::SecretKey;
+use crate::CkksError;
+
+/// Noise report for a ciphertext measured against reference slot values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseReport {
+    /// Maximum absolute slot error `max_j |decoded_j − reference_j|`.
+    pub max_slot_error: f64,
+    /// Root-mean-square slot error.
+    pub rms_slot_error: f64,
+    /// `log₂` of the max slot error (−∞ if exact).
+    pub log2_max_error: f64,
+    /// Remaining headroom in bits: `log₂(q_ℓ / (2·scale·max_error))`,
+    /// roughly how many more bits of error the ciphertext tolerates at its
+    /// current level before values become undecryptable.
+    pub budget_bits: f64,
+}
+
+/// Decrypts `ct` and measures slot-wise error against `reference`
+/// (padded with zeros to the slot count).
+///
+/// # Errors
+///
+/// Propagates decryption/decoding errors.
+pub fn measure_noise(
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    ct: &Ciphertext,
+    reference: &[Complex64],
+) -> Result<NoiseReport, CkksError> {
+    let encoder = CkksEncoder::new(ctx);
+    let decrypted = Decryptor::new(ctx, sk).decrypt(ct)?;
+    let decoded = encoder.decode(&decrypted)?;
+
+    let slots = decoded.len();
+    let mut max_err = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for (j, got) in decoded.iter().enumerate() {
+        let want = reference.get(j).copied().unwrap_or_default();
+        let err = (*got - want).abs();
+        max_err = max_err.max(err);
+        sum_sq += err * err;
+    }
+    let rms = (sum_sq / slots as f64).sqrt();
+    let log_q: f64 = ctx.basis(ct.level()).log2_product();
+    let budget_bits = log_q - 1.0 - ct.scale().log2() - max_err.max(f64::MIN_POSITIVE).log2();
+    Ok(NoiseReport {
+        max_slot_error: max_err,
+        rms_slot_error: rms,
+        log2_max_error: max_err.max(f64::MIN_POSITIVE).log2(),
+        budget_bits,
+    })
+}
+
+/// Convenience for real-valued references.
+///
+/// # Errors
+///
+/// Same as [`measure_noise`].
+pub fn measure_noise_real(
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    ct: &Ciphertext,
+    reference: &[f64],
+) -> Result<NoiseReport, CkksError> {
+    let complex: Vec<Complex64> = reference.iter().map(|&r| Complex64::new(r, 0.0)).collect();
+    measure_noise(ctx, sk, ct, &complex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::tests::small;
+    use crate::encoder::CkksEncoder;
+    use crate::encrypt::Encryptor;
+    use crate::eval::Evaluator;
+    use crate::keys::{PublicKey, RelinKey};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_ciphertext_has_small_noise_and_positive_budget() {
+        let ctx = CkksContext::new(small()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let enc = CkksEncoder::new(&ctx);
+        let vals = [3.5, -1.25, 0.0];
+        let ct = Encryptor::new(&ctx, &pk)
+            .encrypt(
+                &enc.encode_real(&vals, ctx.params().scale(), ctx.max_level())
+                    .unwrap(),
+                &mut rng,
+            )
+            .unwrap();
+        let rep = measure_noise_real(&ctx, &sk, &ct, &vals).unwrap();
+        assert!(rep.max_slot_error < 1e-3, "{rep:?}");
+        assert!(rep.rms_slot_error <= rep.max_slot_error);
+        assert!(rep.budget_bits > 20.0, "{rep:?}");
+    }
+
+    #[test]
+    fn noise_grows_with_multiplication() {
+        let ctx = CkksContext::new(small()).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut rng);
+        let enc = CkksEncoder::new(&ctx);
+        let eval = Evaluator::new(&ctx);
+        let vals = [2.0, -1.0];
+        let ct = Encryptor::new(&ctx, &pk)
+            .encrypt(
+                &enc.encode_real(&vals, ctx.params().scale(), ctx.max_level())
+                    .unwrap(),
+                &mut rng,
+            )
+            .unwrap();
+        let fresh = measure_noise_real(&ctx, &sk, &ct, &vals).unwrap();
+        let prod = eval
+            .rescale(&eval.multiply_relin(&ct, &ct, &rlk).unwrap())
+            .unwrap();
+        let squared: Vec<f64> = vals.iter().map(|v| v * v).collect();
+        let after = measure_noise_real(&ctx, &sk, &prod, &squared).unwrap();
+        assert!(after.max_slot_error > fresh.max_slot_error);
+        assert!(after.budget_bits < fresh.budget_bits);
+        // Still decryptable.
+        assert!(after.max_slot_error < 1e-2, "{after:?}");
+    }
+
+    #[test]
+    fn wrong_reference_reports_large_error() {
+        let ctx = CkksContext::new(small()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let enc = CkksEncoder::new(&ctx);
+        let ct = Encryptor::new(&ctx, &pk)
+            .encrypt(
+                &enc.encode_real(&[1.0], ctx.params().scale(), ctx.max_level())
+                    .unwrap(),
+                &mut rng,
+            )
+            .unwrap();
+        let rep = measure_noise_real(&ctx, &sk, &ct, &[100.0]).unwrap();
+        assert!(rep.max_slot_error > 90.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! CKKS encryption parameters and the three HEAX parameter sets (Table 2).
+
+use heax_math::primes::{default_chain_bits, generate_prime_chain};
+use heax_math::MathError;
+
+use crate::CkksError;
+
+/// The three HE parameter sets the paper evaluates (Table 2).
+///
+/// | Set | n | ⌊log qp⌋+1 | k |
+/// |---|---|---|---|
+/// | Set-A | 2¹² | 109 | 2 |
+/// | Set-B | 2¹³ | 218 | 4 |
+/// | Set-C | 2¹⁴ | 438 | 8 |
+///
+/// `k` is the number of RNS components of the ciphertext modulus `q`; one
+/// additional *special* prime `p` completes the chain. All sets target
+/// 128-bit classical security per the HE security standard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParamSet {
+    /// `n = 4096`, 109-bit `qp`, `k = 2`.
+    SetA,
+    /// `n = 8192`, 218-bit `qp`, `k = 4`.
+    SetB,
+    /// `n = 16384`, 438-bit `qp`, `k = 8`.
+    SetC,
+}
+
+impl ParamSet {
+    /// All three sets, in paper order.
+    pub const ALL: [ParamSet; 3] = [ParamSet::SetA, ParamSet::SetB, ParamSet::SetC];
+
+    /// Ring degree `n`.
+    pub fn n(self) -> usize {
+        match self {
+            ParamSet::SetA => 1 << 12,
+            ParamSet::SetB => 1 << 13,
+            ParamSet::SetC => 1 << 14,
+        }
+    }
+
+    /// Number of RNS components of `q` (the paper's `k`).
+    pub fn k(self) -> usize {
+        match self {
+            ParamSet::SetA => 2,
+            ParamSet::SetB => 4,
+            ParamSet::SetC => 8,
+        }
+    }
+
+    /// Total modulus bits `⌊log qp⌋ + 1` (Table 2).
+    pub fn total_modulus_bits(self) -> u32 {
+        match self {
+            ParamSet::SetA => 109,
+            ParamSet::SetB => 218,
+            ParamSet::SetC => 438,
+        }
+    }
+
+    /// Default encoding scale Δ.
+    pub fn default_scale(self) -> f64 {
+        match self {
+            ParamSet::SetA => (1u64 << 30) as f64,
+            ParamSet::SetB => (1u64 << 40) as f64,
+            ParamSet::SetC => (1u64 << 40) as f64,
+        }
+    }
+
+    /// Display name used in tables ("Set-A"…).
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamSet::SetA => "Set-A",
+            ParamSet::SetB => "Set-B",
+            ParamSet::SetC => "Set-C",
+        }
+    }
+}
+
+impl core::fmt::Display for ParamSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Validated CKKS encryption parameters.
+///
+/// # Examples
+///
+/// ```
+/// use heax_ckks::params::{CkksParams, ParamSet};
+///
+/// # fn main() -> Result<(), heax_ckks::CkksError> {
+/// let params = CkksParams::from_set(ParamSet::SetA)?;
+/// assert_eq!(params.n(), 4096);
+/// assert_eq!(params.k(), 2);
+/// assert_eq!(params.moduli().len(), 3); // k ciphertext primes + special
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CkksParams {
+    n: usize,
+    /// Ciphertext primes `p_0..p_{k-1}` followed by the special prime.
+    moduli: Vec<u64>,
+    scale: f64,
+}
+
+impl CkksParams {
+    /// Builds parameters for one of the paper's sets, generating the
+    /// SEAL-style default prime chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-generation failures (which cannot occur for the
+    /// built-in sets on a correct build).
+    pub fn from_set(set: ParamSet) -> Result<Self, CkksError> {
+        let n = set.n();
+        let bits = default_chain_bits(n).expect("built-in set");
+        let moduli = generate_prime_chain(bits, n)?;
+        Self::new(n, moduli, set.default_scale())
+    }
+
+    /// Builds custom parameters from explicit prime moduli. The last
+    /// modulus is the special prime; at least two moduli are required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParameters`] if `n` is not a power of two
+    /// of at least 8, fewer than two moduli are given, moduli repeat, any
+    /// modulus is not NTT-friendly for `n`, or the scale is not positive.
+    pub fn new(n: usize, moduli: Vec<u64>, scale: f64) -> Result<Self, CkksError> {
+        if !n.is_power_of_two() || n < 8 {
+            return Err(CkksError::InvalidParameters {
+                reason: format!("ring degree {n} must be a power of two >= 8"),
+            });
+        }
+        if moduli.len() < 2 {
+            return Err(CkksError::InvalidParameters {
+                reason: "need at least one ciphertext prime and one special prime".into(),
+            });
+        }
+        if !(scale.is_finite() && scale >= 2.0) {
+            return Err(CkksError::InvalidParameters {
+                reason: format!("scale {scale} must be finite and >= 2"),
+            });
+        }
+        for (i, &p) in moduli.iter().enumerate() {
+            if p % (2 * n as u64) != 1 {
+                return Err(CkksError::Math(MathError::NoPrimitiveRoot {
+                    modulus: p,
+                    n,
+                }));
+            }
+            if !heax_math::primes::is_prime(p) {
+                return Err(CkksError::InvalidParameters {
+                    reason: format!("modulus {p} is not prime"),
+                });
+            }
+            if moduli[..i].contains(&p) {
+                return Err(CkksError::InvalidParameters {
+                    reason: format!("modulus {p} repeats"),
+                });
+            }
+        }
+        Ok(Self { n, moduli, scale })
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of complex slots (`n/2`).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Number of ciphertext primes `k` (excludes the special prime).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.moduli.len() - 1
+    }
+
+    /// Maximum level index (`k - 1`).
+    #[inline]
+    pub fn max_level(&self) -> usize {
+        self.k() - 1
+    }
+
+    /// All moduli: ciphertext primes then the special prime.
+    #[inline]
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// The special prime `p`.
+    #[inline]
+    pub fn special_modulus(&self) -> u64 {
+        *self.moduli.last().expect("non-empty")
+    }
+
+    /// Default encoding scale Δ.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// `⌊log₂(qp)⌋ + 1`, the Table 2 "total modulus bits" figure.
+    pub fn total_modulus_bits(&self) -> u32 {
+        self.moduli
+            .iter()
+            .map(|&p| 64 - p.leading_zeros())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_match_table2() {
+        for set in ParamSet::ALL {
+            let p = CkksParams::from_set(set).unwrap();
+            assert_eq!(p.n(), set.n());
+            assert_eq!(p.k(), set.k());
+            assert_eq!(p.total_modulus_bits(), set.total_modulus_bits());
+            assert_eq!(p.slots(), set.n() / 2);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        // Non power-of-two degree.
+        assert!(CkksParams::new(100, vec![97, 193], 16.0).is_err());
+        // Too few moduli.
+        assert!(CkksParams::new(16, vec![97], 16.0).is_err());
+        // Non-NTT-friendly modulus (97 % 32 = 1 ok for n=16; 101 is not).
+        assert!(CkksParams::new(16, vec![97, 101], 16.0).is_err());
+        // Repeated modulus.
+        assert!(CkksParams::new(16, vec![97, 97], 16.0).is_err());
+        // Composite modulus ≡ 1 mod 32: 33*... use 1057 = 7*151, 1057 % 32 = 1.
+        assert!(CkksParams::new(16, vec![97, 1057], 16.0).is_err());
+        // Bad scale.
+        assert!(CkksParams::new(16, vec![97, 193], f64::NAN).is_err());
+        assert!(CkksParams::new(16, vec![97, 193], 0.5).is_err());
+        // Valid small config.
+        assert!(CkksParams::new(16, vec![97, 193], 16.0).is_ok());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ParamSet::SetA.to_string(), "Set-A");
+        assert_eq!(ParamSet::SetC.name(), "Set-C");
+    }
+}

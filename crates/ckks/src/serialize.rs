@@ -1,0 +1,590 @@
+//! Dependency-free binary serialization for keys, plaintexts, and
+//! ciphertexts.
+//!
+//! The cloud deployment the paper targets (Figure 7) ships ciphertexts and
+//! evaluation keys between client, host, and board; this module provides
+//! the wire format. It is a simple, versioned, little-endian layout with
+//! explicit magic bytes — deliberately hand-rolled so the public API
+//! carries no serde dependency (see DESIGN.md).
+//!
+//! Polynomials always serialize their modulus chain so the receiver can
+//! validate against its own context; deserialization checks degree,
+//! moduli, and representation tags and fails loudly on any mismatch.
+
+use heax_math::poly::{Representation, RnsPoly};
+use heax_math::word::Modulus;
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::keys::{KeySwitchKey, PublicKey, RelinKey, SecretKey};
+use crate::CkksError;
+
+/// Format magic: "HEAX".
+const MAGIC: [u8; 4] = *b"HEAX";
+/// Format version.
+const VERSION: u8 = 1;
+
+/// Object tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+enum Tag {
+    Poly = 1,
+    Plaintext = 2,
+    Ciphertext = 3,
+    SecretKey = 4,
+    PublicKey = 5,
+    KeySwitchKey = 6,
+}
+
+impl Tag {
+    fn from_u8(v: u8) -> Option<Tag> {
+        match v {
+            1 => Some(Tag::Poly),
+            2 => Some(Tag::Plaintext),
+            3 => Some(Tag::Ciphertext),
+            4 => Some(Tag::SecretKey),
+            5 => Some(Tag::PublicKey),
+            6 => Some(Tag::KeySwitchKey),
+            _ => None,
+        }
+    }
+}
+
+/// A growable little-endian writer.
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn header(&mut self, tag: Tag) {
+        self.buf.extend_from_slice(&MAGIC);
+        self.buf.push(VERSION);
+        self.buf.push(tag as u8);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn words(&mut self, words: &[u64]) {
+        self.u64(words.len() as u64);
+        for &w in words {
+            self.u64(w);
+        }
+    }
+}
+
+/// A bounds-checked little-endian reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn error(what: &str) -> CkksError {
+        CkksError::InvalidParameters {
+            reason: format!("malformed serialized data: {what}"),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkksError> {
+        if self.pos + n > self.buf.len() {
+            return Err(Self::error("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn header(&mut self, expect: Tag) -> Result<(), CkksError> {
+        let magic = self.take(4)?;
+        if magic != MAGIC {
+            return Err(Self::error("bad magic"));
+        }
+        let version = self.u8()?;
+        if version != VERSION {
+            return Err(Self::error("unsupported version"));
+        }
+        let tag = Tag::from_u8(self.u8()?).ok_or_else(|| Self::error("unknown tag"))?;
+        if tag != expect {
+            return Err(Self::error("unexpected object tag"));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, CkksError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, CkksError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CkksError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn words(&mut self) -> Result<Vec<u64>, CkksError> {
+        let n = self.u64()? as usize;
+        if n > (1 << 28) {
+            return Err(Self::error("implausible length"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<(), CkksError> {
+        if self.pos != self.buf.len() {
+            return Err(Self::error("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+fn write_poly(w: &mut Writer, poly: &RnsPoly) {
+    w.u64(poly.n() as u64);
+    w.u8(match poly.representation() {
+        Representation::Coefficient => 0,
+        Representation::Ntt => 1,
+    });
+    let moduli: Vec<u64> = poly.moduli().iter().map(Modulus::value).collect();
+    w.words(&moduli);
+    w.words(poly.data());
+}
+
+fn read_poly(r: &mut Reader) -> Result<RnsPoly, CkksError> {
+    let n = r.u64()? as usize;
+    let repr = match r.u8()? {
+        0 => Representation::Coefficient,
+        1 => Representation::Ntt,
+        _ => return Err(Reader::error("bad representation tag")),
+    };
+    let moduli_vals = r.words()?;
+    let moduli: Result<Vec<Modulus>, _> =
+        moduli_vals.iter().map(|&p| Modulus::new(p)).collect();
+    let moduli = moduli?;
+    let data = r.words()?;
+    // Residues must be canonical (< modulus).
+    for (i, m) in moduli.iter().enumerate() {
+        let chunk = data
+            .get(i * n..(i + 1) * n)
+            .ok_or_else(|| Reader::error("data shorter than moduli require"))?;
+        if chunk.iter().any(|&c| c >= m.value()) {
+            return Err(Reader::error("non-canonical residue"));
+        }
+    }
+    Ok(RnsPoly::from_data(n, &moduli, data, repr)?)
+}
+
+/// Serializes a plaintext.
+pub fn serialize_plaintext(pt: &Plaintext) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.header(Tag::Plaintext);
+    w.u64(pt.level() as u64);
+    w.f64(pt.scale());
+    write_poly(&mut w, pt.poly());
+    w.buf
+}
+
+/// Deserializes a plaintext, validating against the context.
+///
+/// # Errors
+///
+/// [`CkksError::InvalidParameters`] on malformed input or context
+/// mismatch.
+pub fn deserialize_plaintext(buf: &[u8], ctx: &CkksContext) -> Result<Plaintext, CkksError> {
+    let mut r = Reader::new(buf);
+    r.header(Tag::Plaintext)?;
+    let level = r.u64()? as usize;
+    let scale = r.f64()?;
+    let poly = read_poly(&mut r)?;
+    r.finish()?;
+    validate_poly(&poly, ctx, level)?;
+    Ok(Plaintext::from_parts(poly, level, scale))
+}
+
+/// Serializes a ciphertext.
+pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.header(Tag::Ciphertext);
+    w.u64(ct.level() as u64);
+    w.f64(ct.scale());
+    w.u64(ct.size() as u64);
+    for c in ct.components() {
+        write_poly(&mut w, c);
+    }
+    w.buf
+}
+
+/// Deserializes a ciphertext, validating against the context.
+///
+/// # Errors
+///
+/// [`CkksError::InvalidParameters`] on malformed input or context
+/// mismatch.
+pub fn deserialize_ciphertext(buf: &[u8], ctx: &CkksContext) -> Result<Ciphertext, CkksError> {
+    let mut r = Reader::new(buf);
+    r.header(Tag::Ciphertext)?;
+    let level = r.u64()? as usize;
+    let scale = r.f64()?;
+    let size = r.u64()? as usize;
+    if !(2..=8).contains(&size) {
+        return Err(Reader::error("implausible component count"));
+    }
+    let mut polys = Vec::with_capacity(size);
+    for _ in 0..size {
+        let p = read_poly(&mut r)?;
+        validate_poly(&p, ctx, level)?;
+        polys.push(p);
+    }
+    r.finish()?;
+    let ct = Ciphertext::from_parts(polys, level, scale)?;
+    ct.validate(ctx)?;
+    Ok(ct)
+}
+
+/// Serializes a secret key.
+pub fn serialize_secret_key(sk: &SecretKey) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.header(Tag::SecretKey);
+    write_poly(&mut w, sk.poly());
+    w.buf
+}
+
+/// Deserializes a secret key.
+///
+/// # Errors
+///
+/// [`CkksError::InvalidParameters`] on malformed input or context
+/// mismatch.
+pub fn deserialize_secret_key(buf: &[u8], ctx: &CkksContext) -> Result<SecretKey, CkksError> {
+    let mut r = Reader::new(buf);
+    r.header(Tag::SecretKey)?;
+    let poly = read_poly(&mut r)?;
+    r.finish()?;
+    validate_full_chain(&poly, ctx)?;
+    Ok(SecretKey { poly })
+}
+
+/// Serializes a public key.
+pub fn serialize_public_key(pk: &PublicKey) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.header(Tag::PublicKey);
+    write_poly(&mut w, pk.b());
+    write_poly(&mut w, pk.a());
+    w.buf
+}
+
+/// Deserializes a public key.
+///
+/// # Errors
+///
+/// [`CkksError::InvalidParameters`] on malformed input or context
+/// mismatch.
+pub fn deserialize_public_key(buf: &[u8], ctx: &CkksContext) -> Result<PublicKey, CkksError> {
+    let mut r = Reader::new(buf);
+    r.header(Tag::PublicKey)?;
+    let b = read_poly(&mut r)?;
+    let a = read_poly(&mut r)?;
+    r.finish()?;
+    validate_full_chain(&b, ctx)?;
+    validate_full_chain(&a, ctx)?;
+    Ok(PublicKey { b, a })
+}
+
+/// Serializes a key-switching key (also used for relinearization keys).
+pub fn serialize_ksk(ksk: &KeySwitchKey) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.header(Tag::KeySwitchKey);
+    w.u64(ksk.decomp_len() as u64);
+    for i in 0..ksk.decomp_len() {
+        let (b, a) = ksk.component(i);
+        write_poly(&mut w, b);
+        write_poly(&mut w, a);
+    }
+    w.buf
+}
+
+/// Deserializes a key-switching key.
+///
+/// # Errors
+///
+/// [`CkksError::InvalidParameters`] on malformed input or context
+/// mismatch.
+pub fn deserialize_ksk(buf: &[u8], ctx: &CkksContext) -> Result<KeySwitchKey, CkksError> {
+    let mut r = Reader::new(buf);
+    r.header(Tag::KeySwitchKey)?;
+    let d = r.u64()? as usize;
+    if d != ctx.params().k() {
+        return Err(Reader::error("decomposition length mismatch"));
+    }
+    let mut components = Vec::with_capacity(d);
+    for _ in 0..d {
+        let b = read_poly(&mut r)?;
+        let a = read_poly(&mut r)?;
+        validate_full_chain(&b, ctx)?;
+        validate_full_chain(&a, ctx)?;
+        components.push((b, a));
+    }
+    r.finish()?;
+    Ok(KeySwitchKey { components })
+}
+
+/// Serializes a relinearization key.
+pub fn serialize_relin_key(rlk: &RelinKey) -> Vec<u8> {
+    serialize_ksk(rlk.ksk())
+}
+
+/// Serializes Galois keys: the Galois elements followed by each element's
+/// key-switching key (permutation tables are regenerated on load).
+pub fn serialize_galois_keys(gks: &crate::keys::GaloisKeys) -> Vec<u8> {
+    let mut elements: Vec<usize> = gks.elements().collect();
+    elements.sort_unstable();
+    let mut w = Writer::default();
+    w.header(Tag::KeySwitchKey); // container reuses the ksk tag + count
+    w.u64(elements.len() as u64);
+    let mut body = Vec::new();
+    for &elt in &elements {
+        body.extend_from_slice(&(elt as u64).to_le_bytes());
+        let ksk_bytes = serialize_ksk(gks.key(elt).expect("listed element"));
+        body.extend_from_slice(&(ksk_bytes.len() as u64).to_le_bytes());
+        body.extend_from_slice(&ksk_bytes);
+    }
+    w.buf.extend_from_slice(&body);
+    w.buf
+}
+
+/// Deserializes Galois keys, rebuilding permutation tables.
+///
+/// # Errors
+///
+/// [`CkksError::InvalidParameters`] on malformed input or context
+/// mismatch.
+pub fn deserialize_galois_keys(
+    buf: &[u8],
+    ctx: &CkksContext,
+) -> Result<crate::keys::GaloisKeys, CkksError> {
+    let mut r = Reader::new(buf);
+    r.header(Tag::KeySwitchKey)?;
+    let count = r.u64()? as usize;
+    if count > 4096 {
+        return Err(Reader::error("implausible Galois key count"));
+    }
+    let mut keys = std::collections::HashMap::new();
+    let mut permutations = std::collections::HashMap::new();
+    for _ in 0..count {
+        let elt = r.u64()? as usize;
+        if elt % 2 == 0 || elt >= 2 * ctx.n() {
+            return Err(Reader::error("invalid Galois element"));
+        }
+        let len = r.u64()? as usize;
+        let ksk_bytes = r.take(len)?;
+        let ksk = deserialize_ksk(ksk_bytes, ctx)?;
+        permutations.insert(elt, crate::galois::galois_permutation(elt, ctx.n()));
+        keys.insert(elt, ksk);
+    }
+    r.finish()?;
+    Ok(crate::keys::GaloisKeys { keys, permutations })
+}
+
+/// Deserializes a relinearization key.
+///
+/// # Errors
+///
+/// Same as [`deserialize_ksk`].
+pub fn deserialize_relin_key(buf: &[u8], ctx: &CkksContext) -> Result<RelinKey, CkksError> {
+    Ok(RelinKey {
+        ksk: deserialize_ksk(buf, ctx)?,
+    })
+}
+
+fn validate_poly(poly: &RnsPoly, ctx: &CkksContext, level: usize) -> Result<(), CkksError> {
+    if poly.n() != ctx.n() {
+        return Err(Reader::error("ring degree mismatch"));
+    }
+    if level > ctx.max_level() || poly.num_residues() != level + 1 {
+        return Err(Reader::error("level mismatch"));
+    }
+    for (a, b) in poly.moduli().iter().zip(ctx.level_moduli(level)) {
+        if a.value() != b.value() {
+            return Err(Reader::error("modulus chain mismatch"));
+        }
+    }
+    Ok(())
+}
+
+fn validate_full_chain(poly: &RnsPoly, ctx: &CkksContext) -> Result<(), CkksError> {
+    if poly.n() != ctx.n() || poly.num_residues() != ctx.moduli().len() {
+        return Err(Reader::error("full-chain shape mismatch"));
+    }
+    for (a, b) in poly.moduli().iter().zip(ctx.moduli()) {
+        if a.value() != b.value() {
+            return Err(Reader::error("modulus chain mismatch"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::tests::small;
+    use crate::encoder::CkksEncoder;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Rig {
+        ctx: CkksContext,
+        sk: SecretKey,
+        pk: PublicKey,
+        rlk: RelinKey,
+        ct: Ciphertext,
+        pt: Plaintext,
+    }
+
+    fn rig() -> Rig {
+        let ctx = CkksContext::new(small()).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut rng);
+        let enc = CkksEncoder::new(&ctx);
+        let pt = enc
+            .encode_real(&[1.5, -2.0], ctx.params().scale(), ctx.max_level())
+            .unwrap();
+        let ct = Encryptor::new(&ctx, &pk).encrypt(&pt, &mut rng).unwrap();
+        Rig {
+            ctx,
+            sk,
+            pk,
+            rlk,
+            ct,
+            pt,
+        }
+    }
+
+    #[test]
+    fn ciphertext_roundtrip_preserves_decryption() {
+        let r = rig();
+        let bytes = serialize_ciphertext(&r.ct);
+        let back = deserialize_ciphertext(&bytes, &r.ctx).unwrap();
+        assert_eq!(back, r.ct);
+        let dec = Decryptor::new(&r.ctx, &r.sk);
+        let enc = CkksEncoder::new(&r.ctx);
+        let vals = enc.decode_real(&dec.decrypt(&back).unwrap()).unwrap();
+        assert!((vals[0] - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn plaintext_roundtrip() {
+        let r = rig();
+        let bytes = serialize_plaintext(&r.pt);
+        let back = deserialize_plaintext(&bytes, &r.ctx).unwrap();
+        assert_eq!(back, r.pt);
+    }
+
+    #[test]
+    fn key_roundtrips() {
+        let r = rig();
+        let sk2 = deserialize_secret_key(&serialize_secret_key(&r.sk), &r.ctx).unwrap();
+        assert_eq!(sk2, r.sk);
+        let pk2 = deserialize_public_key(&serialize_public_key(&r.pk), &r.ctx).unwrap();
+        assert_eq!(pk2, r.pk);
+        let rlk2 = deserialize_relin_key(&serialize_relin_key(&r.rlk), &r.ctx).unwrap();
+        assert_eq!(rlk2, r.rlk);
+    }
+
+    #[test]
+    fn galois_keys_roundtrip_and_still_rotate() {
+        let ctx = CkksContext::new(small()).unwrap();
+        let mut rng = StdRng::seed_from_u64(88);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let gks = crate::keys::GaloisKeys::generate(&ctx, &sk, &[1, -2], &mut rng);
+        let bytes = serialize_galois_keys(&gks);
+        let back = deserialize_galois_keys(&bytes, &ctx).unwrap();
+        assert_eq!(back.elements().count(), gks.elements().count());
+
+        // The deserialized keys still rotate correctly.
+        let enc = CkksEncoder::new(&ctx);
+        let vals: Vec<f64> = (0..ctx.n() / 2).map(|i| i as f64).collect();
+        let ct = Encryptor::new(&ctx, &pk)
+            .encrypt(
+                &enc.encode_real(&vals, ctx.params().scale(), ctx.max_level())
+                    .unwrap(),
+                &mut rng,
+            )
+            .unwrap();
+        let eval = crate::eval::Evaluator::new(&ctx);
+        let a = eval.rotate(&ct, 1, &gks).unwrap();
+        let b = eval.rotate(&ct, 1, &back).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let r = rig();
+        let bytes = serialize_ciphertext(&r.ct);
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(deserialize_ciphertext(&bad, &r.ctx).is_err());
+        // Truncation.
+        assert!(deserialize_ciphertext(&bytes[..bytes.len() - 3], &r.ctx).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(deserialize_ciphertext(&long, &r.ctx).is_err());
+        // Wrong object tag.
+        let pt_bytes = serialize_plaintext(&r.pt);
+        assert!(deserialize_ciphertext(&pt_bytes, &r.ctx).is_err());
+        // Non-canonical residue: set a residue word above its modulus.
+        let mut tampered = bytes;
+        let len = tampered.len();
+        tampered[len - 1] = 0xff;
+        tampered[len - 2] = 0xff;
+        assert!(deserialize_ciphertext(&tampered, &r.ctx).is_err());
+    }
+
+    #[test]
+    fn cross_context_rejected() {
+        let r = rig();
+        // A context with different primes.
+        let chain = heax_math::primes::generate_prime_chain(&[41, 41, 41, 42], 64).unwrap();
+        let other = CkksContext::new(
+            crate::params::CkksParams::new(64, chain, (1u64 << 32) as f64).unwrap(),
+        )
+        .unwrap();
+        let bytes = serialize_ciphertext(&r.ct);
+        assert!(deserialize_ciphertext(&bytes, &other).is_err());
+    }
+
+    #[test]
+    fn sizes_are_sane() {
+        let r = rig();
+        // Ciphertext ≈ 2 components × (level+1) residues × n × 8 bytes.
+        let bytes = serialize_ciphertext(&r.ct);
+        let payload = 2 * (r.ct.level() + 1) * r.ctx.n() * 8;
+        assert!(bytes.len() > payload);
+        assert!(bytes.len() < payload + 1024);
+    }
+}

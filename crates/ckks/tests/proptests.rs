@@ -1,0 +1,139 @@
+//! Property tests for the CKKS scheme: homomorphism laws, rotation
+//! composition, serialization robustness.
+
+use heax_ckks::serialize::{
+    deserialize_ciphertext, serialize_ciphertext,
+};
+use heax_ckks::{
+    CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys,
+    PublicKey, RelinKey, SecretKey,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ctx() -> CkksContext {
+    let chain = heax_math::primes::generate_prime_chain(&[40, 40, 40, 41], 64).unwrap();
+    CkksContext::new(CkksParams::new(64, chain, (1u64 << 32) as f64).unwrap()).unwrap()
+}
+
+struct Rig {
+    ctx: CkksContext,
+    sk: SecretKey,
+    pk: PublicKey,
+    rng: StdRng,
+}
+
+fn rig(seed: u64) -> Rig {
+    let ctx = ctx();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+    Rig { ctx, sk, pk, rng }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Homomorphism: Dec(Enc(x) + Enc(y)·Enc(z) relinearized) ≈ x + y·z.
+    #[test]
+    fn fused_add_mul_homomorphism(
+        x in -5.0f64..5.0,
+        y in -5.0f64..5.0,
+        z in -5.0f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let mut r = rig(seed);
+        let rlk = RelinKey::generate(&r.ctx, &r.sk, &mut r.rng);
+        let enc = CkksEncoder::new(&r.ctx);
+        let eval = Evaluator::new(&r.ctx);
+        let scale = r.ctx.params().scale();
+        let top = r.ctx.max_level();
+        let e = Encryptor::new(&r.ctx, &r.pk);
+        let cy = e.encrypt(&enc.encode_real(&[y], scale, top).unwrap(), &mut r.rng).unwrap();
+        let cz = e.encrypt(&enc.encode_real(&[z], scale, top).unwrap(), &mut r.rng).unwrap();
+        let yz = eval.multiply_relin(&cy, &cz, &rlk).unwrap();
+        // Match x's scale to the (unrescaled) product scale by re-encoding.
+        let cx2 = e.encrypt(&enc.encode_real(&[x], yz.scale(), top).unwrap(), &mut r.rng).unwrap();
+        let total = eval.add(&cx2, &yz).unwrap();
+        let dec = Decryptor::new(&r.ctx, &r.sk);
+        let got = enc.decode_real(&dec.decrypt(&total).unwrap()).unwrap()[0];
+        prop_assert!((got - (x + y * z)).abs() < 0.05, "{got} vs {}", x + y * z);
+    }
+
+    /// Rotation composition: rotate(rotate(x, a), b) == rotate(x, a+b).
+    #[test]
+    fn rotation_composes(
+        a in 1i64..8,
+        b in 1i64..8,
+        seed in any::<u64>(),
+    ) {
+        let mut r = rig(seed);
+        let gks = GaloisKeys::generate(&r.ctx, &r.sk, &[a, b, a + b], &mut r.rng);
+        let enc = CkksEncoder::new(&r.ctx);
+        let eval = Evaluator::new(&r.ctx);
+        let slots = r.ctx.n() / 2;
+        let vals: Vec<f64> = (0..slots).map(|i| i as f64 * 0.25).collect();
+        let ct = Encryptor::new(&r.ctx, &r.pk)
+            .encrypt(
+                &enc.encode_real(&vals, r.ctx.params().scale(), r.ctx.max_level()).unwrap(),
+                &mut r.rng,
+            )
+            .unwrap();
+        let two_step = eval.rotate(&eval.rotate(&ct, a, &gks).unwrap(), b, &gks).unwrap();
+        let one_step = eval.rotate(&ct, a + b, &gks).unwrap();
+        let dec = Decryptor::new(&r.ctx, &r.sk);
+        let va = enc.decode_real(&dec.decrypt(&two_step).unwrap()).unwrap();
+        let vb = enc.decode_real(&dec.decrypt(&one_step).unwrap()).unwrap();
+        for j in 0..slots {
+            prop_assert!((va[j] - vb[j]).abs() < 0.05, "slot {j}");
+            let src = (j as i64 + a + b).rem_euclid(slots as i64) as usize;
+            prop_assert!((vb[j] - vals[src]).abs() < 0.05, "slot {j} value");
+        }
+    }
+
+    /// Serialization round-trips arbitrary encrypted vectors exactly.
+    #[test]
+    fn serialization_roundtrip(
+        vals in prop::collection::vec(-100.0f64..100.0, 1..16),
+        seed in any::<u64>(),
+    ) {
+        let mut r = rig(seed);
+        let enc = CkksEncoder::new(&r.ctx);
+        let ct = Encryptor::new(&r.ctx, &r.pk)
+            .encrypt(
+                &enc.encode_real(&vals, r.ctx.params().scale(), r.ctx.max_level()).unwrap(),
+                &mut r.rng,
+            )
+            .unwrap();
+        let bytes = serialize_ciphertext(&ct);
+        let back = deserialize_ciphertext(&bytes, &r.ctx).unwrap();
+        prop_assert_eq!(&back, &ct);
+    }
+
+    /// Random byte mutations never panic and are (almost always) rejected;
+    /// when accepted they still deserialize into a structurally valid
+    /// ciphertext.
+    #[test]
+    fn serialization_fuzz_no_panic(
+        flip_at in 0usize..5000,
+        flip_val in 1u8..=255,
+        seed in any::<u64>(),
+    ) {
+        let mut r = rig(seed);
+        let enc = CkksEncoder::new(&r.ctx);
+        let ct = Encryptor::new(&r.ctx, &r.pk)
+            .encrypt(
+                &enc.encode_real(&[1.0], r.ctx.params().scale(), r.ctx.max_level()).unwrap(),
+                &mut r.rng,
+            )
+            .unwrap();
+        let mut bytes = serialize_ciphertext(&ct);
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= flip_val;
+        if let Ok(parsed) = deserialize_ciphertext(&bytes, &r.ctx) {
+            // Accepted mutations must still satisfy every invariant.
+            parsed.validate(&r.ctx).unwrap();
+        }
+    }
+}

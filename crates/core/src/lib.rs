@@ -1,0 +1,133 @@
+//! # heax-core
+//!
+//! The HEAX accelerator (the paper's primary contribution) as a library:
+//!
+//! * [`arch`] — automatic derivation of the KeySwitch architecture from a
+//!   board and a parameter set (Table 5, "no manual tuning");
+//! * [`resources`] — full-design resource accounting calibrated against
+//!   the paper's measured module costs (Tables 4 and 6);
+//! * [`perf`] — the closed-form performance model reproducing every HEAX
+//!   figure of Tables 7 and 8;
+//! * [`accel`] — a functional accelerator that executes CKKS operations
+//!   through the cycle-accurate hardware simulators of `heax-hw`,
+//!   bit-exact against the `heax-ckks` golden model;
+//! * [`system`] — the host+board system view (Figure 7) with PCIe/DRAM
+//!   transfer modeling and memory-mapped results.
+//!
+//! ## Example
+//!
+//! ```
+//! use heax_core::arch::DesignPoint;
+//! use heax_core::perf::{estimate, HeaxOp};
+//! use heax_ckks::ParamSet;
+//! use heax_hw::board::Board;
+//!
+//! # fn main() -> Result<(), heax_hw::HwError> {
+//! // Derive the Stratix 10 / Set-B design (a Table 5 row) and read off
+//! // its KeySwitch throughput (a Table 8 cell).
+//! let dp = DesignPoint::derive(Board::stratix10(), ParamSet::SetB)?;
+//! let ks = estimate(&dp, HeaxOp::KeySwitch);
+//! assert_eq!(ks.cycles, 13312);
+//! assert!((ks.ops_per_sec - 22536.0).abs() < 25.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod arch;
+pub mod perf;
+pub mod resources;
+pub mod system;
+
+use core::fmt;
+
+use heax_ckks::CkksError;
+use heax_hw::HwError;
+
+pub use accel::{HeaxAccelerator, OpReport};
+pub use arch::DesignPoint;
+pub use system::HeaxSystem;
+
+/// Errors produced by the accelerator layer.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Error from the CKKS scheme layer.
+    Ckks(CkksError),
+    /// Error from the hardware model layer.
+    Hw(HwError),
+    /// The context's parameters cannot run on this accelerator.
+    UnsupportedParameters {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Board DRAM capacity exceeded by memory-mapped results.
+    DramFull {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Ckks(e) => write!(f, "ckks error: {e}"),
+            Self::Hw(e) => write!(f, "hardware error: {e}"),
+            Self::UnsupportedParameters { reason } => {
+                write!(f, "unsupported parameters: {reason}")
+            }
+            Self::DramFull {
+                requested,
+                available,
+            } => write!(
+                f,
+                "board DRAM full: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Ckks(e) => Some(e),
+            Self::Hw(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CkksError> for CoreError {
+    fn from(e: CkksError) -> Self {
+        Self::Ckks(e)
+    }
+}
+
+impl From<HwError> for CoreError {
+    fn from(e: HwError) -> Self {
+        Self::Hw(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_conversions_and_display() {
+        let e: CoreError = CkksError::LevelExhausted.into();
+        assert!(e.to_string().contains("ckks"));
+        assert!(std::error::Error::source(&e).is_some());
+        let h: CoreError = HwError::InvalidConfig {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(h.to_string().contains("hardware"));
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CoreError>();
+    }
+}

@@ -1,0 +1,345 @@
+//! Full-design resource accounting (Tables 4 and 6).
+//!
+//! DSP counts follow exactly from core counts (Table 3 × module sizes) —
+//! the model reproduces the paper's Table 6 DSP column to within 2.5 %
+//! (three of four rows exactly). REG/ALM include per-module infrastructure
+//! (address logic, customized MUX trees, rate converters) that cannot be
+//! derived from first principles; for those we use the paper's *measured*
+//! per-module costs (Table 4) as calibration points at 4/8/16/32 cores and
+//! extrapolate outside that range. BRAM is modeled from the bank inventory
+//! of Figures 3 and 5 with the Section 4.2 word-packing rules.
+
+use heax_hw::board::{Board, BoardKind};
+use heax_hw::bram::BankLayout;
+use heax_hw::cores::CoreKind;
+use heax_hw::keyswitch_pipeline::KeySwitchArch;
+use heax_hw::resources::Resources;
+
+/// Shell (PCIe/DRAM/control infrastructure) cost per board — Table 4,
+/// "A10 Shell" / "S10 Shell" rows.
+pub fn shell_resources(board: &Board) -> Resources {
+    match board.kind() {
+        BoardKind::ArriaA10 => Resources {
+            dsp: 1,
+            reg: 79_203,
+            alm: 39_222,
+            bram_bits: 886_496,
+            m20k: 144,
+        },
+        BoardKind::StratixS10 => Resources {
+            dsp: 2,
+            reg: 86_984,
+            alm: 45_612,
+            bram_bits: 1_201_096,
+            m20k: 173,
+        },
+    }
+}
+
+/// Basic module kinds of Table 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModuleKind {
+    /// MULT / DyadMult / MS module (dyadic cores).
+    Mult,
+    /// Forward-NTT module.
+    Ntt,
+    /// Inverse-NTT module.
+    Intt,
+}
+
+impl ModuleKind {
+    /// The core type inside this module.
+    pub fn core(self) -> CoreKind {
+        match self {
+            ModuleKind::Mult => CoreKind::Dyadic,
+            ModuleKind::Ntt => CoreKind::Ntt,
+            ModuleKind::Intt => CoreKind::Intt,
+        }
+    }
+
+    /// Table 4 measured `(cores, reg, alm, m20k)` calibration rows
+    /// (BRAM figures at n = 2¹³).
+    fn calibration(self) -> [(u64, u64, u64, u64); 4] {
+        match self {
+            ModuleKind::Mult => [
+                (4, 42_817, 15_795, 65),
+                (8, 61_878, 22_160, 65),
+                (16, 93_594, 35_257, 164),
+                (32, 181_503, 62_157, 293),
+            ],
+            ModuleKind::Ntt => [
+                (4, 61_670, 22_316, 86),
+                (8, 96_919, 36_336, 185),
+                (16, 196_205, 67_865, 380),
+                (32, 387_357, 142_300, 725),
+            ],
+            ModuleKind::Intt => [
+                (4, 63_917, 22_700, 86),
+                (8, 104_575, 37_331, 185),
+                (16, 182_478, 68_645, 380),
+                (32, 384_267, 144_957, 724),
+            ],
+        }
+    }
+
+    /// Table 4 BRAM bits per module at n = 2¹³ (independent of cores).
+    fn calibration_bits(self) -> u64 {
+        match self {
+            ModuleKind::Mult => 1_104_384,
+            ModuleKind::Ntt | ModuleKind::Intt => 1_514_496,
+        }
+    }
+}
+
+/// Resource cost of one basic module with `cores` cores at ring degree
+/// `n`, calibrated against Table 4.
+///
+/// * DSP: exactly `cores × core_dsp` (Table 3).
+/// * REG/ALM: Table 4 values at 4/8/16/32 cores; below 4 cores the 4-core
+///   module overhead is kept and the per-core share removed; above 32 the
+///   32-core row is scaled by the core ratio.
+/// * BRAM: Table 4 figures scaled by `n / 2¹³` (module memories hold a
+///   fixed number of polynomial-sized banks).
+pub fn module_cost(kind: ModuleKind, cores: usize, n: usize) -> Resources {
+    let core = kind.core().cost();
+    let cal = kind.calibration();
+    let cores_u = cores as u64;
+
+    let (reg, alm, m20k_base) = match cal.iter().find(|(c, ..)| *c == cores_u) {
+        Some(&(_, reg, alm, m20k)) => (reg, alm, m20k),
+        None if cores_u < 4 => {
+            // Keep the 4-core infrastructure, shed the per-core share.
+            let (_, reg4, alm4, m20k4) = cal[0];
+            (
+                reg4 - (4 - cores_u) * core.reg,
+                alm4 - (4 - cores_u) * core.alm,
+                m20k4,
+            )
+        }
+        None => {
+            // Scale the 32-core row by the core ratio (super-linear MUX
+            // growth ignored above the calibrated range; not used by any
+            // paper configuration).
+            let (c32, reg32, alm32, m20k32) = cal[3];
+            (
+                reg32 * cores_u / c32,
+                alm32 * cores_u / c32,
+                m20k32 * cores_u / c32,
+            )
+        }
+    };
+
+    let scale_n = |v: u64| (v * n as u64).div_ceil(8192);
+    Resources {
+        dsp: cores_u * core.dsp,
+        reg,
+        alm,
+        bram_bits: scale_n(kind.calibration_bits()),
+        m20k: scale_n(m20k_base),
+    }
+}
+
+/// Where key-switching keys are stored (Section 5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KskPlacement {
+    /// Keys fit in on-chip BRAM (Set-A, Set-B).
+    OnChipBram,
+    /// Keys are striped across DRAM channels and streamed per operation
+    /// (Set-C: BRAM cannot hold the O(n·k²) keys).
+    OffChipDram,
+}
+
+impl KskPlacement {
+    /// Chooses the placement: on-chip iff the whole design *including* the
+    /// keys fits the board's BRAM.
+    pub fn choose(board: &Board, arch: &KeySwitchArch) -> Self {
+        let base = base_design_resources(board, arch);
+        let with_keys = base + ksk_bram(arch.n, arch.k);
+        if with_keys.fits_within(board.budget()) {
+            KskPlacement::OnChipBram
+        } else {
+            KskPlacement::OffChipDram
+        }
+    }
+}
+
+/// BRAM cost of holding one set of key-switching keys on chip:
+/// `2·k·(k+1)` polynomials of `n` 54-bit words, word-packed.
+pub fn ksk_bram(n: usize, k: usize) -> Resources {
+    let k = k as u64;
+    let polys = 2 * k * (k + 1);
+    let bank = BankLayout::polynomial(n as u64, 8);
+    bank.resources() * polys
+}
+
+/// Resource inventory of the KeySwitch module (Figure 5): all submodules
+/// plus the f1 input buffers and the two accumulator bank sets.
+pub fn keyswitch_resources(arch: &KeySwitchArch) -> Resources {
+    let n = arch.n;
+    let mut total = Resources::ZERO;
+    // First layer.
+    total += module_cost(ModuleKind::Intt, arch.nc_intt0, n);
+    total += module_cost(ModuleKind::Ntt, arch.nc_ntt0, n) * arch.m0 as u64;
+    total += module_cost(ModuleKind::Mult, arch.nc_dyad, n) * arch.num_dyad as u64;
+    // Second layer (modulus switching).
+    total += module_cost(ModuleKind::Intt, arch.nc_intt1, n) * 2;
+    total += module_cost(ModuleKind::Ntt, arch.nc_ntt1, n) * 2;
+    total += module_cost(ModuleKind::Mult, arch.nc_ms, n) * 2;
+    // Input-polynomial buffering: f1 polynomial copies (Data Dependency 1 /
+    // quadruple buffering of Section 5.2).
+    let input_bank = BankLayout::polynomial(n as u64, (2 * arch.nc_intt0) as u64);
+    total += input_bank.resources() * arch.f1();
+    // Accumulator banks: two sets of k+1 residue polynomials, plus f2
+    // rotation buffers shared between them (Data Dependency 2).
+    let acc_bank = BankLayout::polynomial(n as u64, arch.nc_dyad as u64);
+    let acc_polys = 2 * (arch.k as u64 + 1) + arch.f2();
+    total += acc_bank.resources() * acc_polys;
+    total
+}
+
+/// Resources of the complete design *excluding* ksk storage:
+/// shell + KeySwitch + standalone 16-core MULT module.
+pub fn base_design_resources(board: &Board, arch: &KeySwitchArch) -> Resources {
+    shell_resources(board)
+        + keyswitch_resources(arch)
+        + module_cost(ModuleKind::Mult, crate::arch::standalone_mult_cores(board), arch.n)
+}
+
+/// Resources of the complete design with the chosen ksk placement
+/// (the Table 6 row).
+pub fn design_resources(
+    board: &Board,
+    arch: &KeySwitchArch,
+    placement: KskPlacement,
+) -> Resources {
+    let base = base_design_resources(board, arch);
+    match placement {
+        KskPlacement::OnChipBram => base + ksk_bram(arch.n, arch.k),
+        KskPlacement::OffChipDram => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::derive_arch;
+    use heax_ckks::params::ParamSet;
+
+    #[test]
+    fn dsp_column_matches_table6() {
+        // Table 6 DSP: Arria/Set-A 1185, Stratix/Set-A 2018, Set-B 2610.
+        let a10 = Board::arria10();
+        let s10 = Board::stratix10();
+        let cases = [
+            (&a10, ParamSet::SetA, 1185u64),
+            (&s10, ParamSet::SetA, 2018),
+            (&s10, ParamSet::SetB, 2610),
+        ];
+        for (board, set, expected) in cases {
+            let arch = derive_arch(board, set).unwrap();
+            let placement = KskPlacement::choose(board, &arch);
+            let r = design_resources(board, &arch, placement);
+            assert_eq!(r.dsp, expected, "{} {}", board.name(), set);
+        }
+        // Set-C: paper reports 2370; our Table 5-faithful INTT(1) second
+        // layer gives 2310 (the paper's Tables 5 and 6 disagree by six
+        // 10-DSP cores here — documented in EXPERIMENTS.md).
+        let arch = derive_arch(&s10, ParamSet::SetC).unwrap();
+        let placement = KskPlacement::choose(&s10, &arch);
+        let r = design_resources(&s10, &arch, placement);
+        assert_eq!(r.dsp, 2310);
+    }
+
+    #[test]
+    fn reg_alm_within_ten_percent_of_table6() {
+        let s10 = Board::stratix10();
+        let cases = [
+            (ParamSet::SetA, 1_554_005u64, 582_148u64),
+            (ParamSet::SetB, 1_976_162, 698_884),
+            (ParamSet::SetC, 1_746_384, 599_715),
+        ];
+        for (set, paper_reg, paper_alm) in cases {
+            let arch = derive_arch(&s10, set).unwrap();
+            let placement = KskPlacement::choose(&s10, &arch);
+            let r = design_resources(&s10, &arch, placement);
+            let reg_err = (r.reg as f64 - paper_reg as f64).abs() / paper_reg as f64;
+            let alm_err = (r.alm as f64 - paper_alm as f64).abs() / paper_alm as f64;
+            assert!(reg_err < 0.10, "{set}: REG {} vs paper {paper_reg}", r.reg);
+            assert!(alm_err < 0.10, "{set}: ALM {} vs paper {paper_alm}", r.alm);
+        }
+    }
+
+    #[test]
+    fn ksk_placement_matches_section_5_1() {
+        // Sets A and B fit on chip; Set-C must spill keys to DRAM.
+        let s10 = Board::stratix10();
+        for (set, expected) in [
+            (ParamSet::SetA, KskPlacement::OnChipBram),
+            (ParamSet::SetB, KskPlacement::OnChipBram),
+            (ParamSet::SetC, KskPlacement::OffChipDram),
+        ] {
+            let arch = derive_arch(&s10, set).unwrap();
+            assert_eq!(KskPlacement::choose(&s10, &arch), expected, "{set}");
+        }
+        // Arria 10 / Set-A also keeps everything on chip.
+        let a10 = Board::arria10();
+        let arch = derive_arch(&a10, ParamSet::SetA).unwrap();
+        assert_eq!(
+            KskPlacement::choose(&a10, &arch),
+            KskPlacement::OnChipBram
+        );
+    }
+
+    #[test]
+    fn module_cost_calibration_rows_exact() {
+        // Table 4, 16-core NTT at n = 2^13.
+        let r = module_cost(ModuleKind::Ntt, 16, 8192);
+        assert_eq!(r.dsp, 160);
+        assert_eq!(r.reg, 196_205);
+        assert_eq!(r.alm, 67_865);
+        assert_eq!(r.m20k, 380);
+        assert_eq!(r.bram_bits, 1_514_496);
+        // 8-core MULT.
+        let m = module_cost(ModuleKind::Mult, 8, 8192);
+        assert_eq!((m.dsp, m.reg, m.alm, m.m20k), (176, 61_878, 22_160, 65));
+    }
+
+    #[test]
+    fn module_cost_extrapolates() {
+        // Below the calibrated range: smaller than the 4-core module but
+        // keeps infrastructure.
+        let one = module_cost(ModuleKind::Intt, 1, 8192);
+        let four = module_cost(ModuleKind::Intt, 4, 8192);
+        assert!(one.reg < four.reg);
+        assert!(one.alm > CoreKind::Intt.cost().alm); // > bare core
+        assert_eq!(one.dsp, 10);
+        // BRAM scales with n.
+        let big = module_cost(ModuleKind::Ntt, 16, 16384);
+        assert_eq!(big.bram_bits, 2 * 1_514_496);
+    }
+
+    #[test]
+    fn bram_totals_have_the_right_shape() {
+        // Robust invariants of Table 6's BRAM column: every design fits
+        // its board; Set-A uses the least memory; and Set-C only fits
+        // because its keys moved to DRAM (on-chip keys would blow the
+        // budget). The exact B-vs-C ordering in the paper additionally
+        // depends on ksk bank replication details we do not model; the
+        // table6 harness prints model-vs-paper deltas.
+        let s10 = Board::stratix10();
+        let m20k_for = |set: ParamSet| {
+            let arch = derive_arch(&s10, set).unwrap();
+            let placement = KskPlacement::choose(&s10, &arch);
+            design_resources(&s10, &arch, placement).m20k
+        };
+        let a = m20k_for(ParamSet::SetA);
+        let b = m20k_for(ParamSet::SetB);
+        let c = m20k_for(ParamSet::SetC);
+        assert!(a < b && a < c, "Set-A must be smallest ({a}, {b}, {c})");
+        assert!(b <= s10.budget().m20k && c <= s10.budget().m20k);
+        // Set-C with on-chip keys would not fit.
+        let arch_c = derive_arch(&s10, ParamSet::SetC).unwrap();
+        let forced = design_resources(&s10, &arch_c, KskPlacement::OnChipBram);
+        assert!(!forced.fits_within(s10.budget()));
+    }
+}

@@ -1,0 +1,191 @@
+//! FPGA board models — Table 1 of the paper.
+
+use crate::resources::Resources;
+
+/// The two proof-of-concept boards of the paper (Section 6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BoardKind {
+    /// Board-A: Intel Arria 10 GX 1150, 2 DRAM channels, PCIe Gen3 x8.
+    ArriaA10,
+    /// Board-B: Intel Stratix 10 GX 2800, 4 DRAM channels, PCIe Gen3 x16.
+    StratixS10,
+}
+
+/// A board: chip resource budget plus memory/IO characteristics and the
+/// clock frequency the paper's place-and-route achieved.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Board {
+    kind: BoardKind,
+    name: &'static str,
+    chip: &'static str,
+    budget: Resources,
+    dram_channels: u32,
+    /// Aggregate DRAM bandwidth (GB/s) across channels (Table 1 "BW").
+    dram_bandwidth_gbps: f64,
+    /// PCIe bandwidth per direction (GB/s).
+    pcie_bandwidth_gbps: f64,
+    /// Achieved clock frequency (MHz) — Table 6.
+    freq_mhz: f64,
+    /// DRAM capacity in GiB.
+    dram_gib: u32,
+}
+
+/// Bits per M20K unit (512 × 40-bit words).
+pub const M20K_BITS: u64 = 512 * 40;
+
+impl Board {
+    /// Board-A: Arria 10 GX 1150 (Table 1 row 1).
+    pub fn arria10() -> Self {
+        Board {
+            kind: BoardKind::ArriaA10,
+            name: "Board-A",
+            chip: "Arria 10 GX 1150",
+            budget: Resources {
+                dsp: 1518,
+                reg: 1_710_000,
+                alm: 427_000,
+                bram_bits: 2713 * M20K_BITS, // ≈ 53 Mib
+                m20k: 2713,
+            },
+            dram_channels: 2,
+            dram_bandwidth_gbps: 34.0,
+            pcie_bandwidth_gbps: 7.88,
+            freq_mhz: 275.0,
+            dram_gib: 4,
+        }
+    }
+
+    /// Board-B: Stratix 10 GX 2800 (Table 1 row 2).
+    pub fn stratix10() -> Self {
+        Board {
+            kind: BoardKind::StratixS10,
+            name: "Board-B",
+            chip: "Stratix 10 GX 2800",
+            budget: Resources {
+                dsp: 5760,
+                reg: 3_730_000,
+                alm: 933_000,
+                bram_bits: 11721 * M20K_BITS, // ≈ 229 Mib
+                m20k: 11721,
+            },
+            dram_channels: 4,
+            dram_bandwidth_gbps: 64.0,
+            pcie_bandwidth_gbps: 15.75,
+            freq_mhz: 300.0,
+            dram_gib: 64,
+        }
+    }
+
+    /// Board for a kind.
+    pub fn new(kind: BoardKind) -> Self {
+        match kind {
+            BoardKind::ArriaA10 => Self::arria10(),
+            BoardKind::StratixS10 => Self::stratix10(),
+        }
+    }
+
+    /// Which board this is.
+    pub fn kind(&self) -> BoardKind {
+        self.kind
+    }
+
+    /// Paper's board label ("Board-A" / "Board-B").
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Chip name.
+    pub fn chip(&self) -> &'static str {
+        self.chip
+    }
+
+    /// Chip resource budget.
+    pub fn budget(&self) -> &Resources {
+        &self.budget
+    }
+
+    /// Number of independent DRAM channels.
+    pub fn dram_channels(&self) -> u32 {
+        self.dram_channels
+    }
+
+    /// Aggregate DRAM bandwidth in GB/s.
+    pub fn dram_bandwidth_gbps(&self) -> f64 {
+        self.dram_bandwidth_gbps
+    }
+
+    /// PCIe bandwidth per direction in GB/s.
+    pub fn pcie_bandwidth_gbps(&self) -> f64 {
+        self.pcie_bandwidth_gbps
+    }
+
+    /// Achieved clock frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_mhz
+    }
+
+    /// Clock frequency in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_mhz * 1e6
+    }
+
+    /// DRAM capacity in GiB.
+    pub fn dram_gib(&self) -> u32 {
+        self.dram_gib
+    }
+
+    /// Converts a cycle count at this board's clock into operations/second.
+    pub fn cycles_to_ops_per_sec(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return f64::INFINITY;
+        }
+        self.freq_hz() / cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_budgets() {
+        let a = Board::arria10();
+        assert_eq!(a.budget().dsp, 1518);
+        assert_eq!(a.budget().m20k, 2713);
+        // ≈ 53 Mib as printed in Table 1.
+        assert_eq!((a.budget().bram_bits as f64 / (1u64 << 20) as f64).round(), 53.0);
+        assert_eq!(a.dram_channels(), 2);
+        assert_eq!(a.freq_mhz(), 275.0);
+
+        let b = Board::stratix10();
+        assert_eq!(b.budget().dsp, 5760);
+        assert_eq!(b.budget().m20k, 11721);
+        assert_eq!(b.budget().bram_bits / (1 << 20), 228); // ≈ 229 Mib
+        assert_eq!(b.dram_channels(), 4);
+        assert_eq!(b.dram_bandwidth_gbps(), 64.0);
+        assert_eq!(b.freq_mhz(), 300.0);
+    }
+
+    #[test]
+    fn stratix_strictly_bigger() {
+        let a = Board::arria10();
+        let b = Board::stratix10();
+        assert!(a.budget().fits_within(b.budget()));
+        assert!(!b.budget().fits_within(a.budget()));
+    }
+
+    #[test]
+    fn ops_per_sec_conversion() {
+        let b = Board::stratix10();
+        // 3072 cycles at 300 MHz = 97656.25 ops/s (Table 8, Set-A KeySwitch).
+        let ops = b.cycles_to_ops_per_sec(3072);
+        assert!((ops - 97656.25).abs() < 0.01);
+        assert!(b.cycles_to_ops_per_sec(0).is_infinite());
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        assert_eq!(Board::new(BoardKind::ArriaA10).kind(), BoardKind::ArriaA10);
+        assert_eq!(Board::new(BoardKind::StratixS10).name(), "Board-B");
+    }
+}

@@ -1,0 +1,243 @@
+//! On-chip memory model: M20K block RAMs, word packing, and memory
+//! elements (MEs).
+//!
+//! Section 4.2 ("Memory Utilization and Word-Packing"): each M20K holds
+//! 512 × 40-bit words and supports one read and one write per cycle. A
+//! *memory element* is one row across a group of parallel M20Ks — the unit
+//! the NTT/MULT modules fetch per cycle. Storing β coefficients of
+//! `w = 54` bits per row:
+//!
+//! * **naive** (one coefficient per physical BRAM): 54/80 = 68 % width
+//!   utilization (each coefficient needs 2 40-bit columns);
+//! * **packed** (paper's scheme): `⌈β·54/40⌉` M20K columns,
+//!   `β·54/(⌈β·54/40⌉·40)` utilization — > 98 % for β = 8.
+
+use crate::board::M20K_BITS;
+use crate::resources::Resources;
+
+/// Depth of an M20K unit in rows.
+pub const M20K_DEPTH: u64 = 512;
+/// Width of an M20K unit in bits.
+pub const M20K_WIDTH: u64 = 40;
+/// Native coefficient width of the HEAX datapath.
+pub const HW_WORD_BITS: u64 = 54;
+
+/// Layout of one logical memory bank: `rows` memory elements of `beta`
+/// packed words each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BankLayout {
+    /// Words (coefficients) per memory element.
+    pub beta: u64,
+    /// Number of memory elements (rows).
+    pub rows: u64,
+    /// Bits per stored word.
+    pub word_bits: u64,
+}
+
+impl BankLayout {
+    /// Bank storing an `n`-coefficient polynomial with `beta` coefficients
+    /// per ME at the native 54-bit width.
+    pub fn polynomial(n: u64, beta: u64) -> Self {
+        Self {
+            beta,
+            rows: n.div_ceil(beta),
+            word_bits: HW_WORD_BITS,
+        }
+    }
+
+    /// M20K columns needed for one row (packed scheme).
+    pub fn m20k_columns(&self) -> u64 {
+        (self.beta * self.word_bits).div_ceil(M20K_WIDTH)
+    }
+
+    /// M20K units needed for the whole bank: columns × depth replication.
+    pub fn m20k_units(&self) -> u64 {
+        self.m20k_columns() * self.rows.div_ceil(M20K_DEPTH)
+    }
+
+    /// Payload bits actually stored.
+    pub fn payload_bits(&self) -> u64 {
+        self.beta * self.rows * self.word_bits
+    }
+
+    /// Width-wise utilization of the packed scheme
+    /// (`β·w / (⌈β·w/40⌉·40)`), the §4.2 formula.
+    pub fn width_utilization(&self) -> f64 {
+        let used = (self.beta * self.word_bits) as f64;
+        let provisioned = (self.m20k_columns() * M20K_WIDTH) as f64;
+        used / provisioned
+    }
+
+    /// Depth-wise utilization: fraction of the 512 rows in use
+    /// (full when `n/β ≥ 512`).
+    pub fn depth_utilization(&self) -> f64 {
+        let rows_per_unit = self.rows.div_ceil(self.rows.div_ceil(M20K_DEPTH));
+        rows_per_unit.min(M20K_DEPTH) as f64 / M20K_DEPTH as f64
+    }
+
+    /// Overall utilization (width × depth).
+    pub fn utilization(&self) -> f64 {
+        self.width_utilization() * self.depth_utilization()
+    }
+
+    /// Resource bundle for this bank (provisioned bits, not payload).
+    pub fn resources(&self) -> Resources {
+        Resources::memory(self.m20k_units() * M20K_BITS, self.m20k_units())
+    }
+
+    /// Naive layout for comparison: each coefficient in its own M20K
+    /// column pair (54 bits in 2 × 40-bit columns) — the 68 % baseline the
+    /// paper cites.
+    pub fn naive_m20k_units(&self) -> u64 {
+        let cols_per_word = HW_WORD_BITS.div_ceil(M20K_WIDTH); // = 2
+        self.beta * cols_per_word * self.rows.div_ceil(M20K_DEPTH)
+    }
+
+    /// Width utilization of the naive layout.
+    pub fn naive_width_utilization(&self) -> f64 {
+        HW_WORD_BITS as f64 / (HW_WORD_BITS.div_ceil(M20K_WIDTH) * M20K_WIDTH) as f64
+    }
+}
+
+/// A simulated dual-port memory bank of MEs with one-read-one-write-per-
+/// cycle accounting. Backing store is plain `u64` words; the `word_bits`
+/// field only drives resource accounting.
+#[derive(Clone, Debug)]
+pub struct MemoryBank {
+    layout: BankLayout,
+    data: Vec<u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl MemoryBank {
+    /// Zero-initialized bank.
+    pub fn new(layout: BankLayout) -> Self {
+        Self {
+            layout,
+            data: vec![0; (layout.beta * layout.rows) as usize],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Bank layout.
+    pub fn layout(&self) -> &BankLayout {
+        &self.layout
+    }
+
+    /// Loads a polynomial into the bank, row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly.len()` exceeds the bank capacity.
+    pub fn load(&mut self, poly: &[u64]) {
+        assert!(poly.len() <= self.data.len(), "polynomial exceeds bank");
+        self.data[..poly.len()].copy_from_slice(poly);
+        for slot in &mut self.data[poly.len()..] {
+            *slot = 0;
+        }
+    }
+
+    /// Reads memory element `row` (one cycle, one port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn read_me(&mut self, row: u64) -> Vec<u64> {
+        assert!(row < self.layout.rows, "ME row {row} out of range");
+        self.reads += 1;
+        let beta = self.layout.beta as usize;
+        let start = row as usize * beta;
+        self.data[start..start + beta].to_vec()
+    }
+
+    /// Writes memory element `row` (one cycle, one port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `me` has the wrong width.
+    pub fn write_me(&mut self, row: u64, me: &[u64]) {
+        assert!(row < self.layout.rows, "ME row {row} out of range");
+        assert_eq!(me.len(), self.layout.beta as usize, "ME width mismatch");
+        self.writes += 1;
+        let beta = self.layout.beta as usize;
+        let start = row as usize * beta;
+        self.data[start..start + beta].copy_from_slice(me);
+    }
+
+    /// Dumps the full contents (first `n` words).
+    pub fn dump(&self, n: usize) -> &[u64] {
+        &self.data[..n]
+    }
+
+    /// ME reads issued.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// ME writes issued.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_beats_naive() {
+        // β = 8: paper says > 98 % width utilization vs 68 % naive.
+        let bank = BankLayout::polynomial(8192, 8);
+        assert!(bank.width_utilization() > 0.98);
+        assert!((bank.naive_width_utilization() - 0.675).abs() < 1e-9);
+        assert!(bank.m20k_units() < bank.naive_m20k_units());
+        // 8 * 54 = 432 bits → 11 columns of 40.
+        assert_eq!(bank.m20k_columns(), 11);
+    }
+
+    #[test]
+    fn depth_rule_of_section_4_2() {
+        // n/β ≥ 512 ⇒ fully utilized depth-wise.
+        let full = BankLayout::polynomial(8192, 16); // 512 rows exactly
+        assert_eq!(full.rows, 512);
+        assert!((full.depth_utilization() - 1.0).abs() < 1e-12);
+        // n = 2^12, β = 2·16 = 32 (the paper's exception): half utilized.
+        let half = BankLayout::polynomial(4096, 32);
+        assert_eq!(half.rows, 128);
+        assert!((half.depth_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resources_scale_with_columns() {
+        let bank = BankLayout::polynomial(8192, 8);
+        let r = bank.resources();
+        assert_eq!(r.m20k, bank.m20k_units());
+        assert_eq!(r.bram_bits, bank.m20k_units() * M20K_BITS);
+        assert!(bank.payload_bits() <= r.bram_bits);
+    }
+
+    #[test]
+    fn memory_bank_read_write() {
+        let mut bank = MemoryBank::new(BankLayout::polynomial(64, 8));
+        let poly: Vec<u64> = (0..64).collect();
+        bank.load(&poly);
+        let me0 = bank.read_me(0);
+        assert_eq!(me0, (0..8).collect::<Vec<u64>>());
+        let me7 = bank.read_me(7);
+        assert_eq!(me7[0], 56);
+        bank.write_me(3, &[9; 8]);
+        assert_eq!(bank.read_me(3), vec![9; 8]);
+        assert_eq!(bank.reads(), 3);
+        assert_eq!(bank.writes(), 1);
+        assert_eq!(bank.dump(8), (0..8).collect::<Vec<u64>>().as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_read_panics() {
+        let mut bank = MemoryBank::new(BankLayout::polynomial(64, 8));
+        bank.read_me(8);
+    }
+}

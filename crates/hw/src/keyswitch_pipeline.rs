@@ -1,0 +1,692 @@
+//! Pipeline scheduling model of the KeySwitch module (Section 4.3,
+//! Figures 5 and 6).
+//!
+//! The module graph is `INTT0 → {NTT0 × m0} → {DyadMult × (m0+1)} →
+//! (accumulate, k iterations) → {INTT1 × 2} → {NTT1 × 2} → {MS × 2}`.
+//! Each KeySwitch processes `k` RNS components; per component the input
+//! polynomial is INTT-ed once, NTT-ed into the other `k` moduli (including
+//! the special prime), multiplied with both halves of the key-switching
+//! key, and accumulated into two BRAM bank sets; after all `k` iterations
+//! the special-prime accumulator rows are floored away (INTT1 → NTT1 →
+//! MS = Modulus Switching).
+//!
+//! This module performs *scheduling*: a discrete-event simulation over
+//! module instances with per-job durations given by the closed-form cycle
+//! counts of the dataflow simulators. The steady-state initiation interval
+//! it finds — `k · cycles(INTT0)` for all balanced configurations of
+//! Table 5 — is what Table 8 converts into KeySwitch operations/second.
+//! The functionally exact KeySwitch execution (real residues through real
+//! module datapaths) lives in `heax-core::accel`, which composes this
+//! schedule with the `ntt_dataflow`/`mult_dataflow` simulators.
+
+use crate::HwError;
+
+/// Architecture parameters of one KeySwitch module instance (a Table 5
+/// row). Derived automatically in `heax-core::arch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeySwitchArch {
+    /// Ring degree `n`.
+    pub n: usize,
+    /// Number of RNS components `k` of the ciphertext modulus.
+    pub k: usize,
+    /// Cores in the first INTT module.
+    pub nc_intt0: usize,
+    /// Number of first-layer NTT modules (`m0`).
+    pub m0: usize,
+    /// Cores per first-layer NTT module.
+    pub nc_ntt0: usize,
+    /// Number of DyadMult modules (`m0` for NTT outputs + 1 for the input
+    /// polynomial).
+    pub num_dyad: usize,
+    /// Cores per DyadMult module.
+    pub nc_dyad: usize,
+    /// Cores per second-layer INTT module (2 instances).
+    pub nc_intt1: usize,
+    /// Cores per second-layer NTT module (2 instances).
+    pub nc_ntt1: usize,
+    /// Cores per MS (multiply-subtract) module (2 instances).
+    pub nc_ms: usize,
+}
+
+impl KeySwitchArch {
+    /// Validates power-of-two core counts and basic divisibility.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidConfig`] on violations.
+    pub fn validate(&self) -> Result<(), HwError> {
+        let pow2 = [
+            self.n,
+            self.nc_intt0,
+            self.m0,
+            self.nc_ntt0,
+            self.nc_dyad,
+            self.nc_intt1,
+            self.nc_ntt1,
+            self.nc_ms,
+        ];
+        for v in pow2 {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(HwError::InvalidConfig {
+                    reason: format!("KeySwitch arch parameter {v} must be a nonzero power of two"),
+                });
+            }
+        }
+        if self.num_dyad != self.m0 + 1 {
+            return Err(HwError::InvalidConfig {
+                reason: format!(
+                    "num_dyad must be m0+1 (one per NTT0 module plus the input-poly module): {} vs {}",
+                    self.num_dyad,
+                    self.m0 + 1
+                ),
+            });
+        }
+        if self.k == 0 {
+            return Err(HwError::InvalidConfig {
+                reason: "k must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn log_n(&self) -> u64 {
+        self.n.trailing_zeros() as u64
+    }
+
+    /// Cycles for one INTT0 job (`n·log n / (2·nc)`).
+    pub fn intt0_cycles(&self) -> u64 {
+        self.n as u64 * self.log_n() / (2 * self.nc_intt0 as u64)
+    }
+
+    /// Cycles for one NTT0 job.
+    pub fn ntt0_cycles(&self) -> u64 {
+        self.n as u64 * self.log_n() / (2 * self.nc_ntt0 as u64)
+    }
+
+    /// Cycles for one DyadMult job: the module multiplies an NTT output
+    /// with **two** key polynomials (`ksk = D0 | D1`), `2n/ncDYD`.
+    pub fn dyad_cycles(&self) -> u64 {
+        2 * self.n as u64 / self.nc_dyad as u64
+    }
+
+    /// Cycles for one INTT1 job.
+    pub fn intt1_cycles(&self) -> u64 {
+        self.n as u64 * self.log_n() / (2 * self.nc_intt1 as u64)
+    }
+
+    /// Cycles for one NTT1 job.
+    pub fn ntt1_cycles(&self) -> u64 {
+        self.n as u64 * self.log_n() / (2 * self.nc_ntt1 as u64)
+    }
+
+    /// Cycles for one MS (multiply-and-subtract) job over one residue.
+    pub fn ms_cycles(&self) -> u64 {
+        self.n as u64 / self.nc_ms as u64
+    }
+
+    /// Steady-state initiation interval: the bottleneck module's total
+    /// occupancy per KeySwitch op. For balanced Table 5 configurations
+    /// this is the INTT0 module: `k` jobs per op.
+    pub fn steady_interval_cycles(&self) -> u64 {
+        let intt0 = self.k as u64 * self.intt0_cycles();
+        // NTT0 layer: k·k jobs spread over m0 modules.
+        let ntt0 = (self.k * self.k) as u64 * self.ntt0_cycles() / self.m0 as u64;
+        // Dyad layer: k jobs per NTT0-output module (each job covers both
+        // key halves).
+        let dyad = self.k as u64 * self.dyad_cycles();
+        // Tail: per op, each INTT1 instance runs 1 job, each NTT1 instance
+        // k jobs, each MS instance k jobs.
+        let intt1 = self.intt1_cycles();
+        let ntt1 = self.k as u64 * self.ntt1_cycles();
+        let ms = self.k as u64 * self.ms_cycles();
+        intt0.max(ntt0).max(dyad).max(intt1).max(ntt1).max(ms)
+    }
+
+    /// Input-polynomial buffer factor `f1 = ⌈3 + ncINTT0/ncNTT0⌉`
+    /// (Section 4.3, "Data Dependency 1").
+    pub fn f1(&self) -> u64 {
+        3 + (self.nc_intt0 as u64).div_ceil(self.nc_ntt0 as u64)
+    }
+
+    /// Accumulator buffer factor
+    /// `f2 = ⌈1 + m0·ncINTT1/ncNTT1 + ncINTT1·log n/ncMS⌉`
+    /// ("Data Dependency 2").
+    pub fn f2(&self) -> u64 {
+        let a = self.m0 as f64 * self.nc_intt1 as f64 / self.nc_ntt1 as f64;
+        let b = self.nc_intt1 as f64 * self.log_n() as f64 / self.nc_ms as f64;
+        (1.0 + a + b).ceil() as u64
+    }
+
+    /// Table 5-style architecture summary string, e.g.
+    /// `1×INTT(16)→4×NTT(16)→5×Dyad(8)→2×INTT(4)→2×NTT(16)→2×Mult(4)`.
+    pub fn summary(&self) -> String {
+        format!(
+            "1xINTT({}) -> {}xNTT({}) -> {}xDyad({}) -> 2xINTT({}) -> 2xNTT({}) -> 2xMult({})",
+            self.nc_intt0,
+            self.m0,
+            self.nc_ntt0,
+            self.num_dyad,
+            self.nc_dyad,
+            self.nc_intt1,
+            self.nc_ntt1,
+            self.nc_ms
+        )
+    }
+}
+
+/// Module stations of the pipeline (for trace events).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Station {
+    /// First INTT module.
+    Intt0,
+    /// First-layer NTT module `idx`.
+    Ntt0(usize),
+    /// DyadMult module `idx` (the last index is the input-poly module).
+    Dyad(usize),
+    /// Second-layer INTT module `idx ∈ {0, 1}`.
+    Intt1(usize),
+    /// Second-layer NTT module `idx ∈ {0, 1}`.
+    Ntt1(usize),
+    /// Modulus-switch (multiply-subtract) module `idx ∈ {0, 1}`.
+    Ms(usize),
+}
+
+impl core::fmt::Display for Station {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Station::Intt0 => write!(f, "INTT0"),
+            Station::Ntt0(i) => write!(f, "NTT0[{i}]"),
+            Station::Dyad(i) => write!(f, "DYAD[{i}]"),
+            Station::Intt1(i) => write!(f, "INTT1[{i}]"),
+            Station::Ntt1(i) => write!(f, "NTT1[{i}]"),
+            Station::Ms(i) => write!(f, "MS[{i}]"),
+        }
+    }
+}
+
+/// One scheduled job in the pipeline trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineEvent {
+    /// Which module instance ran the job.
+    pub station: Station,
+    /// KeySwitch operation index.
+    pub op: usize,
+    /// RNS iteration within the op (`k` per op; tail jobs use `k`).
+    pub iteration: usize,
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+}
+
+/// Result of scheduling `num_ops` back-to-back KeySwitch operations.
+#[derive(Clone, Debug)]
+pub struct KeySwitchSchedule {
+    /// All jobs, in dispatch order.
+    pub events: Vec<PipelineEvent>,
+    /// Completion cycle of each op (its last MS job).
+    pub op_completion: Vec<u64>,
+    /// Measured steady-state initiation interval (cycle distance between
+    /// consecutive op completions once the pipeline is warm).
+    pub steady_interval: u64,
+    /// Latency of the first op (fill + drain).
+    pub first_op_latency: u64,
+}
+
+impl KeySwitchSchedule {
+    /// Number of input-polynomial buffers the schedule actually needs
+    /// ("Data Dependency 1"): an op's input buffer is live from its first
+    /// INTT0 job until the input-poly DyadMult module (the last Dyad
+    /// station) finishes the op's final iteration. The paper provisions
+    /// `f1 = ⌈3 + ncINTT0/ncNTT0⌉` buffers; this measures the ground
+    /// truth from event overlap.
+    pub fn input_buffers_needed(&self) -> u64 {
+        let last_dyad = self
+            .events
+            .iter()
+            .filter_map(|e| match e.station {
+                Station::Dyad(i) => Some(i),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        self.max_span_overlap(|e, op| e.op == op, |e, op| {
+            e.op == op && e.station == Station::Dyad(last_dyad)
+        })
+    }
+
+    /// Number of accumulator buffer sets needed ("Data Dependency 2"):
+    /// live from an op's first DyadMult write to its last NTT1 read.
+    /// Compare against `f2`.
+    pub fn accumulator_buffers_needed(&self) -> u64 {
+        self.max_span_overlap(
+            |e, op| e.op == op && matches!(e.station, Station::Dyad(_)),
+            |e, op| e.op == op && matches!(e.station, Station::Ntt1(_)),
+        )
+    }
+
+    /// Maximum number of concurrently live per-op spans, where a span
+    /// begins at the first event matching `begin` and ends at the last
+    /// event matching `end`.
+    fn max_span_overlap(
+        &self,
+        begin: impl Fn(&PipelineEvent, usize) -> bool,
+        end: impl Fn(&PipelineEvent, usize) -> bool,
+    ) -> u64 {
+        let num_ops = self
+            .events
+            .iter()
+            .map(|e| e.op)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        let mut spans = Vec::new();
+        for op in 0..num_ops {
+            let start = self
+                .events
+                .iter()
+                .filter(|e| begin(e, op))
+                .map(|e| e.start)
+                .min();
+            let finish = self
+                .events
+                .iter()
+                .filter(|e| end(e, op))
+                .map(|e| e.end)
+                .max();
+            if let (Some(s), Some(f)) = (start, finish) {
+                spans.push((s, f));
+            }
+        }
+        let mut max_overlap = 0u64;
+        for &(s, _) in &spans {
+            let live = spans.iter().filter(|&&(a, b)| a <= s && s < b).count();
+            max_overlap = max_overlap.max(live as u64);
+        }
+        max_overlap
+    }
+
+    /// Busy cycles per station, for utilization reports.
+    pub fn station_busy(&self) -> Vec<(Station, u64)> {
+        let mut acc: Vec<(Station, u64)> = Vec::new();
+        for e in &self.events {
+            match acc.iter_mut().find(|(s, _)| *s == e.station) {
+                Some((_, c)) => *c += e.end - e.start,
+                None => acc.push((e.station, e.end - e.start)),
+            }
+        }
+        acc
+    }
+
+    /// Renders an ASCII Gantt chart of the first `max_cycles` cycles
+    /// (the Figure 6 artifact).
+    pub fn gantt(&self, max_cycles: u64, width: usize) -> String {
+        let mut stations: Vec<Station> = Vec::new();
+        for e in &self.events {
+            if !stations.contains(&e.station) {
+                stations.push(e.station);
+            }
+        }
+        let scale = max_cycles as f64 / width as f64;
+        let mut out = String::new();
+        for s in stations {
+            let mut row = vec![b'.'; width];
+            for e in self.events.iter().filter(|e| e.station == s) {
+                if e.start >= max_cycles {
+                    continue;
+                }
+                let from = (e.start as f64 / scale) as usize;
+                let to = (((e.end.min(max_cycles)) as f64 / scale) as usize).max(from + 1);
+                let glyph = b'0' + (e.op % 10) as u8;
+                for c in row.iter_mut().take(to.min(width)).skip(from) {
+                    *c = glyph;
+                }
+            }
+            out.push_str(&format!("{:>9} |", s.to_string()));
+            out.push_str(core::str::from_utf8(&row).expect("ascii"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Schedules `num_ops` KeySwitch operations through the module graph.
+///
+/// Jobs are dispatched in dataflow order with resource (module) exclusivity
+/// and data dependencies; every module is internally pipelined but
+/// processes one polynomial at a time, matching the paper's "output
+/// memory" hand-off design.
+///
+/// # Errors
+///
+/// Propagates [`KeySwitchArch::validate`].
+pub fn schedule(arch: &KeySwitchArch, num_ops: usize) -> Result<KeySwitchSchedule, HwError> {
+    arch.validate()?;
+    let k = arch.k;
+    let mut events = Vec::new();
+    let mut op_completion = vec![0u64; num_ops];
+
+    // Module availability times.
+    let mut intt0_free = 0u64;
+    let mut ntt0_free = vec![0u64; arch.m0];
+    let mut dyad_free = vec![0u64; arch.num_dyad];
+    let mut intt1_free = [0u64; 2];
+    let mut ntt1_free = [0u64; 2];
+    let mut ms_free = [0u64; 2];
+
+    // Accumulator banks are provisioned f2-deep (Section 4.3, "Data
+    // Dependency 2") precisely so that later ops' DyadMult writes never
+    // stall on the previous ops' tail reads; the schedule therefore only
+    // carries *module* exclusivity and dataflow dependencies.
+    for op in 0..num_ops {
+        // --- k iterations of INTT0 → NTT0 → Dyad ------------------------
+        let mut dyad_done_all = 0u64;
+        for iter in 0..k {
+            let s = intt0_free;
+            let e = s + arch.intt0_cycles();
+            intt0_free = e;
+            events.push(PipelineEvent {
+                station: Station::Intt0,
+                op,
+                iteration: iter,
+                start: s,
+                end: e,
+            });
+            let intt_done = e;
+
+            // k NTT0 jobs (other moduli + special prime), round-robin.
+            let mut iter_ntt_done = vec![0u64; k];
+            for (j, slot) in iter_ntt_done.iter_mut().enumerate() {
+                let m = j % arch.m0;
+                let s = ntt0_free[m].max(intt_done);
+                let e = s + arch.ntt0_cycles();
+                ntt0_free[m] = e;
+                *slot = e;
+                events.push(PipelineEvent {
+                    station: Station::Ntt0(m),
+                    op,
+                    iteration: iter,
+                    start: s,
+                    end: e,
+                });
+            }
+
+            // Dyad jobs: module d handles NTT0 module d's outputs; the
+            // extra module handles the input polynomial (which is ready at
+            // intt_done — its dyad is synchronized with the others).
+            let sync_start = iter_ntt_done.iter().copied().max().unwrap_or(intt_done);
+            for d in 0..arch.num_dyad {
+                let s = dyad_free[d].max(sync_start);
+                let e = s + arch.dyad_cycles();
+                dyad_free[d] = e;
+                dyad_done_all = dyad_done_all.max(e);
+                events.push(PipelineEvent {
+                    station: Station::Dyad(d),
+                    op,
+                    iteration: iter,
+                    start: s,
+                    end: e,
+                });
+            }
+        }
+
+        // --- Tail: INTT1 → NTT1 → MS for both output polynomials --------
+        let mut op_done = 0u64;
+        for poly in 0..2 {
+            let s = intt1_free[poly].max(dyad_done_all);
+            let e = s + arch.intt1_cycles();
+            intt1_free[poly] = e;
+            events.push(PipelineEvent {
+                station: Station::Intt1(poly),
+                op,
+                iteration: k,
+                start: s,
+                end: e,
+            });
+            let mut ntt_done = e;
+            for _j in 0..k {
+                let s = ntt1_free[poly].max(ntt_done);
+                let e2 = s + arch.ntt1_cycles();
+                ntt1_free[poly] = e2;
+                events.push(PipelineEvent {
+                    station: Station::Ntt1(poly),
+                    op,
+                    iteration: k,
+                    start: s,
+                    end: e2,
+                });
+                // MS consumes each NTT1 output residue as it appears.
+                let ms_s = ms_free[poly].max(e2);
+                let ms_e = ms_s + arch.ms_cycles();
+                ms_free[poly] = ms_e;
+                events.push(PipelineEvent {
+                    station: Station::Ms(poly),
+                    op,
+                    iteration: k,
+                    start: ms_s,
+                    end: ms_e,
+                });
+                ntt_done = e2;
+                op_done = op_done.max(ms_e);
+            }
+        }
+        op_completion[op] = op_done;
+    }
+
+    let steady_interval = if num_ops >= 3 {
+        op_completion[num_ops - 1] - op_completion[num_ops - 2]
+    } else {
+        arch.steady_interval_cycles()
+    };
+    let first_op_latency = op_completion.first().copied().unwrap_or(0);
+    Ok(KeySwitchSchedule {
+        events,
+        op_completion,
+        steady_interval,
+        first_op_latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 5 row: Stratix 10, Set-B (n = 2^13, k = 4).
+    fn set_b_stratix() -> KeySwitchArch {
+        KeySwitchArch {
+            n: 8192,
+            k: 4,
+            nc_intt0: 16,
+            m0: 4,
+            nc_ntt0: 16,
+            num_dyad: 5,
+            nc_dyad: 8,
+            nc_intt1: 4,
+            nc_ntt1: 16,
+            nc_ms: 4,
+        }
+    }
+
+    /// Table 5 row: Stratix 10, Set-A (n = 2^12, k = 2).
+    fn set_a_stratix() -> KeySwitchArch {
+        KeySwitchArch {
+            n: 4096,
+            k: 2,
+            nc_intt0: 16,
+            m0: 2,
+            nc_ntt0: 16,
+            num_dyad: 3,
+            nc_dyad: 8,
+            nc_intt1: 8,
+            nc_ntt1: 16,
+            nc_ms: 4,
+        }
+    }
+
+    #[test]
+    fn steady_interval_matches_table8() {
+        // Set-A Stratix: 300 MHz / 97656 ops/s = 3072 cycles = 2·1536.
+        let a = set_a_stratix();
+        assert_eq!(a.steady_interval_cycles(), 3072);
+        // Set-B Stratix: 300 MHz / 22536 ops/s = 13312 cycles = 4·3328.
+        let b = set_b_stratix();
+        assert_eq!(b.steady_interval_cycles(), 13312);
+    }
+
+    #[test]
+    fn simulated_interval_matches_closed_form() {
+        for arch in [set_a_stratix(), set_b_stratix()] {
+            let sched = schedule(&arch, 8).unwrap();
+            assert_eq!(
+                sched.steady_interval,
+                arch.steady_interval_cycles(),
+                "{}",
+                arch.summary()
+            );
+            // Completions strictly increase.
+            for w in sched.op_completion.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_is_intt0_for_balanced_configs() {
+        for arch in [set_a_stratix(), set_b_stratix()] {
+            assert_eq!(
+                arch.steady_interval_cycles(),
+                arch.k as u64 * arch.intt0_cycles()
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_factors() {
+        let b = set_b_stratix();
+        // f1 = ceil(3 + 16/16) = 4 (quadruple buffering, Section 5.2).
+        assert_eq!(b.f1(), 4);
+        // f2 = ceil(1 + 4·4/16 + 4·13/4) = ceil(15) = 15.
+        assert_eq!(b.f2(), 15);
+    }
+
+    #[test]
+    fn event_invariants() {
+        let arch = set_b_stratix();
+        let sched = schedule(&arch, 4).unwrap();
+        // No two events on one station overlap.
+        for s in sched.station_busy().iter().map(|(s, _)| *s) {
+            let mut evs: Vec<_> = sched.events.iter().filter(|e| e.station == s).collect();
+            evs.sort_by_key(|e| e.start);
+            for w in evs.windows(2) {
+                assert!(w[1].start >= w[0].end, "overlap on {s}");
+            }
+        }
+        // Per op: k INTT0 jobs, k·k NTT0 jobs, k·(m0+1) dyad jobs.
+        let k = arch.k;
+        let intt0_jobs = sched
+            .events
+            .iter()
+            .filter(|e| e.station == Station::Intt0 && e.op == 1)
+            .count();
+        assert_eq!(intt0_jobs, k);
+        let ntt0_jobs = sched
+            .events
+            .iter()
+            .filter(|e| matches!(e.station, Station::Ntt0(_)) && e.op == 1)
+            .count();
+        assert_eq!(ntt0_jobs, k * k);
+        let dyad_jobs = sched
+            .events
+            .iter()
+            .filter(|e| matches!(e.station, Station::Dyad(_)) && e.op == 1)
+            .count();
+        assert_eq!(dyad_jobs, k * arch.num_dyad);
+    }
+
+    #[test]
+    fn pipeline_overlaps_ops() {
+        // Figure 6: multiple KeySwitch ops in flight — op 1's INTT0 work
+        // starts before op 0 completes.
+        let arch = set_b_stratix();
+        let sched = schedule(&arch, 4).unwrap();
+        let op0_done = sched.op_completion[0];
+        let op1_first = sched
+            .events
+            .iter()
+            .filter(|e| e.op == 1)
+            .map(|e| e.start)
+            .min()
+            .unwrap();
+        assert!(op1_first < op0_done, "pipeline must overlap operations");
+    }
+
+    #[test]
+    fn f1_provisioning_covers_measured_input_buffer_demand() {
+        // The paper's f1 formula must be an upper bound on the measured
+        // overlap, and plain double buffering must be insufficient
+        // (which is why §5.2 prescribes quadruple buffering).
+        for arch in [set_a_stratix(), set_b_stratix()] {
+            let sched = schedule(&arch, 10).unwrap();
+            let needed = sched.input_buffers_needed();
+            assert!(
+                needed <= arch.f1(),
+                "{}: measured {needed} > f1 {}",
+                arch.summary(),
+                arch.f1()
+            );
+            // Compute-only overlap is 2 ops deep; the host additionally
+            // writes the *next* op's input over PCIe while both are live
+            // (§5.2), so with write-ahead demand exceeds double buffering —
+            // hence the prescribed quadruple buffering.
+            let with_writeahead = needed + 1;
+            assert!(with_writeahead > 2, "{}", arch.summary());
+            assert!(with_writeahead <= arch.f1(), "{}", arch.summary());
+        }
+    }
+
+    #[test]
+    fn f2_provisioning_covers_measured_accumulator_demand() {
+        for arch in [set_a_stratix(), set_b_stratix()] {
+            let sched = schedule(&arch, 10).unwrap();
+            let needed = sched.accumulator_buffers_needed();
+            assert!(
+                needed <= arch.f2(),
+                "{}: measured {needed} > f2 {}",
+                arch.summary(),
+                arch.f2()
+            );
+            assert!(needed >= 1);
+        }
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let arch = set_a_stratix();
+        let sched = schedule(&arch, 3).unwrap();
+        let g = sched.gantt(sched.op_completion[2], 100);
+        assert!(g.contains("INTT0"));
+        assert!(g.contains("MS[1]"));
+        assert!(g.lines().count() >= 6);
+    }
+
+    #[test]
+    fn validation_rejects_bad_arch() {
+        let mut a = set_a_stratix();
+        a.num_dyad = 7;
+        assert!(schedule(&a, 1).is_err());
+        let mut b = set_a_stratix();
+        b.nc_ntt0 = 3;
+        assert!(b.validate().is_err());
+        let mut c = set_a_stratix();
+        c.k = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn summary_format() {
+        assert_eq!(
+            set_b_stratix().summary(),
+            "1xINTT(16) -> 4xNTT(16) -> 5xDyad(8) -> 2xINTT(4) -> 2xNTT(16) -> 2xMult(4)"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! # heax-hw
+//!
+//! Hardware component models and cycle-accurate dataflow simulators for
+//! the HEAX FPGA architecture (ASPLOS 2020):
+//!
+//! * [`board`] — the two evaluation boards (Table 1);
+//! * [`resources`] — DSP/REG/ALM/BRAM accounting;
+//! * [`cores`] — Dyadic/NTT/INTT core cost and functional models (Table 3);
+//! * [`bram`] — M20K block-RAM and word-packing model (Section 4.2);
+//! * [`ntt_dataflow`] — the banked-memory NTT/INTT module simulator
+//!   (Figures 2–4), bit-exact against the software NTT;
+//! * [`mult_dataflow`] — the MULT module simulator (Figure 1);
+//! * [`keyswitch_pipeline`] — the KeySwitch module pipeline scheduler
+//!   (Figures 5–6), reproducing the Table 8 initiation intervals;
+//! * [`xfer`] — PCIe and DRAM transfer models (Section 5).
+//!
+//! This crate is deliberately independent of the CKKS scheme: it moves raw
+//! residue polynomials. `heax-core` composes these models into a full
+//! accelerator and checks them against `heax-ckks`.
+
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod bram;
+pub mod cores;
+pub mod keyswitch_pipeline;
+pub mod mult_dataflow;
+pub mod ntt_dataflow;
+pub mod resources;
+pub mod wordsize;
+pub mod xfer;
+
+use core::fmt;
+
+/// Errors produced by the hardware models.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A module configuration is structurally invalid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A modulus exceeds the 54-bit datapath's 52-bit bound (Section 4).
+    ModulusTooWide {
+        /// The modulus value.
+        modulus: u64,
+        /// Its width in bits.
+        bits: u32,
+        /// The datapath bound.
+        max_bits: u32,
+    },
+    /// A design does not fit the board's resource budget.
+    ResourceOverflow {
+        /// Which resource overflowed.
+        resource: &'static str,
+        /// Amount required.
+        required: u64,
+        /// Amount available.
+        available: u64,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid hardware config: {reason}"),
+            Self::ModulusTooWide {
+                modulus,
+                bits,
+                max_bits,
+            } => write!(
+                f,
+                "modulus {modulus} is {bits} bits; the 54-bit datapath supports at most {max_bits}"
+            ),
+            Self::ResourceOverflow {
+                resource,
+                required,
+                available,
+            } => write!(
+                f,
+                "design needs {required} {resource} but the chip has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = HwError::ResourceOverflow {
+            resource: "DSP",
+            required: 2000,
+            available: 1518,
+        };
+        assert!(e.to_string().contains("DSP"));
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<HwError>();
+    }
+}

@@ -1,0 +1,291 @@
+//! Cycle-accurate simulation of the MULT module (Section 4.1, Figure 1).
+//!
+//! The module holds one RNS residue of every component of both input
+//! ciphertexts in parallel BRAM banks (`α` banks for `ct1`, `β` for
+//! `ct2`), reads one memory element from each per cycle, and feeds
+//! `ncDYD` dyadic cores. Computing all pairwise component products of an
+//! `α`-component by `β`-component ciphertext yields `α+β−1` output
+//! components; processing per residue keeps both the BRAM footprint and
+//! the host↔FPGA transfer at `O((α+β)·n)` words instead of
+//! `O((α·β)·n)`.
+
+use heax_math::word::Modulus;
+
+use crate::bram::{BankLayout, MemoryBank};
+use crate::cores::{check_hw_modulus, CoreKind, DyadicCore};
+use crate::resources::Resources;
+use crate::HwError;
+
+/// Static configuration of a MULT module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultModuleConfig {
+    /// Ring degree `n`.
+    pub n: usize,
+    /// Number of dyadic cores (`ncDYD`).
+    pub num_cores: usize,
+}
+
+impl MultModuleConfig {
+    /// Validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidConfig`] unless both values are powers of two with
+    /// `num_cores ≤ n`.
+    pub fn new(n: usize, num_cores: usize) -> Result<Self, HwError> {
+        if !n.is_power_of_two() || !num_cores.is_power_of_two() || num_cores == 0 || num_cores > n
+        {
+            return Err(HwError::InvalidConfig {
+                reason: format!("invalid MULT config n={n}, num_cores={num_cores}"),
+            });
+        }
+        Ok(Self { n, num_cores })
+    }
+
+    /// Cycles to multiply one polynomial pair dyadically (`n / ncDYD`) —
+    /// the Table 7 "Dyadic" operation.
+    pub fn pair_cycles(&self) -> u64 {
+        (self.n / self.num_cores) as u64
+    }
+
+    /// Cycles for a full `α×β` homomorphic multiplication on one residue:
+    /// all pairwise products, accumulation fused into the cores.
+    pub fn ciphertext_mult_cycles(&self, alpha: usize, beta: usize) -> u64 {
+        (alpha * beta) as u64 * self.pair_cycles()
+    }
+
+    /// Host→FPGA transfer volume in words for an `α×β` multiplication on
+    /// one residue — the `O((α+β)·n)` bound of Section 4.1.
+    pub fn input_transfer_words(&self, alpha: usize, beta: usize) -> u64 {
+        ((alpha + beta) * self.n) as u64
+    }
+
+    /// FPGA→host transfer volume in words (`(α+β−1)·n`).
+    pub fn output_transfer_words(&self, alpha: usize, beta: usize) -> u64 {
+        ((alpha + beta - 1) * self.n) as u64
+    }
+
+    /// Module resources: cores plus input/output polynomial banks for a
+    /// 2×2 multiplication (the provisioned configuration).
+    pub fn module_resources(&self) -> Resources {
+        let cores = CoreKind::Dyadic.cost() * self.num_cores as u64;
+        // 2 + 2 input banks + 3 output banks, each one residue wide, with
+        // MEs of ncDYD words.
+        let bank = BankLayout::polynomial(self.n as u64, self.num_cores as u64);
+        cores + bank.resources() * 7
+    }
+}
+
+/// Run statistics for one simulated multiplication.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MultRunStats {
+    /// Steady-state cycles.
+    pub cycles: u64,
+    /// Total latency including the dyadic-core pipeline depth.
+    pub latency: u64,
+    /// Dyadic operations executed.
+    pub dyadic_ops: u64,
+    /// ME reads across all input banks.
+    pub me_reads: u64,
+    /// ME writes to the output banks.
+    pub me_writes: u64,
+}
+
+/// Functional MULT module simulator for a single RNS residue.
+#[derive(Clone, Debug)]
+pub struct MultModuleSim {
+    config: MultModuleConfig,
+    modulus: Modulus,
+}
+
+impl MultModuleSim {
+    /// Binds a configuration to a modulus.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::ModulusTooWide`] if the modulus exceeds the 52-bit
+    /// datapath bound.
+    pub fn new(config: MultModuleConfig, modulus: Modulus) -> Result<Self, HwError> {
+        check_hw_modulus(&modulus)?;
+        Ok(Self { config, modulus })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MultModuleConfig {
+        &self.config
+    }
+
+    /// Multiplies ciphertext residues: `ct1` has `α` component residues,
+    /// `ct2` has `β`; returns the `α+β−1` output component residues
+    /// (`out[t] = Σ_{i+j=t} ct1[i] ⊙ ct2[j]`) and run statistics.
+    ///
+    /// For `α = β = 2` this is exactly Algorithm 5 on one residue; with
+    /// `β`-sized 1 it is the ciphertext-plaintext (C-P) mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any residue length differs from `n`, or either input is
+    /// empty.
+    pub fn multiply(
+        &self,
+        ct1: &[Vec<u64>],
+        ct2: &[Vec<u64>],
+    ) -> (Vec<Vec<u64>>, MultRunStats) {
+        let n = self.config.n;
+        assert!(!ct1.is_empty() && !ct2.is_empty(), "empty ciphertext");
+        for r in ct1.iter().chain(ct2) {
+            assert_eq!(r.len(), n, "residue length mismatch");
+        }
+        let alpha = ct1.len();
+        let beta = ct2.len();
+        let nc = self.config.num_cores;
+        let layout = BankLayout::polynomial(n as u64, nc as u64);
+
+        // Load input banks (one per component, α + β total).
+        let mut banks1: Vec<MemoryBank> = ct1
+            .iter()
+            .map(|r| {
+                let mut b = MemoryBank::new(layout);
+                b.load(r);
+                b
+            })
+            .collect();
+        let mut banks2: Vec<MemoryBank> = ct2
+            .iter()
+            .map(|r| {
+                let mut b = MemoryBank::new(layout);
+                b.load(r);
+                b
+            })
+            .collect();
+        let mut out_banks: Vec<MemoryBank> = (0..alpha + beta - 1)
+            .map(|_| MemoryBank::new(layout))
+            .collect();
+
+        let mut core = DyadicCore::new();
+        let mut stats = MultRunStats::default();
+        let rows = layout.rows;
+
+        for (i, b1) in banks1.iter_mut().enumerate() {
+            for (j, b2) in banks2.iter_mut().enumerate() {
+                let t = i + j;
+                for row in 0..rows {
+                    // One cycle: fetch ME1 + ME2, nc dyadic ops, write ME3.
+                    let me1 = b1.read_me(row);
+                    let me2 = b2.read_me(row);
+                    let acc = out_banks[t].read_me(row);
+                    let mut me3 = vec![0u64; nc];
+                    for l in 0..nc {
+                        me3[l] = core.compute_acc(acc[l], me1[l], me2[l], &self.modulus);
+                    }
+                    out_banks[t].write_me(row, &me3);
+                    stats.cycles += 1;
+                }
+            }
+        }
+        stats.dyadic_ops = core.ops();
+        stats.me_reads = banks1.iter().map(MemoryBank::reads).sum::<u64>()
+            + banks2.iter().map(MemoryBank::reads).sum::<u64>()
+            + out_banks.iter().map(MemoryBank::reads).sum::<u64>();
+        stats.me_writes = out_banks.iter().map(MemoryBank::writes).sum::<u64>();
+        stats.latency = stats.cycles + CoreKind::Dyadic.pipeline_stages();
+
+        let outputs = out_banks.iter().map(|b| b.dump(n).to_vec()).collect();
+        (outputs, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heax_math::primes::generate_ntt_primes;
+
+    fn modulus(n: usize) -> Modulus {
+        Modulus::new(generate_ntt_primes(45, 1, n).unwrap()[0]).unwrap()
+    }
+
+    #[test]
+    fn cycle_formulas_match_table7() {
+        // Table 7 Dyadic: Stratix Set-A nc=16 → 256 cycles at n=4096;
+        // Set-B → 512; Set-C → 1024.
+        assert_eq!(MultModuleConfig::new(4096, 16).unwrap().pair_cycles(), 256);
+        assert_eq!(MultModuleConfig::new(8192, 16).unwrap().pair_cycles(), 512);
+        assert_eq!(MultModuleConfig::new(16384, 16).unwrap().pair_cycles(), 1024);
+    }
+
+    #[test]
+    fn algorithm5_on_one_residue() {
+        let n = 64usize;
+        let p = modulus(n);
+        let sim = MultModuleSim::new(MultModuleConfig::new(n, 8).unwrap(), p).unwrap();
+        let a0: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+        let a1: Vec<u64> = (0..n as u64).map(|i| 2 * i + 3).collect();
+        let b0: Vec<u64> = (0..n as u64).map(|i| i * i % p.value()).collect();
+        let b1: Vec<u64> = (0..n as u64).map(|i| (7 * i) % p.value()).collect();
+        let (out, stats) = sim.multiply(&[a0.clone(), a1.clone()], &[b0.clone(), b1.clone()]);
+        assert_eq!(out.len(), 3);
+        for t in 0..n {
+            assert_eq!(out[0][t], p.mul_mod(a0[t], b0[t]));
+            assert_eq!(
+                out[1][t],
+                p.add_mod(p.mul_mod(a0[t], b1[t]), p.mul_mod(a1[t], b0[t]))
+            );
+            assert_eq!(out[2][t], p.mul_mod(a1[t], b1[t]));
+        }
+        // 4 pairwise products, n/nc cycles each.
+        assert_eq!(stats.cycles, 4 * (n as u64 / 8));
+        assert_eq!(stats.dyadic_ops, 4 * n as u64);
+    }
+
+    #[test]
+    fn ciphertext_plaintext_mode() {
+        let n = 32usize;
+        let p = modulus(n);
+        let sim = MultModuleSim::new(MultModuleConfig::new(n, 4).unwrap(), p).unwrap();
+        let c0 = vec![3u64; n];
+        let c1 = vec![5u64; n];
+        let pt = vec![7u64; n];
+        let (out, stats) = sim.multiply(&[c0, c1], &[pt]);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].iter().all(|&x| x == 21));
+        assert!(out[1].iter().all(|&x| x == 35));
+        assert_eq!(stats.cycles, 2 * (n as u64 / 4));
+    }
+
+    #[test]
+    fn three_by_two_general_case() {
+        // A non-relinearized (3-component) operand times a fresh one.
+        let n = 16usize;
+        let p = modulus(n);
+        let sim = MultModuleSim::new(MultModuleConfig::new(n, 4).unwrap(), p).unwrap();
+        let a: Vec<Vec<u64>> = (0..3).map(|c| vec![c as u64 + 1; n]).collect();
+        let b: Vec<Vec<u64>> = (0..2).map(|c| vec![10 * (c as u64 + 1); n]).collect();
+        let (out, stats) = sim.multiply(&a, &b);
+        assert_eq!(out.len(), 4);
+        // out[1] = a0*b1 + a1*b0 = 1*20 + 2*10 = 40.
+        assert!(out[1].iter().all(|&x| x == 40));
+        // out[3] = a2*b1 = 3*20 = 60.
+        assert!(out[3].iter().all(|&x| x == 60));
+        assert_eq!(stats.cycles, 6 * (n as u64 / 4));
+        // Transfer accounting: (α+β)·n in, (α+β−1)·n out.
+        let cfg = sim.config();
+        assert_eq!(cfg.input_transfer_words(3, 2), 5 * n as u64);
+        assert_eq!(cfg.output_transfer_words(3, 2), 4 * n as u64);
+    }
+
+    #[test]
+    fn module_resources_contain_cores_and_banks() {
+        let cfg = MultModuleConfig::new(8192, 8).unwrap();
+        let r = cfg.module_resources();
+        assert_eq!(r.dsp, 8 * 22); // Table 3: 22 DSP per dyadic core
+        assert!(r.m20k > 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MultModuleConfig::new(64, 3).is_err());
+        assert!(MultModuleConfig::new(63, 4).is_err());
+        assert!(MultModuleConfig::new(64, 128).is_err());
+        assert!(MultModuleConfig::new(64, 64).is_ok());
+    }
+}

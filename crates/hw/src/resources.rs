@@ -1,0 +1,190 @@
+//! FPGA resource accounting: DSPs, registers, ALMs, and block RAM.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul};
+
+/// A bundle of FPGA resources (additive).
+///
+/// The three resource classes follow Section 6.1 of the paper: DSP units
+/// (27-bit multipliers), ALMs with four 1-bit registers each, and M20K
+/// block-RAM units of 512×40 bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Resources {
+    /// Digital Signal Processing units.
+    pub dsp: u64,
+    /// 1-bit registers.
+    pub reg: u64,
+    /// Adaptive Logic Modules.
+    pub alm: u64,
+    /// Block-RAM bits in use.
+    pub bram_bits: u64,
+    /// M20K units in use.
+    pub m20k: u64,
+}
+
+impl Resources {
+    /// The zero bundle.
+    pub const ZERO: Resources = Resources {
+        dsp: 0,
+        reg: 0,
+        alm: 0,
+        bram_bits: 0,
+        m20k: 0,
+    };
+
+    /// Pure-logic bundle (no BRAM).
+    pub fn logic(dsp: u64, reg: u64, alm: u64) -> Self {
+        Self {
+            dsp,
+            reg,
+            alm,
+            ..Self::ZERO
+        }
+    }
+
+    /// Pure-memory bundle.
+    pub fn memory(bram_bits: u64, m20k: u64) -> Self {
+        Self {
+            bram_bits,
+            m20k,
+            ..Self::ZERO
+        }
+    }
+
+    /// Whether every component fits within `budget`.
+    pub fn fits_within(&self, budget: &Resources) -> bool {
+        self.dsp <= budget.dsp
+            && self.reg <= budget.reg
+            && self.alm <= budget.alm
+            && self.bram_bits <= budget.bram_bits
+            && self.m20k <= budget.m20k
+    }
+
+    /// Component-wise utilization percentages against a budget.
+    pub fn utilization_pct(&self, budget: &Resources) -> ResourceUtilization {
+        let pct = |used: u64, avail: u64| {
+            if avail == 0 {
+                0.0
+            } else {
+                100.0 * used as f64 / avail as f64
+            }
+        };
+        ResourceUtilization {
+            dsp: pct(self.dsp, budget.dsp),
+            reg: pct(self.reg, budget.reg),
+            alm: pct(self.alm, budget.alm),
+            bram_bits: pct(self.bram_bits, budget.bram_bits),
+            m20k: pct(self.m20k, budget.m20k),
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, o: Resources) -> Resources {
+        Resources {
+            dsp: self.dsp + o.dsp,
+            reg: self.reg + o.reg,
+            alm: self.alm + o.alm,
+            bram_bits: self.bram_bits + o.bram_bits,
+            m20k: self.m20k + o.m20k,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, o: Resources) {
+        *self = *self + o;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, s: u64) -> Resources {
+        Resources {
+            dsp: self.dsp * s,
+            reg: self.reg * s,
+            alm: self.alm * s,
+            bram_bits: self.bram_bits * s,
+            m20k: self.m20k * s,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DSP {} | REG {} | ALM {} | BRAM {} bits ({} M20K)",
+            self.dsp, self.reg, self.alm, self.bram_bits, self.m20k
+        )
+    }
+}
+
+/// Utilization percentages per resource class (Table 6 format).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResourceUtilization {
+    /// DSP percentage.
+    pub dsp: f64,
+    /// Register percentage.
+    pub reg: f64,
+    /// ALM percentage.
+    pub alm: f64,
+    /// BRAM-bit percentage.
+    pub bram_bits: f64,
+    /// M20K percentage.
+    pub m20k: f64,
+}
+
+impl fmt::Display for ResourceUtilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DSP {:.0}% | REG {:.0}% | ALM {:.0}% | BRAM bits {:.0}% | M20K {:.0}%",
+            self.dsp, self.reg, self.alm, self.bram_bits, self.m20k
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::logic(10, 100, 50);
+        let b = Resources::memory(2048, 1);
+        let s = a + b;
+        assert_eq!(s.dsp, 10);
+        assert_eq!(s.bram_bits, 2048);
+        let doubled = s * 2;
+        assert_eq!(doubled.reg, 200);
+        assert_eq!(doubled.m20k, 2);
+        let total: Resources = [a, b, doubled].into_iter().sum();
+        assert_eq!(total.dsp, 30);
+    }
+
+    #[test]
+    fn fits_and_utilization() {
+        let used = Resources::logic(50, 0, 0);
+        let budget = Resources::logic(100, 10, 10);
+        assert!(used.fits_within(&budget));
+        assert!(!budget.fits_within(&used));
+        let u = used.utilization_pct(&budget);
+        assert!((u.dsp - 50.0).abs() < 1e-9);
+        assert_eq!(u.bram_bits, 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Resources::ZERO.to_string().is_empty());
+        assert!(!ResourceUtilization::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Word-size trade-off model (Section 4, "Word Size and Native
+//! Operations").
+//!
+//! The FPGAs' DSP units multiply 27-bit operands. HEAX chooses `w = 54`
+//! (two DSP columns) instead of the CPU-natural `w = 64`:
+//!
+//! * a 54×54 multiplier tiles into **4** DSPs;
+//! * a naive 64×64 multiplier needs **9** (3×3 tiles of 27 bits);
+//! * Karatsuba/Toom-style recomposition brings 64×64 down to **5** DSPs
+//!   plus extra ALM adders;
+//! * narrowing the word may require more RNS moduli (`×64/54 ≈ 1.19`),
+//!   which multiplies the whole datapath count.
+//!
+//! The paper reports a net 1.4×–2.25× DSP reduction depending on the
+//! parameter set; this module reproduces that calculation so the
+//! `ablation_wordsize` harness can regenerate it.
+
+/// DSP operand width on both evaluation boards.
+pub const DSP_WIDTH_BITS: u32 = 27;
+
+/// Multiplier construction style for wide products.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultiplierStyle {
+    /// Straightforward tiling: `⌈w/27⌉²` DSPs.
+    Naive,
+    /// Karatsuba/Toom-Cook recomposition (the paper's "five 27-bit
+    /// multipliers together with more bit-level and Addition operations"
+    /// for 64-bit).
+    ToomCook,
+}
+
+/// DSPs needed for one `w × w` multiplier.
+pub fn dsps_per_multiplier(w: u32, style: MultiplierStyle) -> u32 {
+    let tiles = w.div_ceil(DSP_WIDTH_BITS);
+    match style {
+        MultiplierStyle::Naive => tiles * tiles,
+        MultiplierStyle::ToomCook => match tiles {
+            0 | 1 => 1,
+            2 => 3,  // Karatsuba on 2 limbs
+            3 => 5,  // the paper's 64-bit figure (within 54..81-bit range)
+            t => (t * (t + 1)) / 2 + t - 1, // generic sub-quadratic bound
+        },
+    }
+}
+
+/// Number of RNS moduli needed to cover `total_modulus_bits` with primes
+/// of at most `w − 2` bits (the Algorithm 2 bound leaves 2 slack bits).
+pub fn moduli_needed(total_modulus_bits: u32, w: u32) -> u32 {
+    total_modulus_bits.div_ceil(w - 2)
+}
+
+/// Relative DSP cost of a full modular-multiplier array at word size `w`
+/// for a parameter set with `total_modulus_bits`: multiplier cost × the
+/// modulus count (datapaths replicate per RNS component).
+pub fn datapath_dsp_cost(total_modulus_bits: u32, w: u32, style: MultiplierStyle) -> u64 {
+    dsps_per_multiplier(w, style) as u64 * moduli_needed(total_modulus_bits, w) as u64
+}
+
+/// The paper's headline comparison: DSP reduction factor of the 54-bit
+/// datapath over the 64-bit one for a given parameter set, at the given
+/// 64-bit multiplier style.
+pub fn reduction_factor(total_modulus_bits: u32, style64: MultiplierStyle) -> f64 {
+    let w64 = datapath_dsp_cost(total_modulus_bits, 64, style64);
+    let w54 = datapath_dsp_cost(total_modulus_bits, 54, MultiplierStyle::Naive);
+    w64 as f64 / w54 as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_tiles_match_paper() {
+        // "Naive construction of a 64-bit multiplier requires nine 27-bit
+        // DSPs. Whereas, a 54-bit multiplier requires only four."
+        assert_eq!(dsps_per_multiplier(64, MultiplierStyle::Naive), 9);
+        assert_eq!(dsps_per_multiplier(54, MultiplierStyle::Naive), 4);
+        // "leveraging more sophisticated multi-word multiplication
+        // algorithms such as Toom-Cook, one can implement 64-bit
+        // multiplication using five 27-bit multipliers".
+        assert_eq!(dsps_per_multiplier(64, MultiplierStyle::ToomCook), 5);
+        assert_eq!(dsps_per_multiplier(27, MultiplierStyle::Naive), 1);
+    }
+
+    #[test]
+    fn modulus_count_inflation() {
+        // "by reducing the bit-width of the RNS components, one may need
+        // to increase the number of such components; roughly by 64/54 ≈ 1.2"
+        // — the capacity model rounds that up to at most 1.5 for the
+        // smallest set (3 vs 2 moduli for 109 bits).
+        for bits in [109u32, 218, 438] {
+            let k54 = moduli_needed(bits, 54);
+            let k64 = moduli_needed(bits, 64);
+            assert!(k54 >= k64);
+            assert!((k54 as f64 / k64 as f64) <= 1.5, "bits={bits}");
+        }
+        // In practice the Table 2 chains use primes below 52 bits, so the
+        // *actual* modulus count is word-size independent — the per-
+        // multiplier ratio 9/4 = 2.25 is then the full saving.
+        assert_eq!(
+            dsps_per_multiplier(64, MultiplierStyle::Naive) as f64
+                / dsps_per_multiplier(54, MultiplierStyle::Naive) as f64,
+            2.25
+        );
+    }
+
+    #[test]
+    fn reduction_in_papers_range() {
+        // "between 1.4x to 2.25x reduction in the number of DSP units
+        // needed (depending on the HE parameters)": the capacity model
+        // (worst case, extra moduli charged) gives 1.5x/1.8x/2.0x for the
+        // three sets, and the matched-modulus case gives the 2.25x top —
+        // exactly spanning the paper's range.
+        for bits in [109u32, 218, 438] {
+            let naive = reduction_factor(bits, MultiplierStyle::Naive);
+            assert!((1.4..=2.25).contains(&naive), "bits={bits}: {naive}");
+            let conservative = reduction_factor(bits, MultiplierStyle::ToomCook);
+            assert!(conservative <= naive, "bits={bits}");
+        }
+        assert_eq!(reduction_factor(109, MultiplierStyle::Naive), 1.5);
+        assert_eq!(reduction_factor(438, MultiplierStyle::Naive), 2.0);
+    }
+}

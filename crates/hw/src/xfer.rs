@@ -1,0 +1,157 @@
+//! Off-chip data movement models: PCIe host↔FPGA transfers (Section 5.2)
+//! and DRAM streaming of key-switching keys (Section 5.1).
+
+use crate::board::Board;
+
+/// Bytes per transferred polynomial coefficient word.
+pub const WORD_BYTES: u64 = 8;
+
+/// PCIe transfer model: bandwidth plus a fixed per-request setup cost,
+/// amortized by transferring at least one full polynomial per request and
+/// interleaving eight parallel transfers (the paper's multi-threaded DMA
+/// scheme).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PcieModel {
+    /// Link bandwidth in GB/s (per direction).
+    pub bandwidth_gbps: f64,
+    /// Per-request fixed overhead in microseconds (DMA setup + doorbell).
+    pub request_overhead_us: f64,
+    /// Number of interleaved transfer threads.
+    pub threads: u32,
+}
+
+impl PcieModel {
+    /// Model for a board's PCIe link with the paper's 8-thread interleave.
+    pub fn for_board(board: &Board) -> Self {
+        Self {
+            bandwidth_gbps: board.pcie_bandwidth_gbps(),
+            request_overhead_us: 5.0,
+            threads: 8,
+        }
+    }
+
+    /// Time in microseconds to move `words` 64-bit words split into
+    /// `requests` DMA requests; overhead of the interleaved requests is
+    /// hidden behind the transfer of the others.
+    pub fn transfer_us(&self, words: u64, requests: u64) -> f64 {
+        let bytes = (words * WORD_BYTES) as f64;
+        let wire = bytes / (self.bandwidth_gbps * 1e3); // GB/s → bytes/µs
+        let exposed_overhead =
+            self.request_overhead_us * (requests as f64 / self.threads as f64).ceil();
+        wire + exposed_overhead
+    }
+
+    /// Effective throughput in GB/s for a given transfer.
+    pub fn effective_gbps(&self, words: u64, requests: u64) -> f64 {
+        let bytes = (words * WORD_BYTES) as f64;
+        bytes / (self.transfer_us(words, requests) * 1e3)
+    }
+}
+
+/// DRAM streaming model for key-switching keys.
+///
+/// §5.1: for `n = 2^14`, the keys do not fit in BRAM and are striped over
+/// all four DRAM channels, read in burst mode once per KeySwitch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramModel {
+    /// Number of channels used.
+    pub channels: u32,
+    /// Aggregate bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl DramModel {
+    /// Model for a board's DRAM subsystem.
+    pub fn for_board(board: &Board) -> Self {
+        Self {
+            channels: board.dram_channels(),
+            bandwidth_gbps: board.dram_bandwidth_gbps(),
+        }
+    }
+
+    /// Size of one level-`k` key-switching key in bits, as the paper
+    /// counts it: two sets of `k·(k+1)` vectors of `n` 64-bit words.
+    pub fn ksk_bits(n: usize, k: usize) -> u64 {
+        2 * (k as u64) * (k as u64 + 1) * n as u64 * 64
+    }
+
+    /// Required streaming bandwidth in GB/s to feed one KeySwitch every
+    /// `interval_us` microseconds.
+    pub fn required_ksk_gbps(n: usize, k: usize, interval_us: f64) -> f64 {
+        let bytes = Self::ksk_bits(n, k) as f64 / 8.0;
+        bytes / (interval_us * 1e3)
+    }
+
+    /// Whether this DRAM subsystem sustains ksk streaming at the given
+    /// KeySwitch interval.
+    pub fn sustains_ksk(&self, n: usize, k: usize, interval_us: f64) -> bool {
+        Self::required_ksk_gbps(n, k, interval_us) <= self.bandwidth_gbps
+    }
+}
+
+/// Buffering depth required on the FPGA side for each module input
+/// (Section 5.2): MULT inputs are double-buffered; KeySwitch inputs are
+/// quadruple-buffered because of Data Dependency 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputBuffering {
+    /// Double buffering (MULT module).
+    Double,
+    /// Quadruple buffering (KeySwitch module).
+    Quadruple,
+}
+
+impl InputBuffering {
+    /// Number of polynomial-sized buffers.
+    pub fn depth(self) -> u64 {
+        match self {
+            InputBuffering::Double => 2,
+            InputBuffering::Quadruple => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ksk_size_matches_papers_151_megabits() {
+        // §5.1: n = 2^14, k = 8 → ≈ 151 Mb.
+        let bits = DramModel::ksk_bits(16384, 8);
+        assert_eq!(bits, 150_994_944);
+        assert!((bits as f64 / 1e6 - 151.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bandwidth_requirement_matches_papers_49_gbps() {
+        // §5.1: streaming 151 Mb in 383 µs needs ≥ 49.28 GB/s.
+        let req = DramModel::required_ksk_gbps(16384, 8, 383.0);
+        assert!((req - 49.28).abs() < 0.05, "got {req}");
+        // Stratix 10's four channels (64 GB/s) sustain it; Arria 10's two
+        // channels (34 GB/s) do not.
+        let s10 = DramModel::for_board(&Board::stratix10());
+        assert!(s10.sustains_ksk(16384, 8, 383.0));
+        let a10 = DramModel::for_board(&Board::arria10());
+        assert!(!a10.sustains_ksk(16384, 8, 383.0));
+    }
+
+    #[test]
+    fn pcie_polynomial_sized_requests() {
+        // §5.2: transfers are ≥ one polynomial (2^15–2^17 bytes).
+        let pcie = PcieModel::for_board(&Board::stratix10());
+        let poly_words = 8192u64; // n = 2^13, one residue
+        let t = pcie.transfer_us(poly_words, 1);
+        assert!(t > 0.0);
+        // Eight interleaved requests expose only one overhead slot.
+        let t8 = pcie.transfer_us(8 * poly_words, 8);
+        assert!(t8 < 8.0 * t, "interleaving must amortize overhead");
+        let eff = pcie.effective_gbps(64 * poly_words, 64);
+        assert!(eff > 0.5 * pcie.bandwidth_gbps, "large batches approach wire speed");
+    }
+
+    #[test]
+    fn buffering_depths() {
+        assert_eq!(InputBuffering::Double.depth(), 2);
+        assert_eq!(InputBuffering::Quadruple.depth(), 4);
+    }
+}

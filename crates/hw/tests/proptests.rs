@@ -1,0 +1,145 @@
+//! Property tests for the hardware models: scheduler invariants under
+//! randomized architectures, BRAM packing laws, and word-size-model
+//! monotonicity.
+
+use heax_hw::bram::BankLayout;
+use heax_hw::keyswitch_pipeline::{schedule, KeySwitchArch, Station};
+use heax_hw::ntt_dataflow::NttModuleConfig;
+use heax_hw::wordsize::{dsps_per_multiplier, moduli_needed, MultiplierStyle};
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = KeySwitchArch> {
+    (
+        prop::sample::select(vec![4096usize, 8192, 16384]),
+        1usize..=8,            // k
+        prop::sample::select(vec![4usize, 8, 16]), // nc_intt0
+        prop::sample::select(vec![1usize, 2, 4]),  // m0
+    )
+        .prop_map(|(n, k, nc_intt0, m0)| {
+            // The paper's rule m0 = min(k, 4): more modules than RNS
+            // components would idle (k NTT0 jobs round-robin over m0
+            // modules), unbalancing the pipeline the f1/f2 formulas assume.
+            let m0 = m0.min(k);
+            let log_n = n.trailing_zeros() as u64;
+            let nc_ntt0 = (k * nc_intt0 / m0).max(1).next_power_of_two();
+            let nc_dyad = ((4 * nc_ntt0 as u64).div_ceil(log_n) as usize)
+                .next_power_of_two()
+                .max(1);
+            KeySwitchArch {
+                n,
+                k,
+                nc_intt0,
+                m0,
+                nc_ntt0,
+                num_dyad: m0 + 1,
+                nc_dyad,
+                nc_intt1: (nc_intt0 / k).max(1).next_power_of_two(),
+                nc_ntt1: nc_intt0,
+                nc_ms: 2,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No station ever runs two jobs at once, completions are monotone,
+    /// and the job counts per op are exactly k INTT0 / k² NTT0 /
+    /// k·(m0+1) Dyad jobs.
+    #[test]
+    fn schedule_invariants(arch in arb_arch()) {
+        prop_assume!(arch.validate().is_ok());
+        let ops = 5usize;
+        let sched = schedule(&arch, ops).unwrap();
+        // Monotone completions.
+        for w in sched.op_completion.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        // Exclusivity per station.
+        let stations: Vec<Station> =
+            sched.station_busy().iter().map(|(s, _)| *s).collect();
+        for s in stations {
+            let mut evs: Vec<_> =
+                sched.events.iter().filter(|e| e.station == s).collect();
+            evs.sort_by_key(|e| e.start);
+            for w in evs.windows(2) {
+                prop_assert!(w[1].start >= w[0].end);
+            }
+        }
+        // Job counts for a middle op.
+        let op = 2usize;
+        let count =
+            |pred: &dyn Fn(&Station) -> bool| sched.events.iter()
+                .filter(|e| e.op == op && pred(&e.station)).count();
+        prop_assert_eq!(count(&|s| *s == Station::Intt0), arch.k);
+        prop_assert_eq!(count(&|s| matches!(s, Station::Ntt0(_))), arch.k * arch.k);
+        prop_assert_eq!(count(&|s| matches!(s, Station::Dyad(_))), arch.k * arch.num_dyad);
+        // Steady interval is at least the bottleneck closed form.
+        prop_assert!(sched.steady_interval >= arch.k as u64 * arch.intt0_cycles()
+            || sched.steady_interval >= arch.steady_interval_cycles());
+    }
+
+    /// Buffer demand never exceeds the provisioning formulas.
+    #[test]
+    fn buffer_formulas_are_upper_bounds(arch in arb_arch()) {
+        prop_assume!(arch.validate().is_ok());
+        let sched = schedule(&arch, 8).unwrap();
+        prop_assert!(sched.input_buffers_needed() <= arch.f1());
+        prop_assert!(sched.accumulator_buffers_needed() <= arch.f2());
+    }
+
+    /// BRAM packing: provisioned bits always cover the payload; packed
+    /// layout never uses more M20Ks than the naive one; utilization in
+    /// (0, 1].
+    #[test]
+    fn bank_packing_laws(
+        log_n in 9u32..15,
+        beta in prop::sample::select(vec![2u64, 4, 8, 16, 32]),
+    ) {
+        let n = 1u64 << log_n;
+        let bank = BankLayout::polynomial(n, beta);
+        prop_assert!(bank.payload_bits() <= bank.resources().bram_bits);
+        prop_assert!(bank.m20k_units() <= bank.naive_m20k_units());
+        let u = bank.utilization();
+        prop_assert!(u > 0.0 && u <= 1.0);
+        prop_assert!(bank.width_utilization() >= bank.naive_width_utilization());
+    }
+
+    /// NTT module cycle formula scales linearly in 1/cores and the stage
+    /// split always sums to log n.
+    #[test]
+    fn ntt_config_laws(
+        log_n in 8u32..15,
+        log_nc in 2u32..5,
+    ) {
+        prop_assume!(log_nc + 2 <= log_n);
+        let n = 1usize << log_n;
+        let nc = 1usize << log_nc;
+        let cfg = NttModuleConfig::new(n, nc).unwrap();
+        let dbl = NttModuleConfig::new(n, nc * 2);
+        if let Ok(dbl) = dbl {
+            prop_assert_eq!(cfg.transform_cycles(), 2 * dbl.transform_cycles());
+        }
+        let t1 = (0..cfg.log_n()).filter(|&s| {
+            cfg.stage_kind(s) == heax_hw::ntt_dataflow::StageKind::Type1
+        }).count() as u32;
+        prop_assert_eq!(t1, cfg.log_n() - cfg.log_nc() - 1);
+        prop_assert!(cfg.transform_cycles_basic() >= cfg.transform_cycles());
+    }
+
+    /// Word-size model: DSPs per multiplier grow with width; Toom-Cook
+    /// never exceeds naive; modulus count shrinks with wider words.
+    #[test]
+    fn wordsize_monotonicity(w1 in 27u32..80, w2 in 27u32..80, bits in 50u32..500) {
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        prop_assert!(
+            dsps_per_multiplier(lo, MultiplierStyle::Naive)
+                <= dsps_per_multiplier(hi, MultiplierStyle::Naive)
+        );
+        prop_assert!(
+            dsps_per_multiplier(hi, MultiplierStyle::ToomCook)
+                <= dsps_per_multiplier(hi, MultiplierStyle::Naive)
+        );
+        prop_assert!(moduli_needed(bits, hi) <= moduli_needed(bits, lo));
+    }
+}

@@ -1,0 +1,323 @@
+//! Complex arithmetic and the CKKS "special FFT" over the `2n`-th roots of
+//! unity used by the encoder (client-side canonical embedding).
+//!
+//! CKKS packs `n/2` complex slots into one plaintext. The embedding
+//! evaluates the plaintext polynomial at the primitive `2n`-th roots of
+//! unity `ζ^{5^j}` (`ζ = e^{iπ/n}`), ordered by powers of the rotation
+//! generator `5` so that slot rotation corresponds to the Galois
+//! automorphism `X ↦ X^{5^r}`. This is the HEAAN/SEAL layout; the
+//! server-side accelerator never touches it (encoding is explicitly a
+//! client-side operation in the paper), but the library needs it to verify
+//! end-to-end correctness.
+
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::ntt::bit_reverse_permute;
+use crate::MathError;
+
+/// A complex number with `f64` components.
+///
+/// Self-contained so the crate has no numeric dependencies.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Creates a complex number.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, o: Self) {
+        *self = *self - o;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, o: Self) {
+        *self = *self * o;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, s: f64) -> Self {
+        Self::new(self.re / s, self.im / s)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+/// Precomputed tables for the special FFT of size `slots = n/2` over the
+/// `2n`-th complex roots of unity.
+///
+/// # Examples
+///
+/// ```
+/// use heax_math::fft::{Complex64, SpecialFft};
+///
+/// # fn main() -> Result<(), heax_math::MathError> {
+/// let fft = SpecialFft::new(8)?; // 8 slots (ring degree 16)
+/// let mut v: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, 0.0)).collect();
+/// let orig = v.clone();
+/// fft.embed_inverse(&mut v);
+/// fft.embed_forward(&mut v);
+/// for (a, b) in v.iter().zip(&orig) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpecialFft {
+    slots: usize,
+    /// Cyclotomic index `m = 2n = 4·slots`.
+    m: usize,
+    /// `roots[j] = e^{2πi·j/m}` for `j ∈ [0, m)`.
+    roots: Vec<Complex64>,
+    /// `rot_group[j] = 5^j mod m` for `j ∈ [0, slots)`.
+    rot_group: Vec<usize>,
+}
+
+impl SpecialFft {
+    /// Builds tables for `slots` complex slots (ring degree `n = 2·slots`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidDegree`] unless `slots` is a power of two.
+    pub fn new(slots: usize) -> Result<Self, MathError> {
+        if !slots.is_power_of_two() || slots < 1 {
+            return Err(MathError::InvalidDegree { n: slots });
+        }
+        let m = 4 * slots;
+        let roots: Vec<Complex64> = (0..m)
+            .map(|j| Complex64::from_angle(2.0 * core::f64::consts::PI * j as f64 / m as f64))
+            .collect();
+        let mut rot_group = Vec::with_capacity(slots);
+        let mut five = 1usize;
+        for _ in 0..slots {
+            rot_group.push(five);
+            five = (five * 5) % m;
+        }
+        Ok(Self {
+            slots,
+            m,
+            roots,
+            rot_group,
+        })
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The rotation group `5^j mod 2n` (used to derive Galois elements).
+    #[inline]
+    pub fn rot_group(&self) -> &[usize] {
+        &self.rot_group
+    }
+
+    /// Forward special FFT (decode direction): from "coefficient-like"
+    /// values to slot values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len() != slots`.
+    pub fn embed_forward(&self, vals: &mut [Complex64]) {
+        assert_eq!(vals.len(), self.slots, "slot count mismatch");
+        bit_reverse_permute(vals);
+        let mut len = 2usize;
+        while len <= self.slots {
+            let lenh = len >> 1;
+            let lenq = len << 2;
+            let gap = self.m / lenq;
+            let mut i = 0usize;
+            while i < self.slots {
+                for j in 0..lenh {
+                    let idx = (self.rot_group[j] % lenq) * gap;
+                    let u = vals[i + j];
+                    let v = vals[i + j + lenh] * self.roots[idx];
+                    vals[i + j] = u + v;
+                    vals[i + j + lenh] = u - v;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Inverse special FFT (encode direction): from slot values to
+    /// "coefficient-like" values, including the `1/slots` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len() != slots`.
+    pub fn embed_inverse(&self, vals: &mut [Complex64]) {
+        assert_eq!(vals.len(), self.slots, "slot count mismatch");
+        let mut len = self.slots;
+        while len >= 2 {
+            let lenh = len >> 1;
+            let lenq = len << 2;
+            let gap = self.m / lenq;
+            let mut i = 0usize;
+            while i < self.slots {
+                for j in 0..lenh {
+                    let idx = (lenq - (self.rot_group[j] % lenq)) * gap;
+                    let u = vals[i + j] + vals[i + j + lenh];
+                    let v = (vals[i + j] - vals[i + j + lenh]) * self.roots[idx];
+                    vals[i + j] = u;
+                    vals[i + j + lenh] = v;
+                }
+                i += len;
+            }
+            len >>= 1;
+        }
+        bit_reverse_permute(vals);
+        let s = 1.0 / self.slots as f64;
+        for v in vals {
+            *v = *v * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_field_laws() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 3.0);
+        let c = Complex64::new(2.0, 2.0);
+        let left = (a + b) * c;
+        let right = a * c + b * c;
+        assert!((left - right).abs() < 1e-12);
+        assert!((a * b - b * a).abs() < 1e-12);
+        assert!(((a - a).abs()) < 1e-15);
+        assert!((a.conj().conj() - a).abs() < 1e-15);
+        assert!(((-a) + a).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fft_roundtrip_various_sizes() {
+        for slots in [1usize, 2, 4, 64, 2048] {
+            let fft = SpecialFft::new(slots).unwrap();
+            let mut v: Vec<Complex64> = (0..slots)
+                .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+                .collect();
+            let orig = v.clone();
+            fft.embed_inverse(&mut v);
+            fft.embed_forward(&mut v);
+            for (a, b) in v.iter().zip(&orig) {
+                assert!((*a - *b).abs() < 1e-8, "slots={slots}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_then_forward_is_identity_too() {
+        let slots = 32;
+        let fft = SpecialFft::new(slots).unwrap();
+        let mut v: Vec<Complex64> = (0..slots)
+            .map(|i| Complex64::new(i as f64 - 3.0, 0.5 * i as f64))
+            .collect();
+        let orig = v.clone();
+        fft.embed_forward(&mut v);
+        fft.embed_inverse(&mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(SpecialFft::new(3).is_err());
+        assert!(SpecialFft::new(0).is_err());
+    }
+
+    #[test]
+    fn rot_group_is_powers_of_five() {
+        let fft = SpecialFft::new(8).unwrap();
+        assert_eq!(fft.rot_group()[0], 1);
+        assert_eq!(fft.rot_group()[1], 5);
+        assert_eq!(fft.rot_group()[2], 25); // 5² mod 32
+    }
+}

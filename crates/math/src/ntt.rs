@@ -1,0 +1,595 @@
+//! Negacyclic Number-Theoretic Transform (Algorithms 3 and 4).
+//!
+//! The forward transform is the decimation-in-time Cooley–Tukey network of
+//! Algorithm 3 (natural input order, bit-reversed output order); the inverse
+//! is the Gentleman–Sande network of Algorithm 4 (bit-reversed input,
+//! natural output) with the `1/n` scaling folded into the butterflies as the
+//! paper does: the inverse twiddle table stores `ψ^{-brv(t)}/2` and the sum
+//! path halves explicitly, so each of the `log n` stages contributes a
+//! factor `1/2`.
+//!
+//! All twiddle factors are stored as [`MulRedConstant`]s so every butterfly
+//! uses Algorithm 2 (`MulRed`), exactly as in the hardware NTT core
+//! (Figure 3 of the paper).
+
+use crate::primes::primitive_root_2n;
+use crate::word::{Modulus, MulRedConstant};
+use crate::MathError;
+
+/// Reverses the lowest `bits` bits of `x`.
+#[inline]
+pub fn bit_reverse(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Permutes a slice into bit-reversed order in place.
+pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Precomputed twiddle tables for one `(n, p)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use heax_math::{ntt::NttTable, word::Modulus};
+///
+/// # fn main() -> Result<(), heax_math::MathError> {
+/// let p = Modulus::new(0x0fff_ee001)?; // 36-bit prime ≡ 1 mod 8192... (doc only)
+/// # let p = Modulus::new(heax_math::primes::generate_ntt_primes(36, 1, 4096)?[0])?;
+/// let table = NttTable::new(4096, p)?;
+/// let mut a: Vec<u64> = (0..4096u64).collect();
+/// let orig = a.clone();
+/// table.forward(&mut a);
+/// table.inverse(&mut a);
+/// assert_eq!(a, orig);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct NttTable {
+    n: usize,
+    log_n: u32,
+    modulus: Modulus,
+    /// ψ, a primitive 2n-th root of unity mod p.
+    root: u64,
+    /// Forward table: `fwd[t] = ψ^{brv(t)}` for `t ∈ [0, n)`.
+    fwd: Vec<MulRedConstant>,
+    /// Inverse table: `inv[t] = ψ^{-brv(t)} · 2^{-1}` (the paper's
+    /// "powers of ψ⁻¹ divided by 2 in bit-reverse order").
+    inv: Vec<MulRedConstant>,
+    /// Unscaled inverse table `ψ^{-brv(t)}` for the lazy kernel (which
+    /// merges the `1/n` into a final pass instead of halving per stage).
+    inv_plain: Vec<MulRedConstant>,
+    /// `n^{-1} mod p`, exposed for callers that need explicit scaling.
+    inv_n: u64,
+    /// `n^{-1}` as a MulRed constant for the lazy kernel's final pass.
+    inv_n_const: MulRedConstant,
+}
+
+impl NttTable {
+    /// Builds twiddle tables for ring degree `n` (a power of two ≥ 2) and
+    /// modulus `p ≡ 1 (mod 2n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidDegree`] for a non-power-of-two `n` and
+    /// [`MathError::NoPrimitiveRoot`] when `p ≢ 1 (mod 2n)`.
+    pub fn new(n: usize, modulus: Modulus) -> Result<Self, MathError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(MathError::InvalidDegree { n });
+        }
+        let root = primitive_root_2n(&modulus, n)?;
+        Self::with_root(n, modulus, root)
+    }
+
+    /// Builds tables with an explicit primitive `2n`-th root `ψ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NoPrimitiveRoot`] if `ψ^n ≠ -1 (mod p)`.
+    pub fn with_root(n: usize, modulus: Modulus, root: u64) -> Result<Self, MathError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(MathError::InvalidDegree { n });
+        }
+        if modulus.pow_mod(root, n as u64) != modulus.value() - 1 {
+            return Err(MathError::NoPrimitiveRoot {
+                modulus: modulus.value(),
+                n,
+            });
+        }
+        let log_n = n.trailing_zeros();
+        let inv_root = modulus.inv_mod(root).expect("root invertible");
+        let inv_two = modulus.inv_two();
+
+        // Powers in natural order first, then scatter bit-reversed.
+        let mut fwd = vec![MulRedConstant::new(1, &modulus); n];
+        let mut inv = vec![MulRedConstant::new(inv_two, &modulus); n];
+        let mut inv_plain = vec![MulRedConstant::new(1, &modulus); n];
+        let mut power = 1u64;
+        let mut inv_power = 1u64;
+        for t in 0..n {
+            let r = bit_reverse(t, log_n);
+            fwd[r] = MulRedConstant::new(power, &modulus);
+            inv[r] = MulRedConstant::new(modulus.mul_mod(inv_power, inv_two), &modulus);
+            inv_plain[r] = MulRedConstant::new(inv_power, &modulus);
+            power = modulus.mul_mod(power, root);
+            inv_power = modulus.mul_mod(inv_power, inv_root);
+        }
+        let inv_n = modulus
+            .inv_mod(modulus.reduce_u64(n as u64))
+            .expect("n invertible");
+        let inv_n_const = MulRedConstant::new(inv_n, &modulus);
+        Ok(Self {
+            n,
+            log_n,
+            modulus,
+            root,
+            fwd,
+            inv,
+            inv_plain,
+            inv_n,
+            inv_n_const,
+        })
+    }
+
+    /// Ring degree `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `log₂ n`.
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// The primitive `2n`-th root ψ used by this table.
+    #[inline]
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// `n^{-1} mod p`.
+    #[inline]
+    pub fn inv_n(&self) -> u64 {
+        self.inv_n
+    }
+
+    /// Forward twiddle `ψ^{brv(t)}` as a [`MulRedConstant`].
+    #[inline]
+    pub fn forward_twiddle(&self, t: usize) -> &MulRedConstant {
+        &self.fwd[t]
+    }
+
+    /// Inverse twiddle `ψ^{-brv(t)}·2^{-1}` as a [`MulRedConstant`].
+    #[inline]
+    pub fn inverse_twiddle(&self, t: usize) -> &MulRedConstant {
+        &self.inv[t]
+    }
+
+    /// Algorithm 3: in-place forward negacyclic NTT.
+    ///
+    /// Input in natural coefficient order; output in bit-reversed
+    /// "NTT form" (the form SEAL and the paper keep ciphertexts in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal n");
+        let p = &self.modulus;
+        let n = self.n;
+        let mut m = 1usize;
+        while m < n {
+            let t = n / (2 * m); // butterfly half-gap at this stage
+            for i in 0..m {
+                let w = &self.fwd[m + i];
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    // v = MulRed(a[j+t], y_{m+i})       (Alg. 3, line 4)
+                    let v = w.mul_red(a[j + t], p);
+                    // a[j+t] = a[j] - v; a[j] = a[j] + v (lines 5-6)
+                    a[j + t] = p.sub_mod(a[j], v);
+                    a[j] = p.add_mod(a[j], v);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// Algorithm 4: in-place inverse negacyclic NTT.
+    ///
+    /// Input in bit-reversed NTT form; output in natural coefficient order,
+    /// already scaled by `n^{-1}` (the scaling is folded into the twiddles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal n");
+        let p = &self.modulus;
+        let n = self.n;
+        let mut m = n / 2;
+        while m >= 1 {
+            let t = n / (2 * m);
+            for i in 0..m {
+                let w = &self.inv[m + i]; // ψ^{-brv(m+i)}/2
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    // v = a[j] - a[j+t]                  (Alg. 4, line 4)
+                    let v = p.sub_mod(a[j], a[j + t]);
+                    // a[j] = (a[j] + a[j+t]) / 2         (line 5)
+                    a[j] = p.div2_mod(p.add_mod(a[j], a[j + t]));
+                    // a[j+t] = MulRed(v, y_{m+i})        (line 6)
+                    a[j + t] = w.mul_red(v, p);
+                }
+            }
+            m /= 2;
+        }
+    }
+
+    /// Inverse NTT choosing the fastest applicable kernel (lazy when the
+    /// modulus is at most 60 bits). Output is bit-identical to
+    /// [`NttTable::inverse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    #[inline]
+    pub fn inverse_auto(&self, a: &mut [u64]) {
+        if self.modulus.bits() <= 60 {
+            self.inverse_lazy(a);
+        } else {
+            self.inverse(a);
+        }
+    }
+
+    /// Lazy-reduction inverse NTT: plain Gentleman–Sande butterflies in
+    /// the `[0, 2p)` domain with the `1/n` scaling merged into a final
+    /// normalization pass (the SEAL kernel structure), instead of the
+    /// per-stage halving of Algorithm 4. Bit-identical output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n` or the modulus exceeds 60 bits.
+    pub fn inverse_lazy(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal n");
+        assert!(self.modulus.bits() <= 60, "lazy NTT requires p < 2^60");
+        let p = &self.modulus;
+        let two_p = 2 * p.value();
+        let n = self.n;
+        let mut m = n / 2;
+        while m >= 1 {
+            let t = n / (2 * m);
+            for i in 0..m {
+                let w = &self.inv_plain[m + i];
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    let x = a[j]; // < 2p
+                    let y = a[j + t]; // < 2p
+                    let mut u = x + y;
+                    if u >= two_p {
+                        u -= two_p;
+                    }
+                    a[j] = u;
+                    // (x − y)·w, computed lazily from x − y + 2p < 4p.
+                    a[j + t] = w.mul_red_lazy(x + two_p - y, p);
+                }
+            }
+            m /= 2;
+        }
+        // Merge the n^{-1} scaling with full normalization.
+        for c in a.iter_mut() {
+            *c = self.inv_n_const.mul_red(*c, p);
+        }
+    }
+
+    /// Forward NTT choosing the fastest applicable kernel: the lazy
+    /// Harvey variant when the modulus is at most 60 bits, the strict
+    /// Algorithm 3 otherwise. Output is bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    #[inline]
+    pub fn forward_auto(&self, a: &mut [u64]) {
+        if self.modulus.bits() <= 60 {
+            self.forward_lazy(a);
+        } else {
+            self.forward(a);
+        }
+    }
+
+    /// Lazy-reduction forward NTT (Harvey-style, as in SEAL's CPU
+    /// kernels): intermediate values stay in `[0, 4p)` and only the final
+    /// pass normalizes to `[0, p)`, trading two conditional subtractions
+    /// per butterfly for one lazy comparison. Bit-identical output to
+    /// [`NttTable::forward`]; used by the CPU-baseline ablation bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n` or the modulus exceeds 60 bits (the lazy
+    /// domain needs `4p < 2^64` with headroom for the additions).
+    pub fn forward_lazy(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal n");
+        assert!(self.modulus.bits() <= 60, "lazy NTT requires p < 2^60");
+        let p = &self.modulus;
+        let two_p = 2 * p.value();
+        let n = self.n;
+        let mut m = 1usize;
+        while m < n {
+            let t = n / (2 * m);
+            for i in 0..m {
+                let w = &self.fwd[m + i];
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    // Inputs in [0, 4p): bring x below 2p, keep y lazy.
+                    let mut x = a[j];
+                    if x >= two_p {
+                        x -= two_p;
+                    }
+                    // v = w·y in [0, 2p) without the final correction.
+                    let v = w.mul_red_lazy(a[j + t], p);
+                    a[j] = x + v; // < 4p
+                    a[j + t] = x + two_p - v; // < 4p
+                }
+            }
+            m *= 2;
+        }
+        // Final normalization to [0, p).
+        let pv = p.value();
+        for c in a.iter_mut() {
+            if *c >= two_p {
+                *c -= two_p;
+            }
+            if *c >= pv {
+                *c -= pv;
+            }
+        }
+    }
+
+    /// Evaluates the polynomial at `ψ^{2·brv(j)+1}` directly — the defining
+    /// equation `ã_j = Σ_i a_i ψ^{(2i+1)·e}` of Section 3.1, used as the
+    /// O(n²) reference in tests.
+    pub fn forward_reference(&self, a: &[u64]) -> Vec<u64> {
+        assert_eq!(a.len(), self.n);
+        let p = &self.modulus;
+        let mut out = vec![0u64; self.n];
+        for (j, slot) in out.iter_mut().enumerate() {
+            let e = (2 * bit_reverse(j, self.log_n) + 1) as u64;
+            let base = p.pow_mod(self.root, e);
+            let mut x = 1u64;
+            let mut acc = 0u64;
+            for &coeff in a {
+                acc = p.add_mod(acc, p.mul_mod(coeff, x));
+                x = p.mul_mod(x, base);
+            }
+            *slot = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::generate_ntt_primes;
+
+    fn table(n: usize, bits: u32) -> NttTable {
+        let p = generate_ntt_primes(bits, 1, n).unwrap()[0];
+        NttTable::new(n, Modulus::new(p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn bit_reverse_basics() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b110, 3), 0b011);
+        assert_eq!(bit_reverse(5, 0), 0);
+        for i in 0..64usize {
+            assert_eq!(bit_reverse(bit_reverse(i, 6), 6), i);
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_sizes() {
+        for log_n in [1u32, 2, 3, 4, 8] {
+            let n = 1usize << log_n;
+            let t = table(n, 30.max(log_n + 2));
+            let p = t.modulus().value();
+            let mut a: Vec<u64> = (0..n as u64).map(|i| (i * 0x9e37) % p).collect();
+            let orig = a.clone();
+            t.forward(&mut a);
+            assert_ne!(a, orig, "transform must not be identity");
+            t.inverse(&mut a);
+            assert_eq!(a, orig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        let n = 16usize;
+        let t = table(n, 30);
+        let p = t.modulus().value();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * i + 3) % p).collect();
+        let mut fast = a.clone();
+        t.forward(&mut fast);
+        assert_eq!(fast, t.forward_reference(&a));
+    }
+
+    #[test]
+    fn negacyclic_convolution_theorem() {
+        // NTT(a) ⊙ NTT(b) == NTT(a *neg b)
+        let n = 32usize;
+        let t = table(n, 40);
+        let p = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| (7 * i + 1) % p.value()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * i) % p.value()).collect();
+
+        // Schoolbook negacyclic product.
+        let mut c = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = p.mul_mod(a[i], b[j]);
+                let k = i + j;
+                if k < n {
+                    c[k] = p.add_mod(c[k], prod);
+                } else {
+                    c[k - n] = p.sub_mod(c[k - n], prod);
+                }
+            }
+        }
+
+        let mut ta = a.clone();
+        let mut tb = b.clone();
+        t.forward(&mut ta);
+        t.forward(&mut tb);
+        let mut tc: Vec<u64> = ta
+            .iter()
+            .zip(&tb)
+            .map(|(&x, &y)| p.mul_mod(x, y))
+            .collect();
+        t.inverse(&mut tc);
+        assert_eq!(tc, c);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64usize;
+        let t = table(n, 40);
+        let p = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| i % p.value()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % p.value()).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| p.add_mod(x, y)).collect();
+        let mut ta = a.clone();
+        let mut tb = b.clone();
+        let mut tsum = sum.clone();
+        t.forward(&mut ta);
+        t.forward(&mut tb);
+        t.forward(&mut tsum);
+        let recombined: Vec<u64> = ta.iter().zip(&tb).map(|(&x, &y)| p.add_mod(x, y)).collect();
+        assert_eq!(tsum, recombined);
+    }
+
+    #[test]
+    fn production_sizes_roundtrip() {
+        for n in [4096usize, 8192] {
+            let t = table(n, 36);
+            let p = t.modulus().value();
+            let mut a: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) % p)
+                .collect();
+            let orig = a.clone();
+            t.forward(&mut a);
+            t.inverse(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn lazy_forward_is_bit_identical() {
+        for (n, bits) in [(64usize, 30u32), (256, 45), (4096, 50), (4096, 60)] {
+            let t = table(n, bits);
+            let p = t.modulus().value();
+            let input: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) % p)
+                .collect();
+            let mut standard = input.clone();
+            t.forward(&mut standard);
+            let mut lazy = input.clone();
+            t.forward_lazy(&mut lazy);
+            assert_eq!(standard, lazy, "n={n} bits={bits}");
+        }
+    }
+
+    #[test]
+    fn lazy_inverse_is_bit_identical() {
+        for (n, bits) in [(64usize, 30u32), (256, 45), (4096, 50), (4096, 60)] {
+            let t = table(n, bits);
+            let p = t.modulus().value();
+            let input: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D) % p)
+                .collect();
+            let mut standard = input.clone();
+            t.inverse(&mut standard);
+            let mut lazy = input.clone();
+            t.inverse_lazy(&mut lazy);
+            assert_eq!(standard, lazy, "n={n} bits={bits}");
+            // And auto dispatch matches.
+            let mut auto = input.clone();
+            t.inverse_auto(&mut auto);
+            assert_eq!(auto, standard);
+        }
+    }
+
+    #[test]
+    fn lazy_roundtrip() {
+        let n = 512;
+        let t = table(n, 45);
+        let p = t.modulus().value();
+        let input: Vec<u64> = (0..n as u64).map(|i| (i * 13 + 1) % p).collect();
+        let mut a = input.clone();
+        t.forward_lazy(&mut a);
+        t.inverse_lazy(&mut a);
+        assert_eq!(a, input);
+    }
+
+    #[test]
+    fn lazy_then_inverse_roundtrips() {
+        let n = 1024;
+        let t = table(n, 45);
+        let p = t.modulus().value();
+        let input: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 5) % p).collect();
+        let mut a = input.clone();
+        t.forward_lazy(&mut a);
+        t.inverse(&mut a);
+        assert_eq!(a, input);
+    }
+
+    #[test]
+    #[should_panic(expected = "lazy NTT requires")]
+    fn lazy_rejects_wide_modulus() {
+        // 61-bit modulus exceeds the 60-bit lazy bound.
+        let p = generate_ntt_primes(61, 1, 64).unwrap()[0];
+        let t = NttTable::new(64, Modulus::new(p).unwrap()).unwrap();
+        let mut a = vec![0u64; 64];
+        t.forward_lazy(&mut a);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let p = Modulus::new(97).unwrap();
+        assert!(NttTable::new(3, p).is_err());
+        // 97 ≡ 1 mod 32 (96 = 3*32): n=16 works; n=64 doesn't (128 ∤ 96).
+        assert!(NttTable::new(16, p).is_ok());
+        assert!(NttTable::new(64, p).is_err());
+        // Wrong explicit root: 1 is never a primitive 2n-th root.
+        assert!(NttTable::with_root(16, p, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn forward_panics_on_wrong_length() {
+        let t = table(16, 20);
+        let mut a = vec![0u64; 8];
+        t.forward(&mut a);
+    }
+}

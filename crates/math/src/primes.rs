@@ -1,0 +1,267 @@
+//! NTT-friendly prime generation.
+//!
+//! The CKKS ciphertext modulus is a product of word-sized primes
+//! `p ≡ 1 (mod 2n)` so that a primitive `2n`-th root of unity `ψ` exists
+//! (`ψ^n ≡ -1 mod p`), enabling the negacyclic NTT of Section 3.1.
+//!
+//! HEAX additionally requires `p < 2^52` so that the 54-bit datapath of
+//! Algorithm 2 is correct; the paper notes "We have precomputed all of such
+//! moduli for different parameters". This module *generates* them instead.
+
+use crate::word::Modulus;
+use crate::MathError;
+
+/// Deterministic Miller–Rabin primality test, valid for all `u64`.
+///
+/// Uses the standard 12-base witness set that is proven sufficient below
+/// `3.3·10^24` (hence for all 64-bit integers).
+pub fn is_prime(n: u64) -> bool {
+    const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+    if n < 2 {
+        return false;
+    }
+    for &w in &WITNESSES {
+        if n == w {
+            return true;
+        }
+        if n % w == 0 {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    let mul = |a: u64, b: u64| ((a as u128 * b as u128) % n as u128) as u64;
+    let pow = |mut base: u64, mut e: u64| {
+        let mut acc = 1u64;
+        base %= n;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = mul(acc, base);
+            }
+            base = mul(base, base);
+            e >>= 1;
+        }
+        acc
+    };
+    'witness: for &w in &WITNESSES {
+        let mut x = pow(w, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates `count` distinct primes of exactly `bits` bits with
+/// `p ≡ 1 (mod 2n)`, searching downward from `2^bits`.
+///
+/// `n` must be a power of two. The returned primes are in decreasing order,
+/// which matches the SEAL convention of putting the largest prime last in
+/// the modulus chain only after the caller reorders; callers are free to
+/// arrange them.
+///
+/// # Errors
+///
+/// Returns [`MathError::PrimeSearchExhausted`] if fewer than `count`
+/// suitable primes exist below `2^bits`, and [`MathError::InvalidDegree`]
+/// if `n` is not a power of two or `bits` is out of the `(log2(2n), 62]`
+/// range.
+pub fn generate_ntt_primes(bits: u32, count: usize, n: usize) -> Result<Vec<u64>, MathError> {
+    if !n.is_power_of_two() || n < 2 {
+        return Err(MathError::InvalidDegree { n });
+    }
+    let two_n = (2 * n) as u64;
+    if bits <= two_n.trailing_zeros() || bits > 62 {
+        return Err(MathError::InvalidDegree { n });
+    }
+    let mut primes = Vec::with_capacity(count);
+    // Largest candidate < 2^bits that is ≡ 1 (mod 2n): since 2n | 2^bits,
+    // that is 2^bits - 2n + 1.
+    let mut candidate = (1u64 << bits) - two_n + 1;
+    let lower = 1u64 << (bits - 1);
+    while primes.len() < count && candidate > lower {
+        if is_prime(candidate) {
+            primes.push(candidate);
+        }
+        candidate -= two_n;
+    }
+    if primes.len() < count {
+        return Err(MathError::PrimeSearchExhausted { bits, count, n });
+    }
+    Ok(primes)
+}
+
+/// Generates a modulus chain from a list of bit sizes (one prime per entry),
+/// all congruent to `1 (mod 2n)` and pairwise distinct.
+///
+/// This mirrors SEAL's `CoeffModulus::Create`.
+///
+/// # Errors
+///
+/// Propagates errors from [`generate_ntt_primes`].
+pub fn generate_prime_chain(bit_sizes: &[u32], n: usize) -> Result<Vec<u64>, MathError> {
+    // Group positions by bit size so repeated sizes get distinct primes.
+    let mut result = vec![0u64; bit_sizes.len()];
+    let mut sizes: Vec<u32> = bit_sizes.to_vec();
+    sizes.sort_unstable();
+    sizes.dedup();
+    for bits in sizes {
+        let positions: Vec<usize> = bit_sizes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == bits)
+            .map(|(i, _)| i)
+            .collect();
+        let primes = generate_ntt_primes(bits, positions.len(), n)?;
+        for (slot, p) in positions.into_iter().zip(primes) {
+            result[slot] = p;
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+fn bit_len(x: u64) -> u32 {
+    64 - x.leading_zeros()
+}
+
+/// Finds a primitive `2n`-th root of unity `ψ` modulo prime `p ≡ 1 (mod 2n)`.
+///
+/// Returns the smallest such root found by scanning generators `g = 2, 3, …`
+/// and testing `ψ = g^{(p-1)/2n}`; `ψ` is primitive iff `ψ^n ≡ -1 (mod p)`
+/// (for power-of-two `2n`, the order of `ψ` divides `2n` and only a
+/// primitive root maps `n ↦ -1`).
+///
+/// # Errors
+///
+/// Returns [`MathError::NoPrimitiveRoot`] if `p ≢ 1 (mod 2n)` or no root is
+/// found (which cannot happen for a true prime satisfying the congruence).
+pub fn primitive_root_2n(modulus: &Modulus, n: usize) -> Result<u64, MathError> {
+    let p = modulus.value();
+    let two_n = 2 * n as u64;
+    if (p - 1) % two_n != 0 {
+        return Err(MathError::NoPrimitiveRoot { modulus: p, n });
+    }
+    let exp = (p - 1) / two_n;
+    let minus_one = p - 1;
+    let mut best: Option<u64> = None;
+    // Scan a bounded number of candidates and keep the smallest root, for
+    // deterministic tables across runs.
+    for g in 2u64..(2 + 256) {
+        let psi = modulus.pow_mod(g, exp);
+        if modulus.pow_mod(psi, n as u64) == minus_one {
+            best = Some(match best {
+                Some(b) => b.min(psi),
+                None => psi,
+            });
+        }
+    }
+    best.ok_or(MathError::NoPrimitiveRoot { modulus: p, n })
+}
+
+/// The SEAL-style default modulus-chain bit sizes achieving 128-bit classical
+/// security for the three HEAX parameter sets of Table 2.
+///
+/// The sum of each chain equals the `⌊log qp⌋ + 1` column of Table 2
+/// (109, 218, 438 bits); the last entry is the special prime `p`.
+pub fn default_chain_bits(n: usize) -> Option<&'static [u32]> {
+    match n {
+        4096 => Some(&[36, 36, 37]),
+        8192 => Some(&[43, 43, 44, 44, 44]),
+        16384 => Some(&[48, 48, 48, 49, 49, 49, 49, 49, 49]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miller_rabin_small() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919];
+        let composites = [0u64, 1, 4, 6, 9, 15, 91, 561, 41041, 3215031751];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn miller_rabin_large_known() {
+        assert!(is_prime(1152921504606830593)); // 2^60 - 16255: NTT prime
+        assert!(is_prime(18446744073709551557)); // largest u64 prime
+        assert!(!is_prime(18446744073709551555));
+    }
+
+    #[test]
+    fn generated_primes_are_ntt_friendly() {
+        for n in [4096usize, 8192] {
+            let primes = generate_ntt_primes(40, 3, n).unwrap();
+            assert_eq!(primes.len(), 3);
+            for p in primes {
+                assert!(is_prime(p));
+                assert_eq!(p % (2 * n as u64), 1);
+                assert_eq!(bit_len(p), 40);
+            }
+        }
+    }
+
+    #[test]
+    fn prime_chain_distinct() {
+        let chain = generate_prime_chain(&[36, 36, 37], 4096).unwrap();
+        assert_eq!(chain.len(), 3);
+        assert_ne!(chain[0], chain[1]);
+        assert_eq!(bit_len(chain[0]), 36);
+        assert_eq!(bit_len(chain[2]), 37);
+        let total: u32 = chain.iter().map(|&p| bit_len(p)).sum();
+        assert_eq!(total, 109); // Table 2, Set-A
+    }
+
+    #[test]
+    fn default_chains_match_table2() {
+        // Table 2: |log qp|+1 = 109, 218, 438 for n = 2^12, 2^13, 2^14.
+        assert_eq!(default_chain_bits(4096).unwrap().iter().sum::<u32>(), 109);
+        assert_eq!(default_chain_bits(8192).unwrap().iter().sum::<u32>(), 218);
+        assert_eq!(default_chain_bits(16384).unwrap().iter().sum::<u32>(), 438);
+        assert!(default_chain_bits(2048).is_none());
+    }
+
+    #[test]
+    fn primitive_root_has_order_2n() {
+        let n = 4096usize;
+        let p = generate_ntt_primes(36, 1, n).unwrap()[0];
+        let m = Modulus::new(p).unwrap();
+        let psi = primitive_root_2n(&m, n).unwrap();
+        assert_eq!(m.pow_mod(psi, n as u64), p - 1);
+        assert_eq!(m.pow_mod(psi, 2 * n as u64), 1);
+    }
+
+    #[test]
+    fn root_search_rejects_bad_congruence() {
+        let m = Modulus::new(97).unwrap(); // 97 - 1 = 96, not divisible by 2*64
+        assert!(primitive_root_2n(&m, 64).is_err());
+    }
+
+    #[test]
+    fn exhausted_search_errors() {
+        // Only so many 13-bit primes ≡ 1 mod 8192 exist (none: 2n = 8192 > 2^13/2).
+        assert!(generate_ntt_primes(13, 1, 4096).is_err());
+        // Only one candidate (8193 = 3·2731, composite) exists at 14 bits.
+        assert!(generate_ntt_primes(14, 1, 4096).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Randomness for RLWE: uniform, ternary, and centered-binomial sampling.
+//!
+//! The paper's `CKKS.Setup` fixes a key distribution `χ` (ternary, as in
+//! SEAL) and an error distribution `Ω`. SEAL samples errors from a clipped
+//! discrete Gaussian with `σ = 3.2`; we use the centered binomial
+//! distribution `CBD(21)` whose standard deviation `√(21/2) ≈ 3.24` matches,
+//! is constant-time-friendly, and is standard in lattice practice (Kyber et
+//! al.). The difference is irrelevant to both functionality and the
+//! performance study.
+
+use rand::Rng;
+
+use crate::poly::{Representation, RnsPoly};
+use crate::word::Modulus;
+
+/// Standard deviation of the error distribution (`CBD(21)`).
+pub const ERROR_STDDEV: f64 = 3.240_370_349; // sqrt(10.5)
+
+/// Number of bit pairs in the centered binomial error sampler.
+const CBD_BITS: u32 = 21;
+
+/// Samples a uniform element of `R_q` in the given representation.
+///
+/// Uniformity is representation-independent, so the caller may directly tag
+/// the output as NTT form (as `SymEnc` does for the `a` component).
+pub fn sample_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    moduli: &[Modulus],
+    repr: Representation,
+) -> RnsPoly {
+    let mut out = RnsPoly::zero(n, moduli, repr);
+    for (i, p) in moduli.iter().enumerate() {
+        let bound = p.value();
+        // Rejection sampling on the top range to avoid modulo bias.
+        let zone = u64::MAX - u64::MAX % bound;
+        for c in out.residue_mut(i) {
+            let mut v = rng.gen::<u64>();
+            while v >= zone {
+                v = rng.gen::<u64>();
+            }
+            *c = v % bound;
+        }
+    }
+    out
+}
+
+/// Samples a ternary secret with coefficients in `{-1, 0, 1}`, replicated
+/// into every RNS component (coefficient representation).
+pub fn sample_ternary<R: Rng + ?Sized>(rng: &mut R, n: usize, moduli: &[Modulus]) -> RnsPoly {
+    let signs: Vec<i8> = (0..n).map(|_| rng.gen_range(-1i8..=1)).collect();
+    signed_to_rns(&signs_to_i64(&signs), n, moduli)
+}
+
+/// Samples an error polynomial from `CBD(21)` (σ ≈ 3.24), replicated into
+/// every RNS component (coefficient representation).
+pub fn sample_error<R: Rng + ?Sized>(rng: &mut R, n: usize, moduli: &[Modulus]) -> RnsPoly {
+    let coeffs: Vec<i64> = (0..n)
+        .map(|_| {
+            let a = rng.gen::<u32>() & ((1u32 << CBD_BITS) - 1);
+            let b = rng.gen::<u32>() & ((1u32 << CBD_BITS) - 1);
+            a.count_ones() as i64 - b.count_ones() as i64
+        })
+        .collect();
+    signed_to_rns(&coeffs, n, moduli)
+}
+
+/// Lifts signed coefficients into an [`RnsPoly`] (coefficient form).
+pub fn signed_to_rns(coeffs: &[i64], n: usize, moduli: &[Modulus]) -> RnsPoly {
+    assert_eq!(coeffs.len(), n, "coefficient count mismatch");
+    let mut out = RnsPoly::zero(n, moduli, Representation::Coefficient);
+    for (i, p) in moduli.iter().enumerate() {
+        for (dst, &c) in out.residue_mut(i).iter_mut().zip(coeffs) {
+            *dst = p.reduce_i64(c);
+        }
+    }
+    out
+}
+
+fn signs_to_i64(signs: &[i8]) -> Vec<i64> {
+    signs.iter().map(|&s| s as i64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::generate_ntt_primes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mods() -> Vec<Modulus> {
+        generate_ntt_primes(30, 2, 64)
+            .unwrap()
+            .into_iter()
+            .map(|p| Modulus::new(p).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn uniform_in_range_and_nontrivial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = mods();
+        let u = sample_uniform(&mut rng, 1024, &m, Representation::Ntt);
+        for (p, res) in u.iter() {
+            assert!(res.iter().all(|&c| c < p.value()));
+            // Statistically certain: 1024 uniform draws aren't all < p/2.
+            assert!(res.iter().any(|&c| c >= p.value() / 2));
+        }
+        assert_eq!(u.representation(), Representation::Ntt);
+    }
+
+    #[test]
+    fn ternary_values_consistent_across_residues() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = mods();
+        let s = sample_ternary(&mut rng, 256, &m);
+        for j in 0..256 {
+            let v0 = s.residue(0)[j];
+            let v1 = s.residue(1)[j];
+            let p0 = m[0].value();
+            let p1 = m[1].value();
+            let c0: i64 = if v0 == 0 {
+                0
+            } else if v0 == 1 {
+                1
+            } else {
+                assert_eq!(v0, p0 - 1);
+                -1
+            };
+            let c1: i64 = if v1 == 0 {
+                0
+            } else if v1 == 1 {
+                1
+            } else {
+                assert_eq!(v1, p1 - 1);
+                -1
+            };
+            assert_eq!(c0, c1);
+        }
+    }
+
+    #[test]
+    fn error_is_small_and_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = mods();
+        let n = 8192;
+        let e = sample_error(&mut rng, n, &m);
+        let p0 = m[0].value();
+        let mut sum = 0i64;
+        let mut sum_sq = 0f64;
+        for &c in e.residue(0) {
+            let v: i64 = if c > p0 / 2 { c as i64 - p0 as i64 } else { c as i64 };
+            assert!(v.abs() <= CBD_BITS as i64, "CBD(21) bounded by ±21");
+            sum += v;
+            sum_sq += (v * v) as f64;
+        }
+        let mean = sum as f64 / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.3, "mean {mean} should be near 0");
+        assert!((var - 10.5).abs() < 1.5, "variance {var} should be near 10.5");
+    }
+
+    #[test]
+    fn signed_lift_roundtrip() {
+        let m = mods();
+        let coeffs: Vec<i64> = vec![-3, -1, 0, 1, 2, 5, -7, 9];
+        let poly = signed_to_rns(&coeffs, 8, &m);
+        for (j, &c) in coeffs.iter().enumerate() {
+            assert_eq!(poly.residue(0)[j], m[0].reduce_i64(c));
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let m = mods();
+        let a = sample_uniform(
+            &mut StdRng::seed_from_u64(42),
+            64,
+            &m,
+            Representation::Coefficient,
+        );
+        let b = sample_uniform(
+            &mut StdRng::seed_from_u64(42),
+            64,
+            &m,
+            Representation::Coefficient,
+        );
+        assert_eq!(a, b);
+    }
+}

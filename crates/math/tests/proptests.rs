@@ -1,0 +1,191 @@
+//! Property-based tests for the math substrate.
+
+use heax_math::ntt::{bit_reverse, NttTable};
+use heax_math::poly::{Representation, RnsPoly};
+use heax_math::primes::generate_ntt_primes;
+use heax_math::rns::RnsBasis;
+use heax_math::word::{Modulus, MulRedConstant};
+use proptest::prelude::*;
+
+fn arb_modulus() -> impl Strategy<Value = Modulus> {
+    // A spread of real NTT primes of different widths (n = 64 to stay fast).
+    prop::sample::select(vec![
+        generate_ntt_primes(20, 1, 64).unwrap()[0],
+        generate_ntt_primes(30, 1, 64).unwrap()[0],
+        generate_ntt_primes(36, 1, 64).unwrap()[0],
+        generate_ntt_primes(50, 1, 64).unwrap()[0],
+        generate_ntt_primes(60, 1, 64).unwrap()[0],
+    ])
+    .prop_map(|p| Modulus::new(p).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn barrett_reduce_u64_matches_rem(p in arb_modulus(), x in any::<u64>()) {
+        prop_assert_eq!(p.reduce_u64(x), x % p.value());
+    }
+
+    #[test]
+    fn barrett_reduce_u128_matches_rem(p in arb_modulus(), x in any::<u128>()) {
+        // Restrict to the Algorithm 1 input domain [0, (p-1)^2].
+        let bound = (p.value() as u128 - 1) * (p.value() as u128 - 1);
+        let x = x % (bound + 1);
+        prop_assert_eq!(p.reduce_u128(x) as u128, x % p.value() as u128);
+    }
+
+    #[test]
+    fn mulred_matches_barrett(p in arb_modulus(), x in any::<u64>(), y in any::<u64>()) {
+        let x = x % p.value();
+        let y = y % p.value();
+        let c = MulRedConstant::new(y, &p);
+        prop_assert_eq!(c.mul_red(x, &p), p.mul_mod(x, y));
+    }
+
+    #[test]
+    fn field_laws(p in arb_modulus(), a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (a % p.value(), b % p.value(), c % p.value());
+        // Commutativity and associativity of both operations.
+        prop_assert_eq!(p.add_mod(a, b), p.add_mod(b, a));
+        prop_assert_eq!(p.mul_mod(a, b), p.mul_mod(b, a));
+        prop_assert_eq!(p.add_mod(p.add_mod(a, b), c), p.add_mod(a, p.add_mod(b, c)));
+        prop_assert_eq!(p.mul_mod(p.mul_mod(a, b), c), p.mul_mod(a, p.mul_mod(b, c)));
+        // Distributivity.
+        prop_assert_eq!(
+            p.mul_mod(a, p.add_mod(b, c)),
+            p.add_mod(p.mul_mod(a, b), p.mul_mod(a, c))
+        );
+        // Inverses.
+        prop_assert_eq!(p.add_mod(a, p.neg_mod(a)), 0);
+        if a != 0 {
+            prop_assert_eq!(p.mul_mod(a, p.inv_mod(a).unwrap()), 1);
+        }
+        // Halving.
+        prop_assert_eq!(p.add_mod(p.div2_mod(a), p.div2_mod(a)), a);
+    }
+
+    #[test]
+    fn pow_mod_is_homomorphic(p in arb_modulus(), x in any::<u64>(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        let x = x % p.value();
+        prop_assert_eq!(
+            p.pow_mod(x, e1 + e2),
+            p.mul_mod(p.pow_mod(x, e1), p.pow_mod(x, e2))
+        );
+    }
+
+    #[test]
+    fn bit_reverse_is_involution(x in 0usize..(1 << 12), bits in 1u32..13) {
+        let x = x & ((1 << bits) - 1);
+        prop_assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ntt_roundtrip(coeffs in prop::collection::vec(any::<u64>(), 64)) {
+        let p = Modulus::new(generate_ntt_primes(40, 1, 64).unwrap()[0]).unwrap();
+        let t = NttTable::new(64, p).unwrap();
+        let mut a: Vec<u64> = coeffs.iter().map(|&c| p.reduce_u64(c)).collect();
+        let orig = a.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        prop_assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn ntt_is_linear(
+        a in prop::collection::vec(any::<u64>(), 64),
+        b in prop::collection::vec(any::<u64>(), 64),
+        s in any::<u64>(),
+    ) {
+        let p = Modulus::new(generate_ntt_primes(40, 1, 64).unwrap()[0]).unwrap();
+        let t = NttTable::new(64, p).unwrap();
+        let s = s % p.value();
+        let a: Vec<u64> = a.iter().map(|&c| p.reduce_u64(c)).collect();
+        let b: Vec<u64> = b.iter().map(|&c| p.reduce_u64(c)).collect();
+        // NTT(s·a + b) == s·NTT(a) + NTT(b)
+        let mut combo: Vec<u64> = a.iter().zip(&b)
+            .map(|(&x, &y)| p.add_mod(p.mul_mod(s, x), y)).collect();
+        let (mut ta, mut tb) = (a, b);
+        t.forward(&mut combo);
+        t.forward(&mut ta);
+        t.forward(&mut tb);
+        for i in 0..64 {
+            prop_assert_eq!(combo[i], p.add_mod(p.mul_mod(s, ta[i]), tb[i]));
+        }
+    }
+
+    #[test]
+    fn convolution_theorem(
+        a in prop::collection::vec(any::<u64>(), 32),
+        b in prop::collection::vec(any::<u64>(), 32),
+    ) {
+        let n = 32usize;
+        let p = Modulus::new(generate_ntt_primes(40, 1, n).unwrap()[0]).unwrap();
+        let t = NttTable::new(n, p).unwrap();
+        let a: Vec<u64> = a.iter().map(|&c| p.reduce_u64(c)).collect();
+        let b: Vec<u64> = b.iter().map(|&c| p.reduce_u64(c)).collect();
+        let mut expect = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = p.mul_mod(a[i], b[j]);
+                if i + j < n {
+                    expect[i + j] = p.add_mod(expect[i + j], prod);
+                } else {
+                    expect[i + j - n] = p.sub_mod(expect[i + j - n], prod);
+                }
+            }
+        }
+        let (mut ta, mut tb) = (a, b);
+        t.forward(&mut ta);
+        t.forward(&mut tb);
+        let mut prod: Vec<u64> = ta.iter().zip(&tb).map(|(&x, &y)| p.mul_mod(x, y)).collect();
+        t.inverse(&mut prod);
+        prop_assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn crt_compose_decompose_roundtrip(x in any::<u64>()) {
+        let primes = generate_ntt_primes(36, 3, 64).unwrap();
+        let basis = RnsBasis::new(&primes).unwrap();
+        let residues: Vec<u64> = primes.iter().map(|&p| x % p).collect();
+        prop_assert_eq!(basis.compose_u128(&residues), x as u128);
+    }
+
+    #[test]
+    fn crt_centered_roundtrip(x in any::<i64>()) {
+        let primes = generate_ntt_primes(36, 3, 64).unwrap();
+        let basis = RnsBasis::new(&primes).unwrap();
+        let residues: Vec<u64> = primes
+            .iter()
+            .map(|&p| (x as i128).rem_euclid(p as i128) as u64)
+            .collect();
+        prop_assert_eq!(basis.compose_centered_i128(&residues), x as i128);
+    }
+
+    #[test]
+    fn poly_ring_axioms(
+        a in prop::collection::vec(any::<u64>(), 32),
+        b in prop::collection::vec(any::<u64>(), 32),
+    ) {
+        let primes = generate_ntt_primes(30, 2, 32).unwrap();
+        let mods: Vec<Modulus> = primes.iter().map(|&p| Modulus::new(p).unwrap()).collect();
+        let mk = |v: &[u64]| {
+            let mut poly = RnsPoly::zero(32, &mods, Representation::Ntt);
+            for i in 0..mods.len() {
+                for (dst, &src) in poly.residue_mut(i).iter_mut().zip(v) {
+                    *dst = mods[i].reduce_u64(src);
+                }
+            }
+            poly
+        };
+        let pa = mk(&a);
+        let pb = mk(&b);
+        prop_assert_eq!(pa.add(&pb).unwrap(), pb.add(&pa).unwrap());
+        prop_assert_eq!(pa.dyadic_mul(&pb).unwrap(), pb.dyadic_mul(&pa).unwrap());
+        prop_assert_eq!(pa.sub(&pa).unwrap(), RnsPoly::zero(32, &mods, Representation::Ntt));
+        // (a - b) + b == a
+        prop_assert_eq!(pa.sub(&pb).unwrap().add(&pb).unwrap(), pa);
+    }
+}

@@ -1,0 +1,31 @@
+//! # heax — facade crate
+//!
+//! Re-exports the four layers of the HEAX (ASPLOS 2020) reproduction
+//! under one roof:
+//!
+//! * [`math`] — modular arithmetic, NTT, RNS, FFT, sampling;
+//! * [`ckks`] — the full RNS-CKKS scheme (CPU baseline / golden model);
+//! * [`hw`] — FPGA component models and cycle-accurate dataflow simulators;
+//! * [`core`] — the HEAX accelerator (architecture derivation, resource
+//!   and performance models, functional execution).
+//!
+//! See the repository `README.md` for a quickstart and `EXPERIMENTS.md`
+//! for the paper-vs-measured evaluation index.
+//!
+//! ```
+//! use heax::core::arch::DesignPoint;
+//! use heax::core::perf::{estimate, HeaxOp};
+//!
+//! # fn main() -> Result<(), heax::hw::HwError> {
+//! let dp = DesignPoint::derive(heax::hw::board::Board::stratix10(), heax::ckks::ParamSet::SetA)?;
+//! assert_eq!(estimate(&dp, HeaxOp::KeySwitch).cycles, 3072); // Table 8
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use heax_ckks as ckks;
+pub use heax_core as core;
+pub use heax_hw as hw;
+pub use heax_math as math;

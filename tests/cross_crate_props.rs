@@ -1,0 +1,146 @@
+//! Cross-crate property tests: random-data invariants that span the
+//! library layers (hardware simulators vs software algorithms, encoder
+//! bounds, scheme correctness on a small hardware-compatible ring).
+
+use heax::ckks::{
+    CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, PublicKey, RelinKey,
+    SecretKey,
+};
+use heax::hw::mult_dataflow::{MultModuleConfig, MultModuleSim};
+use heax::hw::ntt_dataflow::{NttModuleConfig, NttModuleSim};
+use heax::math::fft::Complex64;
+use heax::math::ntt::NttTable;
+use heax::math::primes::generate_ntt_primes;
+use heax::math::word::Modulus;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hw_ctx() -> CkksContext {
+    let chain = heax::math::primes::generate_prime_chain(&[40, 40, 40, 41], 64).unwrap();
+    CkksContext::new(CkksParams::new(64, chain, (1u64 << 32) as f64).unwrap()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The banked-BRAM NTT module computes exactly the software NTT for
+    /// random polynomials, sizes, and core counts.
+    #[test]
+    fn hw_ntt_equals_sw_ntt(
+        seed in any::<u64>(),
+        log_n in 6u32..11,
+        log_nc in 2u32..4,
+    ) {
+        let n = 1usize << log_n;
+        let nc = 1usize << log_nc;
+        prop_assume!(4 * nc <= n);
+        let p = generate_ntt_primes(45, 1, n).unwrap()[0];
+        let table = NttTable::new(n, Modulus::new(p).unwrap()).unwrap();
+        let sim = NttModuleSim::new(NttModuleConfig::new(n, nc).unwrap(), &table).unwrap();
+        let input: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(seed | 1) % p)
+            .collect();
+        let mut expect = input.clone();
+        table.forward(&mut expect);
+        let (got, _) = sim.forward(&input);
+        prop_assert_eq!(got, expect);
+        // Inverse too.
+        let mut inv_expect = input.clone();
+        table.inverse(&mut inv_expect);
+        let (inv_got, _) = sim.inverse(&input);
+        prop_assert_eq!(inv_got, inv_expect);
+    }
+
+    /// The MULT module computes Algorithm 5 exactly for random residues.
+    #[test]
+    fn hw_mult_equals_schoolbook_dyadic(seed in any::<u64>()) {
+        let n = 64usize;
+        let p = Modulus::new(generate_ntt_primes(45, 1, n).unwrap()[0]).unwrap();
+        let sim = MultModuleSim::new(MultModuleConfig::new(n, 8).unwrap(), p).unwrap();
+        let mk = |salt: u64| -> Vec<u64> {
+            (0..n as u64)
+                .map(|i| (i.wrapping_mul(seed ^ salt) | 1) % p.value())
+                .collect()
+        };
+        let (a0, a1, b0, b1) = (mk(1), mk(2), mk(3), mk(4));
+        let (out, _) = sim.multiply(&[a0.clone(), a1.clone()], &[b0.clone(), b1.clone()]);
+        for t in 0..n {
+            prop_assert_eq!(out[0][t], p.mul_mod(a0[t], b0[t]));
+            prop_assert_eq!(
+                out[1][t],
+                p.add_mod(p.mul_mod(a0[t], b1[t]), p.mul_mod(a1[t], b0[t]))
+            );
+            prop_assert_eq!(out[2][t], p.mul_mod(a1[t], b1[t]));
+        }
+    }
+
+    /// Encode → decode stays within the quantization bound for random
+    /// complex vectors.
+    #[test]
+    fn encode_decode_error_bounded(
+        vals in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 32)
+    ) {
+        let ctx = hw_ctx();
+        let enc = CkksEncoder::new(&ctx);
+        let input: Vec<Complex64> = vals.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let pt = enc.encode(&input, ctx.params().scale(), ctx.max_level()).unwrap();
+        let out = enc.decode(&pt).unwrap();
+        for (a, b) in out.iter().zip(&input) {
+            // Rounding error ≤ n/(2·scale) per slot, generously bounded.
+            prop_assert!((*a - *b).abs() < 1e-4, "{a:?} vs {b:?}");
+        }
+    }
+
+    /// Homomorphic multiply-relinearize-rescale computes the product of
+    /// random vectors on a hardware-compatible ring.
+    #[test]
+    fn scheme_multiplies_random_vectors(
+        xs in prop::collection::vec(-10.0f64..10.0, 8),
+        ys in prop::collection::vec(-10.0f64..10.0, 8),
+        seed in any::<u64>(),
+    ) {
+        let ctx = hw_ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut rng);
+        let enc = CkksEncoder::new(&ctx);
+        let eval = Evaluator::new(&ctx);
+        let scale = ctx.params().scale();
+        let e = Encryptor::new(&ctx, &pk);
+        let ca = e.encrypt(&enc.encode_real(&xs, scale, ctx.max_level()).unwrap(), &mut rng).unwrap();
+        let cb = e.encrypt(&enc.encode_real(&ys, scale, ctx.max_level()).unwrap(), &mut rng).unwrap();
+        let prod = eval.rescale(&eval.multiply_relin(&ca, &cb, &rlk).unwrap()).unwrap();
+        let dec = Decryptor::new(&ctx, &sk);
+        let got = enc.decode_real(&dec.decrypt(&prod).unwrap()).unwrap();
+        for i in 0..xs.len() {
+            let want = xs[i] * ys[i];
+            prop_assert!((got[i] - want).abs() < 0.05, "slot {i}: {} vs {want}", got[i]);
+        }
+    }
+
+    /// Additions commute with encryption for random vectors.
+    #[test]
+    fn scheme_adds_random_vectors(
+        xs in prop::collection::vec(-1000.0f64..1000.0, 8),
+        ys in prop::collection::vec(-1000.0f64..1000.0, 8),
+    ) {
+        let ctx = hw_ctx();
+        let mut rng = StdRng::seed_from_u64(42);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let enc = CkksEncoder::new(&ctx);
+        let eval = Evaluator::new(&ctx);
+        let scale = ctx.params().scale();
+        let e = Encryptor::new(&ctx, &pk);
+        let ca = e.encrypt(&enc.encode_real(&xs, scale, ctx.max_level()).unwrap(), &mut rng).unwrap();
+        let cb = e.encrypt(&enc.encode_real(&ys, scale, ctx.max_level()).unwrap(), &mut rng).unwrap();
+        let sum = eval.add(&ca, &cb).unwrap();
+        let dec = Decryptor::new(&ctx, &sk);
+        let got = enc.decode_real(&dec.decrypt(&sum).unwrap()).unwrap();
+        for i in 0..xs.len() {
+            prop_assert!((got[i] - (xs[i] + ys[i])).abs() < 1e-3);
+        }
+    }
+}
