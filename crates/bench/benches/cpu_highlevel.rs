@@ -28,18 +28,14 @@ fn bench_highlevel(c: &mut Criterion) {
                 )
             });
         });
-        group.bench_with_input(
-            BenchmarkId::new("mult_relin", set.name()),
-            &set,
-            |b, _| {
-                b.iter(|| {
-                    black_box(
-                        eval.multiply_relin(&w.ct_a, &w.ct_b, &w.rlk)
-                            .expect("multiply_relin"),
-                    )
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mult_relin", set.name()), &set, |b, _| {
+            b.iter(|| {
+                black_box(
+                    eval.multiply_relin(&w.ct_a, &w.ct_b, &w.rlk)
+                        .expect("multiply_relin"),
+                )
+            });
+        });
         group.bench_with_input(BenchmarkId::new("rotate", set.name()), &set, |b, _| {
             b.iter(|| black_box(eval.rotate(&w.ct_a, 1, &gks).expect("rotate")));
         });

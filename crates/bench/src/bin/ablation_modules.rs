@@ -50,7 +50,15 @@ fn main() {
                     "Ablation: splitting {total_cores} NTT0 cores into m0 modules ({} n={n})",
                     set.name()
                 ),
-                &["m0", "cores/mod", "ALM", "REG", "M20K", "cyc/NTT", "routable"],
+                &[
+                    "m0",
+                    "cores/mod",
+                    "ALM",
+                    "REG",
+                    "M20K",
+                    "cyc/NTT",
+                    "routable"
+                ],
                 &rows,
             )
         );

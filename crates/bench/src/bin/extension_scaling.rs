@@ -52,7 +52,11 @@ fn main() {
                     format!("{:?}", placement),
                     format!("{:.0}%", 100.0 * total.alm as f64 / s10.budget().alm as f64),
                     format!("{ops:.0}"),
-                    if dram_ok { "ok".into() } else { "INSUFFICIENT".into() },
+                    if dram_ok {
+                        "ok".into()
+                    } else {
+                        "INSUFFICIENT".into()
+                    },
                 ]);
             }
             None => rows.push(vec![
@@ -71,7 +75,16 @@ fn main() {
         "{}",
         render_table(
             "Extension: scaling the derivation beyond the paper (Stratix 10)",
-            &["Set", "n", "k", "derived architecture", "ksk", "ALM", "KeySwitch/s", "DRAM BW"],
+            &[
+                "Set",
+                "n",
+                "k",
+                "derived architecture",
+                "ksk",
+                "ALM",
+                "KeySwitch/s",
+                "DRAM BW"
+            ],
             &rows,
         )
     );
@@ -80,8 +93,7 @@ fn main() {
     let n = 1usize << 15;
     let k = 16usize;
     let arch = arch_for_intt0(n, k, 8);
-    let interval_us =
-        arch.steady_interval_cycles() as f64 / s10.freq_hz() * 1e6;
+    let interval_us = arch.steady_interval_cycles() as f64 / s10.freq_hz() * 1e6;
     println!();
     println!(
         "Set-D* ksk = {:.0} Mb per op; at a {:.0} us interval the stream needs {:.1} GBps \

@@ -8,7 +8,10 @@ fn main() {
     let n = 64usize;
     let nc = 4usize;
     let cfg = NttModuleConfig::new(n, nc).expect("valid");
-    println!("NTT access pattern, n = {n}, ncNTT = {nc} (ME = {} coeffs):\n", cfg.me_words());
+    println!(
+        "NTT access pattern, n = {n}, ncNTT = {nc} (ME = {} coeffs):\n",
+        cfg.me_words()
+    );
     for stage in 0..cfg.log_n() {
         let t = n >> (stage + 1);
         let kind = cfg.stage_kind(stage);
@@ -40,9 +43,11 @@ fn main() {
         "\nAddress formula check (n=2^12, nc=8): {checked} generated addresses, all \
          match the ground-truth pairing."
     );
-    println!("Paper's worked example: stage 0 step 0 pairs ME0 with ME256 -> formula gives ({}, {}).",
+    println!(
+        "Paper's worked example: stage 0 step 0 pairs ME0 with ME256 -> formula gives ({}, {}).",
         access::addr_me_coeff(0, 0, log_n, log_nc),
-        access::addr_me_coeff(0, 1, log_n, log_nc));
+        access::addr_me_coeff(0, 1, log_n, log_nc)
+    );
     println!("(The published formula's last term reads 's*(j mod 2)'; the working");
     println!(" form is '(j mod 2)*2^(s+1)' — see DESIGN.md.)");
 

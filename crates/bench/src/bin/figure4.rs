@@ -27,7 +27,14 @@ fn main() {
         "{}",
         render_table(
             "Figure 4: NTT pipeline — basic (50% Type-1 bubble) vs optimized",
-            &["n", "ncNTT", "basic cyc", "opt cyc", "basic util", "opt util"],
+            &[
+                "n",
+                "ncNTT",
+                "basic cyc",
+                "opt cyc",
+                "basic util",
+                "opt util"
+            ],
             &rows,
         )
     );

@@ -7,8 +7,7 @@ use heax_hw::board::Board;
 use heax_hw::keyswitch_pipeline::schedule;
 
 fn main() {
-    let dp = DesignPoint::derive(Board::stratix10(), heax_ckks::ParamSet::SetB)
-        .expect("fits");
+    let dp = DesignPoint::derive(Board::stratix10(), heax_ckks::ParamSet::SetB).expect("fits");
     let arch = dp.arch;
     let ops = 4;
     let sched = schedule(&arch, ops).expect("valid arch");
@@ -22,7 +21,10 @@ fn main() {
         dp.board.cycles_to_ops_per_sec(sched.steady_interval),
     );
     let horizon = sched.op_completion[ops - 1];
-    println!("Gantt ({} cycles, digits = op index; k = {} iterations per op):", horizon, arch.k);
+    println!(
+        "Gantt ({} cycles, digits = op index; k = {} iterations per op):",
+        horizon, arch.k
+    );
     print!("{}", sched.gantt(horizon, 110));
 
     println!("\nStation busy cycles over {horizon} total:");
@@ -48,5 +50,8 @@ fn main() {
         sched.input_buffers_needed(),
         sched.accumulator_buffers_needed()
     );
-    println!("first-op latency = {} cycles (pipeline fill + drain)", sched.first_op_latency);
+    println!(
+        "first-op latency = {} cycles (pipeline fill + drain)",
+        sched.first_op_latency
+    );
 }

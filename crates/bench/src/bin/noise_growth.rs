@@ -38,7 +38,8 @@ fn main() {
         let x = 1.1f64;
         let mut ct = Encryptor::new(&ctx, &pk)
             .encrypt(
-                &enc.encode_real(&[x], scale, ctx.max_level()).expect("encode"),
+                &enc.encode_real(&[x], scale, ctx.max_level())
+                    .expect("encode"),
                 &mut rng,
             )
             .expect("encrypt");
@@ -79,7 +80,10 @@ fn main() {
         print!(
             "{}",
             render_table(
-                &format!("Noise growth ladder — {set} (scale 2^{})", scale.log2() as u32),
+                &format!(
+                    "Noise growth ladder — {set} (scale 2^{})",
+                    scale.log2() as u32
+                ),
                 &["operation", "level", "log2 max err", "budget bits"],
                 &rows,
             )

@@ -7,8 +7,19 @@ use std::process::Command;
 fn main() {
     let budget = std::env::args().nth(1).unwrap_or_else(|| "200".into());
     let bins = [
-        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-        "figure2", "figure4", "figure6", "ablation_wordsize", "ablation_modules",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "figure2",
+        "figure4",
+        "figure6",
+        "ablation_wordsize",
+        "ablation_modules",
         "ablation_ntt",
     ];
     let me = std::env::current_exe().expect("own path");

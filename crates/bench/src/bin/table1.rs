@@ -25,11 +25,21 @@ fn main() {
         render_table(
             "Table 1: FPGA board specifications",
             &[
-                "Board", "Chip", "DSP", "REG", "ALM", "BRAM bits", "#M20K", "#chnl", "BW (GBps)"
+                "Board",
+                "Chip",
+                "DSP",
+                "REG",
+                "ALM",
+                "BRAM bits",
+                "#M20K",
+                "#chnl",
+                "BW (GBps)"
             ],
             &rows,
         )
     );
-    println!("\nPaper values: Arria 10 — 1518 DSP, 1.71M REG, 427K ALM, 53Mb, 2.7K M20K, 2 ch, 34 GBps");
+    println!(
+        "\nPaper values: Arria 10 — 1518 DSP, 1.71M REG, 427K ALM, 53Mb, 2.7K M20K, 2 ch, 34 GBps"
+    );
     println!("              Stratix 10 — 5760 DSP, 3.73M REG, 933K ALM, 229Mb, 11.7K M20K, 4 ch, 64 GBps");
 }

@@ -24,7 +24,14 @@ fn main() {
         "{}",
         render_table(
             "Table 2: HE parameter sets (plus generated chains)",
-            &["Set", "n", "log qp +1", "k", "scale", "prime chain (last = special)"],
+            &[
+                "Set",
+                "n",
+                "log qp +1",
+                "k",
+                "scale",
+                "prime chain (last = special)"
+            ],
             &rows,
         )
     );

@@ -14,10 +14,19 @@ fn main() {
     for (dp, paper_row) in DesignPoint::paper_rows().iter().zip(paper) {
         let derived = dp.arch.summary();
         rows.push(vec![
-            dp.board.chip().split_whitespace().next().unwrap_or("").to_string(),
+            dp.board
+                .chip()
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_string(),
             dp.set.to_string(),
             derived.clone(),
-            if derived == paper_row { "exact".into() } else { "DIFFERS".into() },
+            if derived == paper_row {
+                "exact".into()
+            } else {
+                "DIFFERS".into()
+            },
         ]);
     }
     print!(

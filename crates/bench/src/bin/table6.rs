@@ -17,10 +17,38 @@ struct PaperRow {
 fn main() {
     // Paper Table 6 rows: Arria/Set-A, Stratix/Set-A, Set-B, Set-C.
     let paper = [
-        PaperRow { dsp: 1185, reg: 723_188, alm: 246_323, bram_bits: 26_596_320, m20k: 1731, freq: 275 },
-        PaperRow { dsp: 2018, reg: 1_554_005, alm: 582_148, bram_bits: 26_907_592, m20k: 3986, freq: 300 },
-        PaperRow { dsp: 2610, reg: 1_976_162, alm: 698_884, bram_bits: 201_332_624, m20k: 10_340, freq: 300 },
-        PaperRow { dsp: 2370, reg: 1_746_384, alm: 599_715, bram_bits: 182_847_524, m20k: 9329, freq: 300 },
+        PaperRow {
+            dsp: 1185,
+            reg: 723_188,
+            alm: 246_323,
+            bram_bits: 26_596_320,
+            m20k: 1731,
+            freq: 275,
+        },
+        PaperRow {
+            dsp: 2018,
+            reg: 1_554_005,
+            alm: 582_148,
+            bram_bits: 26_907_592,
+            m20k: 3986,
+            freq: 300,
+        },
+        PaperRow {
+            dsp: 2610,
+            reg: 1_976_162,
+            alm: 698_884,
+            bram_bits: 201_332_624,
+            m20k: 10_340,
+            freq: 300,
+        },
+        PaperRow {
+            dsp: 2370,
+            reg: 1_746_384,
+            alm: 599_715,
+            bram_bits: 182_847_524,
+            m20k: 9329,
+            freq: 300,
+        },
     ];
 
     let mut rows = Vec::new();
@@ -45,10 +73,7 @@ fn main() {
         "{}",
         render_table(
             "Table 6: complete-design resources — model (vs paper delta)",
-            &[
-                "Design", "DSP", "dDSP", "REG", "dREG", "ALM", "dALM", "M20K", "dM20K",
-                "Freq MHz"
-            ],
+            &["Design", "DSP", "dDSP", "REG", "dREG", "ALM", "dALM", "M20K", "dM20K", "Freq MHz"],
             &rows,
         )
     );

@@ -68,7 +68,13 @@ fn main() {
         render_table(
             "Table 7: low-level ops/second — this repro vs paper",
             &[
-                "Design", "Op", "our CPU", "HEAX model", "speedup", "paper CPU", "paper HEAX",
+                "Design",
+                "Op",
+                "our CPU",
+                "HEAX model",
+                "speedup",
+                "paper CPU",
+                "paper HEAX",
                 "paper spd"
             ],
             &rows,

@@ -22,11 +22,7 @@ fn main() {
                 HeaxOp::KeySwitch => measure_ops_per_sec(
                     || {
                         let _ = eval
-                            .key_switch(
-                                w.ct_prod.component(2),
-                                w.rlk.ksk(),
-                                w.ct_prod.level(),
-                            )
+                            .key_switch(w.ct_prod.component(2), w.rlk.ksk(), w.ct_prod.level())
                             .expect("keyswitch");
                     },
                     budget_ms,
@@ -61,7 +57,13 @@ fn main() {
         render_table(
             "Table 8: high-level ops/second — this repro vs paper",
             &[
-                "Design", "Op", "our CPU", "HEAX model", "speedup", "paper CPU", "paper HEAX",
+                "Design",
+                "Op",
+                "our CPU",
+                "HEAX model",
+                "speedup",
+                "paper CPU",
+                "paper HEAX",
                 "paper spd"
             ],
             &rows,

@@ -90,8 +90,8 @@ pub fn fmt_delta(got: f64, reference: f64) -> String {
 /// Criterion benches.
 pub mod workloads {
     use heax_ckks::{
-        CkksContext, CkksEncoder, CkksParams, Ciphertext, Encryptor, ParamSet, PublicKey,
-        RelinKey, SecretKey,
+        Ciphertext, CkksContext, CkksEncoder, CkksParams, Encryptor, ParamSet, PublicKey, RelinKey,
+        SecretKey,
     };
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -61,11 +61,7 @@ impl Ciphertext {
     ///
     /// Returns [`CkksError::InvalidCiphertext`] for fewer than two
     /// components and [`CkksError::Math`] on representation mismatches.
-    pub fn from_parts(
-        polys: Vec<RnsPoly>,
-        level: usize,
-        scale: f64,
-    ) -> Result<Self, CkksError> {
+    pub fn from_parts(polys: Vec<RnsPoly>, level: usize, scale: f64) -> Result<Self, CkksError> {
         if polys.len() < 2 {
             return Err(CkksError::InvalidCiphertext {
                 components: polys.len(),

@@ -69,10 +69,7 @@ impl CkksContext {
         let mut rescale_consts = Vec::with_capacity(k);
         rescale_consts.push(None);
         for l in 1..k {
-            rescale_consts.push(Some(RnsFloorConstants::new(
-                &q_moduli[..l],
-                &q_moduli[l],
-            )?));
+            rescale_consts.push(Some(RnsFloorConstants::new(&q_moduli[..l], &q_moduli[l])?));
         }
         let mut modswitch_consts = Vec::with_capacity(k);
         for l in 0..k {
@@ -201,7 +198,8 @@ pub(crate) mod tests {
 
     #[test]
     fn context_builds_for_all_sets() {
-        for set in [ParamSet::SetA] {
+        {
+            let set = ParamSet::SetA;
             let ctx = CkksContext::new(CkksParams::from_set(set).unwrap()).unwrap();
             assert_eq!(ctx.moduli().len(), set.k() + 1);
             assert_eq!(ctx.ntt_tables().len(), set.k() + 1);

@@ -147,12 +147,12 @@ impl<'a> CkksEncoder<'a> {
         let mut residues = vec![0u64; k];
         let mut vals = vec![Complex64::default(); slots];
         for (j, v) in vals.iter_mut().enumerate() {
-            for i in 0..k {
-                residues[i] = poly.residue(i)[j];
+            for (i, r) in residues.iter_mut().enumerate() {
+                *r = poly.residue(i)[j];
             }
             let re = basis.compose_centered_f64(&residues);
-            for i in 0..k {
-                residues[i] = poly.residue(i)[j + slots];
+            for (i, r) in residues.iter_mut().enumerate() {
+                *r = poly.residue(i)[j + slots];
             }
             let im = basis.compose_centered_f64(&residues);
             *v = Complex64::new(re / pt.scale, im / pt.scale);
@@ -261,8 +261,12 @@ mod tests {
         let ctx = ctx();
         let enc = CkksEncoder::new(&ctx);
         let s = ctx.params().scale();
-        let a = enc.encode_real(&[1.0, 2.0, 3.0], s, ctx.max_level()).unwrap();
-        let b = enc.encode_real(&[0.5, -1.0, 4.0], s, ctx.max_level()).unwrap();
+        let a = enc
+            .encode_real(&[1.0, 2.0, 3.0], s, ctx.max_level())
+            .unwrap();
+        let b = enc
+            .encode_real(&[0.5, -1.0, 4.0], s, ctx.max_level())
+            .unwrap();
         let sum_poly = a.poly().add(b.poly()).unwrap();
         let sum = Plaintext::from_parts(sum_poly, ctx.max_level(), s);
         let back = enc.decode_real(&sum).unwrap();

@@ -85,7 +85,11 @@ impl<'a> Encryptor<'a> {
         rng: &mut R,
     ) -> Result<Ciphertext, CkksError> {
         let zero = Plaintext::from_parts(
-            RnsPoly::zero(self.ctx.n(), self.ctx.level_moduli(level), Representation::Ntt),
+            RnsPoly::zero(
+                self.ctx.n(),
+                self.ctx.level_moduli(level),
+                Representation::Ntt,
+            ),
             level,
             scale,
         );
@@ -188,7 +192,9 @@ mod tests {
         let pt = enc
             .encode_real(&vals, s.ctx.params().scale(), s.ctx.max_level())
             .unwrap();
-        let ct = Encryptor::new(&s.ctx, &s.pk).encrypt(&pt, &mut rng).unwrap();
+        let ct = Encryptor::new(&s.ctx, &s.pk)
+            .encrypt(&pt, &mut rng)
+            .unwrap();
         assert_eq!(ct.size(), 2);
         let dec = Decryptor::new(&s.ctx, &s.sk).decrypt(&ct).unwrap();
         let back = enc.decode_real(&dec).unwrap();
@@ -218,7 +224,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(26);
         let enc = CkksEncoder::new(&s.ctx);
         let pt = enc.encode_real(&[2.0], s.ctx.params().scale(), 0).unwrap();
-        let ct = Encryptor::new(&s.ctx, &s.pk).encrypt(&pt, &mut rng).unwrap();
+        let ct = Encryptor::new(&s.ctx, &s.pk)
+            .encrypt(&pt, &mut rng)
+            .unwrap();
         assert_eq!(ct.level(), 0);
         assert_eq!(ct.component(0).num_residues(), 1);
         let dec = Decryptor::new(&s.ctx, &s.sk).decrypt(&ct).unwrap();

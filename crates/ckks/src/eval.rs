@@ -166,11 +166,7 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     ///
     /// [`CkksError::LevelMismatch`] when levels disagree.
-    pub fn multiply_plain(
-        &self,
-        a: &Ciphertext,
-        pt: &Plaintext,
-    ) -> Result<Ciphertext, CkksError> {
+    pub fn multiply_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
         if a.level != pt.level {
             return Err(CkksError::LevelMismatch {
                 a: a.level,
@@ -320,7 +316,6 @@ impl<'a> Evaluator<'a> {
         // Extended basis: active primes + special prime.
         let mut ext_chain: Vec<_> = ctx.level_moduli(level).to_vec();
         ext_chain.push(*ctx.special_modulus());
-        let ext_len = ext_chain.len();
 
         let mut acc0 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
         let mut acc1 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
@@ -333,17 +328,15 @@ impl<'a> Evaluator<'a> {
 
             let (ksk_b, ksk_a) = ksk.component(i);
 
-            for j in 0..ext_len {
+            for (j, m) in ext_chain.iter().enumerate() {
                 // Chain index of extended position j (special prime last).
                 let chain_idx = if j <= level { j } else { k };
-                let m = &ext_chain[j];
                 // b̃: reuse the NTT form when i == j (line 9), otherwise
                 // reduce in coefficient space and re-NTT (lines 6-7, 14-15).
                 let b_ntt: Vec<u64> = if chain_idx == i {
                     target.residue(i).to_vec()
                 } else {
-                    let mut b: Vec<u64> =
-                        a_coeff.iter().map(|&x| m.reduce_u64(x)).collect();
+                    let mut b: Vec<u64> = a_coeff.iter().map(|&x| m.reduce_u64(x)).collect();
                     ctx.ntt_table(chain_idx).forward_auto(&mut b);
                     b
                 };
@@ -375,11 +368,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// [`CkksError::InvalidCiphertext`] unless the input has exactly three
     /// components.
-    pub fn relinearize(
-        &self,
-        a: &Ciphertext,
-        rlk: &RelinKey,
-    ) -> Result<Ciphertext, CkksError> {
+    pub fn relinearize(&self, a: &Ciphertext, rlk: &RelinKey) -> Result<Ciphertext, CkksError> {
         if a.size() != 3 {
             return Err(CkksError::InvalidCiphertext {
                 components: a.size(),
@@ -431,11 +420,7 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     ///
     /// Same as [`Evaluator::rotate`].
-    pub fn conjugate(
-        &self,
-        a: &Ciphertext,
-        gks: &GaloisKeys,
-    ) -> Result<Ciphertext, CkksError> {
+    pub fn conjugate(&self, a: &Ciphertext, gks: &GaloisKeys) -> Result<Ciphertext, CkksError> {
         self.apply_galois(a, galois_elt_conjugate(self.ctx.n()), gks)
     }
 
@@ -671,8 +656,7 @@ mod tests {
             .encrypt(&pt, &mut h.rng)
             .unwrap();
         let mut rng = StdRng::seed_from_u64(100);
-        let gks =
-            GaloisKeys::generate_with_conjugate(&h.ctx, &h.sk, &[], &mut rng);
+        let gks = GaloisKeys::generate_with_conjugate(&h.ctx, &h.sk, &[], &mut rng);
         let ev = Evaluator::new(&h.ctx);
         let conj = ev.conjugate(&ct, &gks).unwrap();
         let dec = Decryptor::new(&h.ctx, &h.sk).decrypt(&conj).unwrap();
@@ -703,7 +687,9 @@ mod tests {
         let a = h.encrypt(&[1.5]);
         let b = h.encrypt(&[2.0]);
         let ev = Evaluator::new(&h.ctx);
-        let ab = ev.rescale(&ev.multiply_relin(&a, &b, &h.rlk).unwrap()).unwrap();
+        let ab = ev
+            .rescale(&ev.multiply_relin(&a, &b, &h.rlk).unwrap())
+            .unwrap();
         // Encrypt c directly at the lower level with the matching scale.
         let enc = CkksEncoder::new(&h.ctx);
         let pt_c = enc.encode_real(&[4.0], ab.scale(), ab.level()).unwrap();

@@ -147,9 +147,9 @@ mod tests {
         let n = 64usize;
         let (mods, tables) = setup(n);
         let mut poly = RnsPoly::zero(n, &mods, Representation::Coefficient);
-        for r in 0..mods.len() {
-            for j in 0..n {
-                poly.residue_mut(r)[j] = ((j as u64 * 31 + r as u64 * 7 + 1) * 13) % mods[r].value();
+        for (r, m) in mods.iter().enumerate() {
+            for (j, c) in poly.residue_mut(r).iter_mut().enumerate() {
+                *c = ((j as u64 * 31 + r as u64 * 7 + 1) * 13) % m.value();
             }
         }
         for g in [5usize, 25, 2 * n - 1, galois_elt_from_step(3, n)] {

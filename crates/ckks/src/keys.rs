@@ -15,7 +15,9 @@ use heax_math::sampling::{sample_error, sample_ternary, sample_uniform};
 use rand::Rng;
 
 use crate::context::CkksContext;
-use crate::galois::{apply_galois_ntt, galois_elt_conjugate, galois_elt_from_step, galois_permutation};
+use crate::galois::{
+    apply_galois_ntt, galois_elt_conjugate, galois_elt_from_step, galois_permutation,
+};
 use crate::CkksError;
 
 /// The secret key `s` (ternary), stored in NTT form over the full modulus
@@ -29,7 +31,8 @@ impl SecretKey {
     /// Samples a fresh ternary secret key.
     pub fn generate<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R) -> Self {
         let mut poly = sample_ternary(rng, ctx.n(), ctx.moduli());
-        poly.ntt_forward(ctx.ntt_tables()).expect("fresh key in coeff form");
+        poly.ntt_forward(ctx.ntt_tables())
+            .expect("fresh key in coeff form");
         Self { poly }
     }
 
@@ -131,7 +134,12 @@ impl KeySwitchKey {
     /// Extracts component `i` restricted to the moduli active at `level`
     /// plus the special prime — the exact operand set the KeySwitch module
     /// streams from DRAM (Section 5.1).
-    pub fn component_at_level(&self, i: usize, ctx: &CkksContext, level: usize) -> (RnsPoly, RnsPoly) {
+    pub fn component_at_level(
+        &self,
+        i: usize,
+        ctx: &CkksContext,
+        level: usize,
+    ) -> (RnsPoly, RnsPoly) {
         let mut indices: Vec<usize> = (0..=level).collect();
         indices.push(ctx.params().k());
         let (b, a) = &self.components[i];
@@ -277,7 +285,8 @@ pub(crate) fn sym_enc_zero<R: Rng + ?Sized>(
 ) -> (RnsPoly, RnsPoly) {
     let a = sample_uniform(rng, ctx.n(), ctx.moduli(), Representation::Ntt);
     let mut e = sample_error(rng, ctx.n(), ctx.moduli());
-    e.ntt_forward(ctx.ntt_tables()).expect("error in coeff form");
+    e.ntt_forward(ctx.ntt_tables())
+        .expect("error in coeff form");
     // b = -(a·s) + e
     let mut b = a.dyadic_mul(&sk.poly).expect("same basis").neg();
     b.add_assign(&e).expect("same basis");
@@ -332,7 +341,10 @@ mod tests {
             } else {
                 c as i64
             };
-            assert!(centered.abs() <= 21, "error coefficient too large: {centered}");
+            assert!(
+                centered.abs() <= 21,
+                "error coefficient too large: {centered}"
+            );
         }
     }
 
@@ -349,10 +361,7 @@ mod tests {
         assert_eq!(a.num_residues(), ctx.moduli().len());
         // Size: d * 2 * (k+1) * n words.
         let k = ctx.params().k();
-        assert_eq!(
-            rlk.ksk().size_words(),
-            k * 2 * (k + 1) * ctx.n()
-        );
+        assert_eq!(rlk.ksk().size_words(), k * 2 * (k + 1) * ctx.n());
     }
 
     #[test]

@@ -209,10 +209,7 @@ impl CkksParams {
 
     /// `⌊log₂(qp)⌋ + 1`, the Table 2 "total modulus bits" figure.
     pub fn total_modulus_bits(&self) -> u32 {
-        self.moduli
-            .iter()
-            .map(|&p| 64 - p.leading_zeros())
-            .sum()
+        self.moduli.iter().map(|&p| 64 - p.leading_zeros()).sum()
     }
 }
 

@@ -178,8 +178,7 @@ fn read_poly(r: &mut Reader) -> Result<RnsPoly, CkksError> {
         _ => return Err(Reader::error("bad representation tag")),
     };
     let moduli_vals = r.words()?;
-    let moduli: Result<Vec<Modulus>, _> =
-        moduli_vals.iter().map(|&p| Modulus::new(p)).collect();
+    let moduli: Result<Vec<Modulus>, _> = moduli_vals.iter().map(|&p| Modulus::new(p)).collect();
     let moduli = moduli?;
     let data = r.words()?;
     // Residues must be canonical (< modulus).
@@ -392,7 +391,7 @@ pub fn deserialize_galois_keys(
     let mut permutations = std::collections::HashMap::new();
     for _ in 0..count {
         let elt = r.u64()? as usize;
-        if elt % 2 == 0 || elt >= 2 * ctx.n() {
+        if elt.is_multiple_of(2) || elt >= 2 * ctx.n() {
             return Err(Reader::error("invalid Galois element"));
         }
         let len = r.u64()? as usize;

@@ -1,12 +1,10 @@
 //! Property tests for the CKKS scheme: homomorphism laws, rotation
 //! composition, serialization robustness.
 
-use heax_ckks::serialize::{
-    deserialize_ciphertext, serialize_ciphertext,
-};
+use heax_ckks::serialize::{deserialize_ciphertext, serialize_ciphertext};
 use heax_ckks::{
-    CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys,
-    PublicKey, RelinKey, SecretKey,
+    CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys, PublicKey,
+    RelinKey, SecretKey,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -163,10 +163,7 @@ impl<'a> HeaxAccelerator<'a> {
         }
         out.set_representation(Representation::Ntt);
         let n = self.ctx.n() as u64;
-        Ok((
-            out,
-            self.report(HeaxOp::Ntt, per, latency, n, n),
-        ))
+        Ok((out, self.report(HeaxOp::Ntt, per, latency, n, n)))
     }
 
     /// Inverse NTT through the INTT module.
@@ -225,8 +222,7 @@ impl<'a> HeaxAccelerator<'a> {
         let beta = ct2.size();
         let level = ct1.level();
         let moduli = self.ctx.level_moduli(level);
-        let mut out_polys =
-            vec![RnsPoly::zero(n, moduli, Representation::Ntt); alpha + beta - 1];
+        let mut out_polys = vec![RnsPoly::zero(n, moduli, Representation::Ntt); alpha + beta - 1];
         let mut cycles = 0u64;
         let mut latency = 0u64;
         for (i, m) in moduli.iter().enumerate() {
@@ -248,7 +244,10 @@ impl<'a> HeaxAccelerator<'a> {
             .map_err(CoreError::Ckks)?;
         let inw = self.mult_config.input_transfer_words(alpha, beta) * moduli.len() as u64;
         let outw = self.mult_config.output_transfer_words(alpha, beta) * moduli.len() as u64;
-        Ok((ct, self.report(HeaxOp::Dyadic, cycles, cycles + latency, inw, outw)))
+        Ok((
+            ct,
+            self.report(HeaxOp::Dyadic, cycles, cycles + latency, inw, outw),
+        ))
     }
 
     /// Ciphertext-plaintext multiplication — the C-P mode of the MULT
@@ -335,14 +334,12 @@ impl<'a> HeaxAccelerator<'a> {
             let (a_coeff, _) = intt0.inverse(target.residue(i));
 
             let (ksk_b, ksk_a) = ksk.component(i);
-            for j in 0..ext_len {
+            for (j, m) in ext_chain.iter().enumerate() {
                 let chain_idx = if j <= level { j } else { k_chain };
-                let m = &ext_chain[j];
                 let b_ntt: Vec<u64> = if chain_idx == i {
                     target.residue(i).to_vec()
                 } else {
-                    let reduced: Vec<u64> =
-                        a_coeff.iter().map(|&x| m.reduce_u64(x)).collect();
+                    let reduced: Vec<u64> = a_coeff.iter().map(|&x| m.reduce_u64(x)).collect();
                     let table_j = self.find_table(m.value())?;
                     let ntt0 = NttModuleSim::new(ntt0_cfg, table_j)?;
                     ntt0.forward(&reduced).0
@@ -417,8 +414,8 @@ impl<'a> HeaxAccelerator<'a> {
         let ((f0, f1), mut report) = self.key_switch(ct.component(2), rlk.ksk(), ct.level())?;
         let c0 = ct.component(0).add(&f0).map_err(CkksError::Math)?;
         let c1 = ct.component(1).add(&f1).map_err(CkksError::Math)?;
-        let out =
-            Ciphertext::from_parts(vec![c0, c1], ct.level(), ct.scale()).map_err(CoreError::Ckks)?;
+        let out = Ciphertext::from_parts(vec![c0, c1], ct.level(), ct.scale())
+            .map_err(CoreError::Ckks)?;
         report.op = HeaxOp::KeySwitch;
         Ok((out, report))
     }
@@ -444,10 +441,10 @@ impl<'a> HeaxAccelerator<'a> {
         let elt = heax_ckks::galois::galois_elt_from_step(step, self.ctx.n());
         let ksk = gks.key(elt).map_err(CoreError::Ckks)?;
         let table = gks.permutation(elt).map_err(CoreError::Ckks)?;
-        let c0 = heax_ckks::galois::apply_galois_ntt(ct.component(0), table)
-            .map_err(CkksError::Math)?;
-        let c1 = heax_ckks::galois::apply_galois_ntt(ct.component(1), table)
-            .map_err(CkksError::Math)?;
+        let c0 =
+            heax_ckks::galois::apply_galois_ntt(ct.component(0), table).map_err(CkksError::Math)?;
+        let c1 =
+            heax_ckks::galois::apply_galois_ntt(ct.component(1), table).map_err(CkksError::Math)?;
         let ((f0, f1), mut report) = self.key_switch(&c1, ksk, ct.level())?;
         let c0 = c0.add(&f0).map_err(CkksError::Math)?;
         let out = Ciphertext::from_parts(vec![c0, f1], ct.level(), ct.scale())
@@ -500,8 +497,7 @@ impl<'a> HeaxAccelerator<'a> {
 mod tests {
     use super::*;
     use heax_ckks::{
-        CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, PublicKey,
-        SecretKey,
+        CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, PublicKey, SecretKey,
     };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -570,9 +566,9 @@ mod tests {
         let acc = accel(&h.ctx);
         let moduli = h.ctx.level_moduli(h.ctx.max_level()).to_vec();
         let mut poly = RnsPoly::zero(64, &moduli, Representation::Coefficient);
-        for i in 0..moduli.len() {
+        for (i, m) in moduli.iter().enumerate() {
             for (j, c) in poly.residue_mut(i).iter_mut().enumerate() {
-                *c = (j as u64 * 37 + i as u64) % moduli[i].value();
+                *c = (j as u64 * 37 + i as u64) % m.value();
             }
         }
         let (hw_out, report) = acc.ntt(&poly).unwrap();
@@ -590,8 +586,12 @@ mod tests {
         let mut h = harness(51);
         let enc = CkksEncoder::new(&h.ctx);
         let scale = h.ctx.params().scale();
-        let pt1 = enc.encode_real(&[1.5, -2.0], scale, h.ctx.max_level()).unwrap();
-        let pt2 = enc.encode_real(&[3.0, 4.0], scale, h.ctx.max_level()).unwrap();
+        let pt1 = enc
+            .encode_real(&[1.5, -2.0], scale, h.ctx.max_level())
+            .unwrap();
+        let pt2 = enc
+            .encode_real(&[3.0, 4.0], scale, h.ctx.max_level())
+            .unwrap();
         let e = Encryptor::new(&h.ctx, &h.pk);
         let c1 = e.encrypt(&pt1, &mut h.rng).unwrap();
         let c2 = e.encrypt(&pt2, &mut h.rng).unwrap();
@@ -621,10 +621,7 @@ mod tests {
             .unwrap();
         assert_eq!(f0, g0, "hardware f0 must equal golden model");
         assert_eq!(f1, g1, "hardware f1 must equal golden model");
-        assert_eq!(
-            report.interval_cycles,
-            acc.arch().steady_interval_cycles()
-        );
+        assert_eq!(report.interval_cycles, acc.arch().steady_interval_cycles());
     }
 
     #[test]
@@ -632,8 +629,12 @@ mod tests {
         let mut h = harness(53);
         let enc = CkksEncoder::new(&h.ctx);
         let scale = h.ctx.params().scale();
-        let pt1 = enc.encode_real(&[1.5, 2.0], scale, h.ctx.max_level()).unwrap();
-        let pt2 = enc.encode_real(&[-3.0, 0.5], scale, h.ctx.max_level()).unwrap();
+        let pt1 = enc
+            .encode_real(&[1.5, 2.0], scale, h.ctx.max_level())
+            .unwrap();
+        let pt2 = enc
+            .encode_real(&[-3.0, 0.5], scale, h.ctx.max_level())
+            .unwrap();
         let e = Encryptor::new(&h.ctx, &h.pk);
         let c1 = e.encrypt(&pt1, &mut h.rng).unwrap();
         let c2 = e.encrypt(&pt2, &mut h.rng).unwrap();
@@ -668,8 +669,12 @@ mod tests {
         let mut h = harness(56);
         let enc = CkksEncoder::new(&h.ctx);
         let scale = h.ctx.params().scale();
-        let pt_m = enc.encode_real(&[2.0, 3.0], scale, h.ctx.max_level()).unwrap();
-        let pt_w = enc.encode_real(&[4.0, -1.0], scale, h.ctx.max_level()).unwrap();
+        let pt_m = enc
+            .encode_real(&[2.0, 3.0], scale, h.ctx.max_level())
+            .unwrap();
+        let pt_w = enc
+            .encode_real(&[4.0, -1.0], scale, h.ctx.max_level())
+            .unwrap();
         let e = Encryptor::new(&h.ctx, &h.pk);
         let ct = e.encrypt(&pt_m, &mut h.rng).unwrap();
         let acc = accel(&h.ctx);

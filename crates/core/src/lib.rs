@@ -122,10 +122,7 @@ mod tests {
         let e: CoreError = CkksError::LevelExhausted.into();
         assert!(e.to_string().contains("ckks"));
         assert!(std::error::Error::source(&e).is_some());
-        let h: CoreError = HwError::InvalidConfig {
-            reason: "x".into(),
-        }
-        .into();
+        let h: CoreError = HwError::InvalidConfig { reason: "x".into() }.into();
         assert!(h.to_string().contains("hardware"));
         fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
         assert_traits::<CoreError>();

@@ -149,8 +149,8 @@ mod tests {
         for dp in DesignPoint::paper_rows() {
             for op in HeaxOp::ALL {
                 let got = estimate(&dp, op).ops_per_sec;
-                let paper = paper_heax_ops_per_sec(&dp.board, dp.set, op)
-                    .expect("paper covers all rows");
+                let paper =
+                    paper_heax_ops_per_sec(&dp.board, dp.set, op).expect("paper covers all rows");
                 let rel = (got - paper).abs() / paper;
                 assert!(
                     rel < 1e-3,

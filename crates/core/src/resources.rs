@@ -202,16 +202,16 @@ pub fn keyswitch_resources(arch: &KeySwitchArch) -> Resources {
 pub fn base_design_resources(board: &Board, arch: &KeySwitchArch) -> Resources {
     shell_resources(board)
         + keyswitch_resources(arch)
-        + module_cost(ModuleKind::Mult, crate::arch::standalone_mult_cores(board), arch.n)
+        + module_cost(
+            ModuleKind::Mult,
+            crate::arch::standalone_mult_cores(board),
+            arch.n,
+        )
 }
 
 /// Resources of the complete design with the chosen ksk placement
 /// (the Table 6 row).
-pub fn design_resources(
-    board: &Board,
-    arch: &KeySwitchArch,
-    placement: KskPlacement,
-) -> Resources {
+pub fn design_resources(board: &Board, arch: &KeySwitchArch, placement: KskPlacement) -> Resources {
     let base = base_design_resources(board, arch);
     match placement {
         KskPlacement::OnChipBram => base + ksk_bram(arch.n, arch.k),
@@ -284,10 +284,7 @@ mod tests {
         // Arria 10 / Set-A also keeps everything on chip.
         let a10 = Board::arria10();
         let arch = derive_arch(&a10, ParamSet::SetA).unwrap();
-        assert_eq!(
-            KskPlacement::choose(&a10, &arch),
-            KskPlacement::OnChipBram
-        );
+        assert_eq!(KskPlacement::choose(&a10, &arch), KskPlacement::OnChipBram);
     }
 
     #[test]

@@ -220,8 +220,10 @@ mod tests {
         let dram = sys.batch(&rep, 100, OperandLocation::BoardDram);
         assert!(host.total_us >= dram.total_us);
         assert!(dram.pcie_us == 0.0);
-        assert!(host.total_us < host.compute_us + host.pcie_us + 1e3,
-            "overlap must beat serial execution");
+        assert!(
+            host.total_us < host.compute_us + host.pcie_us + 1e3,
+            "overlap must beat serial execution"
+        );
         assert!(host.ops_per_sec > 0.0);
     }
 

@@ -153,7 +153,10 @@ mod tests {
         assert_eq!(a.budget().dsp, 1518);
         assert_eq!(a.budget().m20k, 2713);
         // ≈ 53 Mib as printed in Table 1.
-        assert_eq!((a.budget().bram_bits as f64 / (1u64 << 20) as f64).round(), 53.0);
+        assert_eq!(
+            (a.budget().bram_bits as f64 / (1u64 << 20) as f64).round(),
+            53.0
+        );
         assert_eq!(a.dram_channels(), 2);
         assert_eq!(a.freq_mhz(), 275.0);
 

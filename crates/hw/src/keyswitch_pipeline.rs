@@ -250,9 +250,10 @@ impl KeySwitchSchedule {
             })
             .max()
             .unwrap_or(0);
-        self.max_span_overlap(|e, op| e.op == op, |e, op| {
-            e.op == op && e.station == Station::Dyad(last_dyad)
-        })
+        self.max_span_overlap(
+            |e, op| e.op == op,
+            |e, op| e.op == op && e.station == Station::Dyad(last_dyad),
+        )
     }
 
     /// Number of accumulator buffer sets needed ("Data Dependency 2"):
@@ -378,7 +379,7 @@ pub fn schedule(arch: &KeySwitchArch, num_ops: usize) -> Result<KeySwitchSchedul
     // Dependency 2") precisely so that later ops' DyadMult writes never
     // stall on the previous ops' tail reads; the schedule therefore only
     // carries *module* exclusivity and dataflow dependencies.
-    for op in 0..num_ops {
+    for (op, op_done_slot) in op_completion.iter_mut().enumerate() {
         // --- k iterations of INTT0 → NTT0 → Dyad ------------------------
         let mut dyad_done_all = 0u64;
         for iter in 0..k {
@@ -415,10 +416,10 @@ pub fn schedule(arch: &KeySwitchArch, num_ops: usize) -> Result<KeySwitchSchedul
             // extra module handles the input polynomial (which is ready at
             // intt_done — its dyad is synchronized with the others).
             let sync_start = iter_ntt_done.iter().copied().max().unwrap_or(intt_done);
-            for d in 0..arch.num_dyad {
-                let s = dyad_free[d].max(sync_start);
+            for (d, free) in dyad_free.iter_mut().enumerate() {
+                let s = (*free).max(sync_start);
                 let e = s + arch.dyad_cycles();
-                dyad_free[d] = e;
+                *free = e;
                 dyad_done_all = dyad_done_all.max(e);
                 events.push(PipelineEvent {
                     station: Station::Dyad(d),
@@ -470,7 +471,7 @@ pub fn schedule(arch: &KeySwitchArch, num_ops: usize) -> Result<KeySwitchSchedul
                 op_done = op_done.max(ms_e);
             }
         }
-        op_completion[op] = op_done;
+        *op_done_slot = op_done;
     }
 
     let steady_interval = if num_ops >= 3 {

@@ -33,8 +33,7 @@ impl MultModuleConfig {
     /// [`HwError::InvalidConfig`] unless both values are powers of two with
     /// `num_cores ≤ n`.
     pub fn new(n: usize, num_cores: usize) -> Result<Self, HwError> {
-        if !n.is_power_of_two() || !num_cores.is_power_of_two() || num_cores == 0 || num_cores > n
-        {
+        if !n.is_power_of_two() || !num_cores.is_power_of_two() || num_cores == 0 || num_cores > n {
             return Err(HwError::InvalidConfig {
                 reason: format!("invalid MULT config n={n}, num_cores={num_cores}"),
             });
@@ -126,11 +125,7 @@ impl MultModuleSim {
     ///
     /// Panics if any residue length differs from `n`, or either input is
     /// empty.
-    pub fn multiply(
-        &self,
-        ct1: &[Vec<u64>],
-        ct2: &[Vec<u64>],
-    ) -> (Vec<Vec<u64>>, MultRunStats) {
+    pub fn multiply(&self, ct1: &[Vec<u64>], ct2: &[Vec<u64>]) -> (Vec<Vec<u64>>, MultRunStats) {
         let n = self.config.n;
         assert!(!ct1.is_empty() && !ct2.is_empty(), "empty ciphertext");
         for r in ct1.iter().chain(ct2) {
@@ -210,7 +205,10 @@ mod tests {
         // Set-B → 512; Set-C → 1024.
         assert_eq!(MultModuleConfig::new(4096, 16).unwrap().pair_cycles(), 256);
         assert_eq!(MultModuleConfig::new(8192, 16).unwrap().pair_cycles(), 512);
-        assert_eq!(MultModuleConfig::new(16384, 16).unwrap().pair_cycles(), 1024);
+        assert_eq!(
+            MultModuleConfig::new(16384, 16).unwrap().pair_cycles(),
+            1024
+        );
     }
 
     #[test]

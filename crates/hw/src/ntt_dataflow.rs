@@ -183,11 +183,7 @@ impl<'a> NttModuleSim<'a> {
     pub fn new(config: NttModuleConfig, table: &'a NttTable) -> Result<Self, HwError> {
         if table.n() != config.n {
             return Err(HwError::InvalidConfig {
-                reason: format!(
-                    "table degree {} != module degree {}",
-                    table.n(),
-                    config.n
-                ),
+                reason: format!("table degree {} != module degree {}", table.n(), config.n),
             });
         }
         check_hw_modulus(table.modulus())?;
@@ -311,9 +307,7 @@ impl<'a> NttModuleSim<'a> {
         for rev in 0..log_n {
             let stage = log_n - 1 - rev; // forward-stage index being undone
             let m = 1usize << stage;
-            stats
-                .stage_kinds
-                .push(self.config.stage_kind(stage));
+            stats.stage_kinds.push(self.config.stage_kind(stage));
             self.run_inverse_stage(stage, m, &mut bank, &mut core, &mut stats);
             stats.cycles += (n / self.config.me_words()) as u64;
         }
@@ -455,10 +449,22 @@ mod tests {
     fn cycle_formula_matches_paper() {
         // Table 7 back-solves: n=4096, nc=16 → 1536 cycles; n=8192, nc=16
         // → 3328; n=16384, nc=16 → 7168.
-        assert_eq!(NttModuleConfig::new(4096, 16).unwrap().transform_cycles(), 1536);
-        assert_eq!(NttModuleConfig::new(8192, 16).unwrap().transform_cycles(), 3328);
-        assert_eq!(NttModuleConfig::new(16384, 16).unwrap().transform_cycles(), 7168);
-        assert_eq!(NttModuleConfig::new(4096, 8).unwrap().transform_cycles(), 3072);
+        assert_eq!(
+            NttModuleConfig::new(4096, 16).unwrap().transform_cycles(),
+            1536
+        );
+        assert_eq!(
+            NttModuleConfig::new(8192, 16).unwrap().transform_cycles(),
+            3328
+        );
+        assert_eq!(
+            NttModuleConfig::new(16384, 16).unwrap().transform_cycles(),
+            7168
+        );
+        assert_eq!(
+            NttModuleConfig::new(4096, 8).unwrap().transform_cycles(),
+            3072
+        );
     }
 
     #[test]
@@ -592,8 +598,12 @@ mod tests {
 
     #[test]
     fn module_resources_scale_superlinearly() {
-        let small = NttModuleConfig::new(8192, 8).unwrap().module_resources(CoreKind::Ntt);
-        let large = NttModuleConfig::new(8192, 16).unwrap().module_resources(CoreKind::Ntt);
+        let small = NttModuleConfig::new(8192, 8)
+            .unwrap()
+            .module_resources(CoreKind::Ntt);
+        let large = NttModuleConfig::new(8192, 16)
+            .unwrap()
+            .module_resources(CoreKind::Ntt);
         // Cores double exactly; ALM grows more than 2× due to MUX trees
         // (the O(nc·log nc) term of Section 4.3).
         assert_eq!(large.dsp, 2 * small.dsp);

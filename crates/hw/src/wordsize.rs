@@ -36,8 +36,8 @@ pub fn dsps_per_multiplier(w: u32, style: MultiplierStyle) -> u32 {
         MultiplierStyle::Naive => tiles * tiles,
         MultiplierStyle::ToomCook => match tiles {
             0 | 1 => 1,
-            2 => 3,  // Karatsuba on 2 limbs
-            3 => 5,  // the paper's 64-bit figure (within 54..81-bit range)
+            2 => 3,                         // Karatsuba on 2 limbs
+            3 => 5,                         // the paper's 64-bit figure (within 54..81-bit range)
             t => (t * (t + 1)) / 2 + t - 1, // generic sub-quadratic bound
         },
     }

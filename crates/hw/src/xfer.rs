@@ -146,7 +146,10 @@ mod tests {
         let t8 = pcie.transfer_us(8 * poly_words, 8);
         assert!(t8 < 8.0 * t, "interleaving must amortize overhead");
         let eff = pcie.effective_gbps(64 * poly_words, 64);
-        assert!(eff > 0.5 * pcie.bandwidth_gbps, "large batches approach wire speed");
+        assert!(
+            eff > 0.5 * pcie.bandwidth_gbps,
+            "large batches approach wire speed"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 fn arb_arch() -> impl Strategy<Value = KeySwitchArch> {
     (
         prop::sample::select(vec![4096usize, 8192, 16384]),
-        1usize..=8,            // k
+        1usize..=8,                                // k
         prop::sample::select(vec![4usize, 8, 16]), // nc_intt0
         prop::sample::select(vec![1usize, 2, 4]),  // m0
     )

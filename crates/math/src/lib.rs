@@ -108,7 +108,10 @@ impl fmt::Display for MathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InvalidModulus { value } => {
-                write!(f, "invalid modulus {value}: must be odd, >2, and at most 62 bits")
+                write!(
+                    f,
+                    "invalid modulus {value}: must be odd, >2, and at most 62 bits"
+                )
             }
             Self::InvalidDegree { n } => {
                 write!(f, "invalid ring degree {n}: must be a power of two")

@@ -446,9 +446,9 @@ mod tests {
 
         // Schoolbook negacyclic product.
         let mut c = vec![0u64; n];
-        for i in 0..n {
-            for j in 0..n {
-                let prod = p.mul_mod(a[i], b[j]);
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                let prod = p.mul_mod(ai, bj);
                 let k = i + j;
                 if k < n {
                     c[k] = p.add_mod(c[k], prod);
@@ -462,11 +462,7 @@ mod tests {
         let mut tb = b.clone();
         t.forward(&mut ta);
         t.forward(&mut tb);
-        let mut tc: Vec<u64> = ta
-            .iter()
-            .zip(&tb)
-            .map(|(&x, &y)| p.mul_mod(x, y))
-            .collect();
+        let mut tc: Vec<u64> = ta.iter().zip(&tb).map(|(&x, &y)| p.mul_mod(x, y)).collect();
         t.inverse(&mut tc);
         assert_eq!(tc, c);
     }

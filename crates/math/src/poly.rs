@@ -382,7 +382,9 @@ mod tests {
     }
 
     fn tables(mods: &[Modulus]) -> Vec<NttTable> {
-        mods.iter().map(|&m| NttTable::new(16, m).unwrap()).collect()
+        mods.iter()
+            .map(|&m| NttTable::new(16, m).unwrap())
+            .collect()
     }
 
     #[test]
@@ -399,10 +401,10 @@ mod tests {
         let m = mods();
         let mut a = RnsPoly::zero(16, &m, Representation::Coefficient);
         let mut b = RnsPoly::zero(16, &m, Representation::Coefficient);
-        for i in 0..2 {
+        for (i, p) in m.iter().enumerate() {
             for j in 0..16 {
-                a.residue_mut(i)[j] = (j as u64 * 31 + i as u64) % m[i].value();
-                b.residue_mut(i)[j] = (j as u64 * 17 + 3) % m[i].value();
+                a.residue_mut(i)[j] = (j as u64 * 31 + i as u64) % p.value();
+                b.residue_mut(i)[j] = (j as u64 * 17 + 3) % p.value();
             }
         }
         let s = a.add(&b).unwrap();
@@ -418,10 +420,7 @@ mod tests {
         let m = mods();
         let a = RnsPoly::zero(16, &m, Representation::Coefficient);
         let b = RnsPoly::zero(16, &m, Representation::Ntt);
-        assert!(matches!(
-            a.add(&b),
-            Err(MathError::RepresentationMismatch)
-        ));
+        assert!(matches!(a.add(&b), Err(MathError::RepresentationMismatch)));
     }
 
     #[test]
@@ -444,16 +443,15 @@ mod tests {
         let n = 16usize;
         let mut a = RnsPoly::zero(n, &m, Representation::Coefficient);
         let mut b = RnsPoly::zero(n, &m, Representation::Coefficient);
-        for i in 0..2 {
+        for (i, p) in m.iter().enumerate() {
             for j in 0..n {
-                a.residue_mut(i)[j] = (j as u64 + 1) % m[i].value();
-                b.residue_mut(i)[j] = (j as u64 * j as u64 + 2) % m[i].value();
+                a.residue_mut(i)[j] = (j as u64 + 1) % p.value();
+                b.residue_mut(i)[j] = (j as u64 * j as u64 + 2) % p.value();
             }
         }
         // Schoolbook negacyclic per residue.
         let mut expect = RnsPoly::zero(n, &m, Representation::Coefficient);
-        for i in 0..2 {
-            let p = &m[i];
+        for (i, p) in m.iter().enumerate() {
             for x in 0..n {
                 for y in 0..n {
                     let prod = p.mul_mod(a.residue(i)[x], b.residue(i)[y]);
@@ -461,8 +459,7 @@ mod tests {
                     if k < n {
                         expect.residue_mut(i)[k] = p.add_mod(expect.residue(i)[k], prod);
                     } else {
-                        expect.residue_mut(i)[k - n] =
-                            p.sub_mod(expect.residue(i)[k - n], prod);
+                        expect.residue_mut(i)[k - n] = p.sub_mod(expect.residue(i)[k - n], prod);
                     }
                 }
             }

@@ -24,14 +24,14 @@ pub fn is_prime(n: u64) -> bool {
         if n == w {
             return true;
         }
-        if n % w == 0 {
+        if n.is_multiple_of(w) {
             return false;
         }
     }
     // n - 1 = d * 2^s with d odd.
     let mut d = n - 1;
     let mut s = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d >>= 1;
         s += 1;
     }
@@ -151,7 +151,7 @@ fn bit_len(x: u64) -> u32 {
 pub fn primitive_root_2n(modulus: &Modulus, n: usize) -> Result<u64, MathError> {
     let p = modulus.value();
     let two_n = 2 * n as u64;
-    if (p - 1) % two_n != 0 {
+    if !(p - 1).is_multiple_of(two_n) {
         return Err(MathError::NoPrimitiveRoot { modulus: p, n });
     }
     let exp = (p - 1) / two_n;

@@ -140,9 +140,8 @@ impl RnsBasis {
         for j in 0..k {
             let pj = &self.moduli[j];
             let mut t = pj.reduce_u64(residues[j]);
-            for i in 0..j {
-                let di = pj.reduce_u64(digits[i]);
-                t = pj.mul_mod(pj.sub_mod(t, di), self.garner_inv[j][i]);
+            for (di, inv) in digits[..j].iter().zip(&self.garner_inv[j]) {
+                t = pj.mul_mod(pj.sub_mod(t, pj.reduce_u64(*di)), *inv);
             }
             digits[j] = t;
         }
@@ -163,14 +162,12 @@ impl RnsBasis {
         for (d, p) in digits.iter().zip(&self.moduli) {
             let term = radix.checked_mul(*d as u128).expect("compose overflow");
             acc = acc.checked_add(term).expect("compose overflow");
-            radix = radix
-                .checked_mul(p.value() as u128)
-                .unwrap_or_else(|| {
-                    // The final radix update may overflow harmlessly when the
-                    // last digit was already folded in; only fail if digits
-                    // remain.
-                    u128::MAX
-                });
+            radix = radix.checked_mul(p.value() as u128).unwrap_or({
+                // The final radix update may overflow harmlessly when the
+                // last digit was already folded in; only fail if digits
+                // remain.
+                u128::MAX
+            });
         }
         acc
     }
@@ -283,7 +280,7 @@ impl RnsGadget {
     pub fn new(q_basis: &RnsBasis, special: &Modulus) -> Result<Self, MathError> {
         let k = q_basis.len();
         let mut factors = vec![vec![0u64; k + 1]; k];
-        for i in 0..k {
+        for (i, factors_i) in factors.iter_mut().enumerate() {
             let pi = q_basis.modulus(i);
             // w_i = [ (q/p_i)^{-1} ]_{p_i}  as an integer in [0, p_i).
             let mut prod_mod_pi = 1u64;
@@ -325,7 +322,7 @@ impl RnsGadget {
                 // Multiply by the special modulus p_sp (the "P·" factor of
                 // hybrid key switching). Mod p_sp this is 0 — consistent with
                 // P·g_i ≡ 0 (mod p_sp).
-                factors[i][j] = mj.mul_mod(g_i_mod, mj.reduce_u64(special.value()));
+                factors_i[j] = mj.mul_mod(g_i_mod, mj.reduce_u64(special.value()));
             }
         }
         Ok(Self {
@@ -367,12 +364,12 @@ impl RnsFloorConstants {
     pub fn new(remaining: &[Modulus], dropped: &Modulus) -> Result<Self, MathError> {
         let mut inv_dropped = Vec::with_capacity(remaining.len());
         for pj in remaining {
-            let inv = pj
-                .inv_mod(pj.reduce_u64(dropped.value()))
-                .map_err(|_| MathError::NotCoprime {
-                    a: dropped.value(),
-                    b: pj.value(),
-                })?;
+            let inv =
+                pj.inv_mod(pj.reduce_u64(dropped.value()))
+                    .map_err(|_| MathError::NotCoprime {
+                        a: dropped.value(),
+                        b: pj.value(),
+                    })?;
             inv_dropped.push(MulRedConstant::new(inv, pj));
         }
         Ok(Self { inv_dropped })
@@ -403,7 +400,10 @@ mod tests {
         let basis = RnsBasis::new(&[97, 193, 257]).unwrap();
         let q: u128 = 97 * 193 * 257;
         for x in [0u128, 1, 12345, q - 1, q / 2, q / 2 + 1] {
-            let residues: Vec<u64> = [97u64, 193, 257].iter().map(|&p| (x % p as u128) as u64).collect();
+            let residues: Vec<u64> = [97u64, 193, 257]
+                .iter()
+                .map(|&p| (x % p as u128) as u64)
+                .collect();
             assert_eq!(basis.compose_u128(&residues), x, "x={x}");
         }
     }

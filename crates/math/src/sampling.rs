@@ -149,7 +149,11 @@ mod tests {
         let mut sum = 0i64;
         let mut sum_sq = 0f64;
         for &c in e.residue(0) {
-            let v: i64 = if c > p0 / 2 { c as i64 - p0 as i64 } else { c as i64 };
+            let v: i64 = if c > p0 / 2 {
+                c as i64 - p0 as i64
+            } else {
+                c as i64
+            };
             assert!(v.abs() <= CBD_BITS as i64, "CBD(21) bounded by ±21");
             sum += v;
             sum_sq += (v * v) as f64;
@@ -157,7 +161,10 @@ mod tests {
         let mean = sum as f64 / n as f64;
         let var = sum_sq / n as f64 - mean * mean;
         assert!(mean.abs() < 0.3, "mean {mean} should be near 0");
-        assert!((var - 10.5).abs() < 1.5, "variance {var} should be near 10.5");
+        assert!(
+            (var - 10.5).abs() < 1.5,
+            "variance {var} should be near 10.5"
+        );
     }
 
     #[test]

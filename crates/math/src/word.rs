@@ -78,7 +78,7 @@ impl Modulus {
     /// or `value` needs more than [`MAX_MODULUS_BITS`] bits (the Algorithm 2
     /// correctness bound `p < 2^{w-2}`).
     pub fn new(value: u64) -> Result<Self, MathError> {
-        if value < 3 || value % 2 == 0 {
+        if value < 3 || value.is_multiple_of(2) {
             return Err(MathError::InvalidModulus { value });
         }
         let bits = 64 - value.leading_zeros();
@@ -433,7 +433,11 @@ mod tests {
         for x in (0..1000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) % p.value()) {
             let lazy = c.mul_red_lazy(x, &p);
             assert!(lazy < 2 * p.value());
-            let exact = if lazy >= p.value() { lazy - p.value() } else { lazy };
+            let exact = if lazy >= p.value() {
+                lazy - p.value()
+            } else {
+                lazy
+            };
             assert_eq!(exact, p.mul_mod(x, p.value() - 1));
         }
     }
@@ -452,7 +456,7 @@ mod tests {
         let p = p60();
         assert_eq!(p.pow_mod(2, 10), 1024);
         assert_eq!(p.pow_mod(0, 0), 1);
-        let x = 0x1234_5678_9abc_def % p.value();
+        let x = 0x0123_4567_89ab_cdef % p.value();
         let inv = p.inv_mod(x).unwrap();
         assert_eq!(p.mul_mod(x, inv), 1);
         assert!(p.inv_mod(0).is_err());

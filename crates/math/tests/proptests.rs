@@ -20,6 +20,8 @@ fn arb_modulus() -> impl Strategy<Value = Modulus> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
     #[test]
     fn barrett_reduce_u64_matches_rem(p in arb_modulus(), x in any::<u64>()) {
         prop_assert_eq!(p.reduce_u64(x), x % p.value());
@@ -173,9 +175,9 @@ proptest! {
         let mods: Vec<Modulus> = primes.iter().map(|&p| Modulus::new(p).unwrap()).collect();
         let mk = |v: &[u64]| {
             let mut poly = RnsPoly::zero(32, &mods, Representation::Ntt);
-            for i in 0..mods.len() {
+            for (i, m) in mods.iter().enumerate() {
                 for (dst, &src) in poly.residue_mut(i).iter_mut().zip(v) {
-                    *dst = mods[i].reduce_u64(src);
+                    *dst = m.reduce_u64(src);
                 }
             }
             poly

@@ -7,14 +7,14 @@
 //! cargo run --release --example accelerator_sim
 //! ```
 
+use heax::accel::accel::HeaxAccelerator;
+use heax::accel::arch::DesignPoint;
+use heax::accel::perf::{estimate, HeaxOp};
+use heax::accel::system::{HeaxSystem, OperandLocation};
 use heax::ckks::{
     CkksContext, CkksEncoder, CkksParams, Encryptor, Evaluator, ParamSet, PublicKey, RelinKey,
     SecretKey,
 };
-use heax::core::accel::HeaxAccelerator;
-use heax::core::arch::DesignPoint;
-use heax::core::perf::{estimate, HeaxOp};
-use heax::core::system::{HeaxSystem, OperandLocation};
 use heax::hw::board::Board;
 use heax::hw::keyswitch_pipeline::schedule;
 use rand::rngs::StdRng;
@@ -47,8 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rlk = RelinKey::generate(&ctx, &sk, &mut rng);
     let encoder = CkksEncoder::new(&ctx);
     let scale = ctx.params().scale();
-    let ct = Encryptor::new(&ctx, &pk)
-        .encrypt(&encoder.encode_real(&[1.0, 2.0], scale, ctx.max_level())?, &mut rng)?;
+    let ct = Encryptor::new(&ctx, &pk).encrypt(
+        &encoder.encode_real(&[1.0, 2.0], scale, ctx.max_level())?,
+        &mut rng,
+    )?;
     let eval = Evaluator::new(&ctx);
     let prod = eval.multiply(&ct, &ct)?;
 

@@ -8,16 +8,16 @@
 //! cargo run --release --example batched_server
 //! ```
 
+use heax::accel::accel::HeaxAccelerator;
+use heax::accel::system::{HeaxSystem, OperandLocation};
 use heax::ckks::serialize::{
-    deserialize_ciphertext, deserialize_galois_keys, deserialize_relin_key,
-    serialize_ciphertext, serialize_galois_keys, serialize_relin_key,
+    deserialize_ciphertext, deserialize_galois_keys, deserialize_relin_key, serialize_ciphertext,
+    serialize_galois_keys, serialize_relin_key,
 };
 use heax::ckks::{
     CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys, ParamSet,
     PublicKey, RelinKey, SecretKey,
 };
-use heax::core::accel::HeaxAccelerator;
-use heax::core::system::{HeaxSystem, OperandLocation};
 use heax::hw::board::Board;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,8 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let encoder = CkksEncoder::new(&ctx);
     let scale = ctx.params().scale();
     let data: Vec<f64> = (0..16).map(|i| (i as f64) / 4.0).collect();
-    let ct = Encryptor::new(&ctx, &pk)
-        .encrypt(&encoder.encode_real(&data, scale, ctx.max_level())?, &mut rng)?;
+    let ct = Encryptor::new(&ctx, &pk).encrypt(
+        &encoder.encode_real(&data, scale, ctx.max_level())?,
+        &mut rng,
+    )?;
 
     // Everything that crosses the wire is bytes.
     let wire_ct = serialize_ciphertext(&ct);

@@ -15,12 +15,12 @@
 //! cargo run --release --example encrypted_inference
 //! ```
 
+use heax::accel::arch::DesignPoint;
+use heax::accel::perf::{estimate, HeaxOp};
 use heax::ckks::{
-    Ciphertext, CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator,
-    GaloisKeys, ParamSet, PublicKey, RelinKey, SecretKey,
+    Ciphertext, CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys,
+    ParamSet, PublicKey, RelinKey, SecretKey,
 };
-use heax::core::arch::DesignPoint;
-use heax::core::perf::{estimate, HeaxOp};
 use heax::hw::board::Board;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Set-C: n = 2^14, k = 8 — deep enough for the cubic with room left.
     let ctx = CkksContext::new(CkksParams::from_set(ParamSet::SetC)?)?;
     let mut rng = StdRng::seed_from_u64(2024);
-    println!("generating keys (Set-C: n = {}, k = {})...", ctx.n(), ctx.params().k());
+    println!(
+        "generating keys (Set-C: n = {}, k = {})...",
+        ctx.n(),
+        ctx.params().k()
+    );
     let sk = SecretKey::generate(&ctx, &mut rng);
     let pk = PublicKey::generate(&ctx, &sk, &mut rng);
     let rlk = RelinKey::generate(&ctx, &sk, &mut rng);
@@ -69,8 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weights: Vec<f64> = vec![0.25, -0.5, 0.125, 0.75, -0.25, 0.5, -0.125, 0.375];
     let features: Vec<f64> = vec![1.0, 2.0, -1.0, 0.5, 3.0, -2.0, 1.5, -0.5];
     let bias = 0.1;
-    let logit_ref: f64 =
-        weights.iter().zip(&features).map(|(w, x)| w * x).sum::<f64>() + bias;
+    let logit_ref: f64 = weights
+        .iter()
+        .zip(&features)
+        .map(|(w, x)| w * x)
+        .sum::<f64>()
+        + bias;
     let prob_ref = sigmoid_cubic(logit_ref);
 
     let encoder = CkksEncoder::new(&ctx);
@@ -104,14 +112,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 0.197·t: prime-targeted constant, then drop to t3's level.
     let p_lin = ctx.moduli()[logit.level()].value() as f64;
-    let lin = eval.rescale(&eval.multiply_plain(&logit, &encoder.encode_scalar(0.197, p_lin, logit.level())?)?)?;
+    let lin = eval.rescale(
+        &eval.multiply_plain(&logit, &encoder.encode_scalar(0.197, p_lin, logit.level())?)?,
+    )?;
     let lin = switch_to_level(&eval, &lin, t3.level())?;
 
     // −0.004·t³ at Δ, one more level down.
     let p_cub = ctx.moduli()[t3.level()].value() as f64;
-    let cub = eval.rescale(
-        &eval.multiply_plain(&t3, &encoder.encode_scalar(-0.004, p_cub, t3.level())?)?,
-    )?;
+    let cub = eval
+        .rescale(&eval.multiply_plain(&t3, &encoder.encode_scalar(-0.004, p_cub, t3.level())?)?)?;
     let lin = switch_to_level(&eval, &lin, cub.level())?;
 
     let mut prob = eval.add(&cub, &lin)?;
@@ -127,14 +136,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nencrypted logistic inference (d = {DIM}, Set-C):");
     println!("  logit: encrypted {got_logit:.5}  vs plaintext {logit_ref:.5}");
     println!("  prob:  encrypted {got_prob:.5}  vs plaintext {prob_ref:.5} (cubic approx)");
-    println!("  final level: {} of {} (levels spent: {})", prob.level(), top, top - prob.level());
+    println!(
+        "  final level: {} of {} (levels spent: {})",
+        prob.level(),
+        top,
+        top - prob.level()
+    );
     assert!((got_logit - logit_ref).abs() < 1e-2);
     assert!((got_prob - prob_ref).abs() < 1e-2);
 
     // ---- Cost model -----------------------------------------------------
     let ks_ops = steps.len() as f64 + 2.0; // rotations + 2 relinearizations
-    println!("\ncircuit cost ({} rotations + 2 relins = {ks_ops} KeySwitch ops):", steps.len());
-    println!("  our CPU wall time:  {:.1} ms", server_time.as_secs_f64() * 1e3);
+    println!(
+        "\ncircuit cost ({} rotations + 2 relins = {ks_ops} KeySwitch ops):",
+        steps.len()
+    );
+    println!(
+        "  our CPU wall time:  {:.1} ms",
+        server_time.as_secs_f64() * 1e3
+    );
     let dp = DesignPoint::derive(Board::stratix10(), ParamSet::SetC)?;
     let ks = estimate(&dp, HeaxOp::KeySwitch);
     println!(
@@ -144,7 +164,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  paper's speed-up for this op mix: ~{:.0}x over the Xeon baseline",
-        ks.ops_per_sec / heax::core::perf::paper_cpu_ops_per_sec(ParamSet::SetC, HeaxOp::KeySwitch)
+        ks.ops_per_sec
+            / heax::accel::perf::paper_cpu_ops_per_sec(ParamSet::SetC, HeaxOp::KeySwitch)
     );
     Ok(())
 }

@@ -6,11 +6,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use heax::accel::accel::HeaxAccelerator;
 use heax::ckks::{
     CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys, ParamSet,
     PublicKey, RelinKey, SecretKey,
 };
-use heax::core::accel::HeaxAccelerator;
 use heax::hw::board::Board;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,14 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ctx.params().scale();
     let xs = [1.5, 2.0, -3.0, 0.25];
     let ys = [4.0, -1.0, 2.0, 8.0];
-    let ct_x = Encryptor::new(&ctx, &pk).encrypt(
-        &encoder.encode_real(&xs, scale, ctx.max_level())?,
-        &mut rng,
-    )?;
-    let ct_y = Encryptor::new(&ctx, &pk).encrypt(
-        &encoder.encode_real(&ys, scale, ctx.max_level())?,
-        &mut rng,
-    )?;
+    let ct_x = Encryptor::new(&ctx, &pk)
+        .encrypt(&encoder.encode_real(&xs, scale, ctx.max_level())?, &mut rng)?;
+    let ct_y = Encryptor::new(&ctx, &pk)
+        .encrypt(&encoder.encode_real(&ys, scale, ctx.max_level())?, &mut rng)?;
 
     // 4. Compute on ciphertexts (server side): x*y + rotate(x, 1).
     let eval = Evaluator::new(&ctx);

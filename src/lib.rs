@@ -6,15 +6,18 @@
 //! * [`math`] — modular arithmetic, NTT, RNS, FFT, sampling;
 //! * [`ckks`] — the full RNS-CKKS scheme (CPU baseline / golden model);
 //! * [`hw`] — FPGA component models and cycle-accurate dataflow simulators;
-//! * [`core`] — the HEAX accelerator (architecture derivation, resource
+//! * [`accel`] — the HEAX accelerator (architecture derivation, resource
 //!   and performance models, functional execution).
+//!
+//! The accelerator layer is re-exported as `accel` (not `core`, its crate
+//! name) so the facade never shadows the built-in `core` prelude path.
 //!
 //! See the repository `README.md` for a quickstart and `EXPERIMENTS.md`
 //! for the paper-vs-measured evaluation index.
 //!
 //! ```
-//! use heax::core::arch::DesignPoint;
-//! use heax::core::perf::{estimate, HeaxOp};
+//! use heax::accel::arch::DesignPoint;
+//! use heax::accel::perf::{estimate, HeaxOp};
 //!
 //! # fn main() -> Result<(), heax::hw::HwError> {
 //! let dp = DesignPoint::derive(heax::hw::board::Board::stratix10(), heax::ckks::ParamSet::SetA)?;
@@ -26,6 +29,6 @@
 #![warn(missing_docs)]
 
 pub use heax_ckks as ckks;
-pub use heax_core as core;
+pub use heax_core as accel;
 pub use heax_hw as hw;
 pub use heax_math as math;

@@ -2,11 +2,11 @@
 //! simulators must produce bit-exact results against the software CKKS
 //! library on the paper's real Set-A parameters.
 
+use heax::accel::accel::HeaxAccelerator;
 use heax::ckks::{
     CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys, ParamSet,
     PublicKey, RelinKey, SecretKey,
 };
-use heax::core::accel::HeaxAccelerator;
 use heax::hw::board::Board;
 use heax::hw::ntt_dataflow::{NttModuleConfig, NttModuleSim};
 use heax::math::poly::{Representation, RnsPoly};
@@ -39,7 +39,13 @@ fn rig() -> Rig {
 #[test]
 fn hardware_ntt_bit_exact_on_paper_sizes() {
     // Every (n, nc) combination the paper instantiates.
-    for (n, nc) in [(4096usize, 8usize), (4096, 16), (8192, 16), (16384, 16), (16384, 8)] {
+    for (n, nc) in [
+        (4096usize, 8usize),
+        (4096, 16),
+        (8192, 16),
+        (16384, 16),
+        (16384, 8),
+    ] {
         let p = heax::math::primes::generate_ntt_primes(45, 1, n).unwrap()[0];
         let table =
             heax::math::ntt::NttTable::new(n, heax::math::word::Modulus::new(p).unwrap()).unwrap();
@@ -67,10 +73,16 @@ fn accelerator_full_op_suite_bit_exact_set_a() {
     let top = r.ctx.max_level();
     let e = Encryptor::new(&r.ctx, &r.pk);
     let ct_a = e
-        .encrypt(&enc.encode_real(&[1.0, -2.0, 3.0], scale, top).unwrap(), &mut r.rng)
+        .encrypt(
+            &enc.encode_real(&[1.0, -2.0, 3.0], scale, top).unwrap(),
+            &mut r.rng,
+        )
         .unwrap();
     let ct_b = e
-        .encrypt(&enc.encode_real(&[0.5, 4.0, -1.0], scale, top).unwrap(), &mut r.rng)
+        .encrypt(
+            &enc.encode_real(&[0.5, 4.0, -1.0], scale, top).unwrap(),
+            &mut r.rng,
+        )
         .unwrap();
 
     let accel = HeaxAccelerator::new(&r.ctx, Board::stratix10()).unwrap();
@@ -78,9 +90,9 @@ fn accelerator_full_op_suite_bit_exact_set_a() {
     // NTT/INTT round trip through the banked hardware.
     let moduli = r.ctx.level_moduli(top).to_vec();
     let mut poly = RnsPoly::zero(r.ctx.n(), &moduli, Representation::Coefficient);
-    for i in 0..moduli.len() {
+    for (i, m) in moduli.iter().enumerate() {
         for (j, c) in poly.residue_mut(i).iter_mut().enumerate() {
-            *c = (j as u64).wrapping_mul(0x9e3779b97f4a7c15) % moduli[i].value();
+            *c = (j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) % m.value();
         }
     }
     let (ntt_out, _) = accel.ntt(&poly).unwrap();
@@ -114,7 +126,11 @@ fn accelerator_full_op_suite_bit_exact_set_a() {
     let dec = Decryptor::new(&r.ctx, &r.sk);
     let got = enc.decode_real(&dec.decrypt(&hw_mr).unwrap()).unwrap();
     for (i, want) in [0.5, -8.0, -3.0].iter().enumerate() {
-        assert!((got[i] - want).abs() < 0.1, "slot {i}: {} vs {want}", got[i]);
+        assert!(
+            (got[i] - want).abs() < 0.1,
+            "slot {i}: {} vs {want}",
+            got[i]
+        );
     }
 }
 

@@ -160,9 +160,13 @@ fn symmetric_and_public_encryption_agree() {
     let mut s = session(ParamSet::SetA, 7);
     let enc = CkksEncoder::new(&s.ctx);
     let scale = s.ctx.params().scale();
-    let pt = enc.encode_real(&[5.5, -1.5], scale, s.ctx.max_level()).unwrap();
+    let pt = enc
+        .encode_real(&[5.5, -1.5], scale, s.ctx.max_level())
+        .unwrap();
     let dec = Decryptor::new(&s.ctx, &s.sk);
-    let ct_pub = Encryptor::new(&s.ctx, &s.pk).encrypt(&pt, &mut s.rng).unwrap();
+    let ct_pub = Encryptor::new(&s.ctx, &s.pk)
+        .encrypt(&pt, &mut s.rng)
+        .unwrap();
     let ct_sym = heax::ckks::encrypt_symmetric(&s.ctx, &s.sk, &pt, &mut s.rng).unwrap();
     let a = enc.decode_real(&dec.decrypt(&ct_pub).unwrap()).unwrap();
     let b = enc.decode_real(&dec.decrypt(&ct_sym).unwrap()).unwrap();

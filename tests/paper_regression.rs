@@ -1,9 +1,9 @@
 //! Regression tests pinning this reproduction to the paper's published
 //! evaluation artifacts (the deterministic HEAX-side numbers).
 
+use heax::accel::arch::DesignPoint;
+use heax::accel::perf::{estimate, paper_heax_ops_per_sec, HeaxOp};
 use heax::ckks::{CkksParams, ParamSet};
-use heax::core::arch::DesignPoint;
-use heax::core::perf::{estimate, paper_heax_ops_per_sec, HeaxOp};
 use heax::hw::board::Board;
 use heax::hw::keyswitch_pipeline::schedule;
 use heax::hw::xfer::DramModel;

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of the criterion 0.5 API the workspace's
+//! benches use — [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — as a plain
+//! wall-clock harness: fixed warm-up, then `sample_size` samples each
+//! running for `measurement_time / sample_size`, reporting the mean and
+//! the best sample's per-iteration time. No statistics, plots, or
+//! baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("", &mut f);
+        group.finish();
+    }
+}
+
+/// A set of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before measuring.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the total measurement duration.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks a closure under a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; we print nothing).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: self.warm_up_time,
+            },
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            b.mode = Mode::Measure { until: per_sample };
+            b.total = Duration::ZERO;
+            b.iters = 0;
+            f(&mut b);
+            if b.iters > 0 {
+                best = best.min(b.total / b.iters as u32);
+                total += b.total;
+                iters += b.iters;
+            }
+        }
+        if iters == 0 {
+            println!("  {name:<40} (no iterations)");
+            return;
+        }
+        let mean = total.as_nanos() as f64 / iters as f64;
+        println!(
+            "  {name:<40} mean {:>12} best {:>12} ({iters} iters)",
+            format_ns(mean),
+            format_ns(best.as_nanos() as f64),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+enum Mode {
+    WarmUp { until: Duration },
+    Measure { until: Duration },
+}
+
+/// Passed to bench closures; call [`Bencher::iter`] with the hot loop body.
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly for the current sample's time slice.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let until = match self.mode {
+            Mode::WarmUp { until } | Mode::Measure { until } => until,
+        };
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(body());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= until {
+                break;
+            }
+        }
+    }
+}
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("ntt", "SetA")` renders as `ntt/SetA`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+}
+
+/// Declares a benchmark group entry point callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,90 @@
+//! Deterministic case runner.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fixed base seed: cases are derived from this plus the test name and
+/// case index, so runs are reproducible without persisted regressions.
+const BASE_SEED: u64 = 0x4845_4158_2042_4153; // "HEAX BAS"
+
+/// Runner configuration (only `cases` is meaningful in this stand-in).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// Precondition not met (`prop_assume!`): case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// Creates a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Executes a property over `config.cases` deterministic random cases.
+pub struct TestRunner {
+    name: &'static str,
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named property.
+    pub fn new(name: &'static str, config: ProptestConfig) -> Self {
+        TestRunner { name, config }
+    }
+
+    /// Runs the property, panicking on the first failing case with the
+    /// case index and derived seed (rerun is deterministic by design).
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let name_tag: u64 = self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+        let mut rejected = 0u32;
+        for i in 0..self.config.cases {
+            let seed = BASE_SEED ^ name_tag ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "property `{}` failed at case {}/{} (seed {:#x}):\n{}",
+                    self.name, i, self.config.cases, seed, msg
+                ),
+            }
+        }
+        assert!(
+            rejected < self.config.cases,
+            "property `{}`: every case was rejected by prop_assume!",
+            self.name
+        );
+    }
+}
