@@ -1,0 +1,71 @@
+//! Criterion bench of the parallel RNS-limb execution backend: sequential
+//! vs 2/4/8-lane thread pool for full-width NTT round-trips and the
+//! key-switch inner primitive at the paper's ring degrees (4096 / 8192 /
+//! 16384).
+//!
+//! CI runs this in quick mode by setting `HEAX_BENCH_QUICK=1` (fewer
+//! samples, shorter measurement windows); locally run
+//! `cargo bench -p heax-bench --bench parallel_backend` for full windows.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heax_bench::parallel::{self, SIZES, THREADS};
+use heax_ckks::Evaluator;
+use heax_math::exec::{self, Executor};
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_>) {
+    if std::env::var_os("HEAX_BENCH_QUICK").is_some() {
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(50))
+            .measurement_time(Duration::from_millis(300));
+    } else {
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1));
+    }
+}
+
+fn executors() -> Vec<(String, Arc<dyn Executor>)> {
+    let mut execs: Vec<(String, Arc<dyn Executor>)> =
+        vec![("seq".into(), Arc::new(exec::Sequential))];
+    for k in THREADS {
+        execs.push((format!("{k}thr"), exec::with_threads(k)));
+    }
+    execs
+}
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_ntt_roundtrip");
+    configure(&mut group);
+    for n in SIZES {
+        let mut wl = parallel::prepare(n);
+        for (label, exec) in executors() {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| parallel::ntt_roundtrip(&mut wl, exec.as_ref()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_key_switch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_key_switch");
+    configure(&mut group);
+    for n in SIZES {
+        let wl = parallel::prepare(n);
+        for (label, exec) in executors() {
+            let eval = Evaluator::with_executor(&wl.w.ctx, exec.clone());
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| parallel::key_switch_once(&wl, &eval));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_key_switch);
+criterion_main!(benches);

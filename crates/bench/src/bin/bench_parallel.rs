@@ -1,0 +1,58 @@
+//! Parallel-backend perf snapshot: measures sequential vs 2/4/8-lane NTT
+//! round-trips and key switching at N = 4096/8192/16384, prints the
+//! comparison table, and writes the machine-readable `BENCH_parallel.json`
+//! snapshot (path overridable via the `HEAX_BENCH_JSON` environment
+//! variable) so the perf trajectory can be tracked across PRs.
+//!
+//! Usage: `bench_parallel [budget_ms]` (default 300 ms per data point).
+
+use heax_bench::bench_json;
+use heax_bench::{fmt_ops, fmt_speedup, parallel, render_table};
+
+fn main() {
+    let budget_ms = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    let records = parallel::measure_suite(budget_ms);
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.op.clone(),
+                r.n.to_string(),
+                if r.threads == 1 {
+                    "seq".into()
+                } else {
+                    r.threads.to_string()
+                },
+                fmt_ops(r.ops_per_sec),
+                fmt_speedup(r.speedup_vs_sequential),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Parallel RNS-limb backend: sequential vs thread pool",
+            &["op", "n", "threads", "ops/s", "vs seq"],
+            &rows,
+        )
+    );
+    println!(
+        "\nhost parallelism: {} lane(s); speedups above 1.0 require a \
+         multi-core host",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+
+    let path = bench_json::default_path();
+    let json = bench_json::render(&records, budget_ms);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -21,6 +21,7 @@ fn main() {
         "ablation_wordsize",
         "ablation_modules",
         "ablation_ntt",
+        "bench_parallel",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

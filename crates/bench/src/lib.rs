@@ -163,9 +163,236 @@ pub mod workloads {
     }
 }
 
+/// Workloads and measurement helpers for the parallel execution backend
+/// (`heax_math::exec`): sequential vs thread-pool NTT round-trips and key
+/// switching, shared by the `parallel_backend` Criterion bench and the
+/// `bench_parallel` snapshot binary.
+pub mod parallel {
+    use std::sync::Arc;
+
+    use heax_ckks::{Evaluator, ParamSet};
+    use heax_math::exec::{self, Executor};
+    use heax_math::poly::{Representation, RnsPoly};
+
+    use crate::workloads::{self, SetWorkload};
+
+    /// Ring degrees the backend is benchmarked at (the paper's Set-A/B/C).
+    pub const SIZES: [usize; 3] = [4096, 8192, 16384];
+
+    /// Lane counts compared against [`exec::Sequential`].
+    pub const THREADS: [usize; 3] = [2, 4, 8];
+
+    /// The paper parameter set with ring degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 4096, 8192, or 16384.
+    pub fn set_for_n(n: usize) -> ParamSet {
+        match n {
+            4096 => ParamSet::SetA,
+            8192 => ParamSet::SetB,
+            16384 => ParamSet::SetC,
+            other => panic!("no paper parameter set with n = {other}"),
+        }
+    }
+
+    /// A prepared parameter set plus a full-width coefficient-form
+    /// polynomial for NTT round-trips.
+    pub struct ParallelWorkload {
+        /// Keys, ciphertexts, and context for the set.
+        pub w: SetWorkload,
+        /// All-limb polynomial in coefficient form (top level).
+        pub poly: RnsPoly,
+    }
+
+    /// Builds the workload for ring degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a paper ring degree.
+    pub fn prepare(n: usize) -> ParallelWorkload {
+        let w = workloads::prepare(set_for_n(n));
+        let moduli = w.ctx.level_moduli(w.ctx.max_level()).to_vec();
+        let mut poly = RnsPoly::zero(n, &moduli, Representation::Coefficient);
+        for (i, m) in moduli.iter().enumerate() {
+            for (j, c) in poly.residue_mut(i).iter_mut().enumerate() {
+                *c = (j as u64).wrapping_mul(0x9e3779b97f4a7c15 + i as u64) % m.value();
+            }
+        }
+        ParallelWorkload { w, poly }
+    }
+
+    /// One benchmark operation: forward + inverse NTT of every limb
+    /// through `exec` (returns the polynomial to its original state, so
+    /// it can be iterated in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics on representation errors (cannot happen from [`prepare`]).
+    pub fn ntt_roundtrip(wl: &mut ParallelWorkload, exec: &dyn Executor) {
+        let tables = wl.w.ctx.ntt_tables();
+        wl.poly.ntt_forward_with(tables, exec).expect("forward");
+        wl.poly.ntt_inverse_with(tables, exec).expect("inverse");
+    }
+
+    /// One benchmark operation: the full key-switch inner primitive on
+    /// the workload's 3-component product, through an evaluator pinned to
+    /// `exec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on evaluation errors (cannot happen from [`prepare`]).
+    pub fn key_switch_once(wl: &ParallelWorkload, eval: &Evaluator<'_>) {
+        let _ = eval
+            .key_switch(
+                wl.w.ct_prod.component(2),
+                wl.w.rlk.ksk(),
+                wl.w.ct_prod.level(),
+            )
+            .expect("key_switch");
+    }
+
+    /// Measures ops/second of the NTT round-trip and key switch for one
+    /// executor, using the shared wall-clock loop.
+    pub fn measure_one(
+        wl: &mut ParallelWorkload,
+        exec: &Arc<dyn Executor>,
+        budget_ms: u64,
+    ) -> (f64, f64) {
+        let ntt = crate::measure_ops_per_sec(|| ntt_roundtrip(wl, exec.as_ref()), budget_ms);
+        let eval = Evaluator::with_executor(&wl.w.ctx, exec.clone());
+        let ks = crate::measure_ops_per_sec(|| key_switch_once(wl, &eval), budget_ms);
+        (ntt, ks)
+    }
+
+    /// Runs the full sequential-vs-parallel sweep, returning one record
+    /// per `(op, n, threads)` point with speedups relative to the
+    /// sequential backend at the same `n`.
+    pub fn measure_suite(budget_ms: u64) -> Vec<crate::bench_json::BenchRecord> {
+        use crate::bench_json::BenchRecord;
+        let mut records = Vec::new();
+        for n in SIZES {
+            eprintln!("preparing n = {n} ...");
+            let mut wl = prepare(n);
+            let seq: Arc<dyn Executor> = Arc::new(exec::Sequential);
+            let (ntt_seq, ks_seq) = measure_one(&mut wl, &seq, budget_ms);
+            records.push(BenchRecord::new("ntt_roundtrip", n, 1, ntt_seq, 1.0));
+            records.push(BenchRecord::new("key_switch", n, 1, ks_seq, 1.0));
+            for k in THREADS {
+                let pool = exec::with_threads(k);
+                let (ntt_k, ks_k) = measure_one(&mut wl, &pool, budget_ms);
+                records.push(BenchRecord::new(
+                    "ntt_roundtrip",
+                    n,
+                    k,
+                    ntt_k,
+                    ntt_k / ntt_seq,
+                ));
+                records.push(BenchRecord::new("key_switch", n, k, ks_k, ks_k / ks_seq));
+            }
+        }
+        records
+    }
+}
+
+/// Machine-readable perf snapshots (`BENCH_parallel.json`): a tiny
+/// hand-rolled JSON emitter (the workspace is offline; no serde) so the
+/// BENCH trajectory can be diffed and plotted across PRs and archived
+/// from CI.
+pub mod bench_json {
+    /// One measured `(op, n, threads)` point.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct BenchRecord {
+        /// Operation name (`ntt_roundtrip`, `key_switch`).
+        pub op: String,
+        /// Ring degree.
+        pub n: usize,
+        /// Executor lanes (1 = sequential backend).
+        pub threads: usize,
+        /// Measured throughput.
+        pub ops_per_sec: f64,
+        /// Throughput relative to the sequential backend at the same `n`.
+        pub speedup_vs_sequential: f64,
+    }
+
+    impl BenchRecord {
+        /// Convenience constructor.
+        pub fn new(op: &str, n: usize, threads: usize, ops_per_sec: f64, speedup: f64) -> Self {
+            Self {
+                op: op.to_string(),
+                n,
+                threads,
+                ops_per_sec,
+                speedup_vs_sequential: speedup,
+            }
+        }
+    }
+
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect()
+    }
+
+    /// Renders the snapshot document for a set of records.
+    pub fn render(records: &[BenchRecord], budget_ms: u64) -> String {
+        let host_lanes = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"heax-bench-parallel/1\",\n");
+        out.push_str(&format!("  \"host_parallelism\": {host_lanes},\n"));
+        out.push_str(&format!("  \"budget_ms\": {budget_ms},\n"));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"op\": \"{}\", \"n\": {}, \"threads\": {}, \
+                 \"ops_per_sec\": {:.3}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+                esc(&r.op),
+                r.n,
+                r.threads,
+                r.ops_per_sec,
+                r.speedup_vs_sequential,
+                if i + 1 < records.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Snapshot path: the `HEAX_BENCH_JSON` environment variable when
+    /// set, `BENCH_parallel.json` in the working directory otherwise.
+    pub fn default_path() -> std::path::PathBuf {
+        std::env::var_os("HEAX_BENCH_JSON")
+            .map(Into::into)
+            .unwrap_or_else(|| "BENCH_parallel.json".into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_renders_valid_shape() {
+        use bench_json::BenchRecord;
+        let records = vec![
+            BenchRecord::new("ntt_roundtrip", 4096, 1, 1234.5, 1.0),
+            BenchRecord::new("key_switch", 4096, 4, 99.25, 1.75),
+        ];
+        let json = bench_json::render(&records, 100);
+        assert!(json.contains("\"schema\": \"heax-bench-parallel/1\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"speedup_vs_sequential\": 1.750"));
+        // Balanced braces/brackets, no trailing comma before the closer.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
 
     #[test]
     fn table_renders() {

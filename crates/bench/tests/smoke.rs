@@ -2,6 +2,10 @@
 //! to completion (exit 0) and print something, under a fast measurement
 //! budget so the whole suite stays test-friendly.
 //!
+//! Each binary runs twice — once with `HEAX_THREADS=1` (sequential
+//! backend) and once with `HEAX_THREADS=4` (thread-pool backend) — so a
+//! racy parallel backend can never land green.
+//!
 //! Cargo builds each `[[bin]]` target for integration tests of this
 //! package and exposes its path as `CARGO_BIN_EXE_<name>`, so this runs
 //! the real binaries, not in-process approximations.
@@ -9,26 +13,40 @@
 use std::process::Command;
 
 /// Milliseconds of CPU-measurement budget handed to the binaries that
-/// accept one (`table7`, `table8`, `ablation_ntt`, `repro`); the rest are
-/// pure model evaluations and ignore the argument.
+/// accept one (`table7`, `table8`, `ablation_ntt`, `bench_parallel`,
+/// `repro`); the rest are pure model evaluations and ignore the argument.
 const FAST_BUDGET_MS: &str = "25";
 
+/// Backend lane counts every binary is exercised under.
+const THREAD_CONFIGS: [&str; 2] = ["1", "4"];
+
 fn run_binary(name: &str, path: &str) {
-    let out = Command::new(path)
-        .arg(FAST_BUDGET_MS)
-        .output()
-        .unwrap_or_else(|e| panic!("failed to spawn {name} ({path}): {e}"));
-    assert!(
-        out.status.success(),
-        "{name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
-        out.status.code(),
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr),
-    );
-    assert!(
-        !out.stdout.is_empty(),
-        "{name} succeeded but printed nothing on stdout"
-    );
+    for threads in THREAD_CONFIGS {
+        let out = Command::new(path)
+            .arg(FAST_BUDGET_MS)
+            .env("HEAX_THREADS", threads)
+            // Keep perf snapshots (bench_parallel) out of the source tree.
+            .env(
+                "HEAX_BENCH_JSON",
+                format!(
+                    "{}/BENCH_parallel_smoke_{threads}.json",
+                    env!("CARGO_TARGET_TMPDIR")
+                ),
+            )
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {name} ({path}): {e}"));
+        assert!(
+            out.status.success(),
+            "{name} (HEAX_THREADS={threads}) exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "{name} (HEAX_THREADS={threads}) succeeded but printed nothing on stdout"
+        );
+    }
 }
 
 macro_rules! smoke {
@@ -58,6 +76,7 @@ smoke!(
     ablation_modules,
     ablation_ntt,
     ablation_wordsize,
+    bench_parallel,
     extension_scaling,
     noise_growth,
 );

@@ -65,8 +65,9 @@ impl<'a> Encryptor<'a> {
         c1.add_assign(&e1)?;
 
         // ct = (m, 0) + ⌊(c'_0, c'_1)/p⌋ ∈ R_q².
-        let mut c0 = floor_special(&c0, ctx, level)?;
-        let c1 = floor_special(&c1, ctx, level)?;
+        let exec = heax_math::exec::global().as_ref();
+        let mut c0 = floor_special(&c0, ctx, level, exec)?;
+        let c1 = floor_special(&c1, ctx, level, exec)?;
         c0.add_assign(&pt.poly)?;
 
         Ciphertext::from_parts(vec![c0, c1], level, pt.scale)

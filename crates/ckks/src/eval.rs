@@ -19,6 +19,9 @@
 //! computes `(τ(c₀) + f₀, f₁)` where `(f₀, f₁) = KeySwitchInner(τ(c₁))`.
 //! [`Evaluator::key_switch`] exposes the inner primitive directly.
 
+use std::sync::Arc;
+
+use heax_math::exec::{self, Executor};
 use heax_math::poly::{Representation, RnsPoly};
 
 use crate::ciphertext::{Ciphertext, Plaintext};
@@ -32,21 +35,40 @@ use crate::CkksError;
 const SCALE_RTOL: f64 = 1e-9;
 
 /// Stateless evaluator borrowing a context.
+///
+/// By default limb-level work (dyadic products, per-limb NTTs, the
+/// key-switch inner loop) is dispatched through the global executor
+/// selected by `HEAX_THREADS` (see [`heax_math::exec`]); use
+/// [`Evaluator::with_executor`] to pin an explicit backend. All backends
+/// are bit-identical.
 #[derive(Clone, Debug)]
 pub struct Evaluator<'a> {
     ctx: &'a CkksContext,
+    exec: Arc<dyn Executor>,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator.
+    /// Creates an evaluator using the global (`HEAX_THREADS`-selected)
+    /// execution backend.
     pub fn new(ctx: &'a CkksContext) -> Self {
-        Self { ctx }
+        Self::with_executor(ctx, exec::global().clone())
+    }
+
+    /// Creates an evaluator with an explicit execution backend.
+    pub fn with_executor(ctx: &'a CkksContext, exec: Arc<dyn Executor>) -> Self {
+        Self { ctx, exec }
     }
 
     /// The context.
     #[inline]
     pub fn context(&self) -> &CkksContext {
         self.ctx
+    }
+
+    /// The execution backend in use.
+    #[inline]
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        &self.exec
     }
 
     fn check_pair(&self, a: &Ciphertext, b: &Ciphertext) -> Result<(), CkksError> {
@@ -77,7 +99,7 @@ impl<'a> Evaluator<'a> {
         let (longer, shorter) = if a.size() >= b.size() { (a, b) } else { (b, a) };
         let mut polys = longer.polys.clone();
         for (dst, src) in polys.iter_mut().zip(&shorter.polys) {
-            dst.add_assign(src)?;
+            dst.add_assign_with(src, self.exec.as_ref())?;
         }
         Ciphertext::from_parts(polys, a.level, a.scale)
     }
@@ -99,7 +121,7 @@ impl<'a> Evaluator<'a> {
         for i in 0..size {
             let ai = a.polys.get(i).unwrap_or(&zero);
             let bi = b.polys.get(i).unwrap_or(&zero);
-            polys.push(ai.sub(bi)?);
+            polys.push(ai.sub_with(bi, self.exec.as_ref())?);
         }
         Ciphertext::from_parts(polys, a.level, a.scale)
     }
@@ -175,7 +197,9 @@ impl<'a> Evaluator<'a> {
         }
         let mut polys = Vec::with_capacity(a.size());
         for c in &a.polys {
-            polys.push(c.dyadic_mul(&pt.poly)?);
+            let mut prod = c.clone();
+            prod.dyadic_mul_assign_with(&pt.poly, self.exec.as_ref())?;
+            polys.push(prod);
         }
         Ciphertext::from_parts(polys, a.level, a.scale * pt.scale)
     }
@@ -200,7 +224,7 @@ impl<'a> Evaluator<'a> {
         let mut polys = vec![zero; out_size];
         for i in 0..alpha {
             for j in 0..beta {
-                polys[i + j].dyadic_mul_acc(&a.polys[i], &b.polys[j])?;
+                polys[i + j].dyadic_mul_acc_with(&a.polys[i], &b.polys[j], self.exec.as_ref())?;
             }
         }
         Ciphertext::from_parts(polys, a.level, a.scale * b.scale)
@@ -260,7 +284,7 @@ impl<'a> Evaluator<'a> {
         let dropped = self.ctx.moduli()[a.level].value() as f64;
         let mut polys = Vec::with_capacity(a.size());
         for c in &a.polys {
-            polys.push(floor_last(c, self.ctx, a.level)?);
+            polys.push(floor_last(c, self.ctx, a.level, self.exec.as_ref())?);
         }
         Ciphertext::from_parts(polys, a.level - 1, a.scale / dropped)
     }
@@ -321,43 +345,57 @@ impl<'a> Evaluator<'a> {
         let mut acc1 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
 
         // k iterations, one per input RNS component (Alg. 7, lines 2-18).
+        // The inner loop over the extended basis is embarrassingly
+        // parallel (each `j` touches only limb `j` of both accumulators —
+        // in hardware these are the concurrently running NTT0/DyadMult
+        // lanes), so it is dispatched across the evaluator's executor.
         for i in 0..=level {
             // a ← INTT_{p_i}(c̃_{1,i})            (line 3)
             let mut a_coeff = target.residue(i).to_vec();
             ctx.ntt_table(i).inverse_auto(&mut a_coeff);
 
             let (ksk_b, ksk_a) = ksk.component(i);
-
-            for (j, m) in ext_chain.iter().enumerate() {
-                // Chain index of extended position j (special prime last).
-                let chain_idx = if j <= level { j } else { k };
-                // b̃: reuse the NTT form when i == j (line 9), otherwise
-                // reduce in coefficient space and re-NTT (lines 6-7, 14-15).
-                let b_ntt: Vec<u64> = if chain_idx == i {
-                    target.residue(i).to_vec()
-                } else {
-                    let mut b: Vec<u64> = a_coeff.iter().map(|&x| m.reduce_u64(x)).collect();
-                    ctx.ntt_table(chain_idx).forward_auto(&mut b);
-                    b
-                };
-                // Accumulate b̃ ⊙ d̃_{i,0/1,j}      (lines 11-12, 16-17)
-                let kb = ksk_b.residue(chain_idx);
-                let ka = ksk_a.residue(chain_idx);
-                let d0 = acc0.residue_mut(j);
-                for (t, d) in d0.iter_mut().enumerate() {
-                    *d = m.add_mod(*d, m.mul_mod(b_ntt[t], kb[t]));
-                }
-                let d1 = acc1.residue_mut(j);
-                for (t, d) in d1.iter_mut().enumerate() {
-                    *d = m.add_mod(*d, m.mul_mod(b_ntt[t], ka[t]));
-                }
-            }
+            let a_coeff = &a_coeff;
+            let ext_chain = &ext_chain;
+            exec::for_each_limb2(
+                self.exec.as_ref(),
+                acc0.data_mut(),
+                acc1.data_mut(),
+                n,
+                |j, d0, d1| {
+                    let m = &ext_chain[j];
+                    // Chain index of extended position j (special prime
+                    // last).
+                    let chain_idx = if j <= level { j } else { k };
+                    // b̃: reuse the NTT form when i == j (line 9), otherwise
+                    // reduce in coefficient space and re-NTT (lines 6-7,
+                    // 14-15).
+                    let reduced;
+                    let b_ntt: &[u64] = if chain_idx == i {
+                        target.residue(i)
+                    } else {
+                        let mut b: Vec<u64> = a_coeff.iter().map(|&x| m.reduce_u64(x)).collect();
+                        ctx.ntt_table(chain_idx).forward_auto(&mut b);
+                        reduced = b;
+                        &reduced
+                    };
+                    // Accumulate b̃ ⊙ d̃_{i,0/1,j}      (lines 11-12, 16-17)
+                    let kb = ksk_b.residue(chain_idx);
+                    let ka = ksk_a.residue(chain_idx);
+                    for (t, d) in d0.iter_mut().enumerate() {
+                        *d = m.add_mod(*d, m.mul_mod(b_ntt[t], kb[t]));
+                    }
+                    for (t, d) in d1.iter_mut().enumerate() {
+                        *d = m.add_mod(*d, m.mul_mod(b_ntt[t], ka[t]));
+                    }
+                },
+            );
         }
 
         // Modulus switching: floor both accumulators by the special prime
         // (line 19).
-        let f0 = floor_special(&acc0, ctx, level)?;
-        let f1 = floor_special(&acc1, ctx, level)?;
+        let f0 = floor_special(&acc0, ctx, level, self.exec.as_ref())?;
+        let f1 = floor_special(&acc1, ctx, level, self.exec.as_ref())?;
         Ok((f0, f1))
     }
 

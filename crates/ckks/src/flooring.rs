@@ -13,6 +13,7 @@
 //! instances of this routine — in the hardware they are the `INTT1 → NTT1 →
 //! MS` tail of the KeySwitch module (Figure 5).
 
+use heax_math::exec::{self, Executor};
 use heax_math::poly::{Representation, RnsPoly};
 
 use crate::context::CkksContext;
@@ -29,8 +30,9 @@ pub(crate) fn floor_special(
     c: &RnsPoly,
     ctx: &CkksContext,
     level: usize,
+    exec: &dyn Executor,
 ) -> Result<RnsPoly, CkksError> {
-    floor_impl(c, ctx, level, true)
+    floor_impl(c, ctx, level, true, exec)
 }
 
 /// Floors away the **last ciphertext prime** `p_level` (rescaling): input
@@ -44,11 +46,12 @@ pub(crate) fn floor_last(
     c: &RnsPoly,
     ctx: &CkksContext,
     level: usize,
+    exec: &dyn Executor,
 ) -> Result<RnsPoly, CkksError> {
     if level == 0 {
         return Err(CkksError::LevelExhausted);
     }
-    floor_impl(c, ctx, level, false)
+    floor_impl(c, ctx, level, false, exec)
 }
 
 fn floor_impl(
@@ -56,6 +59,7 @@ fn floor_impl(
     ctx: &CkksContext,
     level: usize,
     special: bool,
+    exec: &dyn Executor,
 ) -> Result<RnsPoly, CkksError> {
     if c.representation() != Representation::Ntt {
         return Err(CkksError::Math(
@@ -85,19 +89,21 @@ fn floor_impl(
     let mut a = c.residue(keep).to_vec();
     drop_table.inverse_auto(&mut a);
 
-    // Step 2: fold into every remaining modulus (lines 2-7).
+    // Step 2: fold into every remaining modulus (lines 2-7) — one
+    // independent limb per modulus, dispatched across the executor.
     let out_moduli = ctx.level_moduli(if special { level } else { level - 1 });
     let mut out = RnsPoly::zero(n, out_moduli, Representation::Ntt);
-    for (i, pi) in out_moduli.iter().enumerate() {
+    let a = &a;
+    exec::for_each_limb(exec, out.data_mut(), n, |i, dst| {
+        let pi = &out_moduli[i];
         let mut r: Vec<u64> = a.iter().map(|&x| pi.reduce_u64(x)).collect();
         ctx.ntt_table(i).forward_auto(&mut r);
         let inv = consts.inv(i);
         let src = c.residue(i);
-        let dst = out.residue_mut(i);
         for (j, d) in dst.iter_mut().enumerate() {
             *d = inv.mul_red(pi.sub_mod(src[j], r[j]), pi);
         }
-    }
+    });
     Ok(out)
 }
 
@@ -105,6 +111,7 @@ fn floor_impl(
 mod tests {
     use super::*;
     use crate::context::tests::small;
+    use heax_math::exec::Sequential;
 
     /// Flooring an exact multiple of the dropped prime divides exactly.
     #[test]
@@ -129,7 +136,7 @@ mod tests {
         tables.push(ctx.special_ntt_table().clone());
         c.ntt_forward(&tables).unwrap();
 
-        let mut floored = floor_special(&c, &ctx, level).unwrap();
+        let mut floored = floor_special(&c, &ctx, level, &Sequential).unwrap();
         floored.ntt_inverse(ctx.ntt_tables()).unwrap();
         for (i, _m) in ctx.level_moduli(level).iter().enumerate() {
             for (j, &got) in floored.residue(i).iter().enumerate() {
@@ -158,7 +165,7 @@ mod tests {
         let tables: Vec<_> = (0..2).map(|i| ctx.ntt_table(i).clone()).collect();
         c.ntt_forward(&tables).unwrap();
 
-        let mut floored = floor_last(&c, &ctx, level).unwrap();
+        let mut floored = floor_last(&c, &ctx, level, &Sequential).unwrap();
         assert_eq!(floored.num_residues(), 1);
         floored.ntt_inverse(&tables[..1]).unwrap();
         let got = floored.residue(0)[0];
@@ -175,7 +182,7 @@ mod tests {
         let ctx = CkksContext::new(small()).unwrap();
         let c = RnsPoly::zero(ctx.n(), ctx.level_moduli(0), Representation::Ntt);
         assert!(matches!(
-            floor_last(&c, &ctx, 0),
+            floor_last(&c, &ctx, 0, &Sequential),
             Err(CkksError::LevelExhausted)
         ));
     }
@@ -187,9 +194,9 @@ mod tests {
         let mut chain: Vec<_> = ctx.level_moduli(ctx.max_level()).to_vec();
         chain.push(*ctx.special_modulus());
         let c = RnsPoly::zero(ctx.n(), &chain, Representation::Coefficient);
-        assert!(floor_special(&c, &ctx, ctx.max_level()).is_err());
+        assert!(floor_special(&c, &ctx, ctx.max_level(), &Sequential).is_err());
         // Wrong residue count.
         let c = RnsPoly::zero(ctx.n(), &chain[..2], Representation::Ntt);
-        assert!(floor_special(&c, &ctx, ctx.max_level()).is_err());
+        assert!(floor_special(&c, &ctx, ctx.max_level(), &Sequential).is_err());
     }
 }

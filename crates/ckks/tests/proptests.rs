@@ -135,3 +135,58 @@ proptest! {
         }
     }
 }
+
+/// Backend equivalence at the scheme layer: an evaluator pinned to
+/// `ThreadPool(k)` must produce bit-identical ciphertexts to the
+/// `Sequential` backend for the full multiply / key-switch / relinearize
+/// / rescale pipeline, for k ∈ {1, 2, 4}.
+mod backend_equivalence {
+    use super::*;
+    use heax_math::exec::{with_threads, Sequential};
+    use std::sync::Arc;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn key_switch_pipeline_pool_matches_sequential(
+            seed in any::<u64>(),
+            k in prop::sample::select(vec![1usize, 2, 4]),
+        ) {
+            let mut r = rig(seed);
+            let rlk = RelinKey::generate(&r.ctx, &r.sk, &mut r.rng);
+            let enc = CkksEncoder::new(&r.ctx);
+            let scale = r.ctx.params().scale();
+            let encryptor = Encryptor::new(&r.ctx, &r.pk);
+            let ca = encryptor
+                .encrypt(&enc.encode_real(&[1.5, -2.25], scale, r.ctx.max_level()).unwrap(), &mut r.rng)
+                .unwrap();
+            let cb = encryptor
+                .encrypt(&enc.encode_real(&[0.5, 3.0], scale, r.ctx.max_level()).unwrap(), &mut r.rng)
+                .unwrap();
+
+            let seq = Evaluator::with_executor(&r.ctx, Arc::new(Sequential));
+            let par = Evaluator::with_executor(&r.ctx, with_threads(k));
+
+            // Multiply (dyadic accumulate over limbs).
+            let prod_seq = seq.multiply(&ca, &cb).unwrap();
+            let prod_par = par.multiply(&ca, &cb).unwrap();
+            prop_assert_eq!(&prod_seq, &prod_par, "multiply diverged at k={}", k);
+
+            // The inner key-switch primitive.
+            let (f0s, f1s) = seq
+                .key_switch(prod_seq.component(2), rlk.ksk(), prod_seq.level())
+                .unwrap();
+            let (f0p, f1p) = par
+                .key_switch(prod_par.component(2), rlk.ksk(), prod_par.level())
+                .unwrap();
+            prop_assert_eq!(&f0s, &f0p, "key_switch f0 diverged at k={}", k);
+            prop_assert_eq!(&f1s, &f1p, "key_switch f1 diverged at k={}", k);
+
+            // Relinearize + rescale (exercises flooring through the pool).
+            let lin_seq = seq.rescale(&seq.relinearize(&prod_seq, &rlk).unwrap()).unwrap();
+            let lin_par = par.rescale(&par.relinearize(&prod_par, &rlk).unwrap()).unwrap();
+            prop_assert_eq!(&lin_seq, &lin_par, "relin+rescale diverged at k={}", k);
+        }
+    }
+}

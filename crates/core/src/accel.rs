@@ -11,6 +11,8 @@
 //! schedule, so functional results and Table 7/8 performance claims are
 //! produced by one artifact.
 
+use std::sync::Arc;
+
 use heax_ckks::ciphertext::Ciphertext;
 use heax_ckks::context::CkksContext;
 use heax_ckks::eval::scales_match;
@@ -19,11 +21,12 @@ use heax_ckks::CkksError;
 use heax_hw::board::Board;
 use heax_hw::cores::DyadicCore;
 use heax_hw::keyswitch_pipeline::{schedule, KeySwitchArch};
-use heax_hw::mult_dataflow::{MultModuleConfig, MultModuleSim};
-use heax_hw::ntt_dataflow::{NttModuleConfig, NttModuleSim};
+use heax_hw::mult_dataflow::{MultModuleConfig, MultModuleSim, MultRunStats};
+use heax_hw::ntt_dataflow::{NttModuleConfig, NttModuleSim, NttRunStats};
 use heax_math::poly::{Representation, RnsPoly};
 
 use crate::arch::DesignPoint;
+use crate::exec::{self, Executor};
 use crate::perf::HeaxOp;
 use crate::CoreError;
 
@@ -45,6 +48,13 @@ pub struct OpReport {
 }
 
 /// The HEAX accelerator bound to a CKKS context and a board.
+///
+/// RNS limbs stream through the simulated modules concurrently when a
+/// parallel execution backend is selected — the software counterpart of
+/// the replicated NTT cores and key-switch lanes of the real design. The
+/// backend defaults to the global (`HEAX_THREADS`-selected) executor;
+/// [`HeaxAccelerator::with_executor`] pins an explicit one. All backends
+/// are bit-identical.
 #[derive(Clone, Debug)]
 pub struct HeaxAccelerator<'a> {
     ctx: &'a CkksContext,
@@ -52,6 +62,7 @@ pub struct HeaxAccelerator<'a> {
     arch: KeySwitchArch,
     ntt_config: NttModuleConfig,
     mult_config: MultModuleConfig,
+    exec: Arc<dyn Executor>,
 }
 
 impl<'a> HeaxAccelerator<'a> {
@@ -108,7 +119,21 @@ impl<'a> HeaxAccelerator<'a> {
             arch,
             ntt_config,
             mult_config,
+            exec: exec::global().clone(),
         })
+    }
+
+    /// Builder option: replaces the execution backend used for per-limb
+    /// dispatch (default: the global `HEAX_THREADS`-selected executor).
+    #[must_use]
+    pub fn with_executor(mut self, exec: Arc<dyn Executor>) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The execution backend in use.
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        &self.exec
     }
 
     /// The CKKS context.
@@ -137,9 +162,23 @@ impl<'a> HeaxAccelerator<'a> {
         }
     }
 
+    /// Builds one module simulator per residue of `poly` (validation is
+    /// sequential; the heavy transform work is then fanned out).
+    fn limb_sims(&self, poly: &RnsPoly) -> Result<Vec<NttModuleSim<'a>>, CoreError> {
+        poly.moduli()
+            .iter()
+            .map(|m| {
+                let table = self.find_table(m.value())?;
+                NttModuleSim::new(self.ntt_config, table).map_err(CoreError::Hw)
+            })
+            .collect()
+    }
+
     /// Forward NTT of all residues of a coefficient-form polynomial
     /// through the banked dataflow (Table 7 "NTT" operation processes one
     /// polynomial = one residue; `k` residues stream through the module).
+    /// Residues are dispatched across the executor's lanes, one simulated
+    /// module instance per limb.
     ///
     /// # Errors
     ///
@@ -150,19 +189,27 @@ impl<'a> HeaxAccelerator<'a> {
                 heax_math::MathError::RepresentationMismatch,
             )));
         }
+        let sims = self.limb_sims(poly)?;
         let mut out = poly.clone();
-        let mut per = 0u64;
-        let mut latency = 0u64;
-        for (i, _) in poly.moduli().iter().enumerate() {
-            let table = self.find_table(poly.moduli()[i].value())?;
-            let sim = NttModuleSim::new(self.ntt_config, table)?;
-            let (data, stats) = sim.forward(poly.residue(i));
-            out.residue_mut(i).copy_from_slice(&data);
-            per = stats.cycles;
-            latency = stats.latency;
+        let mut stats: Vec<NttRunStats> = vec![NttRunStats::default(); poly.num_residues()];
+        let n = self.ctx.n();
+        {
+            // Each lane transforms one limb and fills that limb's stats
+            // slot; zip the two so a lane owns both exclusively.
+            let mut slots: Vec<(&mut [u64], &mut NttRunStats)> =
+                out.data_mut().chunks_mut(n).zip(stats.iter_mut()).collect();
+            exec::for_each_mut(self.exec.as_ref(), &mut slots, |i, (dst, slot)| {
+                let (data, s) = sims[i].forward(poly.residue(i));
+                dst.copy_from_slice(&data);
+                **slot = s;
+            });
         }
         out.set_representation(Representation::Ntt);
-        let n = self.ctx.n() as u64;
+        let (per, latency) = stats
+            .last()
+            .map(|s| (s.cycles, s.latency))
+            .unwrap_or((0, 0));
+        let n = n as u64;
         Ok((out, self.report(HeaxOp::Ntt, per, latency, n, n)))
     }
 
@@ -177,19 +224,25 @@ impl<'a> HeaxAccelerator<'a> {
                 heax_math::MathError::RepresentationMismatch,
             )));
         }
+        let sims = self.limb_sims(poly)?;
         let mut out = poly.clone();
-        let mut per = 0u64;
-        let mut latency = 0u64;
-        for i in 0..poly.num_residues() {
-            let table = self.find_table(poly.moduli()[i].value())?;
-            let sim = NttModuleSim::new(self.ntt_config, table)?;
-            let (data, stats) = sim.inverse(poly.residue(i));
-            out.residue_mut(i).copy_from_slice(&data);
-            per = stats.cycles;
-            latency = stats.latency;
+        let mut stats: Vec<NttRunStats> = vec![NttRunStats::default(); poly.num_residues()];
+        let n = self.ctx.n();
+        {
+            let mut slots: Vec<(&mut [u64], &mut NttRunStats)> =
+                out.data_mut().chunks_mut(n).zip(stats.iter_mut()).collect();
+            exec::for_each_mut(self.exec.as_ref(), &mut slots, |i, (dst, slot)| {
+                let (data, s) = sims[i].inverse(poly.residue(i));
+                dst.copy_from_slice(&data);
+                **slot = s;
+            });
         }
         out.set_representation(Representation::Coefficient);
-        let n = self.ctx.n() as u64;
+        let (per, latency) = stats
+            .last()
+            .map(|s| (s.cycles, s.latency))
+            .unwrap_or((0, 0));
+        let n = n as u64;
         Ok((out, self.report(HeaxOp::Intt, per, latency, n, n)))
     }
 
@@ -223,17 +276,27 @@ impl<'a> HeaxAccelerator<'a> {
         let level = ct1.level();
         let moduli = self.ctx.level_moduli(level);
         let mut out_polys = vec![RnsPoly::zero(n, moduli, Representation::Ntt); alpha + beta - 1];
-        let mut cycles = 0u64;
-        let mut latency = 0u64;
-        for (i, m) in moduli.iter().enumerate() {
-            let sim = MultModuleSim::new(self.mult_config, *m)?;
+        let sims: Vec<MultModuleSim> = moduli
+            .iter()
+            .map(|m| MultModuleSim::new(self.mult_config, *m))
+            .collect::<Result<_, _>>()?;
+        // One MULT-module pass per residue, fanned across lanes; results
+        // land in per-limb slots and are scattered into the output
+        // components afterwards (a limb's outputs span every component,
+        // so they cannot be written disjointly in place).
+        let mut slots: Vec<(Vec<Vec<u64>>, MultRunStats)> = vec![Default::default(); moduli.len()];
+        exec::for_each_mut(self.exec.as_ref(), &mut slots, |i, slot| {
             let a: Vec<Vec<u64>> = (0..alpha)
                 .map(|c| ct1.component(c).residue(i).to_vec())
                 .collect();
             let b: Vec<Vec<u64>> = (0..beta)
                 .map(|c| ct2.component(c).residue(i).to_vec())
                 .collect();
-            let (outs, stats) = sim.multiply(&a, &b);
+            *slot = sims[i].multiply(&a, &b);
+        });
+        let mut cycles = 0u64;
+        let mut latency = 0u64;
+        for (i, (outs, stats)) in slots.into_iter().enumerate() {
             for (t, res) in outs.into_iter().enumerate() {
                 out_polys[t].residue_mut(i).copy_from_slice(&res);
             }
@@ -272,14 +335,20 @@ impl<'a> HeaxAccelerator<'a> {
         let level = ct.level();
         let moduli = self.ctx.level_moduli(level);
         let mut out_polys = vec![RnsPoly::zero(n, moduli, Representation::Ntt); alpha];
-        let mut cycles = 0u64;
-        for (i, m) in moduli.iter().enumerate() {
-            let sim = MultModuleSim::new(self.mult_config, *m)?;
+        let sims: Vec<MultModuleSim> = moduli
+            .iter()
+            .map(|m| MultModuleSim::new(self.mult_config, *m))
+            .collect::<Result<_, _>>()?;
+        let mut slots: Vec<(Vec<Vec<u64>>, MultRunStats)> = vec![Default::default(); moduli.len()];
+        exec::for_each_mut(self.exec.as_ref(), &mut slots, |i, slot| {
             let a: Vec<Vec<u64>> = (0..alpha)
                 .map(|c| ct.component(c).residue(i).to_vec())
                 .collect();
             let b = vec![pt.poly().residue(i).to_vec()];
-            let (outs, stats) = sim.multiply(&a, &b);
+            *slot = sims[i].multiply(&a, &b);
+        });
+        let mut cycles = 0u64;
+        for (i, (outs, stats)) in slots.into_iter().enumerate() {
             for (t, res) in outs.into_iter().enumerate() {
                 out_polys[t].residue_mut(i).copy_from_slice(&res);
             }
@@ -325,57 +394,83 @@ impl<'a> HeaxAccelerator<'a> {
 
         let mut acc0 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
         let mut acc1 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
-        let mut dyad = DyadicCore::new();
+
+        // One NTT0 module instance per extended-basis lane, as in the
+        // replicated hardware datapath (validated up front so the
+        // parallel region below is infallible).
+        let ntt0_sims: Vec<NttModuleSim> = ext_chain
+            .iter()
+            .map(|m| {
+                let table = self.find_table(m.value())?;
+                NttModuleSim::new(ntt0_cfg, table).map_err(CoreError::Hw)
+            })
+            .collect::<Result<_, _>>()?;
 
         // --- k iterations: INTT0 → NTT0 → DyadMult accumulate -----------
+        // Lanes (one per extended limb) run concurrently across the
+        // executor, exactly like the hardware's parallel NTT0/DyadMult
+        // columns in Figure 5.
         for i in 0..=level {
             let table_i = ctx.ntt_table(i);
             let intt0 = NttModuleSim::new(intt0_cfg, table_i)?;
             let (a_coeff, _) = intt0.inverse(target.residue(i));
 
             let (ksk_b, ksk_a) = ksk.component(i);
-            for (j, m) in ext_chain.iter().enumerate() {
-                let chain_idx = if j <= level { j } else { k_chain };
-                let b_ntt: Vec<u64> = if chain_idx == i {
-                    target.residue(i).to_vec()
-                } else {
-                    let reduced: Vec<u64> = a_coeff.iter().map(|&x| m.reduce_u64(x)).collect();
-                    let table_j = self.find_table(m.value())?;
-                    let ntt0 = NttModuleSim::new(ntt0_cfg, table_j)?;
-                    ntt0.forward(&reduced).0
-                };
-                let kb = ksk_b.residue(chain_idx);
-                let ka = ksk_a.residue(chain_idx);
-                for (t, &b) in b_ntt.iter().enumerate() {
-                    let d0 = acc0.residue_mut(j);
-                    d0[t] = dyad.compute_acc(d0[t], b, kb[t], m);
-                }
-                for (t, &b) in b_ntt.iter().enumerate() {
-                    let d1 = acc1.residue_mut(j);
-                    d1[t] = dyad.compute_acc(d1[t], b, ka[t], m);
-                }
-            }
+            let a_coeff = &a_coeff;
+            let ext_chain = &ext_chain;
+            let ntt0_sims = &ntt0_sims;
+            exec::for_each_limb2(
+                self.exec.as_ref(),
+                acc0.data_mut(),
+                acc1.data_mut(),
+                n,
+                |j, d0, d1| {
+                    let m = &ext_chain[j];
+                    let chain_idx = if j <= level { j } else { k_chain };
+                    let owned;
+                    let b_ntt: &[u64] = if chain_idx == i {
+                        target.residue(i)
+                    } else {
+                        let reduced: Vec<u64> = a_coeff.iter().map(|&x| m.reduce_u64(x)).collect();
+                        owned = ntt0_sims[j].forward(&reduced).0;
+                        &owned
+                    };
+                    let kb = ksk_b.residue(chain_idx);
+                    let ka = ksk_a.residue(chain_idx);
+                    let mut dyad = DyadicCore::new();
+                    for (t, &b) in b_ntt.iter().enumerate() {
+                        d0[t] = dyad.compute_acc(d0[t], b, kb[t], m);
+                    }
+                    for (t, &b) in b_ntt.iter().enumerate() {
+                        d1[t] = dyad.compute_acc(d1[t], b, ka[t], m);
+                    }
+                },
+            );
         }
 
         // --- Modulus switch (Floor by special prime): INTT1 → NTT1 → MS -
         let consts = ctx.modswitch_constants(level);
         let sp_table = ctx.special_ntt_table();
+        let ntt1_sims: Vec<NttModuleSim> = (0..=level)
+            .map(|i| NttModuleSim::new(ntt1_cfg, ctx.ntt_table(i)).map_err(CoreError::Hw))
+            .collect::<Result<_, _>>()?;
         let floor_one = |acc: &RnsPoly| -> Result<RnsPoly, CoreError> {
             let intt1 = NttModuleSim::new(intt1_cfg, sp_table)?;
             let (a, _) = intt1.inverse(acc.residue(ext_len - 1));
             let mut out = RnsPoly::zero(n, ctx.level_moduli(level), Representation::Ntt);
-            for (i, pi) in ctx.level_moduli(level).iter().enumerate() {
+            let a = &a;
+            let out_moduli = ctx.level_moduli(level);
+            exec::for_each_limb(self.exec.as_ref(), out.data_mut(), n, |i, dst| {
+                let pi = &out_moduli[i];
                 let reduced: Vec<u64> = a.iter().map(|&x| pi.reduce_u64(x)).collect();
-                let ntt1 = NttModuleSim::new(ntt1_cfg, ctx.ntt_table(i))?;
-                let (r_ntt, _) = ntt1.forward(&reduced);
+                let (r_ntt, _) = ntt1_sims[i].forward(&reduced);
                 let inv = consts.inv(i);
                 let src = acc.residue(i);
-                let dst = out.residue_mut(i);
                 for (t, d) in dst.iter_mut().enumerate() {
                     // MS module: subtract then multiply by p_sp^{-1}.
                     *d = inv.mul_red(pi.sub_mod(src[t], r_ntt[t]), pi);
                 }
-            }
+            });
             Ok(out)
         };
         let f0 = floor_one(&acc0)?;
@@ -702,6 +797,52 @@ mod tests {
             MultModuleConfig::new(64, 8).unwrap(),
         );
         assert!(matches!(err, Err(CoreError::Hw(_))));
+    }
+
+    #[test]
+    fn parallel_backend_bit_identical_to_sequential() {
+        let mut h = harness(57);
+        let enc = CkksEncoder::new(&h.ctx);
+        let scale = h.ctx.params().scale();
+        let pt1 = enc
+            .encode_real(&[1.25, -0.5], scale, h.ctx.max_level())
+            .unwrap();
+        let pt2 = enc
+            .encode_real(&[2.0, 3.5], scale, h.ctx.max_level())
+            .unwrap();
+        let e = Encryptor::new(&h.ctx, &h.pk);
+        let c1 = e.encrypt(&pt1, &mut h.rng).unwrap();
+        let c2 = e.encrypt(&pt2, &mut h.rng).unwrap();
+        let seq = accel(&h.ctx).with_executor(std::sync::Arc::new(crate::exec::Sequential));
+        let par = accel(&h.ctx).with_executor(crate::exec::with_threads(4));
+        assert_eq!(par.executor().threads(), 4);
+
+        // NTT/INTT.
+        let moduli = h.ctx.level_moduli(h.ctx.max_level()).to_vec();
+        let mut poly = RnsPoly::zero(64, &moduli, Representation::Coefficient);
+        for (i, m) in moduli.iter().enumerate() {
+            for (j, c) in poly.residue_mut(i).iter_mut().enumerate() {
+                *c = (j as u64 * 101 + i as u64 * 7) % m.value();
+            }
+        }
+        let (ntt_seq, rep_seq) = seq.ntt(&poly).unwrap();
+        let (ntt_par, rep_par) = par.ntt(&poly).unwrap();
+        assert_eq!(ntt_seq, ntt_par);
+        assert_eq!(rep_seq, rep_par);
+        assert_eq!(seq.intt(&ntt_seq).unwrap().0, par.intt(&ntt_par).unwrap().0);
+
+        // Dyadic multiply and the full key-switch datapath.
+        let (prod_seq, _) = seq.dyadic_mult(&c1, &c2).unwrap();
+        let (prod_par, _) = par.dyadic_mult(&c1, &c2).unwrap();
+        assert_eq!(prod_seq, prod_par);
+        let ((f0s, f1s), _) = seq
+            .key_switch(prod_seq.component(2), h.rlk.ksk(), prod_seq.level())
+            .unwrap();
+        let ((f0p, f1p), _) = par
+            .key_switch(prod_par.component(2), h.rlk.ksk(), prod_par.level())
+            .unwrap();
+        assert_eq!(f0s, f0p);
+        assert_eq!(f1s, f1p);
     }
 
     #[test]

@@ -1,0 +1,23 @@
+//! Execution backends for the accelerator layer.
+//!
+//! The implementation lives in [`heax_math::exec`] (the lowest layer, so
+//! that `RnsPoly` and the NTT kernels can dispatch over it); this module
+//! re-exports it as the accelerator-facing API. [`HeaxAccelerator`]
+//! mirrors the hardware's limb-level concurrency — NTT cores and
+//! key-switch lanes running one RNS residue each — on whichever backend
+//! is selected:
+//!
+//! * [`Sequential`] — the deterministic default;
+//! * [`ThreadPool`] — a hand-rolled scoped `std::thread` pool; pick lane
+//!   counts via [`with_threads`] or the `HEAX_THREADS` environment
+//!   variable (consulted once by [`global`]).
+//!
+//! Backends are bit-identical by construction; the equivalence property
+//! suites in `crates/math/tests` and `crates/ckks/tests` enforce it.
+//!
+//! [`HeaxAccelerator`]: crate::accel::HeaxAccelerator
+
+pub use heax_math::exec::{
+    env_threads, for_each_limb, for_each_limb2, for_each_mut, global, with_threads, Executor,
+    Sequential, ThreadPool,
+};

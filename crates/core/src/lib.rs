@@ -11,6 +11,9 @@
 //! * [`accel`] — a functional accelerator that executes CKKS operations
 //!   through the cycle-accurate hardware simulators of `heax-hw`,
 //!   bit-exact against the `heax-ckks` golden model;
+//! * [`exec`] — execution backends (sequential / scoped thread pool)
+//!   dispatching limb-level work across lanes, mirroring the hardware's
+//!   per-residue concurrency;
 //! * [`system`] — the host+board system view (Figure 7) with PCIe/DRAM
 //!   transfer modeling and memory-mapped results.
 //!
@@ -37,6 +40,7 @@
 
 pub mod accel;
 pub mod arch;
+pub mod exec;
 pub mod perf;
 pub mod resources;
 pub mod system;

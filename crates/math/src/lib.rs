@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod fft;
 pub mod ntt;
 pub mod poly;

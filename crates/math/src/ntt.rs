@@ -12,6 +12,7 @@
 //! uses Algorithm 2 (`MulRed`), exactly as in the hardware NTT core
 //! (Figure 3 of the paper).
 
+use crate::exec::{self, Executor};
 use crate::primes::primitive_root_2n;
 use crate::word::{Modulus, MulRedConstant};
 use crate::MathError;
@@ -387,6 +388,35 @@ impl NttTable {
         }
         out
     }
+}
+
+/// Forward-transforms `tables.len()` contiguous limbs of `data` (limb `i`
+/// spans `data[i·n..(i+1)·n]` and uses `tables[i]`), dispatching limbs
+/// across the executor's lanes — the software analogue of streaming RNS
+/// residues through parallel NTT cores. Each limb uses the fastest
+/// applicable kernel, so output is bit-identical to calling
+/// [`NttTable::forward_auto`] per limb sequentially.
+///
+/// # Panics
+///
+/// Panics if `data.len() != tables.len() * n` or a table's degree is not
+/// `n`.
+pub fn forward_limbs(exec: &dyn Executor, tables: &[NttTable], data: &mut [u64], n: usize) {
+    assert_eq!(data.len(), tables.len() * n, "limb data/table mismatch");
+    exec::for_each_limb(exec, data, n, |i, limb| tables[i].forward_auto(limb));
+}
+
+/// Inverse-transforms contiguous limbs of `data` through the executor;
+/// the counterpart of [`forward_limbs`]. Bit-identical to calling
+/// [`NttTable::inverse_auto`] per limb sequentially.
+///
+/// # Panics
+///
+/// Panics if `data.len() != tables.len() * n` or a table's degree is not
+/// `n`.
+pub fn inverse_limbs(exec: &dyn Executor, tables: &[NttTable], data: &mut [u64], n: usize) {
+    assert_eq!(data.len(), tables.len() * n, "limb data/table mismatch");
+    exec::for_each_limb(exec, data, n, |i, limb| tables[i].inverse_auto(limb));
 }
 
 #[cfg(test)]

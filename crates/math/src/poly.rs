@@ -9,6 +9,7 @@
 //! forms of its operands — mixing forms is a programming error that this
 //! library surfaces as [`MathError::RepresentationMismatch`].
 
+use crate::exec::{self, Executor};
 use crate::ntt::NttTable;
 use crate::word::Modulus;
 use crate::MathError;
@@ -135,6 +136,13 @@ impl RnsPoly {
         &self.data
     }
 
+    /// All residue data, mutable. Limb `i` occupies `data[i·n..(i+1)·n]`;
+    /// used by the parallel backends to hand disjoint limbs to lanes.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
     /// Iterator over `(modulus, residue)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Modulus, &[u64])> {
         self.moduli.iter().zip(self.data.chunks_exact(self.n))
@@ -173,21 +181,30 @@ impl RnsPoly {
         Ok(out)
     }
 
-    /// In-place coefficient-wise sum.
+    /// In-place coefficient-wise sum, limbs dispatched through the
+    /// global executor (see [`crate::exec`]).
     ///
     /// # Errors
     ///
     /// Same as [`RnsPoly::add`].
     pub fn add_assign(&mut self, other: &Self) -> Result<(), MathError> {
+        self.add_assign_with(other, exec::global().as_ref())
+    }
+
+    /// In-place coefficient-wise sum through an explicit executor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsPoly::add`].
+    pub fn add_assign_with(&mut self, other: &Self, exec: &dyn Executor) -> Result<(), MathError> {
         self.check_compatible(other)?;
         let n = self.n;
-        for (i, p) in self.moduli.clone().iter().enumerate() {
-            let dst = &mut self.data[i * n..(i + 1) * n];
-            let src = other.residue(i);
-            for (d, &s) in dst.iter_mut().zip(src) {
+        exec::for_each_limb(exec, &mut self.data, n, |i, dst| {
+            let p = &self.moduli[i];
+            for (d, &s) in dst.iter_mut().zip(other.residue(i)) {
                 *d = p.add_mod(*d, s);
             }
-        }
+        });
         Ok(())
     }
 
@@ -197,16 +214,24 @@ impl RnsPoly {
     ///
     /// Same as [`RnsPoly::add`].
     pub fn sub(&self, other: &Self) -> Result<Self, MathError> {
+        self.sub_with(other, exec::global().as_ref())
+    }
+
+    /// Coefficient-wise difference through an explicit executor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsPoly::add`].
+    pub fn sub_with(&self, other: &Self, exec: &dyn Executor) -> Result<Self, MathError> {
         self.check_compatible(other)?;
         let mut out = self.clone();
         let n = out.n;
-        for (i, p) in out.moduli.clone().iter().enumerate() {
-            let dst = &mut out.data[i * n..(i + 1) * n];
-            let src = other.residue(i);
-            for (d, &s) in dst.iter_mut().zip(src) {
+        exec::for_each_limb(exec, &mut out.data, n, |i, dst| {
+            let p = &self.moduli[i];
+            for (d, &s) in dst.iter_mut().zip(other.residue(i)) {
                 *d = p.sub_mod(*d, s);
             }
-        }
+        });
         Ok(out)
     }
 
@@ -214,11 +239,12 @@ impl RnsPoly {
     pub fn neg(&self) -> Self {
         let mut out = self.clone();
         let n = out.n;
-        for (i, p) in out.moduli.clone().iter().enumerate() {
-            for d in &mut out.data[i * n..(i + 1) * n] {
+        exec::for_each_limb(exec::global().as_ref(), &mut out.data, n, |i, dst| {
+            let p = &self.moduli[i];
+            for d in dst.iter_mut() {
                 *d = p.neg_mod(*d);
             }
-        }
+        });
         out
     }
 
@@ -242,15 +268,27 @@ impl RnsPoly {
     ///
     /// Same as [`RnsPoly::dyadic_mul`].
     pub fn dyadic_mul_assign(&mut self, other: &Self) -> Result<(), MathError> {
+        self.dyadic_mul_assign_with(other, exec::global().as_ref())
+    }
+
+    /// In-place dyadic product through an explicit executor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsPoly::dyadic_mul`].
+    pub fn dyadic_mul_assign_with(
+        &mut self,
+        other: &Self,
+        exec: &dyn Executor,
+    ) -> Result<(), MathError> {
         self.check_compatible(other)?;
         let n = self.n;
-        for (i, p) in self.moduli.clone().iter().enumerate() {
-            let dst = &mut self.data[i * n..(i + 1) * n];
-            let src = other.residue(i);
-            for (d, &s) in dst.iter_mut().zip(src) {
+        exec::for_each_limb(exec, &mut self.data, n, |i, dst| {
+            let p = &self.moduli[i];
+            for (d, &s) in dst.iter_mut().zip(other.residue(i)) {
                 *d = p.mul_mod(*d, s);
             }
-        }
+        });
         Ok(())
     }
 
@@ -261,17 +299,31 @@ impl RnsPoly {
     ///
     /// Returns an error on degree/modulus/representation mismatch.
     pub fn dyadic_mul_acc(&mut self, a: &Self, b: &Self) -> Result<(), MathError> {
+        self.dyadic_mul_acc_with(a, b, exec::global().as_ref())
+    }
+
+    /// Fused dyadic multiply-accumulate through an explicit executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on degree/modulus/representation mismatch.
+    pub fn dyadic_mul_acc_with(
+        &mut self,
+        a: &Self,
+        b: &Self,
+        exec: &dyn Executor,
+    ) -> Result<(), MathError> {
         self.check_compatible(a)?;
         self.check_compatible(b)?;
         let n = self.n;
-        for (i, p) in self.moduli.clone().iter().enumerate() {
-            let dst = &mut self.data[i * n..(i + 1) * n];
+        exec::for_each_limb(exec, &mut self.data, n, |i, dst| {
+            let p = &self.moduli[i];
             let sa = a.residue(i);
             let sb = b.residue(i);
             for ((d, &x), &y) in dst.iter_mut().zip(sa).zip(sb) {
                 *d = p.add_mod(*d, p.mul_mod(x, y));
             }
-        }
+        });
         Ok(())
     }
 
@@ -283,37 +335,44 @@ impl RnsPoly {
     pub fn scale_per_residue(&mut self, scalars: &[u64]) {
         assert_eq!(scalars.len(), self.moduli.len());
         let n = self.n;
-        for (i, p) in self.moduli.clone().iter().enumerate() {
+        exec::for_each_limb(exec::global().as_ref(), &mut self.data, n, |i, dst| {
+            let p = &self.moduli[i];
             let s = p.reduce_u64(scalars[i]);
-            for d in &mut self.data[i * n..(i + 1) * n] {
+            for d in dst.iter_mut() {
                 *d = p.mul_mod(*d, s);
             }
-        }
+        });
     }
 
     /// Applies the forward NTT to every residue using the matching tables.
     ///
     /// Uses the lazy-reduction kernel (bit-identical output, ~4× faster)
     /// whenever the modulus permits it, as SEAL's production kernels do.
+    /// Limbs are dispatched through the global executor.
     ///
     /// # Errors
     ///
     /// [`MathError::RepresentationMismatch`] if already in NTT form;
     /// [`MathError::BasisMismatch`] if `tables` do not match the moduli.
     pub fn ntt_forward(&mut self, tables: &[NttTable]) -> Result<(), MathError> {
+        self.ntt_forward_with(tables, exec::global().as_ref())
+    }
+
+    /// Forward NTT of every residue through an explicit executor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsPoly::ntt_forward`].
+    pub fn ntt_forward_with(
+        &mut self,
+        tables: &[NttTable],
+        exec: &dyn Executor,
+    ) -> Result<(), MathError> {
         if self.repr == Representation::Ntt {
             return Err(MathError::RepresentationMismatch);
         }
         self.check_tables(tables)?;
-        let n = self.n;
-        for (i, t) in tables.iter().enumerate().take(self.moduli.len()) {
-            let residue = &mut self.data[i * n..(i + 1) * n];
-            if t.modulus().bits() <= 60 {
-                t.forward_lazy(residue);
-            } else {
-                t.forward(residue);
-            }
-        }
+        crate::ntt::forward_limbs(exec, &tables[..self.moduli.len()], &mut self.data, self.n);
         self.repr = Representation::Ntt;
         Ok(())
     }
@@ -325,14 +384,24 @@ impl RnsPoly {
     /// [`MathError::RepresentationMismatch`] if already in coefficient form;
     /// [`MathError::BasisMismatch`] on table/modulus mismatch.
     pub fn ntt_inverse(&mut self, tables: &[NttTable]) -> Result<(), MathError> {
+        self.ntt_inverse_with(tables, exec::global().as_ref())
+    }
+
+    /// Inverse NTT of every residue through an explicit executor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsPoly::ntt_inverse`].
+    pub fn ntt_inverse_with(
+        &mut self,
+        tables: &[NttTable],
+        exec: &dyn Executor,
+    ) -> Result<(), MathError> {
         if self.repr == Representation::Coefficient {
             return Err(MathError::RepresentationMismatch);
         }
         self.check_tables(tables)?;
-        let n = self.n;
-        for (i, t) in tables.iter().enumerate().take(self.moduli.len()) {
-            t.inverse_auto(&mut self.data[i * n..(i + 1) * n]);
-        }
+        crate::ntt::inverse_limbs(exec, &tables[..self.moduli.len()], &mut self.data, self.n);
         self.repr = Representation::Coefficient;
         Ok(())
     }

@@ -191,3 +191,126 @@ proptest! {
         prop_assert_eq!(pa.sub(&pb).unwrap().add(&pb).unwrap(), pa);
     }
 }
+
+/// Equivalence of the execution backends: `ThreadPool(k)` must be
+/// bit-identical to `Sequential` for every parallel hot path. Lane counts
+/// cover the degenerate pool (k = 1), one worker (k = 2), and more lanes
+/// than the host has cores (k = 4 on single-core CI shards).
+mod backend_equivalence {
+    use super::*;
+    use heax_math::exec::{self, Sequential, ThreadPool};
+    use heax_math::ntt::NttTable;
+
+    fn pool_lanes() -> impl Strategy<Value = usize> {
+        prop::sample::select(vec![1usize, 2, 4])
+    }
+
+    fn rns_poly(seed: u64, n: usize, mods: &[Modulus], repr: Representation) -> RnsPoly {
+        let mut poly = RnsPoly::zero(n, mods, repr);
+        for (i, m) in mods.iter().enumerate() {
+            for (j, c) in poly.residue_mut(i).iter_mut().enumerate() {
+                *c = (seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add(((i * n + j) as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)))
+                    % m.value();
+            }
+        }
+        poly
+    }
+
+    fn moduli_and_tables(n: usize) -> (Vec<Modulus>, Vec<NttTable>) {
+        let mut primes = generate_ntt_primes(30, 2, n).unwrap();
+        primes.extend(generate_ntt_primes(36, 1, n).unwrap());
+        let mods: Vec<Modulus> = primes.iter().map(|&p| Modulus::new(p).unwrap()).collect();
+        let tables = mods.iter().map(|&m| NttTable::new(n, m).unwrap()).collect();
+        (mods, tables)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ntt_roundtrip_pool_matches_sequential(seed in any::<u64>(), k in pool_lanes()) {
+            let n = 128usize;
+            let (mods, tables) = moduli_and_tables(n);
+            let pool = ThreadPool::new(k);
+            let original = rns_poly(seed, n, &mods, Representation::Coefficient);
+
+            let mut seq = original.clone();
+            seq.ntt_forward_with(&tables, &Sequential).unwrap();
+            let mut par = original.clone();
+            par.ntt_forward_with(&tables, &pool).unwrap();
+            prop_assert_eq!(&seq, &par, "forward NTT diverged at k={}", k);
+
+            seq.ntt_inverse_with(&tables, &Sequential).unwrap();
+            par.ntt_inverse_with(&tables, &pool).unwrap();
+            prop_assert_eq!(&seq, &par, "inverse NTT diverged at k={}", k);
+            prop_assert_eq!(&seq, &original, "round-trip is not the identity");
+        }
+
+        #[test]
+        fn dyadic_ops_pool_match_sequential(seed in any::<u64>(), k in pool_lanes()) {
+            let n = 64usize;
+            let (mods, _) = moduli_and_tables(n);
+            let pool = ThreadPool::new(k);
+            let a = rns_poly(seed, n, &mods, Representation::Ntt);
+            let b = rns_poly(seed ^ 0xdead_beef, n, &mods, Representation::Ntt);
+
+            let mut seq = a.clone();
+            seq.dyadic_mul_assign_with(&b, &Sequential).unwrap();
+            let mut par = a.clone();
+            par.dyadic_mul_assign_with(&b, &pool).unwrap();
+            prop_assert_eq!(&seq, &par, "dyadic mul diverged at k={}", k);
+
+            let mut acc_seq = RnsPoly::zero(n, &mods, Representation::Ntt);
+            acc_seq.dyadic_mul_acc_with(&a, &b, &Sequential).unwrap();
+            acc_seq.dyadic_mul_acc_with(&b, &a, &Sequential).unwrap();
+            let mut acc_par = RnsPoly::zero(n, &mods, Representation::Ntt);
+            acc_par.dyadic_mul_acc_with(&a, &b, &pool).unwrap();
+            acc_par.dyadic_mul_acc_with(&b, &a, &pool).unwrap();
+            prop_assert_eq!(&acc_seq, &acc_par, "dyadic mul-acc diverged at k={}", k);
+
+            prop_assert_eq!(
+                a.add(&b).unwrap(),
+                {
+                    let mut s = a.clone();
+                    s.add_assign_with(&b, &pool).unwrap();
+                    s
+                },
+                "add diverged at k={}", k
+            );
+            prop_assert_eq!(
+                a.sub(&b).unwrap(),
+                a.sub_with(&b, &pool).unwrap(),
+                "sub diverged at k={}", k
+            );
+        }
+
+        #[test]
+        fn limb_batch_helpers_pool_match_sequential(seed in any::<u64>(), k in pool_lanes()) {
+            // forward_limbs/inverse_limbs (the batch dispatchers under
+            // RnsPoly) seen directly, over raw limb data.
+            let n = 64usize;
+            let (mods, tables) = moduli_and_tables(n);
+            let pool = ThreadPool::new(k);
+            let poly = rns_poly(seed, n, &mods, Representation::Coefficient);
+            let mut seq = poly.data().to_vec();
+            let mut par = seq.clone();
+            heax_math::ntt::forward_limbs(&Sequential, &tables, &mut seq, n);
+            heax_math::ntt::forward_limbs(&pool, &tables, &mut par, n);
+            prop_assert_eq!(&seq, &par);
+            heax_math::ntt::inverse_limbs(&Sequential, &tables, &mut seq, n);
+            heax_math::ntt::inverse_limbs(&pool, &tables, &mut par, n);
+            prop_assert_eq!(&seq, &par);
+            prop_assert_eq!(&seq, &poly.data().to_vec());
+        }
+    }
+
+    #[test]
+    fn global_executor_honors_env_contract() {
+        // The global backend is read from HEAX_THREADS once; in the test
+        // process it is unset (or whatever the harness sets), so just
+        // assert the contract between env_threads() and the executor.
+        assert_eq!(exec::global().threads(), exec::env_threads());
+    }
+}

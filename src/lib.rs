@@ -12,6 +12,11 @@
 //! The accelerator layer is re-exported as `accel` (not `core`, its crate
 //! name) so the facade never shadows the built-in `core` prelude path.
 //!
+//! Limb-level work can run in parallel across RNS residues: see
+//! [`exec`] (sequential by default; opt in with the `HEAX_THREADS`
+//! environment variable or the `with_executor` builders on
+//! `ckks::Evaluator` / `accel::HeaxAccelerator`).
+//!
 //! See the repository `README.md` for a quickstart and `EXPERIMENTS.md`
 //! for the paper-vs-measured evaluation index.
 //!
@@ -32,3 +37,5 @@ pub use heax_ckks as ckks;
 pub use heax_core as accel;
 pub use heax_hw as hw;
 pub use heax_math as math;
+
+pub use heax_math::exec;

@@ -22,7 +22,7 @@ pub mod test_runner;
 pub mod collection {
     use crate::strategy::{Strategy, VecStrategy};
 
-    /// Lengths acceptable to [`vec`]: a fixed `usize` or a range.
+    /// Lengths acceptable to [`vec()`]: a fixed `usize` or a range.
     pub trait SizeRange {
         /// Picks a concrete length.
         fn pick(&self, rng: &mut rand::rngs::StdRng) -> usize;
