@@ -1,0 +1,60 @@
+//! Key-switch hot-path perf snapshot (PR 3): measures the Shoup-table
+//! key switch against the seed Barrett reference, a single rotation, and
+//! the hoisted `rotate_many` batch at N = 4096/8192/16384, prints the
+//! comparison table, and writes the machine-readable
+//! `BENCH_keyswitch.json` snapshot (path overridable via the
+//! `HEAX_BENCH_KS_JSON` environment variable).
+//!
+//! The committed snapshot at the repo root is the acceptance artifact:
+//! `rotate_manyN_per_rotation` must show ≥ 2× over sequential `rotate`
+//! at N = 8192.
+//!
+//! Usage: `bench_keyswitch [budget_ms]` (default 300 ms per data point;
+//! `HEAX_BENCH_QUICK=1` restricts to N = 4096 for CI smoke).
+
+use heax_bench::keyswitch::{self, ROTATE_STEPS};
+use heax_bench::{bench_json, fmt_ops, fmt_speedup, render_table};
+
+fn main() {
+    let budget_ms = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    let records = keyswitch::measure_suite(budget_ms);
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.op.clone(),
+                r.n.to_string(),
+                r.threads.to_string(),
+                fmt_ops(r.ops_per_sec),
+                fmt_speedup(r.speedup_vs_baseline),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Key-switch hot path: Shoup keys + hoisted rotation vs seed",
+            &["op", "n", "threads", "ops/s", "vs baseline"],
+            &rows,
+        )
+    );
+    println!(
+        "\nbaselines: key_switch_barrett (seed Barrett path) and rotate \
+         (sequential key switch per rotation); rotate_many{ROTATE_STEPS}_per_rotation \
+         >= 2.0x at n = 8192 is the PR 3 acceptance bar"
+    );
+
+    let path = bench_json::path_from_env("HEAX_BENCH_KS_JSON", "BENCH_keyswitch.json");
+    let json = bench_json::render_keyswitch(&records, budget_ms, ROTATE_STEPS);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -19,32 +19,51 @@
 //! computes `(τ(c₀) + f₀, f₁)` where `(f₀, f₁) = KeySwitchInner(τ(c₁))`.
 //! [`Evaluator::key_switch`] exposes the inner primitive directly.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use heax_math::exec::{self, Executor};
 use heax_math::poly::{Representation, RnsPoly};
+use heax_math::word::Modulus;
 
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
-use crate::flooring::{floor_last, floor_special};
-use crate::galois::{galois_elt_conjugate, galois_elt_from_step};
+use crate::flooring::{floor_last_into, floor_special_into, floor_special_pair_into};
+use crate::galois::{apply_galois_ntt_into, galois_elt_conjugate, galois_elt_from_step};
 use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
+use crate::scratch::{KeySwitchScratch, KsBuffers};
 use crate::CkksError;
 
 /// Relative tolerance when comparing scales of operands.
 const SCALE_RTOL: f64 = 1e-9;
 
-/// Stateless evaluator borrowing a context.
+/// Evaluator borrowing a context, plus an internal reusable workspace.
 ///
 /// By default limb-level work (dyadic products, per-limb NTTs, the
 /// key-switch inner loop) is dispatched through the global executor
 /// selected by `HEAX_THREADS` (see [`heax_math::exec`]); use
 /// [`Evaluator::with_executor`] to pin an explicit backend. All backends
 /// are bit-identical.
-#[derive(Clone, Debug)]
+///
+/// The evaluator owns a `KeySwitchScratch` buffer pool (behind a mutex,
+/// so the type stays `Sync`): key switching, rescaling, and rotation
+/// reuse the same accumulators and per-limb lanes instead of allocating
+/// on every call — [`Evaluator::key_switch_into`] is allocation-free
+/// after warm-up. Cloning an evaluator starts a fresh (cold) workspace.
+#[derive(Debug)]
 pub struct Evaluator<'a> {
     ctx: &'a CkksContext,
     exec: Arc<dyn Executor>,
+    scratch: Mutex<KeySwitchScratch>,
+}
+
+impl Clone for Evaluator<'_> {
+    fn clone(&self) -> Self {
+        Self {
+            ctx: self.ctx,
+            exec: self.exec.clone(),
+            scratch: Mutex::new(KeySwitchScratch::new()),
+        }
+    }
 }
 
 impl<'a> Evaluator<'a> {
@@ -56,7 +75,18 @@ impl<'a> Evaluator<'a> {
 
     /// Creates an evaluator with an explicit execution backend.
     pub fn with_executor(ctx: &'a CkksContext, exec: Arc<dyn Executor>) -> Self {
-        Self { ctx, exec }
+        Self {
+            ctx,
+            exec,
+            scratch: Mutex::new(KeySwitchScratch::new()),
+        }
+    }
+
+    /// Locks the scratch workspace (recovering from a poisoned lock — the
+    /// buffers hold no invariants a panic could break mid-update that the
+    /// per-call `fill(0)` / `ensure` reshaping does not restore).
+    fn scratch(&self) -> std::sync::MutexGuard<'_, KeySwitchScratch> {
+        self.scratch.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The context.
@@ -113,14 +143,20 @@ impl<'a> Evaluator<'a> {
         self.check_pair(a, b)?;
         let size = a.size().max(b.size());
         let mut polys = Vec::with_capacity(size);
-        let zero = RnsPoly::zero(
-            self.ctx.n(),
-            self.ctx.level_moduli(a.level),
-            Representation::Ntt,
-        );
+        // The zero stand-in is only needed when the operands differ in
+        // component count (e.g. 3-component product minus fresh pair).
+        let zero = if a.size() != b.size() {
+            Some(RnsPoly::zero(
+                self.ctx.n(),
+                self.ctx.level_moduli(a.level),
+                Representation::Ntt,
+            ))
+        } else {
+            None
+        };
         for i in 0..size {
-            let ai = a.polys.get(i).unwrap_or(&zero);
-            let bi = b.polys.get(i).unwrap_or(&zero);
+            let ai = a.polys.get(i).or(zero.as_ref()).expect("zero present");
+            let bi = b.polys.get(i).or(zero.as_ref()).expect("zero present");
             polys.push(ai.sub_with(bi, self.exec.as_ref())?);
         }
         Ciphertext::from_parts(polys, a.level, a.scale)
@@ -197,8 +233,10 @@ impl<'a> Evaluator<'a> {
         }
         let mut polys = Vec::with_capacity(a.size());
         for c in &a.polys {
-            let mut prod = c.clone();
-            prod.dyadic_mul_assign_with(&pt.poly, self.exec.as_ref())?;
+            // Write the product straight into the fresh output instead of
+            // cloning `c` first (clone-then-overwrite is a wasted memcpy).
+            let mut prod = RnsPoly::zero(self.ctx.n(), c.moduli(), c.representation());
+            prod.dyadic_mul_set_with(c, &pt.poly, self.exec.as_ref())?;
             polys.push(prod);
         }
         Ciphertext::from_parts(polys, a.level, a.scale * pt.scale)
@@ -216,16 +254,22 @@ impl<'a> Evaluator<'a> {
         let alpha = a.size();
         let beta = b.size();
         let out_size = alpha + beta - 1;
-        let zero = RnsPoly::zero(
-            self.ctx.n(),
-            self.ctx.level_moduli(a.level),
-            Representation::Ntt,
-        );
-        let mut polys = vec![zero; out_size];
-        for i in 0..alpha {
-            for j in 0..beta {
-                polys[i + j].dyadic_mul_acc_with(&a.polys[i], &b.polys[j], self.exec.as_ref())?;
+        let moduli = self.ctx.level_moduli(a.level);
+        let mut polys = Vec::with_capacity(out_size);
+        for t in 0..out_size {
+            // First contributing pair writes the product directly; the
+            // rest accumulate — no add-onto-zero pass, bit-identical sums.
+            let mut ct = RnsPoly::zero(self.ctx.n(), moduli, Representation::Ntt);
+            let i_lo = (t + 1).saturating_sub(beta);
+            for i in i_lo..=t.min(alpha - 1) {
+                let j = t - i;
+                if i == i_lo {
+                    ct.dyadic_mul_set_with(&a.polys[i], &b.polys[j], self.exec.as_ref())?;
+                } else {
+                    ct.dyadic_mul_acc_with(&a.polys[i], &b.polys[j], self.exec.as_ref())?;
+                }
             }
+            polys.push(ct);
         }
         Ciphertext::from_parts(polys, a.level, a.scale * b.scale)
     }
@@ -282,10 +326,29 @@ impl<'a> Evaluator<'a> {
             return Err(CkksError::LevelExhausted);
         }
         let dropped = self.ctx.moduli()[a.level].value() as f64;
+        let n = self.ctx.n();
+        let out_moduli = self.ctx.level_moduli(a.level - 1);
         let mut polys = Vec::with_capacity(a.size());
+        let mut guard = self.scratch();
+        let bufs = &mut guard.ks;
+        bufs.ensure(self.ctx, a.level);
+        let KsBuffers {
+            lane, drop_coeff, ..
+        } = bufs;
         for c in &a.polys {
-            polys.push(floor_last(c, self.ctx, a.level, self.exec.as_ref())?);
+            let mut out = RnsPoly::zero(n, out_moduli, Representation::Ntt);
+            floor_last_into(
+                c,
+                self.ctx,
+                a.level,
+                self.exec.as_ref(),
+                drop_coeff,
+                lane,
+                &mut out,
+            )?;
+            polys.push(out);
         }
+        drop(guard);
         Ciphertext::from_parts(polys, a.level - 1, a.scale / dropped)
     }
 
@@ -314,10 +377,200 @@ impl<'a> Evaluator<'a> {
     /// key-switching key, produces the pair `(f₀, f₁)` over the same basis
     /// such that `f₀ + f₁·s ≈ target·s'`.
     ///
+    /// The accumulation runs against the key's Shoup
+    /// ([`heax_math::word::MulRedConstant`]) tables with lazy `[0, 2p)`
+    /// arithmetic and a single deferred reduction — bit-identical to the
+    /// Barrett path ([`Evaluator::key_switch_reference`]), one
+    /// shift-multiply per coefficient instead of a 128-bit reduction.
+    ///
     /// # Errors
     ///
     /// Returns [`CkksError::Math`] on representation/shape mismatches.
     pub fn key_switch(
+        &self,
+        target: &RnsPoly,
+        ksk: &KeySwitchKey,
+        level: usize,
+    ) -> Result<(RnsPoly, RnsPoly), CkksError> {
+        let n = self.ctx.n();
+        let moduli = self.ctx.level_moduli(level);
+        let mut f0 = RnsPoly::zero(n, moduli, Representation::Ntt);
+        let mut f1 = RnsPoly::zero(n, moduli, Representation::Ntt);
+        self.key_switch_into(target, ksk, level, &mut f0, &mut f1)?;
+        Ok((f0, f1))
+    }
+
+    /// [`Evaluator::key_switch`] into caller-provided output buffers:
+    /// `f0`/`f1` must be NTT-form polynomials over the basis of `level`.
+    /// Together with the evaluator's internal workspace this makes the
+    /// call **allocation-free after warm-up** (first call at a level
+    /// shapes the buffers; see the `alloc_free` integration test).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Math`] on representation/shape mismatches of
+    /// the target or the output buffers.
+    pub fn key_switch_into(
+        &self,
+        target: &RnsPoly,
+        ksk: &KeySwitchKey,
+        level: usize,
+        f0: &mut RnsPoly,
+        f1: &mut RnsPoly,
+    ) -> Result<(), CkksError> {
+        let mut guard = self.scratch();
+        self.key_switch_core(target, ksk, level, &mut guard.ks, f0, f1)
+    }
+
+    /// The scratch-parameterized key-switch body shared by
+    /// [`Evaluator::key_switch_into`] and [`Evaluator::apply_galois`].
+    fn key_switch_core(
+        &self,
+        target: &RnsPoly,
+        ksk: &KeySwitchKey,
+        level: usize,
+        bufs: &mut KsBuffers,
+        f0: &mut RnsPoly,
+        f1: &mut RnsPoly,
+    ) -> Result<(), CkksError> {
+        let ctx = self.ctx;
+        if target.representation() != Representation::Ntt {
+            return Err(CkksError::Math(
+                heax_math::MathError::RepresentationMismatch,
+            ));
+        }
+        if target.num_residues() != level + 1 {
+            return Err(CkksError::Math(heax_math::MathError::LengthMismatch {
+                expected: level + 1,
+                got: target.num_residues(),
+            }));
+        }
+        let n = ctx.n();
+        let k = ctx.params().k();
+        check_switch_output(f0, n, ctx.level_moduli(level))?;
+        check_switch_output(f1, n, ctx.level_moduli(level))?;
+        bufs.ensure(ctx, level);
+        let KsBuffers {
+            ext_moduli,
+            acc0,
+            acc1,
+            a_coeff,
+            lane,
+            drop_coeff,
+            drop_coeff2,
+            ..
+        } = bufs;
+        let ext_len = ext_moduli.len();
+
+        // k iterations, one per input RNS component (Alg. 7, lines 2-18).
+        // The inner loop over the extended basis is embarrassingly
+        // parallel (each `j` touches only limb `j` of both accumulators
+        // and its private scratch lane — in hardware these are the
+        // concurrently running NTT0/DyadMult lanes), so it is dispatched
+        // across the evaluator's executor.
+        for i in 0..=level {
+            // a ← INTT_{p_i}(c̃_{1,i})            (line 3)
+            a_coeff.copy_from_slice(target.residue(i));
+            ctx.ntt_table(i).inverse_auto(a_coeff);
+
+            let (ksk_b, ksk_a) = ksk.component_shoup(i);
+            let a_coeff = &*a_coeff;
+            let ext_moduli = &*ext_moduli;
+            // The first iteration writes the accumulators outright (no
+            // zero-fill pass, no add-onto-zero).
+            let first = i == 0;
+            exec::for_each_limb3(
+                self.exec.as_ref(),
+                acc0.data_mut(),
+                acc1.data_mut(),
+                &mut lane[..ext_len * n],
+                n,
+                |j, d0, d1, buf| {
+                    let m = &ext_moduli[j];
+                    // Chain index of extended position j (special prime
+                    // last).
+                    let chain_idx = if j <= level { j } else { k };
+                    // b̃: reuse the NTT form when i == j (line 9), otherwise
+                    // reduce in coefficient space and re-NTT inside this
+                    // limb's scratch lane (lines 6-7, 14-15).
+                    let b_ntt: &[u64] = if chain_idx == i {
+                        target.residue(i)
+                    } else {
+                        for (b, &x) in buf.iter_mut().zip(a_coeff) {
+                            *b = m.reduce_u64(x);
+                        }
+                        ctx.ntt_table(chain_idx).forward_auto(buf);
+                        buf
+                    };
+                    // Accumulate b̃ ⊙ d̃_{i,0/1,j} (lines 11-12, 16-17)
+                    // against the Shoup tables, lazily: each product is
+                    // in [0, 2p) and the word has headroom for all k of
+                    // them whenever (level+1)·2p < 2^64 (every paper
+                    // parameter set), so the hot loop is a bare
+                    // shift-multiply-add — no reduction at all. The fold
+                    // to [0, p) is a single deferred Barrett pass.
+                    let kb = &ksk_b[chain_idx * n..(chain_idx + 1) * n];
+                    let ka = &ksk_a[chain_idx * n..(chain_idx + 1) * n];
+                    if first {
+                        for ((d, &x), c) in d0.iter_mut().zip(b_ntt).zip(kb) {
+                            *d = c.mul_red_lazy(x, m);
+                        }
+                        for ((d, &x), c) in d1.iter_mut().zip(b_ntt).zip(ka) {
+                            *d = c.mul_red_lazy(x, m);
+                        }
+                    } else if lazy_acc_fits(m, level) {
+                        for ((d, &x), c) in d0.iter_mut().zip(b_ntt).zip(kb) {
+                            *d += c.mul_red_lazy(x, m);
+                        }
+                        for ((d, &x), c) in d1.iter_mut().zip(b_ntt).zip(ka) {
+                            *d += c.mul_red_lazy(x, m);
+                        }
+                    } else {
+                        // Wide-modulus fallback: correct to [0, 2p) per add.
+                        let two_p = 2 * m.value();
+                        for ((d, &x), c) in d0.iter_mut().zip(b_ntt).zip(kb) {
+                            let s = *d + c.mul_red_lazy(x, m);
+                            *d = if s >= two_p { s - two_p } else { s };
+                        }
+                        for ((d, &x), c) in d1.iter_mut().zip(b_ntt).zip(ka) {
+                            let s = *d + c.mul_red_lazy(x, m);
+                            *d = if s >= two_p { s - two_p } else { s };
+                        }
+                    }
+                },
+            );
+        }
+
+        // Modulus switching: floor both accumulators by the special prime
+        // (line 19) as one interleaved pair, reusing the scratch lanes.
+        // The accumulators are still lazy (< (level+1)·2p); the floor
+        // folds the deferred Barrett reduction into its own streaming
+        // reads, so no separate normalization pass ever touches memory.
+        floor_special_pair_into(
+            acc0,
+            acc1,
+            ctx,
+            level,
+            self.exec.as_ref(),
+            drop_coeff,
+            drop_coeff2,
+            lane,
+            f0,
+            f1,
+        )?;
+        Ok(())
+    }
+
+    /// The seed's Barrett-reduction key switch, kept as the correctness
+    /// oracle for the Shoup path (the property suite asserts bit-identical
+    /// outputs across backends) and as the baseline the `bench_keyswitch`
+    /// snapshot measures speedups against. Allocates per call, exactly
+    /// like the seed did.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Math`] on representation/shape mismatches.
+    pub fn key_switch_reference(
         &self,
         target: &RnsPoly,
         ksk: &KeySwitchKey,
@@ -337,20 +590,13 @@ impl<'a> Evaluator<'a> {
         }
         let n = ctx.n();
         let k = ctx.params().k();
-        // Extended basis: active primes + special prime.
         let mut ext_chain: Vec<_> = ctx.level_moduli(level).to_vec();
         ext_chain.push(*ctx.special_modulus());
 
         let mut acc0 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
         let mut acc1 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
 
-        // k iterations, one per input RNS component (Alg. 7, lines 2-18).
-        // The inner loop over the extended basis is embarrassingly
-        // parallel (each `j` touches only limb `j` of both accumulators —
-        // in hardware these are the concurrently running NTT0/DyadMult
-        // lanes), so it is dispatched across the evaluator's executor.
         for i in 0..=level {
-            // a ← INTT_{p_i}(c̃_{1,i})            (line 3)
             let mut a_coeff = target.residue(i).to_vec();
             ctx.ntt_table(i).inverse_auto(&mut a_coeff);
 
@@ -364,12 +610,7 @@ impl<'a> Evaluator<'a> {
                 n,
                 |j, d0, d1| {
                     let m = &ext_chain[j];
-                    // Chain index of extended position j (special prime
-                    // last).
                     let chain_idx = if j <= level { j } else { k };
-                    // b̃: reuse the NTT form when i == j (line 9), otherwise
-                    // reduce in coefficient space and re-NTT (lines 6-7,
-                    // 14-15).
                     let reduced;
                     let b_ntt: &[u64] = if chain_idx == i {
                         target.residue(i)
@@ -379,7 +620,6 @@ impl<'a> Evaluator<'a> {
                         reduced = b;
                         &reduced
                     };
-                    // Accumulate b̃ ⊙ d̃_{i,0/1,j}      (lines 11-12, 16-17)
                     let kb = ksk_b.residue(chain_idx);
                     let ka = ksk_a.residue(chain_idx);
                     for (t, d) in d0.iter_mut().enumerate() {
@@ -392,10 +632,28 @@ impl<'a> Evaluator<'a> {
             );
         }
 
-        // Modulus switching: floor both accumulators by the special prime
-        // (line 19).
-        let f0 = floor_special(&acc0, ctx, level, self.exec.as_ref())?;
-        let f1 = floor_special(&acc1, ctx, level, self.exec.as_ref())?;
+        let mut drop = Vec::new();
+        let mut lane = vec![0u64; (level + 1) * n];
+        let mut f0 = RnsPoly::zero(n, ctx.level_moduli(level), Representation::Ntt);
+        let mut f1 = RnsPoly::zero(n, ctx.level_moduli(level), Representation::Ntt);
+        floor_special_into(
+            &acc0,
+            ctx,
+            level,
+            self.exec.as_ref(),
+            &mut drop,
+            &mut lane,
+            &mut f0,
+        )?;
+        floor_special_into(
+            &acc1,
+            ctx,
+            level,
+            self.exec.as_ref(),
+            &mut drop,
+            &mut lane,
+            &mut f1,
+        )?;
         Ok((f0, f1))
     }
 
@@ -413,10 +671,11 @@ impl<'a> Evaluator<'a> {
                 expected: "exactly 3",
             });
         }
-        let (f0, f1) = self.key_switch(&a.polys[2], &rlk.ksk, a.level)?;
-        let c0 = a.polys[0].add(&f0)?;
-        let c1 = a.polys[1].add(&f1)?;
-        Ciphertext::from_parts(vec![c0, c1], a.level, a.scale)
+        let (mut f0, mut f1) = self.key_switch(&a.polys[2], &rlk.ksk, a.level)?;
+        // Accumulate (c₀, c₁) into the key-switch outputs in place.
+        f0.add_assign_with(&a.polys[0], self.exec.as_ref())?;
+        f1.add_assign_with(&a.polys[1], self.exec.as_ref())?;
+        Ciphertext::from_parts(vec![f0, f1], a.level, a.scale)
     }
 
     /// Multiply then relinearize — the paper's "MULT+ReLin" composite
@@ -464,6 +723,10 @@ impl<'a> Evaluator<'a> {
 
     /// Applies an arbitrary Galois element (rotation generalization).
     ///
+    /// The rotated `c₁` lands in the evaluator's scratch buffer (no fresh
+    /// polynomial per call), and `τ(c₀)` is never materialized: the
+    /// permutation is fused into the final accumulation over `f₀`.
+    ///
     /// # Errors
     ///
     /// Same as [`Evaluator::rotate`].
@@ -481,12 +744,246 @@ impl<'a> Evaluator<'a> {
         }
         let ksk = gks.key(elt)?;
         let table = gks.permutation(elt)?;
-        let c0 = crate::galois::apply_galois_ntt(&a.polys[0], table)?;
-        let c1 = crate::galois::apply_galois_ntt(&a.polys[1], table)?;
-        let (f0, f1) = self.key_switch(&c1, ksk, a.level)?;
-        let c0 = c0.add(&f0)?;
-        Ciphertext::from_parts(vec![c0, f1], a.level, a.scale)
+        let ctx = self.ctx;
+        let n = ctx.n();
+        let level = a.level;
+        let moduli = ctx.level_moduli(level);
+        let mut f0 = RnsPoly::zero(n, moduli, Representation::Ntt);
+        let mut f1 = RnsPoly::zero(n, moduli, Representation::Ntt);
+        {
+            let mut guard = self.scratch();
+            let scratch = &mut *guard;
+            scratch.ensure_rotated(ctx, level);
+            let KeySwitchScratch { ks, rotated, .. } = scratch;
+            apply_galois_ntt_into(&a.polys[1], table, rotated)?;
+            self.key_switch_core(rotated, ksk, level, ks, &mut f0, &mut f1)?;
+        }
+        // c₀' = τ(c₀) + f₀, with the permutation fused into the add.
+        let c0 = &a.polys[0];
+        exec::for_each_limb(self.exec.as_ref(), f0.data_mut(), n, |i, dst| {
+            let m = &moduli[i];
+            let src = c0.residue(i);
+            for (t, d) in dst.iter_mut().enumerate() {
+                *d = m.add_mod(*d, src[table[t]]);
+            }
+        });
+        Ciphertext::from_parts(vec![f0, f1], level, a.scale)
     }
+
+    /// Hoisted multi-rotation: rotates `a` by every step in `steps`,
+    /// decomposing/INTT-ing the `c₁` component **once** and applying each
+    /// requested Galois element against the shared decomposition — `t`
+    /// rotations cost one decomposition plus `t` cheap accumulation
+    /// passes instead of `t` full key switches (the batched-rotation
+    /// pattern of the paper's matrix-vector and convolution workloads).
+    ///
+    /// The outputs decrypt to the same values as sequential
+    /// [`Evaluator::rotate`] calls; the ciphertext bits differ by a
+    /// rounding-level noise term because the automorphism is applied to
+    /// the shared NTT-form digits rather than re-decomposing the rotated
+    /// polynomial (the standard hoisting trade, noise-equivalent).
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::MissingGaloisKey`] if any step lacks a key;
+    /// [`CkksError::InvalidCiphertext`] for non-2-component inputs.
+    pub fn rotate_many(
+        &self,
+        a: &Ciphertext,
+        steps: &[i64],
+        gks: &GaloisKeys,
+    ) -> Result<Vec<Ciphertext>, CkksError> {
+        if a.size() != 2 {
+            return Err(CkksError::InvalidCiphertext {
+                components: a.size(),
+                expected: "exactly 2 (relinearize first)",
+            });
+        }
+        if steps.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ctx = self.ctx;
+        let n = ctx.n();
+        let k = ctx.params().k();
+        let level = a.level;
+        let moduli = ctx.level_moduli(level);
+        // Resolve every key up front so a missing key fails before the
+        // decomposition work.
+        let keys: Vec<(&KeySwitchKey, &[usize])> = steps
+            .iter()
+            .map(|&s| {
+                let elt = galois_elt_from_step(s, n);
+                Ok((gks.key(elt)?, gks.permutation(elt)?))
+            })
+            .collect::<Result<_, CkksError>>()?;
+
+        let mut guard = self.scratch();
+        let scratch = &mut *guard;
+        scratch.ks.ensure(ctx, level);
+        let KeySwitchScratch { ks, digits, .. } = scratch;
+        let KsBuffers {
+            ext_moduli,
+            acc0,
+            acc1,
+            lane,
+            drop_coeff,
+            drop_coeff2,
+            ..
+        } = ks;
+        let ext_len = ext_moduli.len();
+        let ext_moduli = &*ext_moduli;
+
+        // --- Hoist: decompose c₁ once into NTT-form digits -------------
+        // Column-major layout: digits[(j·(level+1) + i)·n ..] is b̃_{i,j}
+        // of Algorithm 7 — the same values every per-step key switch
+        // would recompute. Digits live in the [0, 4p) lazy domain (the
+        // accumulation below is domain-agnostic).
+        let rows = level + 1;
+        let c1 = &a.polys[1];
+        // Step A: INTT every residue of c₁ into its lane slot.
+        let lane_coeff = &mut lane[..rows * n];
+        exec::for_each_limb(self.exec.as_ref(), lane_coeff, n, |i, dst| {
+            dst.copy_from_slice(c1.residue(i));
+            ctx.ntt_table(i).inverse_auto(dst);
+        });
+        // Step B: per extended limb j, fill the digit column. All
+        // off-diagonal transforms of a column share one NTT table, so
+        // they run as interleaved reduced-on-load pairs.
+        let lane_coeff = &lane[..rows * n];
+        digits.resize(ext_len * rows * n, 0);
+        exec::for_each_limb(self.exec.as_ref(), digits, rows * n, |j, col| {
+            let chain_idx = if j <= level { j } else { k };
+            let table_j = ctx.ntt_table(chain_idx);
+            if chain_idx <= level {
+                col[chain_idx * n..(chain_idx + 1) * n].copy_from_slice(c1.residue(chain_idx));
+            }
+            let offdiag: Vec<usize> = (0..rows).filter(|&i| i != chain_idx).collect();
+            for pair in offdiag.chunks(2) {
+                match *pair {
+                    [i1, i2] => {
+                        let (lo, hi) = col.split_at_mut(i2 * n);
+                        table_j.forward_reduced_auto2(
+                            &lane_coeff[i1 * n..(i1 + 1) * n],
+                            &lane_coeff[i2 * n..(i2 + 1) * n],
+                            &mut lo[i1 * n..(i1 + 1) * n],
+                            &mut hi[..n],
+                        );
+                    }
+                    [i1] => {
+                        table_j.forward_reduced_auto(
+                            &lane_coeff[i1 * n..(i1 + 1) * n],
+                            &mut col[i1 * n..(i1 + 1) * n],
+                        );
+                    }
+                    _ => unreachable!("chunks(2)"),
+                }
+            }
+        });
+
+        // --- Per rotation: permute digits + Shoup-accumulate + floor ----
+        let c0 = &a.polys[0];
+        let mut out = Vec::with_capacity(steps.len());
+        for (ksk, table) in keys {
+            for i in 0..=level {
+                let (ksk_b, ksk_a) = ksk.component_shoup(i);
+                let digits = &*digits;
+                // First iteration writes outright — no zero-fill pass.
+                let first = i == 0;
+                exec::for_each_limb2(
+                    self.exec.as_ref(),
+                    acc0.data_mut(),
+                    acc1.data_mut(),
+                    n,
+                    |j, d0, d1| {
+                        let m = &ext_moduli[j];
+                        let chain_idx = if j <= level { j } else { k };
+                        let dig = &digits[(j * rows + i) * n..(j * rows + i + 1) * n];
+                        let kb = &ksk_b[chain_idx * n..(chain_idx + 1) * n];
+                        let ka = &ksk_a[chain_idx * n..(chain_idx + 1) * n];
+                        // τ(digit) is fused into the accumulation: the
+                        // permutation is pure addressing, as in hardware.
+                        let iter = table.iter().zip(d0.iter_mut().zip(d1.iter_mut()));
+                        if first {
+                            for ((&idx, (d0t, d1t)), (kbt, kat)) in iter.zip(kb.iter().zip(ka)) {
+                                let x = dig[idx];
+                                *d0t = kbt.mul_red_lazy(x, m);
+                                *d1t = kat.mul_red_lazy(x, m);
+                            }
+                        } else if lazy_acc_fits(m, level) {
+                            for ((&idx, (d0t, d1t)), (kbt, kat)) in iter.zip(kb.iter().zip(ka)) {
+                                let x = dig[idx];
+                                *d0t += kbt.mul_red_lazy(x, m);
+                                *d1t += kat.mul_red_lazy(x, m);
+                            }
+                        } else {
+                            let two_p = 2 * m.value();
+                            for ((&idx, (d0t, d1t)), (kbt, kat)) in iter.zip(kb.iter().zip(ka)) {
+                                let x = dig[idx];
+                                let s = *d0t + kbt.mul_red_lazy(x, m);
+                                *d0t = if s >= two_p { s - two_p } else { s };
+                                let s = *d1t + kat.mul_red_lazy(x, m);
+                                *d1t = if s >= two_p { s - two_p } else { s };
+                            }
+                        }
+                    },
+                );
+            }
+            let mut f0 = RnsPoly::zero(n, moduli, Representation::Ntt);
+            let mut f1 = RnsPoly::zero(n, moduli, Representation::Ntt);
+            floor_special_pair_into(
+                acc0,
+                acc1,
+                ctx,
+                level,
+                self.exec.as_ref(),
+                drop_coeff,
+                drop_coeff2,
+                lane,
+                &mut f0,
+                &mut f1,
+            )?;
+            // c₀' = τ(c₀) + f₀, permutation fused into the add.
+            exec::for_each_limb(self.exec.as_ref(), f0.data_mut(), n, |i, dst| {
+                let m = &moduli[i];
+                let src = c0.residue(i);
+                for (t, d) in dst.iter_mut().enumerate() {
+                    *d = m.add_mod(*d, src[table[t]]);
+                }
+            });
+            out.push(Ciphertext::from_parts(vec![f0, f1], level, a.scale)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Whether `level + 1` lazy `[0, 2p)` products can accumulate in a bare
+/// `u64` without any intermediate correction: each product is at most
+/// `2p − 1`, so the requirement is `(level+1)·(2p−1) ≤ 2^64 − 1`.
+/// Holds for every paper parameter set (and any chain of ≤ 60-bit primes
+/// up to depth 8); the wide-modulus fallback corrects per add instead.
+#[inline]
+fn lazy_acc_fits(m: &Modulus, level: usize) -> bool {
+    (level as u128 + 1) * (2 * m.value() as u128 - 1) <= u64::MAX as u128
+}
+
+/// Validates a caller-provided key-switch output buffer: NTT-form shape
+/// over exactly the given basis.
+fn check_switch_output(out: &RnsPoly, n: usize, moduli: &[Modulus]) -> Result<(), CkksError> {
+    if out.n() != n || out.num_residues() != moduli.len() {
+        return Err(CkksError::Math(heax_math::MathError::LengthMismatch {
+            expected: moduli.len() * n,
+            got: out.num_residues() * out.n(),
+        }));
+    }
+    for (a, b) in out.moduli().iter().zip(moduli) {
+        if a.value() != b.value() {
+            return Err(CkksError::Math(heax_math::MathError::BasisMismatch {
+                a: a.value(),
+                b: b.value(),
+            }));
+        }
+    }
+    Ok(())
 }
 
 /// Whether two scales are equal within the evaluator's tolerance.
@@ -677,6 +1174,96 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shoup_key_switch_matches_barrett_reference() {
+        let mut h = harness(60);
+        let a = h.encrypt(&[1.5, -2.0]);
+        let b = h.encrypt(&[0.25, 3.0]);
+        let ev = Evaluator::new(&h.ctx);
+        let prod = ev.multiply(&a, &b).unwrap();
+        let (f0, f1) = ev
+            .key_switch(prod.component(2), h.rlk.ksk(), prod.level())
+            .unwrap();
+        let (g0, g1) = ev
+            .key_switch_reference(prod.component(2), h.rlk.ksk(), prod.level())
+            .unwrap();
+        assert_eq!(f0, g0, "Shoup f0 must equal the seed Barrett path");
+        assert_eq!(f1, g1, "Shoup f1 must equal the seed Barrett path");
+    }
+
+    #[test]
+    fn key_switch_into_reuses_buffers_and_matches() {
+        let mut h = harness(61);
+        let a = h.encrypt(&[2.0, 1.0]);
+        let ev = Evaluator::new(&h.ctx);
+        let prod = ev.multiply(&a, &a).unwrap();
+        let (f0, f1) = ev
+            .key_switch(prod.component(2), h.rlk.ksk(), prod.level())
+            .unwrap();
+        let moduli = h.ctx.level_moduli(prod.level());
+        let mut g0 = RnsPoly::zero(h.ctx.n(), moduli, Representation::Ntt);
+        let mut g1 = RnsPoly::zero(h.ctx.n(), moduli, Representation::Ntt);
+        // Two calls into the same buffers: both must land on the same
+        // values (stale contents fully overwritten).
+        for _ in 0..2 {
+            ev.key_switch_into(
+                prod.component(2),
+                h.rlk.ksk(),
+                prod.level(),
+                &mut g0,
+                &mut g1,
+            )
+            .unwrap();
+            assert_eq!(f0, g0);
+            assert_eq!(f1, g1);
+        }
+        // Mis-shaped outputs rejected.
+        let mut bad = RnsPoly::zero(h.ctx.n(), &moduli[..1], Representation::Ntt);
+        assert!(ev
+            .key_switch_into(
+                prod.component(2),
+                h.rlk.ksk(),
+                prod.level(),
+                &mut bad,
+                &mut g1
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn rotate_many_decrypts_like_sequential_rotations() {
+        let mut h = harness(62);
+        let slots = h.ctx.n() / 2;
+        let vals: Vec<f64> = (0..slots).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let a = h.encrypt(&vals);
+        let steps = [1i64, -1, 2, 5];
+        let mut rng = StdRng::seed_from_u64(102);
+        let gks = GaloisKeys::generate(&h.ctx, &h.sk, &steps, &mut rng);
+        let ev = Evaluator::new(&h.ctx);
+        let hoisted = ev.rotate_many(&a, &steps, &gks).unwrap();
+        assert_eq!(hoisted.len(), steps.len());
+        for (ct, &step) in hoisted.iter().zip(&steps) {
+            let seq = ev.rotate(&a, step, &gks).unwrap();
+            assert_eq!(ct.level(), seq.level());
+            assert_eq!(ct.scale(), seq.scale());
+            let got = h.decrypt(ct);
+            let want = h.decrypt(&seq);
+            for (j, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() < 1e-2,
+                    "step {step}: slot {j} hoisted {g} vs sequential {w}"
+                );
+            }
+        }
+        // Empty step list is a no-op.
+        assert!(ev.rotate_many(&a, &[], &gks).unwrap().is_empty());
+        // Missing key surfaces before any work.
+        assert!(matches!(
+            ev.rotate_many(&a, &[7], &gks),
+            Err(CkksError::MissingGaloisKey { .. })
+        ));
     }
 
     #[test]

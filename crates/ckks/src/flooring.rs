@@ -19,48 +19,190 @@ use heax_math::poly::{Representation, RnsPoly};
 use crate::context::CkksContext;
 use crate::CkksError;
 
-/// Floors away the **special prime**: input spans `p_0..p_level` plus the
-/// special prime (as its last residue); output spans `p_0..p_level`.
+/// Floors away the **special prime** into a caller-provided output: input
+/// spans `p_0..p_level` plus the special prime (as its last residue);
+/// `out` must be pre-shaped over `p_0..p_level` in NTT form. `drop_coeff`
+/// and `lane` are scratch buffers (see [`crate::scratch`]); the call is
+/// allocation-free once they have capacity.
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::Math`] if the input is not in NTT form or its
-/// residue count is not `level + 2`.
+/// Returns [`CkksError::Math`] if the input is not in NTT form, its
+/// residue count is not `level + 2`, or `out` has the wrong shape.
+pub(crate) fn floor_special_into(
+    c: &RnsPoly,
+    ctx: &CkksContext,
+    level: usize,
+    exec: &dyn Executor,
+    drop_coeff: &mut Vec<u64>,
+    lane: &mut [u64],
+    out: &mut RnsPoly,
+) -> Result<(), CkksError> {
+    floor_impl_into(c, ctx, level, true, exec, drop_coeff, lane, out)
+}
+
+/// Floors away the **last ciphertext prime** `p_level` (rescaling) into a
+/// caller-provided output: input spans `p_0..p_level`; `out` must be
+/// pre-shaped over `p_0..p_{level-1}` in NTT form.
+///
+/// # Errors
+///
+/// Returns [`CkksError::LevelExhausted`] at level 0 and [`CkksError::Math`]
+/// on representation/shape mismatches.
+pub(crate) fn floor_last_into(
+    c: &RnsPoly,
+    ctx: &CkksContext,
+    level: usize,
+    exec: &dyn Executor,
+    drop_coeff: &mut Vec<u64>,
+    lane: &mut [u64],
+    out: &mut RnsPoly,
+) -> Result<(), CkksError> {
+    if level == 0 {
+        return Err(CkksError::LevelExhausted);
+    }
+    floor_impl_into(c, ctx, level, false, exec, drop_coeff, lane, out)
+}
+
+/// Floors **both** key-switch accumulators by the special prime in one
+/// pass: the two inverse transforms of the dropped residues and the two
+/// forward transforms per remaining modulus run as interleaved-butterfly
+/// pairs ([`heax_math::ntt::NttTable::forward_auto2`]), giving the core
+/// two independent multiply chains to overlap — the modulus-switch tail
+/// is the per-rotation bottleneck of hoisted rotation, so this pairing is
+/// what its throughput rides on. Inputs may be lazy accumulators (any
+/// u64 congruent to the residue); outputs are bit-identical to two
+/// [`floor_special_into`] calls.
+///
+/// `lane` must hold at least `2·(level+1)·n` words.
+///
+/// # Errors
+///
+/// Same as [`floor_special_into`], checked for both operands.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn floor_special_pair_into(
+    c0: &RnsPoly,
+    c1: &RnsPoly,
+    ctx: &CkksContext,
+    level: usize,
+    exec: &dyn Executor,
+    drop0: &mut Vec<u64>,
+    drop1: &mut Vec<u64>,
+    lane: &mut [u64],
+    out0: &mut RnsPoly,
+    out1: &mut RnsPoly,
+) -> Result<(), CkksError> {
+    let n = ctx.n();
+    let keep = level + 1;
+    let out_moduli = ctx.level_moduli(level);
+    for c in [c0, c1] {
+        if c.representation() != Representation::Ntt {
+            return Err(CkksError::Math(
+                heax_math::MathError::RepresentationMismatch,
+            ));
+        }
+        if c.num_residues() != keep + 1 {
+            return Err(CkksError::Math(heax_math::MathError::LengthMismatch {
+                expected: keep + 1,
+                got: c.num_residues(),
+            }));
+        }
+    }
+    for out in [&*out0, &*out1] {
+        if out.n() != n || out.num_residues() != out_moduli.len() {
+            return Err(CkksError::Math(heax_math::MathError::LengthMismatch {
+                expected: out_moduli.len() * n,
+                got: out.num_residues() * out.n(),
+            }));
+        }
+    }
+    let sp = ctx.special_modulus();
+    let sp_table = ctx.special_ntt_table();
+    let consts = ctx.modswitch_constants(level);
+
+    // Step 1 ×2: reduce-and-copy the dropped residues, inverse-transform
+    // them as an interleaved pair (same special-prime table).
+    drop0.clear();
+    drop0.extend(c0.residue(keep).iter().map(|&x| sp.reduce_u64(x)));
+    drop1.clear();
+    drop1.extend(c1.residue(keep).iter().map(|&x| sp.reduce_u64(x)));
+    sp_table.inverse_auto2(drop0, drop1);
+
+    // Step 2 ×2: per remaining modulus, reduce both coefficient vectors
+    // into the limb's private lanes, forward-transform them as a pair,
+    // and fold into both outputs.
+    let a0 = &*drop0;
+    let a1 = &*drop1;
+    let out_len = out_moduli.len() * n;
+    let (lane0, rest) = lane.split_at_mut(out_len);
+    let lane1 = &mut rest[..out_len];
+    out0.set_representation(Representation::Ntt);
+    out1.set_representation(Representation::Ntt);
+    let (d0, d1) = (out0.data_mut(), out1.data_mut());
+    exec::for_each_limb4(
+        exec,
+        d0,
+        d1,
+        lane0,
+        lane1,
+        n,
+        |i, dst0, dst1, buf0, buf1| {
+            let pi = &out_moduli[i];
+            let table = ctx.ntt_table(i);
+            // Reduce-on-load fused into the first butterfly stage; the lazy
+            // kernel also skips its final normalization, leaving r̃ in
+            // [0, 4p) — the congruence offset below absorbs that.
+            table.forward_reduced_auto2(a0, a1, buf0, buf1);
+            let off = if table.reduced_kernel_is_lazy() {
+                4 * pi.value()
+            } else {
+                pi.value()
+            };
+            let inv = consts.inv(i);
+            let src0 = c0.residue(i);
+            let src1 = c1.residue(i);
+            for (j, (d0, d1)) in dst0.iter_mut().zip(dst1.iter_mut()).enumerate() {
+                // (src − r̃)·p⁻¹ computed from lazy operands: the MulRed final
+                // correction canonicalizes, so outputs are bit-identical to
+                // the strict single-residue floor.
+                *d0 = inv.mul_red(pi.reduce_u64(src0[j]) + off - buf0[j], pi);
+                *d1 = inv.mul_red(pi.reduce_u64(src1[j]) + off - buf1[j], pi);
+            }
+        },
+    );
+    Ok(())
+}
+
+/// Allocating convenience wrapper over [`floor_special_into`] for cold
+/// paths (encryption); hot paths go through the evaluator's scratch.
+///
+/// # Errors
+///
+/// Same as [`floor_special_into`].
 pub(crate) fn floor_special(
     c: &RnsPoly,
     ctx: &CkksContext,
     level: usize,
     exec: &dyn Executor,
 ) -> Result<RnsPoly, CkksError> {
-    floor_impl(c, ctx, level, true, exec)
+    let mut drop_coeff = Vec::new();
+    let mut lane = vec![0u64; (level + 1) * ctx.n()];
+    let mut out = RnsPoly::zero(ctx.n(), ctx.level_moduli(level), Representation::Ntt);
+    floor_special_into(c, ctx, level, exec, &mut drop_coeff, &mut lane, &mut out)?;
+    Ok(out)
 }
 
-/// Floors away the **last ciphertext prime** `p_level` (rescaling): input
-/// spans `p_0..p_level`; output spans `p_0..p_{level-1}`.
-///
-/// # Errors
-///
-/// Returns [`CkksError::LevelExhausted`] at level 0 and [`CkksError::Math`]
-/// on representation mismatches.
-pub(crate) fn floor_last(
-    c: &RnsPoly,
-    ctx: &CkksContext,
-    level: usize,
-    exec: &dyn Executor,
-) -> Result<RnsPoly, CkksError> {
-    if level == 0 {
-        return Err(CkksError::LevelExhausted);
-    }
-    floor_impl(c, ctx, level, false, exec)
-}
-
-fn floor_impl(
+#[allow(clippy::too_many_arguments)]
+fn floor_impl_into(
     c: &RnsPoly,
     ctx: &CkksContext,
     level: usize,
     special: bool,
     exec: &dyn Executor,
-) -> Result<RnsPoly, CkksError> {
+    drop_coeff: &mut Vec<u64>,
+    lane: &mut [u64],
+    out: &mut RnsPoly,
+) -> Result<(), CkksError> {
     if c.representation() != Representation::Ntt {
         return Err(CkksError::Math(
             heax_math::MathError::RepresentationMismatch,
@@ -74,6 +216,13 @@ fn floor_impl(
         }));
     }
     let n = ctx.n();
+    let out_moduli = ctx.level_moduli(if special { level } else { level - 1 });
+    if out.n() != n || out.num_residues() != out_moduli.len() {
+        return Err(CkksError::Math(heax_math::MathError::LengthMismatch {
+            expected: out_moduli.len() * n,
+            got: out.num_residues() * out.n(),
+        }));
+    }
     let drop_table = if special {
         ctx.special_ntt_table()
     } else {
@@ -85,26 +234,33 @@ fn floor_impl(
         ctx.rescale_constants(level)
     };
 
-    // Step 1: INTT the dropped residue (Algorithm 6, line 1).
-    let mut a = c.residue(keep).to_vec();
-    drop_table.inverse_auto(&mut a);
+    // Step 1: INTT the dropped residue (Algorithm 6, line 1). Inputs to
+    // this single-residue floor are always canonical [0, p) residues
+    // (rescaling, encryption, the Barrett reference path); only the
+    // paired variant above accepts lazy accumulators.
+    drop_coeff.clear();
+    drop_coeff.extend_from_slice(c.residue(keep));
+    drop_table.inverse_auto(drop_coeff);
 
     // Step 2: fold into every remaining modulus (lines 2-7) — one
-    // independent limb per modulus, dispatched across the executor.
-    let out_moduli = ctx.level_moduli(if special { level } else { level - 1 });
-    let mut out = RnsPoly::zero(n, out_moduli, Representation::Ntt);
-    let a = &a;
-    exec::for_each_limb(exec, out.data_mut(), n, |i, dst| {
+    // independent limb per modulus, dispatched across the executor; each
+    // limb reduces and re-NTTs inside its own scratch lane.
+    let a = &*drop_coeff;
+    let lane = &mut lane[..out_moduli.len() * n];
+    out.set_representation(Representation::Ntt);
+    exec::for_each_limb2(exec, out.data_mut(), lane, n, |i, dst, buf| {
         let pi = &out_moduli[i];
-        let mut r: Vec<u64> = a.iter().map(|&x| pi.reduce_u64(x)).collect();
-        ctx.ntt_table(i).forward_auto(&mut r);
+        for (b, &x) in buf.iter_mut().zip(a) {
+            *b = pi.reduce_u64(x);
+        }
+        ctx.ntt_table(i).forward_auto(buf);
         let inv = consts.inv(i);
         let src = c.residue(i);
         for (j, d) in dst.iter_mut().enumerate() {
-            *d = inv.mul_red(pi.sub_mod(src[j], r[j]), pi);
+            *d = inv.mul_red(pi.sub_mod(src[j], buf[j]), pi);
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -112,6 +268,23 @@ mod tests {
     use super::*;
     use crate::context::tests::small;
     use heax_math::exec::Sequential;
+
+    /// Allocating convenience wrapper over the rescale into-variant.
+    fn floor_last(
+        c: &RnsPoly,
+        ctx: &CkksContext,
+        level: usize,
+        exec: &dyn Executor,
+    ) -> Result<RnsPoly, CkksError> {
+        if level == 0 {
+            return Err(CkksError::LevelExhausted);
+        }
+        let mut drop = Vec::new();
+        let mut lane = vec![0u64; level * ctx.n()];
+        let mut out = RnsPoly::zero(ctx.n(), ctx.level_moduli(level - 1), Representation::Ntt);
+        floor_last_into(c, ctx, level, exec, &mut drop, &mut lane, &mut out)?;
+        Ok(out)
+    }
 
     /// Flooring an exact multiple of the dropped prime divides exactly.
     #[test]
@@ -175,6 +348,58 @@ mod tests {
             diff <= 1 || diff >= p0.value() as i128 - 1,
             "floor deviates by more than 1: got {got}, expect {expect}"
         );
+    }
+
+    #[test]
+    fn paired_floor_matches_two_singles() {
+        let ctx = CkksContext::new(small()).unwrap();
+        let n = ctx.n();
+        let level = ctx.max_level();
+        let mut chain: Vec<_> = ctx.level_moduli(level).to_vec();
+        chain.push(*ctx.special_modulus());
+        let mut c0 = RnsPoly::zero(n, &chain, Representation::Ntt);
+        let mut c1 = RnsPoly::zero(n, &chain, Representation::Ntt);
+        // Canonical inputs for the single-residue oracle…
+        for (i, m) in chain.iter().enumerate() {
+            for j in 0..n {
+                c0.residue_mut(i)[j] = (j as u64 * 131 + i as u64).wrapping_mul(3) % m.value();
+                c1.residue_mut(i)[j] = (j as u64 * 31 + 7).wrapping_mul(5) % m.value();
+            }
+        }
+        let s0 = floor_special(&c0, &ctx, level, &Sequential).unwrap();
+        let s1 = floor_special(&c1, &ctx, level, &Sequential).unwrap();
+        // …and lazy representatives of the same values for the paired
+        // variant, which must reduce them itself.
+        for (i, m) in chain.iter().enumerate() {
+            for j in 0..n {
+                if j % 3 == 0 {
+                    c0.residue_mut(i)[j] += m.value();
+                }
+                if j % 2 == 0 {
+                    c1.residue_mut(i)[j] += 2 * m.value();
+                }
+            }
+        }
+        let mut drop0 = Vec::new();
+        let mut drop1 = Vec::new();
+        let mut lane = vec![0u64; 2 * (level + 1) * n];
+        let mut p0 = RnsPoly::zero(n, ctx.level_moduli(level), Representation::Ntt);
+        let mut p1 = RnsPoly::zero(n, ctx.level_moduli(level), Representation::Ntt);
+        floor_special_pair_into(
+            &c0,
+            &c1,
+            &ctx,
+            level,
+            &Sequential,
+            &mut drop0,
+            &mut drop1,
+            &mut lane,
+            &mut p0,
+            &mut p1,
+        )
+        .unwrap();
+        assert_eq!(p0, s0);
+        assert_eq!(p1, s1);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod galois;
 pub mod keys;
 pub mod noise;
 pub mod params;
+mod scratch;
 pub mod serialize;
 
 pub use ciphertext::{Ciphertext, Plaintext};

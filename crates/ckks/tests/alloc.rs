@@ -1,0 +1,163 @@
+//! Asserts the key-switch hot path is allocation-free after warm-up
+//! (PR 3 acceptance criterion): a counting global allocator tracks
+//! allocations made by *this thread* while `key_switch_into` runs against
+//! pre-shaped outputs and the evaluator's warmed scratch workspace.
+//!
+//! The counter is thread-local so concurrently running tests in this
+//! binary cannot pollute the measurement; the assertion therefore covers
+//! the sequential backend (the pooled backend allocates its limb
+//! work-lists on the submitting thread by design and is exercised for
+//! correctness elsewhere).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use heax_ckks::{
+    Ciphertext, CkksContext, CkksEncoder, CkksParams, Encryptor, Evaluator, GaloisKeys, PublicKey,
+    RelinKey, SecretKey,
+};
+use heax_math::exec::Sequential;
+use heax_math::poly::{Representation, RnsPoly};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn record() {
+        // `try_with` so allocations during TLS setup/teardown never recurse
+        // or abort; they simply go uncounted.
+        let _ = COUNTING.try_with(|c| {
+            if c.get() {
+                let _ = ALLOCS.try_with(|a| a.set(a.get() + 1));
+            }
+        });
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::record();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting enabled on this thread and returns
+/// how many heap allocations it performed.
+fn count_allocs<F: FnOnce()>(f: F) -> u64 {
+    ALLOCS.with(|a| a.set(0));
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    ALLOCS.with(|a| a.get())
+}
+
+struct Rig {
+    ctx: CkksContext,
+    rlk: RelinKey,
+    gks: GaloisKeys,
+    prod: Ciphertext,
+    fresh: Ciphertext,
+}
+
+fn rig() -> Rig {
+    let chain = heax_math::primes::generate_prime_chain(&[40, 40, 40, 41], 64).unwrap();
+    let ctx = CkksContext::new(CkksParams::new(64, chain, (1u64 << 32) as f64).unwrap()).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xA110C);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+    let rlk = RelinKey::generate(&ctx, &sk, &mut rng);
+    let gks = GaloisKeys::generate(&ctx, &sk, &[1, 2], &mut rng);
+    let enc = CkksEncoder::new(&ctx);
+    let scale = ctx.params().scale();
+    let pt = enc
+        .encode_real(&[1.5, -2.0, 0.25], scale, ctx.max_level())
+        .unwrap();
+    let e = Encryptor::new(&ctx, &pk);
+    let fresh = e.encrypt(&pt, &mut rng).unwrap();
+    let eval = Evaluator::with_executor(&ctx, Arc::new(Sequential));
+    let prod = eval.multiply(&fresh, &fresh).unwrap();
+    Rig {
+        ctx,
+        rlk,
+        gks,
+        prod,
+        fresh,
+    }
+}
+
+#[test]
+fn key_switch_into_is_allocation_free_after_warmup() {
+    let r = rig();
+    let eval = Evaluator::with_executor(&r.ctx, Arc::new(Sequential));
+    let level = r.prod.level();
+    let moduli = r.ctx.level_moduli(level);
+    let mut f0 = RnsPoly::zero(r.ctx.n(), moduli, Representation::Ntt);
+    let mut f1 = RnsPoly::zero(r.ctx.n(), moduli, Representation::Ntt);
+    let target = r.prod.component(2);
+
+    // Warm-up: the first call shapes the evaluator's scratch for `level`.
+    for _ in 0..2 {
+        eval.key_switch_into(target, r.rlk.ksk(), level, &mut f0, &mut f1)
+            .unwrap();
+    }
+    let expected = eval.key_switch(target, r.rlk.ksk(), level).unwrap();
+
+    let allocs = count_allocs(|| {
+        for _ in 0..5 {
+            eval.key_switch_into(target, r.rlk.ksk(), level, &mut f0, &mut f1)
+                .unwrap();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "key_switch_into allocated {allocs} times after warm-up"
+    );
+    assert_eq!((f0, f1), expected, "warm path result drifted");
+}
+
+#[test]
+fn rotation_hot_path_allocates_only_outputs() {
+    // apply_galois must not allocate scratch beyond its two output
+    // polynomials (f0/f1 backing vecs + their moduli vecs + the component
+    // vec + the Ciphertext is a small constant; the seed allocated
+    // O(k²) temporaries on top).
+    let r = rig();
+    let eval = Evaluator::with_executor(&r.ctx, Arc::new(Sequential));
+    for _ in 0..2 {
+        eval.rotate(&r.fresh, 1, &r.gks).unwrap();
+    }
+    let allocs = count_allocs(|| {
+        let _ = eval.rotate(&r.fresh, 1, &r.gks).unwrap();
+    });
+    // 2 output polys × (data vec + moduli vec) + polys vec + slack for the
+    // Ciphertext container — anything near the seed's O(k²) per-call
+    // buffer churn (dozens) fails.
+    assert!(
+        allocs <= 10,
+        "rotate allocated {allocs} times; expected only output buffers"
+    );
+}

@@ -136,6 +136,100 @@ proptest! {
     }
 }
 
+/// PR 3 key-switch overhaul properties: the Shoup-table fast path must be
+/// bit-identical to the seed Barrett path on every backend, and hoisted
+/// multi-rotation must decrypt to the same slot values as sequential
+/// rotations.
+mod keyswitch_overhaul {
+    use super::*;
+    use heax_math::exec::with_threads;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Shoup-path key switch is bit-identical to the seed Barrett
+        /// reference, under both the sequential backend and a 4-lane pool
+        /// (the two `HEAX_THREADS` configurations CI smoke-tests).
+        #[test]
+        fn shoup_key_switch_bit_identical_to_barrett(
+            seed in any::<u64>(),
+            threads in prop::sample::select(vec![1usize, 4]),
+        ) {
+            let mut r = rig(seed);
+            let rlk = RelinKey::generate(&r.ctx, &r.sk, &mut r.rng);
+            let enc = CkksEncoder::new(&r.ctx);
+            let scale = r.ctx.params().scale();
+            let e = Encryptor::new(&r.ctx, &r.pk);
+            let ca = e
+                .encrypt(&enc.encode_real(&[1.25, -0.75], scale, r.ctx.max_level()).unwrap(), &mut r.rng)
+                .unwrap();
+            let eval = Evaluator::with_executor(&r.ctx, with_threads(threads));
+            let prod = eval.multiply(&ca, &ca).unwrap();
+            for level in [prod.level(), 1, 0] {
+                let target = if level == prod.level() {
+                    prod.component(2).clone()
+                } else {
+                    // Restrict the target to a lower level to cover the
+                    // non-top bases too.
+                    let mut t = prod.component(2).clone();
+                    while t.num_residues() > level + 1 {
+                        t.pop_residue();
+                    }
+                    t
+                };
+                let (f0, f1) = eval.key_switch(&target, rlk.ksk(), level).unwrap();
+                let (g0, g1) = eval.key_switch_reference(&target, rlk.ksk(), level).unwrap();
+                prop_assert_eq!(&f0, &g0, "f0 diverged at level={} threads={}", level, threads);
+                prop_assert_eq!(&f1, &g1, "f1 diverged at level={} threads={}", level, threads);
+            }
+        }
+
+        /// `rotate_many(steps)` decrypts identically (slot-wise, within
+        /// encoder tolerance) to sequential `rotate` per step, and is
+        /// bit-identical across the sequential and 4-lane backends.
+        #[test]
+        fn rotate_many_matches_sequential_rotations(
+            steps in prop::collection::vec(-7i64..8, 1..5),
+            seed in any::<u64>(),
+        ) {
+            let mut r = rig(seed);
+            let gks = GaloisKeys::generate(&r.ctx, &r.sk, &steps, &mut r.rng);
+            let enc = CkksEncoder::new(&r.ctx);
+            let slots = r.ctx.n() / 2;
+            let vals: Vec<f64> = (0..slots).map(|i| i as f64 * 0.125 - 2.0).collect();
+            let ct = Encryptor::new(&r.ctx, &r.pk)
+                .encrypt(
+                    &enc.encode_real(&vals, r.ctx.params().scale(), r.ctx.max_level()).unwrap(),
+                    &mut r.rng,
+                )
+                .unwrap();
+            let seq_eval = Evaluator::with_executor(&r.ctx, with_threads(1));
+            let par_eval = Evaluator::with_executor(&r.ctx, with_threads(4));
+            let hoisted = seq_eval.rotate_many(&ct, &steps, &gks).unwrap();
+            let hoisted_par = par_eval.rotate_many(&ct, &steps, &gks).unwrap();
+            prop_assert_eq!(hoisted.len(), steps.len());
+            let dec = Decryptor::new(&r.ctx, &r.sk);
+            for ((h, hp), &step) in hoisted.iter().zip(&hoisted_par).zip(&steps) {
+                prop_assert_eq!(h, hp, "hoisted rotation diverged across backends");
+                let sequential = seq_eval.rotate(&ct, step, &gks).unwrap();
+                let vh = enc.decode_real(&dec.decrypt(h).unwrap()).unwrap();
+                let vs = enc.decode_real(&dec.decrypt(&sequential).unwrap()).unwrap();
+                for j in 0..slots {
+                    prop_assert!(
+                        (vh[j] - vs[j]).abs() < 0.05,
+                        "step {} slot {}: hoisted {} vs sequential {}", step, j, vh[j], vs[j]
+                    );
+                    let src = (j as i64 + step).rem_euclid(slots as i64) as usize;
+                    prop_assert!(
+                        (vh[j] - vals[src]).abs() < 0.05,
+                        "step {} slot {} wrong value", step, j
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Backend equivalence at the scheme layer: an evaluator pinned to
 /// `ThreadPool(k)` must produce bit-identical ciphertexts to the
 /// `Sequential` backend for the full multiply / key-switch / relinearize

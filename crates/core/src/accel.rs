@@ -409,13 +409,16 @@ impl<'a> HeaxAccelerator<'a> {
         // --- k iterations: INTT0 → NTT0 → DyadMult accumulate -----------
         // Lanes (one per extended limb) run concurrently across the
         // executor, exactly like the hardware's parallel NTT0/DyadMult
-        // columns in Figure 5.
+        // columns in Figure 5. The DyadMult stage multiplies against the
+        // key's Shoup (MulRed) tables with lazy [0, 2p) accumulation —
+        // the paper's MulRed unit — and the fold to [0, p) is deferred to
+        // a single pass after all k iterations.
         for i in 0..=level {
             let table_i = ctx.ntt_table(i);
             let intt0 = NttModuleSim::new(intt0_cfg, table_i)?;
             let (a_coeff, _) = intt0.inverse(target.residue(i));
 
-            let (ksk_b, ksk_a) = ksk.component(i);
+            let (ksk_b, ksk_a) = ksk.component_shoup(i);
             let a_coeff = &a_coeff;
             let ext_chain = &ext_chain;
             let ntt0_sims = &ntt0_sims;
@@ -435,14 +438,38 @@ impl<'a> HeaxAccelerator<'a> {
                         owned = ntt0_sims[j].forward(&reduced).0;
                         &owned
                     };
-                    let kb = ksk_b.residue(chain_idx);
-                    let ka = ksk_a.residue(chain_idx);
+                    let kb = &ksk_b[chain_idx * n..(chain_idx + 1) * n];
+                    let ka = &ksk_a[chain_idx * n..(chain_idx + 1) * n];
                     let mut dyad = DyadicCore::new();
                     for (t, &b) in b_ntt.iter().enumerate() {
-                        d0[t] = dyad.compute_acc(d0[t], b, kb[t], m);
+                        d0[t] = dyad.compute_acc_shoup(d0[t], b, &kb[t], m);
                     }
                     for (t, &b) in b_ntt.iter().enumerate() {
-                        d1[t] = dyad.compute_acc(d1[t], b, ka[t], m);
+                        d1[t] = dyad.compute_acc_shoup(d1[t], b, &ka[t], m);
+                    }
+                },
+            );
+        }
+
+        // Deferred reduction: fold the lazy accumulators to [0, p).
+        {
+            let ext_chain = &ext_chain;
+            exec::for_each_limb2(
+                self.exec.as_ref(),
+                acc0.data_mut(),
+                acc1.data_mut(),
+                n,
+                |j, d0, d1| {
+                    let p = ext_chain[j].value();
+                    for d in d0.iter_mut() {
+                        if *d >= p {
+                            *d -= p;
+                        }
+                    }
+                    for d in d1.iter_mut() {
+                        if *d >= p {
+                            *d -= p;
+                        }
                     }
                 },
             );
@@ -546,6 +573,203 @@ impl<'a> HeaxAccelerator<'a> {
             .map_err(CoreError::Ckks)?;
         report.op = HeaxOp::KeySwitch;
         Ok((out, report))
+    }
+
+    /// Hoisted multi-rotation on the accelerator (the batched-rotation
+    /// pattern of the paper's matrix-vector and convolution workloads):
+    /// the `c₁` component is decomposed through INTT0/NTT0 **once**, then
+    /// every requested Galois element runs only the DyadMult accumulate
+    /// (permutation is pure addressing) and the modulus-switch tail.
+    ///
+    /// The returned report covers the whole batch: the first rotation
+    /// pays the full KeySwitch interval, each subsequent one only the
+    /// hoisted tail ([`KeySwitchArch::hoisted_interval_cycles`]).
+    ///
+    /// Outputs are bit-exact against
+    /// [`heax_ckks::Evaluator::rotate_many`].
+    ///
+    /// # Errors
+    ///
+    /// Missing-key and shape errors as in the software evaluator.
+    pub fn rotate_many(
+        &self,
+        ct: &Ciphertext,
+        steps: &[i64],
+        gks: &GaloisKeys,
+    ) -> Result<(Vec<Ciphertext>, OpReport), CoreError> {
+        if ct.size() != 2 {
+            return Err(CoreError::Ckks(CkksError::InvalidCiphertext {
+                components: ct.size(),
+                expected: "exactly 2 (relinearize first)",
+            }));
+        }
+        if steps.is_empty() {
+            return Ok((Vec::new(), self.report(HeaxOp::KeySwitch, 0, 0, 0, 0)));
+        }
+        let ctx = self.ctx;
+        let n = ctx.n();
+        let k_chain = ctx.params().k();
+        let level = ct.level();
+        let mut ext_chain: Vec<_> = ctx.level_moduli(level).to_vec();
+        ext_chain.push(*ctx.special_modulus());
+        let ext_len = ext_chain.len();
+
+        // Resolve keys up front so a missing key fails before any work.
+        let keys: Vec<(&KeySwitchKey, &[usize])> = steps
+            .iter()
+            .map(|&s| {
+                let elt = heax_ckks::galois::galois_elt_from_step(s, n);
+                Ok((
+                    gks.key(elt).map_err(CoreError::Ckks)?,
+                    gks.permutation(elt).map_err(CoreError::Ckks)?,
+                ))
+            })
+            .collect::<Result<_, CoreError>>()?;
+
+        let intt0_cfg = NttModuleConfig::new(n, self.arch.nc_intt0)?;
+        let ntt0_cfg = NttModuleConfig::new(n, self.arch.nc_ntt0)?;
+        let intt1_cfg = NttModuleConfig::new(n, self.arch.nc_intt1.max(1))?;
+        let ntt1_cfg = NttModuleConfig::new(n, self.arch.nc_ntt1)?;
+        let ntt0_sims: Vec<NttModuleSim> = ext_chain
+            .iter()
+            .map(|m| {
+                let table = self.find_table(m.value())?;
+                NttModuleSim::new(ntt0_cfg, table).map_err(CoreError::Hw)
+            })
+            .collect::<Result<_, _>>()?;
+
+        // --- Hoist: decompose c₁ once through INTT0 → NTT0 --------------
+        let c1 = ct.component(1);
+        let mut digits = vec![0u64; (level + 1) * ext_len * n];
+        for i in 0..=level {
+            let intt0 = NttModuleSim::new(intt0_cfg, ctx.ntt_table(i))?;
+            let (a_coeff, _) = intt0.inverse(c1.residue(i));
+            let a_coeff = &a_coeff;
+            let ext_chain = &ext_chain;
+            let ntt0_sims = &ntt0_sims;
+            let row = &mut digits[i * ext_len * n..(i + 1) * ext_len * n];
+            exec::for_each_limb(self.exec.as_ref(), row, n, |j, dst| {
+                let chain_idx = if j <= level { j } else { k_chain };
+                if chain_idx == i {
+                    dst.copy_from_slice(c1.residue(i));
+                } else {
+                    let m = &ext_chain[j];
+                    let reduced: Vec<u64> = a_coeff.iter().map(|&x| m.reduce_u64(x)).collect();
+                    let (f, _) = ntt0_sims[j].forward(&reduced);
+                    dst.copy_from_slice(&f);
+                }
+            });
+        }
+
+        // --- Per rotation: DyadMult accumulate + INTT1 → NTT1 → MS ------
+        let consts = ctx.modswitch_constants(level);
+        let sp_table = ctx.special_ntt_table();
+        let ntt1_sims: Vec<NttModuleSim> = (0..=level)
+            .map(|i| NttModuleSim::new(ntt1_cfg, ctx.ntt_table(i)).map_err(CoreError::Hw))
+            .collect::<Result<_, _>>()?;
+        let mut outs = Vec::with_capacity(steps.len());
+        for (ksk, table) in keys {
+            let mut acc0 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
+            let mut acc1 = RnsPoly::zero(n, &ext_chain, Representation::Ntt);
+            for i in 0..=level {
+                let (ksk_b, ksk_a) = ksk.component_shoup(i);
+                let row = &digits[i * ext_len * n..(i + 1) * ext_len * n];
+                let ext_chain = &ext_chain;
+                exec::for_each_limb2(
+                    self.exec.as_ref(),
+                    acc0.data_mut(),
+                    acc1.data_mut(),
+                    n,
+                    |j, d0, d1| {
+                        let m = &ext_chain[j];
+                        let chain_idx = if j <= level { j } else { k_chain };
+                        let dig = &row[j * n..(j + 1) * n];
+                        let kb = &ksk_b[chain_idx * n..(chain_idx + 1) * n];
+                        let ka = &ksk_a[chain_idx * n..(chain_idx + 1) * n];
+                        let mut dyad = DyadicCore::new();
+                        // τ(digit) is pure addressing, fused into the
+                        // accumulate exactly like the hardware's BRAM
+                        // read-address permutation.
+                        for t in 0..n {
+                            let x = dig[table[t]];
+                            d0[t] = dyad.compute_acc_shoup(d0[t], x, &kb[t], m);
+                            d1[t] = dyad.compute_acc_shoup(d1[t], x, &ka[t], m);
+                        }
+                    },
+                );
+            }
+            {
+                let ext_chain = &ext_chain;
+                exec::for_each_limb2(
+                    self.exec.as_ref(),
+                    acc0.data_mut(),
+                    acc1.data_mut(),
+                    n,
+                    |j, d0, d1| {
+                        let p = ext_chain[j].value();
+                        for d in d0.iter_mut() {
+                            if *d >= p {
+                                *d -= p;
+                            }
+                        }
+                        for d in d1.iter_mut() {
+                            if *d >= p {
+                                *d -= p;
+                            }
+                        }
+                    },
+                );
+            }
+            let floor_one = |acc: &RnsPoly| -> Result<RnsPoly, CoreError> {
+                let intt1 = NttModuleSim::new(intt1_cfg, sp_table)?;
+                let (a, _) = intt1.inverse(acc.residue(ext_len - 1));
+                let mut out = RnsPoly::zero(n, ctx.level_moduli(level), Representation::Ntt);
+                let a = &a;
+                let out_moduli = ctx.level_moduli(level);
+                let ntt1_sims = &ntt1_sims;
+                exec::for_each_limb(self.exec.as_ref(), out.data_mut(), n, |i, dst| {
+                    let pi = &out_moduli[i];
+                    let reduced: Vec<u64> = a.iter().map(|&x| pi.reduce_u64(x)).collect();
+                    let (r_ntt, _) = ntt1_sims[i].forward(&reduced);
+                    let inv = consts.inv(i);
+                    let src = acc.residue(i);
+                    for (t, d) in dst.iter_mut().enumerate() {
+                        *d = inv.mul_red(pi.sub_mod(src[t], r_ntt[t]), pi);
+                    }
+                });
+                Ok(out)
+            };
+            let mut f0 = floor_one(&acc0)?;
+            let f1 = floor_one(&acc1)?;
+            // c₀' = τ(c₀) + f₀, permutation fused into the accumulator add.
+            let c0 = ct.component(0);
+            let lm = ctx.level_moduli(level);
+            exec::for_each_limb(self.exec.as_ref(), f0.data_mut(), n, |i, dst| {
+                let m = &lm[i];
+                let src = c0.residue(i);
+                for (t, d) in dst.iter_mut().enumerate() {
+                    *d = m.add_mod(*d, src[table[t]]);
+                }
+            });
+            outs.push(
+                Ciphertext::from_parts(vec![f0, f1], level, ct.scale()).map_err(CoreError::Ckks)?,
+            );
+        }
+
+        // Batch report: first rotation at the full KeySwitch interval,
+        // the rest at the hoisted tail interval.
+        let sched = schedule(&self.arch, 1)?;
+        let t = steps.len() as u64; // >= 1: the empty batch returned early
+        let full = self.arch.steady_interval_cycles();
+        let tail = self.arch.hoisted_interval_cycles();
+        let interval = full + (t - 1) * tail;
+        let latency = sched.first_op_latency + (t - 1) * tail;
+        let inw = (level + 2) as u64 * n as u64;
+        let outw = t * 2 * (level + 1) as u64 * n as u64;
+        Ok((
+            outs,
+            self.report(HeaxOp::KeySwitch, interval, latency, inw, outw),
+        ))
     }
 
     /// The Table 8 composite: homomorphic multiply (MULT module) plus
@@ -757,6 +981,39 @@ mod tests {
         let (hw_rot, _) = acc.rotate(&ct, 1, &gks).unwrap();
         let sw_rot = Evaluator::new(&h.ctx).rotate(&ct, 1, &gks).unwrap();
         assert_eq!(hw_rot, sw_rot, "hardware rotation must match software");
+    }
+
+    #[test]
+    fn hw_rotate_many_matches_software_hoisted_path() {
+        let mut h = harness(58);
+        let enc = CkksEncoder::new(&h.ctx);
+        let scale = h.ctx.params().scale();
+        let vals: Vec<f64> = (0..h.ctx.n() / 2).map(|i| i as f64 * 0.25).collect();
+        let pt = enc.encode_real(&vals, scale, h.ctx.max_level()).unwrap();
+        let e = Encryptor::new(&h.ctx, &h.pk);
+        let ct = e.encrypt(&pt, &mut h.rng).unwrap();
+        let steps = [1i64, -1, 3];
+        let gks = GaloisKeys::generate(&h.ctx, &h.sk, &steps, &mut h.rng);
+        let acc = accel(&h.ctx);
+        let (hw, report) = acc.rotate_many(&ct, &steps, &gks).unwrap();
+        let sw = Evaluator::new(&h.ctx)
+            .rotate_many(&ct, &steps, &gks)
+            .unwrap();
+        assert_eq!(hw.len(), steps.len());
+        for (hwc, swc) in hw.iter().zip(&sw) {
+            assert_eq!(
+                hwc, swc,
+                "hardware hoisted rotation must match golden model"
+            );
+        }
+        // The batched interval must beat t sequential key switches.
+        let full = acc.arch().steady_interval_cycles();
+        assert!(report.interval_cycles < steps.len() as u64 * full);
+        assert!(report.interval_cycles >= full);
+        // Empty batch is a no-op report.
+        let (none, rep0) = acc.rotate_many(&ct, &[], &gks).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(rep0.interval_cycles, 0);
     }
 
     #[test]

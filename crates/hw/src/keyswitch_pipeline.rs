@@ -142,6 +142,18 @@ impl KeySwitchArch {
         intt0.max(ntt0).max(dyad).max(intt1).max(ntt1).max(ms)
     }
 
+    /// Steady-state interval of a **hoisted** rotation that reuses an
+    /// already-decomposed input: the INTT0/NTT0 decomposition stages are
+    /// skipped, so only the DyadMult accumulate and the modulus-switch
+    /// tail (INTT1 → NTT1 → MS) bound the initiation interval.
+    pub fn hoisted_interval_cycles(&self) -> u64 {
+        let dyad = self.k as u64 * self.dyad_cycles();
+        let intt1 = self.intt1_cycles();
+        let ntt1 = self.k as u64 * self.ntt1_cycles();
+        let ms = self.k as u64 * self.ms_cycles();
+        dyad.max(intt1).max(ntt1).max(ms)
+    }
+
     /// Input-polynomial buffer factor `f1 = ⌈3 + ncINTT0/ncNTT0⌉`
     /// (Section 4.3, "Data Dependency 1").
     pub fn f1(&self) -> u64 {

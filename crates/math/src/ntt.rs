@@ -368,6 +368,280 @@ impl NttTable {
         }
     }
 
+    /// Forward-transforms **two** residues under the same modulus with
+    /// interleaved butterflies, choosing the fastest applicable kernel.
+    /// Bit-identical to two [`NttTable::forward_auto`] calls; the
+    /// interleaving gives the out-of-order core two independent
+    /// multiply chains to overlap (~1.2× on the scalar path), which is
+    /// what makes the paired key-switch accumulator floor cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from `n`.
+    #[inline]
+    pub fn forward_auto2(&self, a: &mut [u64], b: &mut [u64]) {
+        if self.modulus.bits() <= 60 {
+            self.forward_lazy2(a, b);
+        } else {
+            self.forward(a);
+            self.forward(b);
+        }
+    }
+
+    /// Lazy-reduction forward NTT of two residues with interleaved
+    /// butterflies (see [`NttTable::forward_auto2`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice length differs from `n` or the modulus exceeds
+    /// 60 bits.
+    pub fn forward_lazy2(&self, a: &mut [u64], b: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal n");
+        assert_eq!(b.len(), self.n, "polynomial length must equal n");
+        assert!(self.modulus.bits() <= 60, "lazy NTT requires p < 2^60");
+        let p = &self.modulus;
+        let two_p = 2 * p.value();
+        let n = self.n;
+        let mut m = 1usize;
+        while m < n {
+            let t = n / (2 * m);
+            for i in 0..m {
+                let w = &self.fwd[m + i];
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    let mut x = a[j];
+                    if x >= two_p {
+                        x -= two_p;
+                    }
+                    let v = w.mul_red_lazy(a[j + t], p);
+                    a[j] = x + v;
+                    a[j + t] = x + two_p - v;
+
+                    let mut y = b[j];
+                    if y >= two_p {
+                        y -= two_p;
+                    }
+                    let u = w.mul_red_lazy(b[j + t], p);
+                    b[j] = y + u;
+                    b[j + t] = y + two_p - u;
+                }
+            }
+            m *= 2;
+        }
+        let pv = p.value();
+        for c in a.iter_mut().chain(b.iter_mut()) {
+            if *c >= two_p {
+                *c -= two_p;
+            }
+            if *c >= pv {
+                *c -= pv;
+            }
+        }
+    }
+
+    /// Whether the reduced-load kernels take the lazy path (output in
+    /// `[0, 4p)`) rather than the strict fallback (canonical output).
+    /// Consumers use this to pick the congruence offset.
+    #[inline]
+    pub fn reduced_kernel_is_lazy(&self) -> bool {
+        self.modulus.bits() <= 60 && self.n >= 4
+    }
+
+    /// Forward-transforms a residue **read through a Barrett reduction**:
+    /// the first butterfly stage loads `src` (arbitrary `u64` values),
+    /// reduces each word modulo this table's modulus on the fly, and the
+    /// remaining stages run in place over `dst`. On the lazy (`p < 2^60`)
+    /// path the final normalization is skipped — the output stays in the
+    /// `[0, 4p)` lazy domain (every value ≡ the normalized result mod
+    /// `p`); the strict fallback produces canonical `[0, p)` output. The
+    /// key-switch flooring and decomposition consume either domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from `n`.
+    pub fn forward_reduced_auto(&self, src: &[u64], dst: &mut [u64]) {
+        assert_eq!(src.len(), self.n, "polynomial length must equal n");
+        assert_eq!(dst.len(), self.n, "polynomial length must equal n");
+        let p = &self.modulus;
+        if !self.reduced_kernel_is_lazy() {
+            for (d, &x) in dst.iter_mut().zip(src) {
+                *d = p.reduce_u64(x);
+            }
+            self.forward(dst);
+            return;
+        }
+        let two_p = 2 * p.value();
+        let n = self.n;
+        // Stage m = 1 touches every element once: fuse the reduction in.
+        {
+            let t = n / 2;
+            let w = &self.fwd[1];
+            for j in 0..t {
+                let x = p.reduce_u64(src[j]);
+                let v = w.mul_red_lazy(p.reduce_u64(src[j + t]), p);
+                dst[j] = x + v;
+                dst[j + t] = x + two_p - v;
+            }
+        }
+        let mut m = 2usize;
+        while m < n {
+            let t = n / (2 * m);
+            for i in 0..m {
+                let w = &self.fwd[m + i];
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    let mut x = dst[j];
+                    if x >= two_p {
+                        x -= two_p;
+                    }
+                    let v = w.mul_red_lazy(dst[j + t], p);
+                    dst[j] = x + v;
+                    dst[j + t] = x + two_p - v;
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// The pair counterpart of [`NttTable::forward_reduced_auto`]:
+    /// transforms two reduced-on-load residues with interleaved
+    /// butterflies (same output-domain contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `n`.
+    pub fn forward_reduced_auto2(
+        &self,
+        src0: &[u64],
+        src1: &[u64],
+        dst0: &mut [u64],
+        dst1: &mut [u64],
+    ) {
+        assert_eq!(src0.len(), self.n, "polynomial length must equal n");
+        assert_eq!(src1.len(), self.n, "polynomial length must equal n");
+        assert_eq!(dst0.len(), self.n, "polynomial length must equal n");
+        assert_eq!(dst1.len(), self.n, "polynomial length must equal n");
+        let p = &self.modulus;
+        if !self.reduced_kernel_is_lazy() {
+            for (d, &x) in dst0.iter_mut().zip(src0) {
+                *d = p.reduce_u64(x);
+            }
+            for (d, &x) in dst1.iter_mut().zip(src1) {
+                *d = p.reduce_u64(x);
+            }
+            self.forward(dst0);
+            self.forward(dst1);
+            return;
+        }
+        let two_p = 2 * p.value();
+        let n = self.n;
+        {
+            let t = n / 2;
+            let w = &self.fwd[1];
+            for j in 0..t {
+                let x = p.reduce_u64(src0[j]);
+                let v = w.mul_red_lazy(p.reduce_u64(src0[j + t]), p);
+                dst0[j] = x + v;
+                dst0[j + t] = x + two_p - v;
+
+                let y = p.reduce_u64(src1[j]);
+                let u = w.mul_red_lazy(p.reduce_u64(src1[j + t]), p);
+                dst1[j] = y + u;
+                dst1[j + t] = y + two_p - u;
+            }
+        }
+        let mut m = 2usize;
+        while m < n {
+            let t = n / (2 * m);
+            for i in 0..m {
+                let w = &self.fwd[m + i];
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    let mut x = dst0[j];
+                    if x >= two_p {
+                        x -= two_p;
+                    }
+                    let v = w.mul_red_lazy(dst0[j + t], p);
+                    dst0[j] = x + v;
+                    dst0[j + t] = x + two_p - v;
+
+                    let mut y = dst1[j];
+                    if y >= two_p {
+                        y -= two_p;
+                    }
+                    let u = w.mul_red_lazy(dst1[j + t], p);
+                    dst1[j] = y + u;
+                    dst1[j + t] = y + two_p - u;
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// Inverse-transforms **two** residues under the same modulus with
+    /// interleaved butterflies; the pair counterpart of
+    /// [`NttTable::inverse_auto`], bit-identical to two sequential calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from `n`.
+    #[inline]
+    pub fn inverse_auto2(&self, a: &mut [u64], b: &mut [u64]) {
+        if self.modulus.bits() <= 60 {
+            self.inverse_lazy2(a, b);
+        } else {
+            self.inverse(a);
+            self.inverse(b);
+        }
+    }
+
+    /// Lazy-reduction inverse NTT of two residues with interleaved
+    /// butterflies (see [`NttTable::inverse_auto2`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice length differs from `n` or the modulus exceeds
+    /// 60 bits.
+    pub fn inverse_lazy2(&self, a: &mut [u64], b: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal n");
+        assert_eq!(b.len(), self.n, "polynomial length must equal n");
+        assert!(self.modulus.bits() <= 60, "lazy NTT requires p < 2^60");
+        let p = &self.modulus;
+        let two_p = 2 * p.value();
+        let n = self.n;
+        let mut m = n / 2;
+        while m >= 1 {
+            let t = n / (2 * m);
+            for i in 0..m {
+                let w = &self.inv_plain[m + i];
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    let x = a[j];
+                    let y = a[j + t];
+                    let mut u = x + y;
+                    if u >= two_p {
+                        u -= two_p;
+                    }
+                    a[j] = u;
+                    a[j + t] = w.mul_red_lazy(x + two_p - y, p);
+
+                    let x = b[j];
+                    let y = b[j + t];
+                    let mut u = x + y;
+                    if u >= two_p {
+                        u -= two_p;
+                    }
+                    b[j] = u;
+                    b[j + t] = w.mul_red_lazy(x + two_p - y, p);
+                }
+            }
+            m /= 2;
+        }
+        for c in a.iter_mut().chain(b.iter_mut()) {
+            *c = self.inv_n_const.mul_red(*c, p);
+        }
+    }
+
     /// Evaluates the polynomial at `ψ^{2·brv(j)+1}` directly — the defining
     /// equation `ã_j = Σ_i a_i ψ^{(2i+1)·e}` of Section 3.1, used as the
     /// O(n²) reference in tests.
@@ -436,6 +710,59 @@ mod tests {
         assert_eq!(bit_reverse(5, 0), 0);
         for i in 0..64usize {
             assert_eq!(bit_reverse(bit_reverse(i, 6), 6), i);
+        }
+    }
+
+    #[test]
+    fn paired_kernels_bit_identical_to_single() {
+        for bits in [40u32, 52, 59, 61] {
+            let n = 64usize;
+            let t = table(n, bits);
+            let p = t.modulus().value();
+            let mut a: Vec<u64> = (0..n as u64).map(|i| (i * 0x9e37 + 3) % p).collect();
+            let mut b: Vec<u64> = (0..n as u64).map(|i| (i * i + 17) % p).collect();
+            let mut sa = a.clone();
+            let mut sb = b.clone();
+            t.forward_auto2(&mut a, &mut b);
+            t.forward_auto(&mut sa);
+            t.forward_auto(&mut sb);
+            assert_eq!(a, sa, "forward pair diverged at {bits} bits");
+            assert_eq!(b, sb, "forward pair diverged at {bits} bits");
+            t.inverse_auto2(&mut a, &mut b);
+            t.inverse_auto(&mut sa);
+            t.inverse_auto(&mut sb);
+            assert_eq!(a, sa, "inverse pair diverged at {bits} bits");
+            assert_eq!(b, sb, "inverse pair diverged at {bits} bits");
+        }
+    }
+
+    #[test]
+    fn reduced_forward_congruent_to_plain_forward() {
+        for bits in [40u32, 59, 61] {
+            for n in [4usize, 64] {
+                let t = table(n, bits.max(n.trailing_zeros() + 2));
+                let p = t.modulus();
+                // Arbitrary u64 inputs (beyond p) are legal.
+                let src0: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+                let src1: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x85eb_ca6b)).collect();
+                let mut want0: Vec<u64> = src0.iter().map(|&x| p.reduce_u64(x)).collect();
+                let mut want1: Vec<u64> = src1.iter().map(|&x| p.reduce_u64(x)).collect();
+                t.forward_auto(&mut want0);
+                t.forward_auto(&mut want1);
+                let mut got0 = vec![0u64; n];
+                let mut got1 = vec![0u64; n];
+                t.forward_reduced_auto2(&src0, &src1, &mut got0, &mut got1);
+                let four_p = 4 * p.value();
+                for (g, w) in got0.iter().zip(&want0).chain(got1.iter().zip(&want1)) {
+                    assert!(*g < four_p, "lazy output out of domain");
+                    assert_eq!(p.reduce_u64(*g), *w, "bits={bits} n={n}");
+                }
+                let mut single = vec![0u64; n];
+                t.forward_reduced_auto(&src0, &mut single);
+                for (g, w) in single.iter().zip(&want0) {
+                    assert_eq!(p.reduce_u64(*g), *w);
+                }
+            }
         }
     }
 

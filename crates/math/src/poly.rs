@@ -292,6 +292,33 @@ impl RnsPoly {
         Ok(())
     }
 
+    /// Writes the dyadic product `a ⊙ b` into `self`, overwriting previous
+    /// contents — the workspace variant that spares callers a
+    /// `clone()`-then-multiply memcpy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on degree/modulus/representation mismatch.
+    pub fn dyadic_mul_set_with(
+        &mut self,
+        a: &Self,
+        b: &Self,
+        exec: &dyn Executor,
+    ) -> Result<(), MathError> {
+        self.check_compatible(a)?;
+        self.check_compatible(b)?;
+        let n = self.n;
+        exec::for_each_limb(exec, &mut self.data, n, |i, dst| {
+            let p = &self.moduli[i];
+            let sa = a.residue(i);
+            let sb = b.residue(i);
+            for ((d, &x), &y) in dst.iter_mut().zip(sa).zip(sb) {
+                *d = p.mul_mod(x, y);
+            }
+        });
+        Ok(())
+    }
+
     /// Fused multiply-accumulate `self += a ⊙ b` (dyadic), the DyadMult +
     /// accumulate step of the KeySwitch datapath (Algorithm 7, lines 11-12).
     ///
@@ -540,6 +567,20 @@ mod tests {
         let mut prod = ta.dyadic_mul(&tb).unwrap();
         prod.ntt_inverse(&ts).unwrap();
         assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn dyadic_mul_set_overwrites() {
+        let m = mods();
+        let mut out = RnsPoly::zero(16, &m, Representation::Ntt);
+        out.residue_mut(0)[0] = 999; // stale contents must be overwritten
+        let mut a = RnsPoly::zero(16, &m, Representation::Ntt);
+        let mut b = RnsPoly::zero(16, &m, Representation::Ntt);
+        a.residue_mut(0)[3] = 7;
+        b.residue_mut(0)[3] = 9;
+        out.dyadic_mul_set_with(&a, &b, &crate::exec::Sequential)
+            .unwrap();
+        assert_eq!(out, a.dyadic_mul(&b).unwrap());
     }
 
     #[test]

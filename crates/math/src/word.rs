@@ -360,6 +360,16 @@ impl MulRedConstant {
     }
 }
 
+/// Precomputes a [`MulRedConstant`] table for a slice of fixed operands —
+/// the software analogue of loading Shoup-form key material into the
+/// MulRed units' constant banks. All values must be `< p`.
+pub fn precompute_shoup(values: &[u64], modulus: &Modulus) -> Vec<MulRedConstant> {
+    values
+        .iter()
+        .map(|&y| MulRedConstant::new(y, modulus))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +449,17 @@ mod tests {
                 lazy
             };
             assert_eq!(exact, p.mul_mod(x, p.value() - 1));
+        }
+    }
+
+    #[test]
+    fn precompute_shoup_matches_scalar_constants() {
+        let p = p60();
+        let ys = [0u64, 1, 7, p.value() - 1];
+        let table = precompute_shoup(&ys, &p);
+        for (c, &y) in table.iter().zip(&ys) {
+            assert_eq!(*c, MulRedConstant::new(y, &p));
+            assert_eq!(c.mul_red(12345, &p), p.mul_mod(12345, y));
         }
     }
 
