@@ -1,0 +1,74 @@
+//! Server-subsystem perf snapshot (PR 4): serves an 8-client
+//! rotation-heavy workload two ways — the seed's one-request-at-a-time
+//! loop (keys deserialized per work unit, one key switch per rotation)
+//! versus the `heax-server` batch scheduler (session key cache, one
+//! hoisted decomposition per rotated ciphertext) — verifies the two are
+//! decrypt-identical, prints the comparison table, and writes the
+//! machine-readable `BENCH_server.json` snapshot (path overridable via
+//! the `HEAX_BENCH_SERVER_JSON` environment variable).
+//!
+//! The committed snapshot at the repo root is the acceptance artifact:
+//! `batched_server` must show ≥ 1.5× over `sequential_loop`.
+//!
+//! Usage: `bench_server [budget_ms]` (default 300 ms per data point;
+//! `HEAX_BENCH_QUICK=1` restricts to n = 4096 for CI smoke).
+
+use heax_bench::server::{CLIENTS, ROTATIONS_PER_CLIENT};
+use heax_bench::{bench_json, fmt_ops, fmt_speedup, render_table, server};
+
+fn main() {
+    let budget_ms = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    let (records, occupancy) = server::measure_suite(budget_ms);
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.op.clone(),
+                r.n.to_string(),
+                r.clients.to_string(),
+                r.threads.to_string(),
+                fmt_ops(r.requests_per_sec),
+                fmt_speedup(r.speedup_vs_sequential),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "heax-server batch scheduler vs one-request-at-a-time loop",
+            &["op", "n", "clients", "threads", "req/s", "vs sequential"],
+            &rows,
+        )
+    );
+    println!(
+        "\nworkload: {CLIENTS} clients x {ROTATIONS_PER_CLIENT} rotations each; \
+         results verified decrypt-identical before timing; \
+         measured batch occupancy {occupancy:.1} requests/flush"
+    );
+    let bar_met = records
+        .iter()
+        .filter(|r| r.op == "batched_server")
+        .all(|r| r.speedup_vs_sequential >= 1.5);
+    println!(
+        "acceptance bar (batched_server >= 1.5x sequential_loop): {}",
+        if bar_met {
+            "met"
+        } else {
+            "NOT met on this host"
+        }
+    );
+
+    let path = bench_json::path_from_env("HEAX_BENCH_SERVER_JSON", "BENCH_server.json");
+    let json = bench_json::render_server(&records, budget_ms, ROTATIONS_PER_CLIENT, occupancy);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

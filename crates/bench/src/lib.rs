@@ -420,6 +420,253 @@ pub mod keyswitch {
     }
 }
 
+/// Workloads and measurement helpers for the `heax-server` subsystem
+/// (`bench_server`): an 8-client rotation-heavy workload served by the
+/// batch-scheduled multi-session server versus the seed's
+/// one-request-at-a-time loop (keys deserialized per work unit, no
+/// hoisting). Results are verified decrypt-identical before timing.
+pub mod server {
+    use heax_ckks::serialize::{
+        deserialize_ciphertext, deserialize_galois_keys, serialize_ciphertext,
+        serialize_galois_keys,
+    };
+    use heax_ckks::{
+        Ciphertext, CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator,
+        GaloisKeys, PublicKey, SecretKey,
+    };
+    use heax_hw::board::Board;
+    use heax_server::wire::client::{self, Reply};
+    use heax_server::HeaxServer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::bench_json::SrvRecord;
+    use crate::parallel::set_for_n;
+
+    /// Concurrent client sessions in the workload (the acceptance
+    /// criterion's 8-client scenario).
+    pub const CLIENTS: usize = 8;
+    /// Rotations each client requests of its own ciphertext per pass.
+    pub const ROTATIONS_PER_CLIENT: usize = 8;
+
+    /// Ring degrees measured: Set-A and Set-B, or Set-A only under
+    /// `HEAX_BENCH_QUICK` (CI smoke budget).
+    pub fn sizes() -> Vec<usize> {
+        if std::env::var_os("HEAX_BENCH_QUICK").is_some() {
+            vec![4096]
+        } else {
+            vec![4096, 8192]
+        }
+    }
+
+    /// One simulated client: its keys and sample ciphertext, plus the
+    /// serialized forms that cross the wire.
+    pub struct ClientRig {
+        /// Secret key (for result verification only).
+        pub sk: SecretKey,
+        /// Serialized rotation keys, as shipped to the server.
+        pub gks_bytes: Vec<u8>,
+        /// Serialized sample ciphertext.
+        pub ct_bytes: Vec<u8>,
+    }
+
+    /// The prepared multi-client workload for one ring degree.
+    pub struct ServerWorkload {
+        /// Shared context (client and server agree on parameters).
+        pub ctx: CkksContext,
+        /// The simulated clients.
+        pub clients: Vec<ClientRig>,
+        /// Rotation steps each client requests.
+        pub steps: Vec<i64>,
+    }
+
+    impl ServerWorkload {
+        /// Requests per pass (`CLIENTS × ROTATIONS_PER_CLIENT`).
+        pub fn requests_per_pass(&self) -> usize {
+            self.clients.len() * self.steps.len()
+        }
+    }
+
+    /// Builds the workload for ring degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a paper ring degree.
+    pub fn prepare(n: usize) -> ServerWorkload {
+        let ctx =
+            CkksContext::new(CkksParams::from_set(set_for_n(n)).expect("params")).expect("ctx");
+        let steps: Vec<i64> = (1..=ROTATIONS_PER_CLIENT as i64).collect();
+        let enc = CkksEncoder::new(&ctx);
+        let scale = ctx.params().scale();
+        let clients = (0..CLIENTS)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(0x5345_5256 + i as u64); // "SERV"
+                let sk = SecretKey::generate(&ctx, &mut rng);
+                let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+                let gks = GaloisKeys::generate(&ctx, &sk, &steps, &mut rng);
+                let vals: Vec<f64> = (0..16).map(|j| j as f64 * 0.5 - 3.0 + i as f64).collect();
+                let ct = Encryptor::new(&ctx, &pk)
+                    .encrypt(
+                        &enc.encode_real(&vals, scale, ctx.max_level())
+                            .expect("encode"),
+                        &mut rng,
+                    )
+                    .expect("encrypt");
+                ClientRig {
+                    sk,
+                    gks_bytes: serialize_galois_keys(&gks),
+                    ct_bytes: serialize_ciphertext(&ct),
+                }
+            })
+            .collect();
+        ServerWorkload {
+            ctx,
+            clients,
+            steps,
+        }
+    }
+
+    /// The baseline pass: one request at a time, no session registry —
+    /// each client's evaluation keys are deserialized (Shoup tables
+    /// rebuilt) for its work unit, and every rotation is a full
+    /// deserialize → rotate → serialize round trip, exactly the shape of
+    /// the seed's `batched_server` example. Returns the serialized
+    /// results in request order.
+    pub fn sequential_pass(w: &ServerWorkload, eval: &Evaluator<'_>) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(w.requests_per_pass());
+        for c in &w.clients {
+            let gks = deserialize_galois_keys(&c.gks_bytes, &w.ctx).expect("keys");
+            for &step in &w.steps {
+                let ct = deserialize_ciphertext(&c.ct_bytes, &w.ctx).expect("ct");
+                let rotated = eval.rotate(&ct, step, &gks).expect("rotate");
+                out.push(serialize_ciphertext(&rotated));
+            }
+        }
+        out
+    }
+
+    /// Builds a server with one registered session per client
+    /// (key deserialization paid once, not per pass).
+    pub fn build_server<'w>(w: &'w ServerWorkload) -> (HeaxServer<'w>, Vec<u64>) {
+        let mut server = HeaxServer::new(&w.ctx, Board::stratix10()).expect("paper set");
+        let sessions = w
+            .clients
+            .iter()
+            .map(|c| {
+                let reply = server
+                    .handle_frame(&client::open_session())
+                    .expect("session reply");
+                let (session, _, _) = client::parse_reply(&reply).expect("parse");
+                server
+                    .handle_frame(&client::register_galois_keys(session, &c.gks_bytes))
+                    .expect("registered");
+                session
+            })
+            .collect();
+        (server, sessions)
+    }
+
+    /// The batched pass: every client's rotation requests are submitted
+    /// as frames and executed in one flush (per-ciphertext hoisted
+    /// groups, cached keys). Returns the response frames in request
+    /// order.
+    pub fn batched_pass(
+        server: &mut HeaxServer<'_>,
+        sessions: &[u64],
+        w: &ServerWorkload,
+    ) -> Vec<Vec<u8>> {
+        let mut request_id = 0u64;
+        for (session, c) in sessions.iter().zip(&w.clients) {
+            for &step in &w.steps {
+                request_id += 1;
+                let frame = client::rotate(*session, request_id, &c.ct_bytes, step);
+                assert!(server.handle_frame(&frame).is_none(), "must queue");
+            }
+        }
+        server.flush()
+    }
+
+    /// Decrypts both paths' results and asserts slot-wise agreement
+    /// (hoisted rotation is decrypt-equal, not bit-equal).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any disagreement beyond CKKS noise tolerance.
+    pub fn verify_equivalent(w: &ServerWorkload, seq: &[Vec<u8>], batched: &[Vec<u8>]) {
+        assert_eq!(seq.len(), batched.len());
+        let enc = CkksEncoder::new(&w.ctx);
+        let decrypt = |sk: &SecretKey, ct: &Ciphertext| -> Vec<f64> {
+            enc.decode_real(&Decryptor::new(&w.ctx, sk).decrypt(ct).expect("decrypt"))
+                .expect("decode")
+        };
+        for (i, (s, b)) in seq.iter().zip(batched).enumerate() {
+            let c = &w.clients[i / w.steps.len()];
+            let seq_ct = deserialize_ciphertext(s, &w.ctx).expect("seq ct");
+            let (_, _, reply) = client::parse_reply(b).expect("reply frame");
+            let Reply::Ciphertext(bytes) = reply else {
+                panic!("request {i}: expected ciphertext reply, got {reply:?}");
+            };
+            let bat_ct = deserialize_ciphertext(&bytes, &w.ctx).expect("batched ct");
+            let want = decrypt(&c.sk, &seq_ct);
+            let got = decrypt(&c.sk, &bat_ct);
+            for (slot, (g, ww)) in got.iter().zip(&want).enumerate().take(16) {
+                assert!(
+                    (g - ww).abs() < 2e-2,
+                    "request {i} slot {slot}: batched {g} vs sequential {ww}"
+                );
+            }
+        }
+    }
+
+    /// Measures the suite: for each ring degree, verifies batch ≡
+    /// sequential, then times both paths and reports requests/second
+    /// with the batched speedup. The returned occupancy is the server's
+    /// measured batch occupancy.
+    pub fn measure_suite(budget_ms: u64) -> (Vec<SrvRecord>, f64) {
+        let threads = heax_math::exec::env_threads();
+        let mut records = Vec::new();
+        let mut occupancy = 0.0;
+        for n in sizes() {
+            eprintln!("preparing n = {n} ({CLIENTS} clients) ...");
+            let w = prepare(n);
+            let eval = Evaluator::new(&w.ctx);
+            let (mut server, sessions) = build_server(&w);
+            let requests = w.requests_per_pass() as f64;
+
+            // Correctness first: the batch scheduler must be
+            // decrypt-identical to the one-at-a-time loop.
+            let seq = sequential_pass(&w, &eval);
+            let batched = batched_pass(&mut server, &sessions, &w);
+            verify_equivalent(&w, &seq, &batched);
+
+            let seq_passes =
+                crate::measure_ops_per_sec(|| drop(sequential_pass(&w, &eval)), budget_ms);
+            records.push(SrvRecord::new(
+                "sequential_loop",
+                n,
+                CLIENTS,
+                threads,
+                seq_passes * requests,
+                1.0,
+            ));
+            let bat_passes = crate::measure_ops_per_sec(
+                || drop(batched_pass(&mut server, &sessions, &w)),
+                budget_ms,
+            );
+            records.push(SrvRecord::new(
+                "batched_server",
+                n,
+                CLIENTS,
+                threads,
+                bat_passes * requests,
+                bat_passes / seq_passes,
+            ));
+            occupancy = server.stats().batch_occupancy();
+        }
+        (records, occupancy)
+    }
+}
+
 /// Machine-readable perf snapshots (`BENCH_parallel.json`): a tiny
 /// hand-rolled JSON emitter (the workspace is offline; no serde) so the
 /// BENCH trajectory can be diffed and plotted across PRs and archived
@@ -534,6 +781,82 @@ pub mod bench_json {
         }
     }
 
+    /// One measured serving-path point (`BENCH_server.json`).
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct SrvRecord {
+        /// Operation name (`sequential_loop`, `batched_server`).
+        pub op: String,
+        /// Ring degree.
+        pub n: usize,
+        /// Concurrent client sessions in the workload.
+        pub clients: usize,
+        /// Executor lanes of the global backend (`HEAX_THREADS`).
+        pub threads: usize,
+        /// Measured request throughput.
+        pub requests_per_sec: f64,
+        /// Throughput relative to the one-request-at-a-time loop at the
+        /// same `n` (`1.0` for the baseline itself).
+        pub speedup_vs_sequential: f64,
+    }
+
+    impl SrvRecord {
+        /// Convenience constructor.
+        pub fn new(
+            op: &str,
+            n: usize,
+            clients: usize,
+            threads: usize,
+            requests_per_sec: f64,
+            speedup: f64,
+        ) -> Self {
+            Self {
+                op: op.to_string(),
+                n,
+                clients,
+                threads,
+                requests_per_sec,
+                speedup_vs_sequential: speedup,
+            }
+        }
+    }
+
+    /// Renders the server snapshot document (schema
+    /// `heax-bench-server/1`).
+    pub fn render_server(
+        records: &[SrvRecord],
+        budget_ms: u64,
+        rotations_per_client: usize,
+        batch_occupancy: f64,
+    ) -> String {
+        let host_lanes = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"heax-bench-server/1\",\n");
+        out.push_str(&format!("  \"host_parallelism\": {host_lanes},\n"));
+        out.push_str(&format!("  \"budget_ms\": {budget_ms},\n"));
+        out.push_str(&format!(
+            "  \"rotations_per_client\": {rotations_per_client},\n"
+        ));
+        out.push_str(&format!("  \"batch_occupancy\": {batch_occupancy:.3},\n"));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"op\": \"{}\", \"n\": {}, \"clients\": {}, \"threads\": {}, \
+                 \"requests_per_sec\": {:.3}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+                esc(&r.op),
+                r.n,
+                r.clients,
+                r.threads,
+                r.requests_per_sec,
+                r.speedup_vs_sequential,
+                if i + 1 < records.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Renders the key-switch snapshot document
     /// (schema `heax-bench-keyswitch/1`).
     pub fn render_keyswitch(records: &[KsRecord], budget_ms: u64, rotate_steps: usize) -> String {
@@ -595,6 +918,23 @@ mod tests {
         assert!(json.contains("\"schema\": \"heax-bench-keyswitch/1\""));
         assert!(json.contains("\"rotate_steps\": 8"));
         assert!(json.contains("\"speedup_vs_baseline\": 2.500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn server_json_renders_valid_shape() {
+        use bench_json::SrvRecord;
+        let records = vec![
+            SrvRecord::new("sequential_loop", 4096, 8, 1, 120.0, 1.0),
+            SrvRecord::new("batched_server", 4096, 8, 1, 260.0, 2.167),
+        ];
+        let json = bench_json::render_server(&records, 100, 8, 64.0);
+        assert!(json.contains("\"schema\": \"heax-bench-server/1\""));
+        assert!(json.contains("\"clients\": 8"));
+        assert!(json.contains("\"batch_occupancy\": 64.000"));
+        assert!(json.contains("\"speedup_vs_sequential\": 2.167"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));

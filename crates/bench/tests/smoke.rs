@@ -45,6 +45,13 @@ fn run_binary(name: &str, path: &str) {
                     env!("CARGO_TARGET_TMPDIR")
                 ),
             )
+            .env(
+                "HEAX_BENCH_SERVER_JSON",
+                format!(
+                    "{}/BENCH_server_smoke_{threads}.json",
+                    env!("CARGO_TARGET_TMPDIR")
+                ),
+            )
             .output()
             .unwrap_or_else(|e| panic!("failed to spawn {name} ({path}): {e}"));
         assert!(
@@ -90,6 +97,7 @@ smoke!(
     ablation_wordsize,
     bench_parallel,
     bench_keyswitch,
+    bench_server,
     extension_scaling,
     noise_growth,
 );

@@ -10,6 +10,18 @@
 //! Polynomials always serialize their modulus chain so the receiver can
 //! validate against its own context; deserialization checks degree,
 //! moduli, and representation tags and fails loudly on any mismatch.
+//!
+//! # Decoding is total on untrusted input
+//!
+//! Every `deserialize_*` entry point treats its input as hostile wire
+//! bytes: length fields are bounded by the bytes actually present before
+//! any allocation (a 20-byte message can never reserve gigabytes),
+//! scales must be finite and `>= 2` (mirroring parameter validation, so
+//! a NaN or subnormal scale can't corrupt downstream rescale/multiply
+//! arithmetic), residues must be canonical, and every failure is a
+//! structured [`CkksError`] — never a panic or abort. The
+//! `adversarial_decode` proptest suite drives random corruption through
+//! each entry point to enforce this.
 
 use heax_math::poly::{Representation, RnsPoly};
 use heax_math::word::Modulus;
@@ -50,13 +62,13 @@ impl Tag {
     }
 }
 
-/// A growable little-endian writer.
-#[derive(Default)]
-struct Writer {
-    buf: Vec<u8>,
+/// A growable little-endian writer over a borrowed buffer, so callers
+/// with a hot serialization path can reuse one allocation.
+struct Writer<'b> {
+    buf: &'b mut Vec<u8>,
 }
 
-impl Writer {
+impl Writer<'_> {
     fn header(&mut self, tag: Tag) {
         self.buf.extend_from_slice(&MAGIC);
         self.buf.push(VERSION);
@@ -101,7 +113,10 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CkksError> {
-        if self.pos + n > self.buf.len() {
+        // `n > remaining` (not `pos + n > len`): the latter overflows for
+        // hostile 64-bit length fields routed here by the container
+        // formats.
+        if n > self.buf.len() - self.pos {
             return Err(Self::error("truncated"));
         }
         let s = &self.buf[self.pos..self.pos + n];
@@ -141,14 +156,29 @@ impl<'a> Reader<'a> {
 
     fn words(&mut self) -> Result<Vec<u64>, CkksError> {
         let n = self.u64()? as usize;
-        if n > (1 << 28) {
-            return Err(Self::error("implausible length"));
+        // Bound the pre-allocation by the bytes actually present: a
+        // hostile length header must not reserve memory the message
+        // cannot back (8·n words must fit in the remaining buffer).
+        if n > (self.buf.len() - self.pos) / 8 {
+            return Err(Self::error("length field exceeds remaining bytes"));
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.u64()?);
         }
         Ok(out)
+    }
+
+    /// Reads a scale field, enforcing the same bound as parameter
+    /// validation ([`crate::params::CkksParams::new`]): finite and
+    /// `>= 2`, so malformed wire bytes can't smuggle a NaN/∞/subnormal
+    /// scale into downstream rescale or multiply arithmetic.
+    fn scale(&mut self) -> Result<f64, CkksError> {
+        let scale = self.f64()?;
+        if !(scale.is_finite() && scale >= 2.0) {
+            return Err(Self::error("scale must be finite and >= 2"));
+        }
+        Ok(scale)
     }
 
     fn finish(&self) -> Result<(), CkksError> {
@@ -195,12 +225,21 @@ fn read_poly(r: &mut Reader) -> Result<RnsPoly, CkksError> {
 
 /// Serializes a plaintext.
 pub fn serialize_plaintext(pt: &Plaintext) -> Vec<u8> {
-    let mut w = Writer::default();
+    let mut buf = Vec::new();
+    serialize_plaintext_into(pt, &mut buf);
+    buf
+}
+
+/// [`serialize_plaintext`] into a caller-provided buffer (cleared
+/// first), so a serving loop can reuse one wire buffer across requests
+/// instead of allocating per message.
+pub fn serialize_plaintext_into(pt: &Plaintext, buf: &mut Vec<u8>) {
+    buf.clear();
+    let mut w = Writer { buf };
     w.header(Tag::Plaintext);
     w.u64(pt.level() as u64);
     w.f64(pt.scale());
     write_poly(&mut w, pt.poly());
-    w.buf
 }
 
 /// Deserializes a plaintext, validating against the context.
@@ -213,7 +252,7 @@ pub fn deserialize_plaintext(buf: &[u8], ctx: &CkksContext) -> Result<Plaintext,
     let mut r = Reader::new(buf);
     r.header(Tag::Plaintext)?;
     let level = r.u64()? as usize;
-    let scale = r.f64()?;
+    let scale = r.scale()?;
     let poly = read_poly(&mut r)?;
     r.finish()?;
     validate_poly(&poly, ctx, level)?;
@@ -222,7 +261,17 @@ pub fn deserialize_plaintext(buf: &[u8], ctx: &CkksContext) -> Result<Plaintext,
 
 /// Serializes a ciphertext.
 pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
-    let mut w = Writer::default();
+    let mut buf = Vec::new();
+    serialize_ciphertext_into(ct, &mut buf);
+    buf
+}
+
+/// [`serialize_ciphertext`] into a caller-provided buffer (cleared
+/// first), so a serving loop can reuse one wire buffer across requests
+/// instead of allocating per message.
+pub fn serialize_ciphertext_into(ct: &Ciphertext, buf: &mut Vec<u8>) {
+    buf.clear();
+    let mut w = Writer { buf };
     w.header(Tag::Ciphertext);
     w.u64(ct.level() as u64);
     w.f64(ct.scale());
@@ -230,7 +279,6 @@ pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
     for c in ct.components() {
         write_poly(&mut w, c);
     }
-    w.buf
 }
 
 /// Deserializes a ciphertext, validating against the context.
@@ -243,7 +291,7 @@ pub fn deserialize_ciphertext(buf: &[u8], ctx: &CkksContext) -> Result<Ciphertex
     let mut r = Reader::new(buf);
     r.header(Tag::Ciphertext)?;
     let level = r.u64()? as usize;
-    let scale = r.f64()?;
+    let scale = r.scale()?;
     let size = r.u64()? as usize;
     if !(2..=8).contains(&size) {
         return Err(Reader::error("implausible component count"));
@@ -262,10 +310,11 @@ pub fn deserialize_ciphertext(buf: &[u8], ctx: &CkksContext) -> Result<Ciphertex
 
 /// Serializes a secret key.
 pub fn serialize_secret_key(sk: &SecretKey) -> Vec<u8> {
-    let mut w = Writer::default();
+    let mut buf = Vec::new();
+    let mut w = Writer { buf: &mut buf };
     w.header(Tag::SecretKey);
     write_poly(&mut w, sk.poly());
-    w.buf
+    buf
 }
 
 /// Deserializes a secret key.
@@ -285,11 +334,12 @@ pub fn deserialize_secret_key(buf: &[u8], ctx: &CkksContext) -> Result<SecretKey
 
 /// Serializes a public key.
 pub fn serialize_public_key(pk: &PublicKey) -> Vec<u8> {
-    let mut w = Writer::default();
+    let mut buf = Vec::new();
+    let mut w = Writer { buf: &mut buf };
     w.header(Tag::PublicKey);
     write_poly(&mut w, pk.b());
     write_poly(&mut w, pk.a());
-    w.buf
+    buf
 }
 
 /// Deserializes a public key.
@@ -311,7 +361,8 @@ pub fn deserialize_public_key(buf: &[u8], ctx: &CkksContext) -> Result<PublicKey
 
 /// Serializes a key-switching key (also used for relinearization keys).
 pub fn serialize_ksk(ksk: &KeySwitchKey) -> Vec<u8> {
-    let mut w = Writer::default();
+    let mut buf = Vec::new();
+    let mut w = Writer { buf: &mut buf };
     w.header(Tag::KeySwitchKey);
     w.u64(ksk.decomp_len() as u64);
     for i in 0..ksk.decomp_len() {
@@ -319,7 +370,7 @@ pub fn serialize_ksk(ksk: &KeySwitchKey) -> Vec<u8> {
         write_poly(&mut w, b);
         write_poly(&mut w, a);
     }
-    w.buf
+    buf
 }
 
 /// Deserializes a key-switching key.
@@ -359,18 +410,17 @@ pub fn serialize_relin_key(rlk: &RelinKey) -> Vec<u8> {
 pub fn serialize_galois_keys(gks: &crate::keys::GaloisKeys) -> Vec<u8> {
     let mut elements: Vec<usize> = gks.elements().collect();
     elements.sort_unstable();
-    let mut w = Writer::default();
+    let mut buf = Vec::new();
+    let mut w = Writer { buf: &mut buf };
     w.header(Tag::KeySwitchKey); // container reuses the ksk tag + count
     w.u64(elements.len() as u64);
-    let mut body = Vec::new();
     for &elt in &elements {
-        body.extend_from_slice(&(elt as u64).to_le_bytes());
         let ksk_bytes = serialize_ksk(gks.key(elt).expect("listed element"));
-        body.extend_from_slice(&(ksk_bytes.len() as u64).to_le_bytes());
-        body.extend_from_slice(&ksk_bytes);
+        w.u64(elt as u64);
+        w.u64(ksk_bytes.len() as u64);
+        w.buf.extend_from_slice(&ksk_bytes);
     }
-    w.buf.extend_from_slice(&body);
-    w.buf
+    buf
 }
 
 /// Deserializes Galois keys, rebuilding permutation tables.
@@ -564,6 +614,59 @@ mod tests {
         tampered[len - 1] = 0xff;
         tampered[len - 2] = 0xff;
         assert!(deserialize_ciphertext(&tampered, &r.ctx).is_err());
+    }
+
+    #[test]
+    fn hostile_scale_rejected() {
+        let r = rig();
+        let bytes = serialize_ciphertext(&r.ct);
+        // The scale field sits after magic(4) + version(1) + tag(1) +
+        // level(8).
+        let scale_off = 4 + 1 + 1 + 8;
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, 1.5, -4.0] {
+            let mut tampered = bytes.clone();
+            tampered[scale_off..scale_off + 8].copy_from_slice(&bad.to_le_bytes());
+            assert!(
+                deserialize_ciphertext(&tampered, &r.ctx).is_err(),
+                "scale {bad} must be rejected"
+            );
+        }
+        let pt_bytes = serialize_plaintext(&r.pt);
+        let mut tampered = pt_bytes;
+        tampered[scale_off..scale_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(deserialize_plaintext(&tampered, &r.ctx).is_err());
+    }
+
+    #[test]
+    fn hostile_length_header_fails_before_allocating() {
+        let r = rig();
+        let bytes = serialize_ciphertext(&r.ct);
+        // First words-length header (the moduli count of component 0):
+        // header(6) + level(8) + scale(8) + size(8) + n(8) + repr(1).
+        let words_off = 6 + 8 + 8 + 8 + 8 + 1;
+        for huge in [u64::MAX, 1 << 40, 1 << 28] {
+            let mut tampered = bytes.clone();
+            tampered[words_off..words_off + 8].copy_from_slice(&huge.to_le_bytes());
+            // Must error out (without attempting a giant reservation —
+            // a 2 GiB with_capacity here would abort the test under a
+            // memory cap rather than fail an assert).
+            assert!(
+                deserialize_ciphertext(&tampered, &r.ctx).is_err(),
+                "length {huge} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn serialize_into_reuses_buffer() {
+        let r = rig();
+        // Stale, differently-sized content must be fully replaced.
+        let mut buf = serialize_plaintext(&r.pt);
+        serialize_ciphertext_into(&r.ct, &mut buf);
+        assert_eq!(buf, serialize_ciphertext(&r.ct));
+        assert_eq!(deserialize_ciphertext(&buf, &r.ctx).unwrap(), r.ct);
+        serialize_plaintext_into(&r.pt, &mut buf);
+        assert_eq!(buf, serialize_plaintext(&r.pt));
     }
 
     #[test]

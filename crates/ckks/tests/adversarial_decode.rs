@@ -1,0 +1,189 @@
+//! Adversarial decoding suite: every `deserialize_*` entry point must be
+//! **total** on untrusted input — structured `Err`, never a panic or
+//! abort — under random truncation, bit flips, oversized length fields,
+//! overwritten words, NaN scales, and raw garbage.
+//!
+//! Every mutated byte string is fed to *every* decoder (not just the one
+//! matching its original type), because a hostile peer is not obliged to
+//! send the object the server expects. CI runs this suite under both
+//! `HEAX_THREADS=1` and `HEAX_THREADS=4`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use heax_ckks::serialize::{
+    deserialize_ciphertext, deserialize_galois_keys, deserialize_ksk, deserialize_plaintext,
+    deserialize_public_key, deserialize_relin_key, deserialize_secret_key, serialize_ciphertext,
+    serialize_galois_keys, serialize_ksk, serialize_plaintext, serialize_public_key,
+    serialize_relin_key, serialize_secret_key,
+};
+use heax_ckks::{
+    CkksContext, CkksEncoder, CkksParams, Encryptor, GaloisKeys, KeySwitchKey, PublicKey, RelinKey,
+    SecretKey,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Valid serialized objects of every wire type, built once.
+struct Corpus {
+    ctx: CkksContext,
+    blobs: Vec<(&'static str, Vec<u8>)>,
+}
+
+fn corpus() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let chain = heax_math::primes::generate_prime_chain(&[40, 40, 40, 41], 64).unwrap();
+        let ctx =
+            CkksContext::new(CkksParams::new(64, chain, (1u64 << 32) as f64).unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut rng);
+        let s_sq = sk.poly().dyadic_mul(sk.poly()).unwrap();
+        let ksk = KeySwitchKey::generate(&ctx, &s_sq, &sk, &mut rng);
+        let gks = GaloisKeys::generate(&ctx, &sk, &[1, -2], &mut rng);
+        let enc = CkksEncoder::new(&ctx);
+        let pt = enc
+            .encode_real(&[1.5, -2.25, 0.5], ctx.params().scale(), ctx.max_level())
+            .unwrap();
+        let ct = Encryptor::new(&ctx, &pk).encrypt(&pt, &mut rng).unwrap();
+        let blobs = vec![
+            ("plaintext", serialize_plaintext(&pt)),
+            ("ciphertext", serialize_ciphertext(&ct)),
+            ("secret_key", serialize_secret_key(&sk)),
+            ("public_key", serialize_public_key(&pk)),
+            ("ksk", serialize_ksk(&ksk)),
+            ("relin_key", serialize_relin_key(&rlk)),
+            ("galois_keys", serialize_galois_keys(&gks)),
+        ];
+        Corpus { ctx, blobs }
+    })
+}
+
+/// Runs every decoder over the bytes; returns how many accepted. Any
+/// panic propagates to the caller's `catch_unwind`.
+fn decode_all(ctx: &CkksContext, bytes: &[u8]) -> usize {
+    let mut ok = 0;
+    ok += usize::from(deserialize_plaintext(bytes, ctx).is_ok());
+    ok += usize::from(deserialize_ciphertext(bytes, ctx).is_ok());
+    ok += usize::from(deserialize_secret_key(bytes, ctx).is_ok());
+    ok += usize::from(deserialize_public_key(bytes, ctx).is_ok());
+    ok += usize::from(deserialize_ksk(bytes, ctx).is_ok());
+    ok += usize::from(deserialize_relin_key(bytes, ctx).is_ok());
+    ok += usize::from(deserialize_galois_keys(bytes, ctx).is_ok());
+    ok
+}
+
+/// Asserts "no panic" for a mutated input, via `catch_unwind` so a
+/// violation reports the mutation instead of killing the harness.
+fn assert_total(ctx: &CkksContext, bytes: &[u8]) -> Result<(), TestCaseError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| decode_all(ctx, bytes)));
+    prop_assert!(
+        outcome.is_ok(),
+        "a deserialize_* entry point panicked on {} mutated bytes",
+        bytes.len()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random structural mutations of valid objects never panic any
+    /// decoder.
+    #[test]
+    fn mutated_objects_never_panic(
+        blob_idx in any::<u64>(),
+        kind in 0usize..5,
+        pos in any::<u64>(),
+        bit in 0u8..8,
+        word in any::<u64>(),
+    ) {
+        let c = corpus();
+        let (_, blob) = &c.blobs[(blob_idx % c.blobs.len() as u64) as usize];
+        let mut bytes = blob.clone();
+        let len = bytes.len();
+        match kind {
+            // Truncation at an arbitrary boundary.
+            0 => bytes.truncate((pos % (len as u64 + 1)) as usize),
+            // Single bit flip.
+            1 => bytes[(pos % len as u64) as usize] ^= 1 << bit,
+            // Overwrite an aligned-ish u64 — this is how hostile length
+            // fields (up to u64::MAX) and non-canonical residues appear.
+            2 => {
+                let at = (pos % (len as u64 - 8)) as usize;
+                bytes[at..at + 8].copy_from_slice(&word.to_le_bytes());
+            }
+            // Non-finite scale in the header region (offset 14 is the
+            // scale field of plaintext/ciphertext layouts; for other
+            // objects it is just another corruption).
+            3 => {
+                let nan = if word % 2 == 0 { f64::NAN } else { f64::INFINITY };
+                bytes[14..22].copy_from_slice(&nan.to_le_bytes());
+            }
+            // Trailing garbage.
+            _ => bytes.extend_from_slice(&word.to_le_bytes()),
+        }
+        assert_total(&c.ctx, &bytes)?;
+    }
+
+    /// Raw random bytes never panic and are never accepted.
+    #[test]
+    fn random_garbage_rejected_without_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let c = corpus();
+        assert_total(&c.ctx, &bytes)?;
+        let accepted = catch_unwind(AssertUnwindSafe(|| decode_all(&c.ctx, &bytes)))
+            .expect("checked above");
+        prop_assert_eq!(accepted, 0, "random garbage must never decode");
+    }
+
+    /// Every strict prefix of a valid object is rejected (no decoder
+    /// accepts truncated input), still without panicking.
+    #[test]
+    fn strict_prefixes_always_error(
+        blob_idx in any::<u64>(),
+        cut in any::<u64>(),
+    ) {
+        let c = corpus();
+        let (name, blob) = &c.blobs[(blob_idx % c.blobs.len() as u64) as usize];
+        let cut = (cut % blob.len() as u64) as usize;
+        let bytes = &blob[..cut];
+        assert_total(&c.ctx, bytes)?;
+        let accepted = catch_unwind(AssertUnwindSafe(|| decode_all(&c.ctx, bytes)))
+            .expect("checked above");
+        prop_assert_eq!(accepted, 0, "truncated {} decoded at cut {}", name, cut);
+    }
+}
+
+/// Deterministic spot checks for the two hardening fixes, independent of
+/// the random sweep: NaN/tiny scales and hostile length fields.
+#[test]
+fn nan_scale_and_huge_lengths_are_structured_errors() {
+    let c = corpus();
+    for (name, blob) in &c.blobs[..2] {
+        // plaintext, ciphertext: scale at offset 14.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, 1.999] {
+            let mut bytes = blob.clone();
+            bytes[14..22].copy_from_slice(&bad.to_le_bytes());
+            let pt = deserialize_plaintext(&bytes, &c.ctx);
+            let ct = deserialize_ciphertext(&bytes, &c.ctx);
+            assert!(
+                pt.is_err() && ct.is_err(),
+                "{name} with scale {bad} must be rejected"
+            );
+        }
+    }
+    // Huge length fields planted over every u64-aligned offset must
+    // never allocate-then-crash; scan the whole ciphertext blob.
+    let (_, ct_blob) = &c.blobs[1];
+    for at in (0..ct_blob.len() - 8).step_by(8) {
+        let mut bytes = ct_blob.clone();
+        bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let _ = catch_unwind(AssertUnwindSafe(|| decode_all(&c.ctx, &bytes)))
+            .unwrap_or_else(|_| panic!("panic with u64::MAX planted at offset {at}"));
+    }
+}

@@ -73,26 +73,34 @@ impl<'a> HeaxSystem<'a> {
         &self.dram
     }
 
+    /// DRAM footprint of one parked ciphertext.
+    fn ct_bytes(ct: &Ciphertext) -> u64 {
+        ct.components()
+            .iter()
+            .map(|p| p.data().len() as u64 * WORD_BYTES)
+            .sum()
+    }
+
     /// Stores a result in board DRAM under a host-side name (the "Memory
-    /// Map" of Figure 7).
+    /// Map" of Figure 7). Overwriting an existing name releases the old
+    /// entry's bytes first, so repeated parking under one handle (the
+    /// batch-scheduler intermediate pattern) cannot leak modeled DRAM.
     ///
     /// # Errors
     ///
     /// [`CoreError::DramFull`] if board DRAM capacity would be exceeded.
     pub fn store(&mut self, name: &str, ct: Ciphertext) -> Result<(), CoreError> {
-        let bytes: u64 = ct
-            .components()
-            .iter()
-            .map(|p| p.data().len() as u64 * WORD_BYTES)
-            .sum();
+        let bytes = Self::ct_bytes(&ct);
+        let replaced = self.memory_map.get(name).map(Self::ct_bytes).unwrap_or(0);
         let capacity = self.accel.board().dram_gib() as u64 * (1 << 30);
-        if self.dram_used_bytes + bytes > capacity {
+        let used_after_evict = self.dram_used_bytes - replaced;
+        if used_after_evict + bytes > capacity {
             return Err(CoreError::DramFull {
                 requested: bytes,
-                available: capacity - self.dram_used_bytes,
+                available: capacity - used_after_evict,
             });
         }
-        self.dram_used_bytes += bytes;
+        self.dram_used_bytes = used_after_evict + bytes;
         self.memory_map.insert(name.to_string(), ct);
         Ok(())
     }
@@ -100,6 +108,19 @@ impl<'a> HeaxSystem<'a> {
     /// Fetches a DRAM-resident ciphertext by name.
     pub fn load(&self, name: &str) -> Option<&Ciphertext> {
         self.memory_map.get(name)
+    }
+
+    /// Unparks a DRAM-resident ciphertext: removes the entry and releases
+    /// its modeled DRAM bytes. Returns `None` if the name is unknown.
+    pub fn remove(&mut self, name: &str) -> Option<Ciphertext> {
+        let ct = self.memory_map.remove(name)?;
+        self.dram_used_bytes -= Self::ct_bytes(&ct);
+        Some(ct)
+    }
+
+    /// Whether a name is currently parked.
+    pub fn contains(&self, name: &str) -> bool {
+        self.memory_map.contains_key(name)
     }
 
     /// Number of memory-mapped entries.
@@ -207,6 +228,27 @@ mod tests {
         assert_eq!(sys.load("result0").unwrap(), &ct);
         assert!(sys.load("missing").is_none());
         assert!(sys.dram_used_bytes() > 0);
+    }
+
+    #[test]
+    fn overwrite_and_remove_keep_dram_accounting_exact() {
+        let c = ctx();
+        let mut sys = HeaxSystem::new(accel(&c));
+        let ct = sample_ct(&c);
+        sys.store("x", ct.clone()).unwrap();
+        let one = sys.dram_used_bytes();
+        // Overwriting the same name must not double-count.
+        sys.store("x", ct.clone()).unwrap();
+        assert_eq!(sys.dram_used_bytes(), one);
+        assert_eq!(sys.mapped_entries(), 1);
+        assert!(sys.contains("x"));
+        // Unparking returns the ciphertext and releases its bytes.
+        let back = sys.remove("x").expect("parked");
+        assert_eq!(back, ct);
+        assert_eq!(sys.dram_used_bytes(), 0);
+        assert_eq!(sys.mapped_entries(), 0);
+        assert!(!sys.contains("x"));
+        assert!(sys.remove("x").is_none());
     }
 
     #[test]

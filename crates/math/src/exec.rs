@@ -24,11 +24,12 @@
 //! [`Evaluator`]: ../../heax_ckks/eval/struct.Evaluator.html
 //! [`HeaxAccelerator`]: ../../heax_core/accel/struct.HeaxAccelerator.html
 
+use std::any::Any;
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// A backend that executes an indexed task over `0..count`.
@@ -116,6 +117,27 @@ struct Shared {
     finished: AtomicUsize,
     /// Whether any invocation of the current job panicked.
     panicked: AtomicBool,
+    /// The first caught panic payload of the current job, re-raised on
+    /// the submitting thread so `dispatch` panics with the original
+    /// message rather than a generic wrapper.
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Shared {
+    /// Locks the shared state, shrugging off poisoning: the state is a
+    /// plain job/epoch counter protected against torn updates by the
+    /// lock itself, with no multi-step invariant a panicking thread
+    /// could leave half-applied — so a panic elsewhere must not turn
+    /// every later dispatch into a confusing poisoned-lock panic.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Waits on a condvar, recovering a poisoned guard the same way as
+/// [`Shared::lock_state`].
+fn wait<'m>(cv: &Condvar, guard: MutexGuard<'m, State>) -> MutexGuard<'m, State> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A persistent, hand-rolled scoped thread pool over `std::thread`.
@@ -130,8 +152,11 @@ struct Shared {
 /// The pool is *scoped*: dispatched closures may borrow from the
 /// submitting stack frame, because `dispatch` does not return until every
 /// worker has left the job. Panics inside the task are caught on the
-/// worker, recorded, and re-raised on the submitting thread once the
-/// dispatch completes.
+/// worker and the first original payload is re-raised on the submitting
+/// thread once the dispatch completes; the pool's internal locks recover
+/// from poisoning (the guarded state is a plain job counter), so one
+/// panicking closure never turns later dispatches into poisoned-lock
+/// panics.
 pub struct ThreadPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -164,6 +189,7 @@ impl ThreadPool {
             next: AtomicUsize::new(0),
             finished: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            payload: Mutex::new(None),
         });
         let workers = (1..lanes)
             .map(|i| {
@@ -190,13 +216,23 @@ fn run_indices(shared: &Shared, task: &(dyn Fn(usize) + Sync + '_), count: usize
         if i >= count {
             break;
         }
-        if panic::catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+        if let Err(p) = panic::catch_unwind(AssertUnwindSafe(|| task(i))) {
+            // Keep the first payload; concurrent lanes may panic too, but
+            // only one original cause is re-raised on the submitter.
+            let mut slot = shared
+                .payload
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+            drop(slot);
             shared.panicked.store(true, Ordering::Relaxed);
         }
         if shared.finished.fetch_add(1, Ordering::AcqRel) + 1 == count {
             // Wake the submitter; take the lock so the notification cannot
             // slip between its condition check and its wait.
-            let _guard = shared.state.lock().unwrap();
+            let _guard = shared.lock_state();
             shared.done_cv.notify_all();
         }
     }
@@ -206,7 +242,7 @@ fn worker_loop(shared: &Shared) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.lock_state();
             loop {
                 if st.shutdown {
                     return;
@@ -220,7 +256,7 @@ fn worker_loop(shared: &Shared) {
                     // The job was already retired by the submitter; keep
                     // waiting for the next epoch.
                 }
-                st = shared.work_cv.wait(st).unwrap();
+                st = wait(&shared.work_cv, st);
             }
         };
         // SAFETY: the submitter blocks until `active` drops back to zero,
@@ -229,7 +265,7 @@ fn worker_loop(shared: &Shared) {
         IN_DISPATCH.with(|f| f.set(true));
         run_indices(shared, task, job.count);
         IN_DISPATCH.with(|f| f.set(false));
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.lock_state();
         st.active -= 1;
         if st.active == 0 {
             shared.done_cv.notify_all();
@@ -254,14 +290,18 @@ impl Executor for ThreadPool {
         }
         let shared = &*self.shared;
         {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.lock_state();
             while st.job.is_some() {
                 // Another thread's job is in flight; queue behind it.
-                st = shared.done_cv.wait(st).unwrap();
+                st = wait(&shared.done_cv, st);
             }
             shared.next.store(0, Ordering::Relaxed);
             shared.finished.store(0, Ordering::Relaxed);
             shared.panicked.store(false, Ordering::Relaxed);
+            *shared
+                .payload
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = None;
             // SAFETY: lifetime erasure only; this `dispatch` call blocks
             // until no worker holds the pointer, so the closure outlives
             // every dereference.
@@ -281,18 +321,29 @@ impl Executor for ThreadPool {
         // Wait until every index ran *and* every worker has left the job
         // (a worker may still hold the job's task pointer after the last
         // index completes).
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.lock_state();
         while shared.finished.load(Ordering::Acquire) < count || st.active > 0 {
-            st = shared.done_cv.wait(st).unwrap();
+            st = wait(&shared.done_cv, st);
         }
-        // Read the panic flag before releasing the job slot: a queued
-        // submitter resets it as soon as it publishes the next job.
+        // Read the panic flag and take the payload before releasing the
+        // job slot: a queued submitter resets both as soon as it
+        // publishes the next job.
         let panicked = shared.panicked.load(Ordering::Relaxed);
+        let payload = shared
+            .payload
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
         st.job = None;
         shared.done_cv.notify_all(); // release the slot to queued submitters
         drop(st);
         if panicked {
-            panic!("heax exec: task panicked during parallel dispatch");
+            // Re-raise the original panic (once, on the submitter) so the
+            // caller sees the real cause, not a pool-internal wrapper.
+            match payload {
+                Some(p) => panic::resume_unwind(p),
+                None => panic!("heax exec: task panicked during parallel dispatch"),
+            }
         }
     }
 }
@@ -300,7 +351,7 @@ impl Executor for ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = self.shared.lock_state();
             st.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -693,6 +744,42 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panic_payload_is_propagated_verbatim() {
+        let pool = ThreadPool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(8, &|i| {
+                if i == 2 {
+                    panic::panic_any("original-cause");
+                }
+            });
+        }));
+        let payload = result.expect_err("dispatch must re-raise");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("original-cause"),
+            "the submitter must see the task's own payload, not a wrapper"
+        );
+        // A later job is clean: no stale payload, no poisoned locks.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(8, &|i| {
+                if i == 5 {
+                    panic::panic_any(format!("second cause: {i}"));
+                }
+            });
+        }));
+        let payload = result.expect_err("second dispatch must re-raise too");
+        assert_eq!(
+            payload.downcast_ref::<String>().map(String::as_str),
+            Some("second cause: 5")
+        );
+        let hits = AtomicU64::new(0);
+        pool.dispatch(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
     }
 
     #[test]

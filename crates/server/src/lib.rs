@@ -1,0 +1,80 @@
+//! # heax-server
+//!
+//! The serving layer of the HEAX reproduction — the paper's Figure 7
+//! deployment promoted from an example into a subsystem. A host
+//! receives serialized ciphertexts and evaluation keys from many
+//! clients over a framed, versioned wire protocol
+//! ([`wire`]), caches each session's keys with their Shoup tables
+//! rebuilt **once** ([`session`]), batches queued requests so shared
+//! work is amortized — one hoisted decomposition per rotated
+//! ciphertext, one reusable key-switch scratch, limbs dispatched
+//! through the `HEAX_THREADS` executor — and answers every failure
+//! with a structured error frame instead of dropping the session
+//! ([`server`]). Per-op and per-session counters surface as a
+//! [`ServerStats`] snapshot ([`metrics`]).
+//!
+//! The engine is transport-agnostic: frames in, frames out. Wrap it in
+//! TCP, RPC, or drive it inline as the tests, examples, and the
+//! `bench_server` snapshot do.
+//!
+//! ```
+//! use heax_ckks::serialize::{
+//!     deserialize_ciphertext, serialize_ciphertext, serialize_galois_keys,
+//! };
+//! use heax_ckks::{
+//!     CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, GaloisKeys, ParamSet,
+//!     PublicKey, SecretKey,
+//! };
+//! use heax_hw::board::Board;
+//! use heax_server::wire::client::{self, Reply};
+//! use heax_server::HeaxServer;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Client: keys, one encrypted vector, all serialized for the wire.
+//! let ctx = CkksContext::new(CkksParams::from_set(ParamSet::SetA)?)?;
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let sk = SecretKey::generate(&ctx, &mut rng);
+//! let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+//! let gks = GaloisKeys::generate(&ctx, &sk, &[1], &mut rng);
+//! let enc = CkksEncoder::new(&ctx);
+//! let ct = Encryptor::new(&ctx, &pk).encrypt(
+//!     &enc.encode_real(&[1.0, 2.0, 3.0], ctx.params().scale(), ctx.max_level())?,
+//!     &mut rng,
+//! )?;
+//!
+//! // Server: open a session, register keys once, rotate over the wire.
+//! let mut server = HeaxServer::new(&ctx, Board::stratix10())?;
+//! let reply = server.handle_frame(&client::open_session()).unwrap();
+//! let (session, _, _) = client::parse_reply(&reply)?;
+//! server.handle_frame(&client::register_galois_keys(
+//!     session,
+//!     &serialize_galois_keys(&gks),
+//! ));
+//! assert!(server
+//!     .handle_frame(&client::rotate(session, 1, &serialize_ciphertext(&ct), 1))
+//!     .is_none()); // queued for the batch
+//! let replies = server.flush();
+//! let (_, _, reply) = client::parse_reply(&replies[0])?;
+//! let Reply::Ciphertext(bytes) = reply else { panic!("expected a result") };
+//! let rotated = deserialize_ciphertext(&bytes, &ctx)?;
+//! let vals = enc.decode_real(&Decryptor::new(&ctx, &sk).decrypt(&rotated)?)?;
+//! assert!((vals[0] - 2.0).abs() < 0.05); // slot 0 now holds old slot 1
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod metrics;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use error::{ErrorCode, ServerError};
+pub use metrics::{OpStats, ServerStats, SessionStats};
+pub use server::HeaxServer;
+pub use session::SessionRegistry;
+pub use wire::{MessageKind, OpCode};

@@ -1,0 +1,590 @@
+//! The multi-session server: frame intake, work queue, and the batch
+//! scheduler that amortizes shared work across a flush.
+//!
+//! ## Serving model
+//!
+//! [`HeaxServer`] is a synchronous byte-in/byte-out engine, deliberately
+//! free of I/O so any transport (TCP, RPC, a test harness, a bench
+//! loop) can drive it:
+//!
+//! * [`HeaxServer::handle_frame`] ingests one client frame. Control
+//!   frames (session open/close, key registration) are answered
+//!   immediately; request frames are validated, decoded, and queued.
+//! * [`HeaxServer::flush`] drains the queue as **one batch**, returning
+//!   a response frame per queued request in submission order.
+//!
+//! ## Batching semantics
+//!
+//! Within a flush, rotation requests of one session that target the
+//! same input ciphertext are fused into a single hoisted
+//! [`Evaluator::rotate_many`] call: the input's RNS decomposition is
+//! computed once and every requested step reuses it, so `t` rotations
+//! cost one decomposition plus `t` cheap accumulation passes. A fused
+//! group executes at the queue position of its *first* member and
+//! resolves its input there; a `park_as` that overwrites a handle the
+//! group reads closes the group, so rotations submitted after the
+//! write start a fresh group and observe the new value — in-order
+//! semantics hold even across handle reuse. Results decrypt to the
+//! same values as sequential rotations (hoisting is decrypt-equal,
+//! not bit-equal).
+//! All other requests execute individually, in order, against the
+//! server's shared evaluator — whose key-switch scratch and the
+//! sessions' Shoup-ready cached keys are themselves cross-request
+//! amortizations.
+//!
+//! Results can be **parked** in modeled board DRAM ([`HeaxSystem`]'s
+//! Figure 7 memory map) instead of shipping back: a request with
+//! `park_as` stores its output under a session-scoped handle that later
+//! requests reference as an operand, avoiding the serialize → ship →
+//! deserialize round trip between dependent steps. Parked operands are
+//! released when their session closes.
+//!
+//! ## Failure containment
+//!
+//! Every failure is answered with a structured error frame carrying an
+//! [`ErrorCode`](crate::error::ErrorCode); neither the session nor the
+//! server is ever torn down by hostile or malformed input.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use heax_ckks::galois::galois_elt_from_step;
+use heax_ckks::serialize::{
+    deserialize_ciphertext, deserialize_galois_keys, deserialize_relin_key,
+    serialize_ciphertext_into,
+};
+use heax_ckks::{Ciphertext, CkksContext, Evaluator};
+use heax_core::{HeaxAccelerator, HeaxSystem};
+use heax_hw::board::Board;
+use heax_math::exec::Executor;
+
+use crate::error::ServerError;
+use crate::metrics::{Metrics, ServerStats, SessionStats};
+use crate::session::SessionRegistry;
+use crate::wire::{self, Frame, MessageKind, OpCode, ReplyBody, WireOperand};
+
+/// A decoded, validated request waiting for the next flush.
+#[derive(Debug)]
+struct Pending {
+    session: u64,
+    request: u64,
+    op: OpCode,
+    step: i64,
+    park_as: Option<String>,
+    operands: Vec<Operand>,
+}
+
+/// A resolved-at-submit operand: inline ciphertexts are deserialized
+/// (and validated against the context) when the request frame arrives,
+/// parked handles are looked up lazily at execution time.
+#[derive(Debug)]
+enum Operand {
+    Inline(Ciphertext),
+    Parked(String),
+}
+
+impl Operand {
+    /// Whether two operands denote the same input for rotation fusion.
+    fn same_input(&self, other: &Operand) -> bool {
+        match (self, other) {
+            (Operand::Parked(a), Operand::Parked(b)) => a == b,
+            (Operand::Inline(a), Operand::Inline(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// The multi-session HEAX server (see the module docs for the serving
+/// model).
+#[derive(Debug)]
+pub struct HeaxServer<'a> {
+    ctx: &'a CkksContext,
+    eval: Evaluator<'a>,
+    system: HeaxSystem<'a>,
+    sessions: SessionRegistry,
+    queue: VecDeque<Pending>,
+    metrics: Metrics,
+    scratch_out: Vec<u8>,
+}
+
+impl<'a> HeaxServer<'a> {
+    /// Builds a server around the given board for a paper parameter-set
+    /// context (ring degree 4096/8192/16384).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Core`] if the accelerator cannot be derived for
+    /// the context (non-paper ring degree — use
+    /// [`HeaxServer::with_system`] for custom rings).
+    pub fn new(ctx: &'a CkksContext, board: Board) -> Result<Self, ServerError> {
+        let accel = HeaxAccelerator::new(ctx, board)?;
+        Ok(Self::with_system(ctx, HeaxSystem::new(accel)))
+    }
+
+    /// Builds a server around an explicit host+board system (small test
+    /// rings construct their accelerator via
+    /// [`HeaxAccelerator::with_arch`]).
+    pub fn with_system(ctx: &'a CkksContext, system: HeaxSystem<'a>) -> Self {
+        Self {
+            ctx,
+            eval: Evaluator::new(ctx),
+            system,
+            sessions: SessionRegistry::default(),
+            queue: VecDeque::new(),
+            metrics: Metrics::default(),
+            scratch_out: Vec::new(),
+        }
+    }
+
+    /// Builder option: pins the evaluation backend (default: the global
+    /// `HEAX_THREADS`-selected executor).
+    #[must_use]
+    pub fn with_executor(mut self, exec: Arc<dyn Executor>) -> Self {
+        self.eval = Evaluator::with_executor(self.ctx, exec);
+        self
+    }
+
+    /// The server's context.
+    pub fn context(&self) -> &CkksContext {
+        self.ctx
+    }
+
+    /// The host+board system holding parked results.
+    pub fn system(&self) -> &HeaxSystem<'a> {
+        &self.system
+    }
+
+    /// A parked result, if present (introspection/tests).
+    pub fn parked(&self, session: u64, name: &str) -> Option<&Ciphertext> {
+        self.system.load(&scoped(session, name))
+    }
+
+    /// Ingests one client frame.
+    ///
+    /// Control frames are answered immediately (`Some(reply)`); request
+    /// frames are queued for the next [`HeaxServer::flush`] and return
+    /// `None`. Any failure — including bytes that don't decode as a
+    /// frame at all — is answered with an error frame rather than by
+    /// dropping state.
+    pub fn handle_frame(&mut self, bytes: &[u8]) -> Option<Vec<u8>> {
+        self.metrics.frames_in += 1;
+        self.metrics.bytes_in += bytes.len() as u64;
+        let (session, request, outcome) = match wire::decode_frame(bytes) {
+            Ok(frame) => {
+                if let Ok(sess) = self.sessions.get_mut(frame.session) {
+                    sess.stats.bytes_in += bytes.len() as u64;
+                }
+                let (s, r) = (frame.session, frame.request);
+                (s, r, self.dispatch_control(frame))
+            }
+            Err(e) => (0, 0, Err(e)),
+        };
+        match outcome {
+            Ok(reply) => reply.inspect(|frame| self.note_out(session, frame)),
+            Err(e) => {
+                if matches!(e, ServerError::Malformed { .. }) {
+                    self.metrics.decode_errors += 1;
+                }
+                if let Ok(sess) = self.sessions.get_mut(session) {
+                    sess.stats.errors += 1;
+                }
+                Some(self.error_frame(session, request, &e))
+            }
+        }
+    }
+
+    /// Routes one decoded frame; `Ok(None)` means "queued".
+    fn dispatch_control(&mut self, frame: Frame<'_>) -> Result<Option<Vec<u8>>, ServerError> {
+        match frame.kind {
+            MessageKind::OpenSession => {
+                let id = self.sessions.open();
+                Ok(Some(wire::encode_frame(
+                    MessageKind::SessionOpened,
+                    id,
+                    frame.request,
+                    &[],
+                )))
+            }
+            MessageKind::RegisterRelinKey => {
+                // Session first: key parsing (a Shoup-table rebuild) is
+                // exactly the cost a bogus session id must not be able
+                // to bill the server for.
+                self.sessions.get(frame.session)?;
+                // Deserialize (rebuilding Shoup tables) once; every later
+                // request of this session hits the cache.
+                let rlk = deserialize_relin_key(frame.payload, self.ctx)?;
+                self.sessions.get_mut(frame.session)?.rlk = Some(rlk);
+                Ok(Some(wire::encode_frame(
+                    MessageKind::KeyRegistered,
+                    frame.session,
+                    frame.request,
+                    &[],
+                )))
+            }
+            MessageKind::RegisterGaloisKeys => {
+                self.sessions.get(frame.session)?;
+                let gks = deserialize_galois_keys(frame.payload, self.ctx)?;
+                self.sessions.get_mut(frame.session)?.gks = Some(gks);
+                Ok(Some(wire::encode_frame(
+                    MessageKind::KeyRegistered,
+                    frame.session,
+                    frame.request,
+                    &[],
+                )))
+            }
+            MessageKind::Request => {
+                self.enqueue(frame)?;
+                Ok(None)
+            }
+            MessageKind::CloseSession => {
+                let closed = self.sessions.close(frame.session)?;
+                for name in &closed.parked {
+                    self.system.remove(&scoped(frame.session, name));
+                }
+                Ok(Some(wire::encode_frame(
+                    MessageKind::SessionClosed,
+                    frame.session,
+                    frame.request,
+                    &[],
+                )))
+            }
+            // Server→client kinds bounced back at us.
+            _ => Err(ServerError::Unsupported {
+                reason: format!("{:?} is not a client message", frame.kind),
+            }),
+        }
+    }
+
+    /// Validates and queues one request frame.
+    fn enqueue(&mut self, frame: Frame<'_>) -> Result<(), ServerError> {
+        // The session must exist before any payload work.
+        self.sessions.get(frame.session)?;
+        let req = wire::decode_request(frame.payload)?;
+        let mut operands = Vec::with_capacity(req.operands.len());
+        for operand in &req.operands {
+            operands.push(match operand {
+                // Inline ciphertexts are decoded (and validated against
+                // the context) at intake, so a malformed operand fails
+                // here with a structured error instead of poisoning the
+                // batch.
+                WireOperand::Inline(bytes) => {
+                    Operand::Inline(deserialize_ciphertext(bytes, self.ctx)?)
+                }
+                WireOperand::Parked(name) => Operand::Parked((*name).to_string()),
+            });
+        }
+        let sess = self.sessions.get_mut(frame.session)?;
+        sess.stats.requests += 1;
+        self.queue.push_back(Pending {
+            session: frame.session,
+            request: frame.request,
+            op: req.op,
+            step: req.step,
+            park_as: req.park_as.map(str::to_string),
+            operands,
+        });
+        self.metrics.queue_high_water = self.metrics.queue_high_water.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Requests currently waiting for a flush.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Executes every queued request as one batch and returns a response
+    /// frame per request, in submission order.
+    pub fn flush(&mut self) -> Vec<Vec<u8>> {
+        let items: Vec<Pending> = self.queue.drain(..).collect();
+        if items.is_empty() {
+            return Vec::new();
+        }
+        self.metrics.batches += 1;
+        self.metrics.batched_requests += items.len() as u64;
+
+        // Fusion plan: rotation requests sharing (session, input) form a
+        // group keyed by its first member's index. A group resolves its
+        // input once, at the first member's queue position — so a later
+        // `park_as` that overwrites a handle the group reads must CLOSE
+        // the group: rotations submitted after the write start a fresh
+        // group and see the new value, preserving in-order semantics.
+        struct RotGroup {
+            session: u64,
+            first: usize,
+            members: Vec<usize>,
+            open: bool,
+        }
+        let mut groups: Vec<RotGroup> = Vec::new();
+        for (idx, it) in items.iter().enumerate() {
+            if it.op == OpCode::Rotate {
+                let found = groups.iter_mut().find(|g| {
+                    g.open
+                        && g.session == it.session
+                        && items[g.first].operands[0].same_input(&it.operands[0])
+                });
+                match found {
+                    Some(g) => g.members.push(idx),
+                    None => groups.push(RotGroup {
+                        session: it.session,
+                        first: idx,
+                        members: vec![idx],
+                        open: true,
+                    }),
+                }
+            }
+            if let Some(written) = &it.park_as {
+                for g in groups.iter_mut().filter(|g| g.session == it.session) {
+                    if matches!(&items[g.first].operands[0], Operand::Parked(n) if n == written) {
+                        g.open = false;
+                    }
+                }
+            }
+        }
+
+        let mut results: Vec<Option<Result<Ciphertext, ServerError>>> =
+            (0..items.len()).map(|_| None).collect();
+        let mut replies = Vec::with_capacity(items.len());
+        for idx in 0..items.len() {
+            // Execute (a fused group executes when its first member is
+            // reached and pre-fills every member's slot).
+            if results[idx].is_none() {
+                let start = Instant::now();
+                let group = items[idx].op == OpCode::Rotate;
+                if group {
+                    let members = groups
+                        .iter()
+                        .find(|g| g.first == idx)
+                        .map(|g| g.members.clone())
+                        .unwrap_or_else(|| vec![idx]);
+                    self.exec_rotate_group(&items, &members, &mut results);
+                    let stats = self.metrics.op_mut(OpCode::Rotate);
+                    stats.requests += members.len() as u64;
+                    stats.busy_us += start.elapsed().as_secs_f64() * 1e6;
+                } else {
+                    let outcome = self.exec_single(&items[idx]);
+                    let stats = self.metrics.op_mut(items[idx].op);
+                    stats.requests += 1;
+                    stats.busy_us += start.elapsed().as_secs_f64() * 1e6;
+                    results[idx] = Some(outcome);
+                }
+            }
+            // Park or serialize, then frame the reply. Parking happens
+            // here — at the request's queue position — so a handle is
+            // visible to every later request in the same flush.
+            let it = &items[idx];
+            let outcome = results[idx].take().expect("slot filled by executor");
+            let frame = match self.finish_request(it, outcome) {
+                Ok(frame) => {
+                    self.note_out(it.session, &frame);
+                    frame
+                }
+                Err(e) => {
+                    self.metrics.op_mut(it.op).errors += 1;
+                    if let Ok(sess) = self.sessions.get_mut(it.session) {
+                        sess.stats.errors += 1;
+                    }
+                    self.error_frame(it.session, it.request, &e)
+                }
+            };
+            replies.push(frame);
+        }
+        replies
+    }
+
+    /// Parks or serializes one successful result into a complete
+    /// response frame (written in one pass — the result bytes are
+    /// copied exactly once).
+    fn finish_request(
+        &mut self,
+        it: &Pending,
+        outcome: Result<Ciphertext, ServerError>,
+    ) -> Result<Vec<u8>, ServerError> {
+        let ct = outcome?;
+        match &it.park_as {
+            Some(name) => {
+                // Session before store: a request can outlive its session
+                // (closed between submit and flush), and parking for a
+                // dead session would orphan the DRAM entry forever —
+                // session ids are never reused, so nothing could release
+                // it afterwards.
+                self.sessions.get(it.session)?;
+                self.system.store(&scoped(it.session, name), ct)?;
+                let sess = self.sessions.get_mut(it.session)?;
+                if !sess.parked.contains(name) {
+                    sess.parked.push(name.clone());
+                }
+                Ok(wire::encode_response_frame(
+                    it.session,
+                    it.request,
+                    &ReplyBody::Parked(name),
+                ))
+            }
+            None => {
+                serialize_ciphertext_into(&ct, &mut self.scratch_out);
+                Ok(wire::encode_response_frame(
+                    it.session,
+                    it.request,
+                    &ReplyBody::Ciphertext(&self.scratch_out),
+                ))
+            }
+        }
+    }
+
+    /// Resolves an operand to a borrowed ciphertext.
+    fn resolve<'s>(
+        &'s self,
+        session: u64,
+        operand: &'s Operand,
+    ) -> Result<&'s Ciphertext, ServerError> {
+        match operand {
+            Operand::Inline(ct) => Ok(ct),
+            Operand::Parked(name) => self
+                .system
+                .load(&scoped(session, name))
+                .ok_or_else(|| ServerError::UnknownHandle { name: name.clone() }),
+        }
+    }
+
+    /// Executes one non-fused request.
+    fn exec_single(&self, it: &Pending) -> Result<Ciphertext, ServerError> {
+        let a = self.resolve(it.session, &it.operands[0])?;
+        match it.op {
+            OpCode::Add => {
+                let b = self.resolve(it.session, &it.operands[1])?;
+                Ok(self.eval.add(a, b)?)
+            }
+            OpCode::MultiplyRelin => {
+                let b = self.resolve(it.session, &it.operands[1])?;
+                let rlk = self.sessions.get(it.session)?.relin_key()?;
+                Ok(self.eval.multiply_relin(a, b, rlk)?)
+            }
+            OpCode::SquareRelin => {
+                let rlk = self.sessions.get(it.session)?.relin_key()?;
+                Ok(self.eval.multiply_relin(a, a, rlk)?)
+            }
+            OpCode::Rescale => Ok(self.eval.rescale(a)?),
+            OpCode::Rotate => {
+                let gks = self.sessions.get(it.session)?.galois_keys(it.step)?;
+                Ok(self.eval.rotate(a, it.step, gks)?)
+            }
+            OpCode::Fetch => Ok(a.clone()),
+        }
+    }
+
+    /// Executes a fused rotation group: one hoisted decomposition, one
+    /// accumulation pass per member with a key. Members lacking a key
+    /// fail individually; the rest still share the hoisting.
+    fn exec_rotate_group(
+        &mut self,
+        items: &[Pending],
+        members: &[usize],
+        results: &mut [Option<Result<Ciphertext, ServerError>>],
+    ) {
+        let fail_all = |results: &mut [Option<Result<Ciphertext, ServerError>>],
+                        e: &ServerError| {
+            for &i in members {
+                results[i] = Some(Err(e.clone()));
+            }
+        };
+        let first = &items[members[0]];
+        let sess = match self.sessions.get(first.session) {
+            Ok(s) => s,
+            Err(e) => return fail_all(results, &e),
+        };
+        let gks = match sess.galois_keys(first.step) {
+            Ok(g) => g,
+            Err(e) => return fail_all(results, &e),
+        };
+        let input = match self.resolve(first.session, &first.operands[0]) {
+            Ok(ct) => ct,
+            Err(e) => return fail_all(results, &e),
+        };
+        // Partition members by key availability so one uncovered step
+        // doesn't sink its siblings.
+        let mut covered: Vec<usize> = Vec::with_capacity(members.len());
+        let mut steps: Vec<i64> = Vec::with_capacity(members.len());
+        for &i in members {
+            let step = items[i].step;
+            if gks.key(galois_elt_from_step(step, self.ctx.n())).is_ok() {
+                covered.push(i);
+                steps.push(step);
+            } else {
+                results[i] = Some(Err(ServerError::MissingGaloisKey { step }));
+            }
+        }
+        match covered.len() {
+            0 => {}
+            // A lone rotation takes the plain path (bit-identical to the
+            // unbatched server; hoisting would only add noise headroom).
+            1 => {
+                results[covered[0]] =
+                    Some(self.eval.rotate(input, steps[0], gks).map_err(Into::into));
+            }
+            _ => match self.eval.rotate_many(input, &steps, gks) {
+                Ok(outputs) => {
+                    self.metrics.hoisted_groups += 1;
+                    self.metrics.hoisted_rotations += covered.len() as u64;
+                    for (&i, ct) in covered.iter().zip(outputs) {
+                        results[i] = Some(Ok(ct));
+                    }
+                }
+                Err(e) => {
+                    let e = ServerError::from(e);
+                    for &i in &covered {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                }
+            },
+        }
+    }
+
+    /// Builds (and accounts) an error frame.
+    fn error_frame(&mut self, session: u64, request: u64, e: &ServerError) -> Vec<u8> {
+        let payload = wire::encode_error(e.code(), &e.to_string());
+        let frame = wire::encode_frame(MessageKind::Error, session, request, &payload);
+        self.note_out(session, &frame);
+        frame
+    }
+
+    /// Outbound frame accounting.
+    fn note_out(&mut self, session: u64, frame: &[u8]) {
+        self.metrics.frames_out += 1;
+        self.metrics.bytes_out += frame.len() as u64;
+        if let Ok(sess) = self.sessions.get_mut(session) {
+            sess.stats.bytes_out += frame.len() as u64;
+        }
+    }
+
+    /// A point-in-time snapshot of every server metric.
+    pub fn stats(&self) -> ServerStats {
+        let mut per_session: Vec<(u64, SessionStats)> =
+            self.sessions.iter().map(|(id, s)| (id, s.stats)).collect();
+        per_session.sort_unstable_by_key(|&(id, _)| id);
+        ServerStats {
+            sessions_open: self.sessions.len(),
+            sessions_total: self.sessions.opened_total(),
+            frames_in: self.metrics.frames_in,
+            frames_out: self.metrics.frames_out,
+            bytes_in: self.metrics.bytes_in,
+            bytes_out: self.metrics.bytes_out,
+            decode_errors: self.metrics.decode_errors,
+            queue_depth: self.queue.len(),
+            queue_high_water: self.metrics.queue_high_water,
+            batches: self.metrics.batches,
+            batched_requests: self.metrics.batched_requests,
+            hoisted_groups: self.metrics.hoisted_groups,
+            hoisted_rotations: self.metrics.hoisted_rotations,
+            parked_entries: self.system.mapped_entries(),
+            parked_bytes: self.system.dram_used_bytes(),
+            per_op: self.metrics.per_op_snapshot(),
+            per_session,
+        }
+    }
+}
+
+/// Session-scoped park handle, so sessions can never read or clobber
+/// each other's DRAM-resident results.
+fn scoped(session: u64, name: &str) -> String {
+    format!("s{session}/{name}")
+}

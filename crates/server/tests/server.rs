@@ -1,0 +1,605 @@
+//! End-to-end tests of the serving layer on a small ring: full wire
+//! round trips, batch-vs-sequential equivalence, parked intermediates,
+//! session isolation, and failure containment.
+
+use heax_ckks::serialize::{
+    deserialize_ciphertext, serialize_ciphertext, serialize_galois_keys, serialize_relin_key,
+};
+use heax_ckks::{
+    Ciphertext, CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys,
+    PublicKey, RelinKey, SecretKey,
+};
+use heax_core::{HeaxAccelerator, HeaxSystem};
+use heax_hw::board::Board;
+use heax_hw::keyswitch_pipeline::KeySwitchArch;
+use heax_hw::mult_dataflow::MultModuleConfig;
+use heax_hw::ntt_dataflow::NttModuleConfig;
+use heax_server::wire::client::{self, Reply};
+use heax_server::wire::{OpCode, Request, WireOperand};
+use heax_server::{ErrorCode, HeaxServer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ctx() -> CkksContext {
+    let chain = heax_math::primes::generate_prime_chain(&[40, 40, 40, 41], 64).unwrap();
+    CkksContext::new(CkksParams::new(64, chain, (1u64 << 32) as f64).unwrap()).unwrap()
+}
+
+fn system(ctx: &CkksContext) -> HeaxSystem<'_> {
+    let accel = HeaxAccelerator::with_arch(
+        ctx,
+        Board::stratix10(),
+        KeySwitchArch {
+            n: 64,
+            k: 3,
+            nc_intt0: 4,
+            m0: 2,
+            nc_ntt0: 4,
+            num_dyad: 3,
+            nc_dyad: 4,
+            nc_intt1: 2,
+            nc_ntt1: 4,
+            nc_ms: 2,
+        },
+        NttModuleConfig::new(64, 4).unwrap(),
+        MultModuleConfig::new(64, 8).unwrap(),
+    )
+    .unwrap();
+    HeaxSystem::new(accel)
+}
+
+/// One simulated client: its own keys and a sample ciphertext.
+struct Client {
+    sk: SecretKey,
+    rlk: RelinKey,
+    gks: GaloisKeys,
+    ct: Ciphertext,
+    vals: Vec<f64>,
+}
+
+fn client(ctx: &CkksContext, seed: u64, steps: &[i64]) -> Client {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = SecretKey::generate(ctx, &mut rng);
+    let pk = PublicKey::generate(ctx, &sk, &mut rng);
+    let rlk = RelinKey::generate(ctx, &sk, &mut rng);
+    let gks = GaloisKeys::generate(ctx, &sk, steps, &mut rng);
+    let enc = CkksEncoder::new(ctx);
+    let vals: Vec<f64> = (0..ctx.n() / 2)
+        .map(|i| (i as f64) * 0.25 - 2.0 + seed as f64 * 0.125)
+        .collect();
+    let ct = Encryptor::new(ctx, &pk)
+        .encrypt(
+            &enc.encode_real(&vals, ctx.params().scale(), ctx.max_level())
+                .unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    Client {
+        sk,
+        rlk,
+        gks,
+        ct,
+        vals,
+    }
+}
+
+fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Vec<f64> {
+    let enc = CkksEncoder::new(ctx);
+    enc.decode_real(&Decryptor::new(ctx, sk).decrypt(ct).unwrap())
+        .unwrap()
+}
+
+/// Opens a session and returns its id.
+fn open(server: &mut HeaxServer<'_>) -> u64 {
+    let reply = server.handle_frame(&client::open_session()).unwrap();
+    let (session, _, reply) = client::parse_reply(&reply).unwrap();
+    assert_eq!(reply, Reply::SessionOpened);
+    assert_ne!(session, 0);
+    session
+}
+
+/// Registers both keys, asserting acks.
+fn register_keys(server: &mut HeaxServer<'_>, session: u64, c: &Client) {
+    for frame in [
+        client::register_relin_key(session, &serialize_relin_key(&c.rlk)),
+        client::register_galois_keys(session, &serialize_galois_keys(&c.gks)),
+    ] {
+        let reply = server.handle_frame(&frame).unwrap();
+        let (_, _, reply) = client::parse_reply(&reply).unwrap();
+        assert_eq!(reply, Reply::KeyRegistered);
+    }
+}
+
+/// Submits a request frame, asserting it was queued (no immediate
+/// reply).
+fn submit(server: &mut HeaxServer<'_>, session: u64, request_id: u64, req: &Request<'_>) {
+    assert!(
+        server
+            .handle_frame(&client::request(session, request_id, req))
+            .is_none(),
+        "request must queue, not answer immediately"
+    );
+}
+
+fn expect_ciphertext(ctx: &CkksContext, frame: &[u8]) -> Ciphertext {
+    let (_, _, reply) = client::parse_reply(frame).unwrap();
+    match reply {
+        Reply::Ciphertext(bytes) => deserialize_ciphertext(&bytes, ctx).unwrap(),
+        other => panic!("expected a ciphertext reply, got {other:?}"),
+    }
+}
+
+fn expect_error(frame: &[u8]) -> (ErrorCode, String) {
+    let (_, _, reply) = client::parse_reply(frame).unwrap();
+    match reply {
+        Reply::Error { code, message } => (code, message),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn parked_pipeline_computes_x2_plus_rotated_x2() {
+    let ctx = ctx();
+    let c = client(&ctx, 1, &[1]);
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx));
+    let session = open(&mut server);
+    register_keys(&mut server, session, &c);
+
+    let wire_ct = serialize_ciphertext(&c.ct);
+    // x² parked, rot(x², 1) parked, then x² + rot(x², 1) shipped back —
+    // the seed example's pipeline, now through the wire protocol.
+    submit(
+        &mut server,
+        session,
+        1,
+        &Request {
+            op: OpCode::SquareRelin,
+            step: 0,
+            park_as: Some("x2"),
+            operands: vec![WireOperand::Inline(&wire_ct)],
+        },
+    );
+    submit(
+        &mut server,
+        session,
+        2,
+        &Request {
+            op: OpCode::Rotate,
+            step: 1,
+            park_as: Some("x2r"),
+            operands: vec![WireOperand::Parked("x2")],
+        },
+    );
+    submit(
+        &mut server,
+        session,
+        3,
+        &Request {
+            op: OpCode::Add,
+            step: 0,
+            park_as: None,
+            operands: vec![WireOperand::Parked("x2"), WireOperand::Parked("x2r")],
+        },
+    );
+    assert_eq!(server.queue_depth(), 3);
+    let replies = server.flush();
+    assert_eq!(replies.len(), 3);
+    let (_, _, r1) = client::parse_reply(&replies[0]).unwrap();
+    assert_eq!(r1, Reply::Parked("x2".into()));
+    let (_, _, r2) = client::parse_reply(&replies[1]).unwrap();
+    assert_eq!(r2, Reply::Parked("x2r".into()));
+    let result = expect_ciphertext(&ctx, &replies[2]);
+
+    let got = decrypt(&ctx, &c.sk, &result);
+    let slots = ctx.n() / 2;
+    for (i, g) in got.iter().enumerate().take(4) {
+        let want = c.vals[i] * c.vals[i] + c.vals[(i + 1) % slots] * c.vals[(i + 1) % slots];
+        assert!((g - want).abs() < 0.05, "slot {i}: {g} vs {want}");
+    }
+
+    // Parked intermediates live in modeled board DRAM until close.
+    assert!(server.parked(session, "x2").is_some());
+    let stats = server.stats();
+    assert_eq!(stats.parked_entries, 2);
+    assert!(stats.parked_bytes > 0);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.batched_requests, 3);
+
+    // Closing the session releases its parked operands.
+    let reply = server
+        .handle_frame(&client::close_session(session))
+        .unwrap();
+    let (_, _, reply) = client::parse_reply(&reply).unwrap();
+    assert_eq!(reply, Reply::SessionClosed);
+    assert_eq!(server.stats().parked_entries, 0);
+    assert_eq!(server.system().dram_used_bytes(), 0);
+
+    // The session is gone; later frames get a structured error.
+    let reply = server
+        .handle_frame(&client::rotate(session, 9, &wire_ct, 1))
+        .unwrap();
+    assert_eq!(expect_error(&reply).0, ErrorCode::UnknownSession);
+}
+
+#[test]
+fn batched_rotations_decrypt_like_sequential_and_hoist() {
+    let ctx = ctx();
+    let steps = [1i64, -1, 2, 5];
+    let clients: Vec<Client> = (0..2).map(|i| client(&ctx, 10 + i, &steps)).collect();
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx));
+    let eval = Evaluator::new(&ctx);
+
+    let mut sessions = Vec::new();
+    for c in &clients {
+        let session = open(&mut server);
+        register_keys(&mut server, session, c);
+        sessions.push(session);
+    }
+    // Interleave the two clients' rotation requests so grouping has to
+    // untangle them.
+    let wires: Vec<Vec<u8>> = clients
+        .iter()
+        .map(|c| serialize_ciphertext(&c.ct))
+        .collect();
+    let mut req_id = 0u64;
+    for &step in &steps {
+        for (session, wire) in sessions.iter().zip(&wires) {
+            req_id += 1;
+            submit(
+                &mut server,
+                *session,
+                req_id,
+                &Request {
+                    op: OpCode::Rotate,
+                    step,
+                    park_as: None,
+                    operands: vec![WireOperand::Inline(wire)],
+                },
+            );
+        }
+    }
+    let replies = server.flush();
+    assert_eq!(replies.len(), steps.len() * clients.len());
+
+    // Every batched output decrypts to the same values as a sequential
+    // rotate of the same input (hoisting is decrypt-equal).
+    for (i, reply) in replies.iter().enumerate() {
+        let which = i % clients.len();
+        let step = steps[i / clients.len()];
+        let c = &clients[which];
+        let got = decrypt(&ctx, &c.sk, &expect_ciphertext(&ctx, reply));
+        let seq = eval.rotate(&c.ct, step, &c.gks).unwrap();
+        let want = decrypt(&ctx, &c.sk, &seq);
+        for (slot, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-2,
+                "client {which} step {step} slot {slot}: {g} vs {w}"
+            );
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.hoisted_groups, clients.len() as u64);
+    assert_eq!(
+        stats.hoisted_rotations,
+        (steps.len() * clients.len()) as u64
+    );
+    assert_eq!(
+        stats.batch_occupancy(),
+        (steps.len() * clients.len()) as f64
+    );
+    assert_eq!(stats.op(OpCode::Rotate).requests, 8);
+    assert_eq!(stats.op(OpCode::Rotate).errors, 0);
+    assert_eq!(stats.queue_high_water, 8);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn hostile_input_gets_structured_errors_session_survives() {
+    let ctx = ctx();
+    let c = client(&ctx, 20, &[1]);
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx));
+    let session = open(&mut server);
+    register_keys(&mut server, session, &c);
+    let wire_ct = serialize_ciphertext(&c.ct);
+
+    // Raw garbage is answered, not dropped.
+    let reply = server.handle_frame(b"not a frame at all").unwrap();
+    assert_eq!(expect_error(&reply).0, ErrorCode::Malformed);
+
+    // A ciphertext with a NaN scale is rejected at intake with a
+    // structured error (the serialize-layer hardening, surfaced over
+    // the wire).
+    let mut nan_ct = wire_ct.clone();
+    let scale_off = 4 + 1 + 1 + 8;
+    nan_ct[scale_off..scale_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+    let reply = server
+        .handle_frame(&client::rotate(session, 2, &nan_ct, 1))
+        .unwrap();
+    assert_eq!(expect_error(&reply).0, ErrorCode::Crypto);
+
+    // A request for an unknown parked handle fails structurally too.
+    submit(
+        &mut server,
+        session,
+        3,
+        &Request {
+            op: OpCode::Fetch,
+            step: 0,
+            park_as: None,
+            operands: vec![WireOperand::Parked("never-parked")],
+        },
+    );
+    let replies = server.flush();
+    assert_eq!(expect_error(&replies[0]).0, ErrorCode::UnknownHandle);
+
+    // The session still serves correct work afterwards.
+    submit(
+        &mut server,
+        session,
+        4,
+        &Request {
+            op: OpCode::Rotate,
+            step: 1,
+            park_as: None,
+            operands: vec![WireOperand::Inline(&wire_ct)],
+        },
+    );
+    let replies = server.flush();
+    let got = decrypt(&ctx, &c.sk, &expect_ciphertext(&ctx, &replies[0]));
+    assert!((got[0] - c.vals[1]).abs() < 1e-2);
+
+    let stats = server.stats();
+    assert_eq!(stats.decode_errors, 1);
+    assert!(stats.per_session[0].1.errors >= 2);
+}
+
+#[test]
+fn uncovered_steps_fail_individually_inside_a_fused_group() {
+    let ctx = ctx();
+    // Keys for steps 1 and 2 only; step 3 is requested but uncovered.
+    let c = client(&ctx, 30, &[1, 2]);
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx));
+    let session = open(&mut server);
+    register_keys(&mut server, session, &c);
+    let wire_ct = serialize_ciphertext(&c.ct);
+    for (id, step) in [(1u64, 1i64), (2, 3), (3, 2)] {
+        submit(
+            &mut server,
+            session,
+            id,
+            &Request {
+                op: OpCode::Rotate,
+                step,
+                park_as: None,
+                operands: vec![WireOperand::Inline(&wire_ct)],
+            },
+        );
+    }
+    let replies = server.flush();
+    let r1 = decrypt(&ctx, &c.sk, &expect_ciphertext(&ctx, &replies[0]));
+    assert!((r1[0] - c.vals[1]).abs() < 1e-2);
+    let (code, message) = expect_error(&replies[1]);
+    assert_eq!(code, ErrorCode::MissingKey);
+    assert!(
+        message.contains('3'),
+        "message should name the step: {message}"
+    );
+    let r3 = decrypt(&ctx, &c.sk, &expect_ciphertext(&ctx, &replies[2]));
+    assert!((r3[0] - c.vals[2]).abs() < 1e-2);
+
+    // The two covered steps still shared one hoisted decomposition.
+    let stats = server.stats();
+    assert_eq!(stats.hoisted_groups, 1);
+    assert_eq!(stats.hoisted_rotations, 2);
+    assert_eq!(stats.op(OpCode::Rotate).errors, 1);
+}
+
+#[test]
+fn parked_handles_are_session_scoped() {
+    let ctx = ctx();
+    let a = client(&ctx, 40, &[1]);
+    let b = client(&ctx, 41, &[1]);
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx));
+    let sess_a = open(&mut server);
+    register_keys(&mut server, sess_a, &a);
+    let sess_b = open(&mut server);
+    register_keys(&mut server, sess_b, &b);
+
+    let wire_a = serialize_ciphertext(&a.ct);
+    submit(
+        &mut server,
+        sess_a,
+        1,
+        &Request {
+            op: OpCode::Fetch,
+            step: 0,
+            park_as: Some("shared-name"),
+            operands: vec![WireOperand::Inline(&wire_a)],
+        },
+    );
+    server.flush();
+
+    // Session B cannot see A's handle, even by the same name.
+    submit(
+        &mut server,
+        sess_b,
+        2,
+        &Request {
+            op: OpCode::Fetch,
+            step: 0,
+            park_as: None,
+            operands: vec![WireOperand::Parked("shared-name")],
+        },
+    );
+    let replies = server.flush();
+    assert_eq!(expect_error(&replies[0]).0, ErrorCode::UnknownHandle);
+
+    // Session A can.
+    submit(
+        &mut server,
+        sess_a,
+        3,
+        &Request {
+            op: OpCode::Fetch,
+            step: 0,
+            park_as: None,
+            operands: vec![WireOperand::Parked("shared-name")],
+        },
+    );
+    let replies = server.flush();
+    let fetched = expect_ciphertext(&ctx, &replies[0]);
+    assert_eq!(fetched, a.ct);
+}
+
+#[test]
+fn park_after_session_close_cannot_orphan_dram() {
+    let ctx = ctx();
+    let c = client(&ctx, 60, &[1]);
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx));
+    let session = open(&mut server);
+    register_keys(&mut server, session, &c);
+    let wire_ct = serialize_ciphertext(&c.ct);
+    // Queue a parking request, then close the session BEFORE flushing.
+    submit(
+        &mut server,
+        session,
+        1,
+        &Request {
+            op: OpCode::Fetch,
+            step: 0,
+            park_as: Some("orphan"),
+            operands: vec![WireOperand::Inline(&wire_ct)],
+        },
+    );
+    let reply = server
+        .handle_frame(&client::close_session(session))
+        .unwrap();
+    let (_, _, reply) = client::parse_reply(&reply).unwrap();
+    assert_eq!(reply, Reply::SessionClosed);
+    // The flush must answer with a structured error and must NOT leave
+    // an unreleasable entry in modeled DRAM (session ids are never
+    // reused, so nothing could ever free it).
+    let replies = server.flush();
+    assert_eq!(expect_error(&replies[0]).0, ErrorCode::UnknownSession);
+    assert_eq!(server.stats().parked_entries, 0);
+    assert_eq!(server.system().dram_used_bytes(), 0);
+}
+
+#[test]
+fn reparking_a_handle_splits_the_rotation_group() {
+    let ctx = ctx();
+    let c = client(&ctx, 61, &[1]);
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx));
+    let session = open(&mut server);
+    register_keys(&mut server, session, &c);
+    let eval = Evaluator::new(&ctx);
+
+    // Park the original ciphertext as "x", and prepare a distinct
+    // second ciphertext (x + x) to repark under the same name.
+    let wire_ct = serialize_ciphertext(&c.ct);
+    submit(
+        &mut server,
+        session,
+        1,
+        &Request {
+            op: OpCode::Fetch,
+            step: 0,
+            park_as: Some("x"),
+            operands: vec![WireOperand::Inline(&wire_ct)],
+        },
+    );
+    server.flush();
+
+    // One flush: rotate old "x", overwrite "x" with x+x, rotate "x"
+    // again. In-order semantics demand the second rotation see x+x.
+    submit(
+        &mut server,
+        session,
+        2,
+        &Request {
+            op: OpCode::Rotate,
+            step: 1,
+            park_as: None,
+            operands: vec![WireOperand::Parked("x")],
+        },
+    );
+    submit(
+        &mut server,
+        session,
+        3,
+        &Request {
+            op: OpCode::Add,
+            step: 0,
+            park_as: Some("x"),
+            operands: vec![WireOperand::Parked("x"), WireOperand::Parked("x")],
+        },
+    );
+    submit(
+        &mut server,
+        session,
+        4,
+        &Request {
+            op: OpCode::Rotate,
+            step: 1,
+            park_as: None,
+            operands: vec![WireOperand::Parked("x")],
+        },
+    );
+    let replies = server.flush();
+    assert_eq!(replies.len(), 3);
+
+    let rot_old = expect_ciphertext(&ctx, &replies[0]);
+    let rot_new = expect_ciphertext(&ctx, &replies[2]);
+    let want_old = decrypt(&ctx, &c.sk, &eval.rotate(&c.ct, 1, &c.gks).unwrap());
+    let doubled = eval.add(&c.ct, &c.ct).unwrap();
+    let want_new = decrypt(&ctx, &c.sk, &eval.rotate(&doubled, 1, &c.gks).unwrap());
+    let got_old = decrypt(&ctx, &c.sk, &rot_old);
+    let got_new = decrypt(&ctx, &c.sk, &rot_new);
+    for slot in 0..4 {
+        assert!(
+            (got_old[slot] - want_old[slot]).abs() < 1e-2,
+            "pre-write rotation must see the old value"
+        );
+        assert!(
+            (got_new[slot] - want_new[slot]).abs() < 1e-2,
+            "post-write rotation must see the REPARKED value, got {} want {}",
+            got_new[slot],
+            want_new[slot]
+        );
+    }
+    // The write split the would-be group: no fusion happened.
+    assert_eq!(server.stats().hoisted_groups, 0);
+}
+
+#[test]
+fn missing_relin_key_is_a_structured_error() {
+    let ctx = ctx();
+    let c = client(&ctx, 50, &[1]);
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx));
+    let session = open(&mut server);
+    // Only Galois keys registered — square must fail with MissingKey.
+    let reply = server
+        .handle_frame(&client::register_galois_keys(
+            session,
+            &serialize_galois_keys(&c.gks),
+        ))
+        .unwrap();
+    let (_, _, reply) = client::parse_reply(&reply).unwrap();
+    assert_eq!(reply, Reply::KeyRegistered);
+
+    let wire_ct = serialize_ciphertext(&c.ct);
+    submit(
+        &mut server,
+        session,
+        1,
+        &Request {
+            op: OpCode::SquareRelin,
+            step: 0,
+            park_as: None,
+            operands: vec![WireOperand::Inline(&wire_ct)],
+        },
+    );
+    let replies = server.flush();
+    assert_eq!(expect_error(&replies[0]).0, ErrorCode::MissingKey);
+}

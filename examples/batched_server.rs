@@ -1,24 +1,26 @@
-//! Batched encrypted service — the Figure 7 deployment story end to end:
-//! the client serializes ciphertexts and evaluation keys over the wire;
-//! the server deserializes, runs a batch of accelerated operations,
-//! parks intermediates in board DRAM via the memory map (no PCIe round
-//! trips between steps), and ships the serialized result back.
+//! Batched encrypted service — the Figure 7 deployment story end to
+//! end, now served by the real `heax::server` subsystem: the client
+//! serializes its ciphertext and evaluation keys, opens a session over
+//! the framed wire protocol, registers its keys once (Shoup tables
+//! rebuilt once, not per request), and submits a pipeline whose
+//! intermediates stay **parked in board DRAM** between steps — no
+//! serialize/ship/deserialize round trip until the final result.
 //!
 //! ```text
 //! cargo run --release --example batched_server
 //! ```
 
-use heax::accel::accel::HeaxAccelerator;
-use heax::accel::system::{HeaxSystem, OperandLocation};
 use heax::ckks::serialize::{
-    deserialize_ciphertext, deserialize_galois_keys, deserialize_relin_key, serialize_ciphertext,
-    serialize_galois_keys, serialize_relin_key,
+    deserialize_ciphertext, serialize_ciphertext, serialize_galois_keys, serialize_relin_key,
 };
 use heax::ckks::{
-    CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys, ParamSet,
-    PublicKey, RelinKey, SecretKey,
+    CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, GaloisKeys, ParamSet, PublicKey,
+    RelinKey, SecretKey,
 };
 use heax::hw::board::Board;
+use heax::server::wire::client::{self, Reply};
+use heax::server::wire::{OpCode, Request, WireOperand};
+use heax::server::HeaxServer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -52,44 +54,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Server (host CPU + modeled FPGA board) -------------------------
     let server_ctx = CkksContext::new(CkksParams::from_set(ParamSet::SetA)?)?;
-    let ct_in = deserialize_ciphertext(&wire_ct, &server_ctx)?;
-    let rlk_in = deserialize_relin_key(&wire_rlk, &server_ctx)?;
-    let gks_in = deserialize_galois_keys(&wire_gks, &server_ctx)?;
+    let mut server = HeaxServer::new(&server_ctx, Board::stratix10())?;
 
-    let accel = HeaxAccelerator::new(&server_ctx, Board::stratix10())?;
-    let mut system = HeaxSystem::new(HeaxAccelerator::new(&server_ctx, Board::stratix10())?);
+    // Session + keys: deserialization (and Shoup-table rebuild) happens
+    // exactly once, at registration.
+    let reply = server.handle_frame(&client::open_session()).unwrap();
+    let (session, _, _) = client::parse_reply(&reply)?;
+    for frame in [
+        client::register_relin_key(session, &wire_rlk),
+        client::register_galois_keys(session, &wire_gks),
+    ] {
+        let reply = server.handle_frame(&frame).unwrap();
+        assert_eq!(client::parse_reply(&reply)?.2, Reply::KeyRegistered);
+    }
 
-    // Step 1: x² (through the hardware model), parked in DRAM.
-    let (squared, rep1) = accel.multiply_relin(&ct_in, &ct_in, &rlk_in)?;
-    system.store("x_squared", squared.clone())?;
+    // The pipeline: x² parked, rot(x², 1) parked, x² + rot(x², 1) back.
+    // Intermediates reference DRAM-parked handles — no PCIe-sized wire
+    // payloads between steps.
+    let requests = [
+        Request {
+            op: OpCode::SquareRelin,
+            step: 0,
+            park_as: Some("x2"),
+            operands: vec![WireOperand::Inline(&wire_ct)],
+        },
+        Request {
+            op: OpCode::Rotate,
+            step: 1,
+            park_as: Some("x2_rot"),
+            operands: vec![WireOperand::Parked("x2")],
+        },
+        Request {
+            op: OpCode::Add,
+            step: 0,
+            park_as: None,
+            operands: vec![WireOperand::Parked("x2"), WireOperand::Parked("x2_rot")],
+        },
+    ];
+    for (i, req) in requests.iter().enumerate() {
+        assert!(server
+            .handle_frame(&client::request(session, i as u64 + 1, req))
+            .is_none());
+    }
+    let replies = server.flush();
 
-    // Step 2: rotate the DRAM-resident result (no PCIe re-upload).
-    let parked = system.load("x_squared").expect("just stored").clone();
-    let (rotated, rep2) = accel.rotate(&parked, 1, &gks_in)?;
-    system.store("x_squared_rot", rotated.clone())?;
-
-    // Step 3: combine: x² + rot(x², 1), still on the board.
-    let eval = Evaluator::new(&server_ctx);
-    let combined = eval.add(&parked, &rotated)?;
-
+    let stats = server.stats();
     println!(
-        "server: mult+relin {} cycles, rotate {} cycles; {} DRAM-mapped entries ({} KiB)",
-        rep1.interval_cycles,
-        rep2.interval_cycles,
-        system.mapped_entries(),
-        system.dram_used_bytes() / 1024
+        "server: {} requests in 1 flush, {} parked intermediates ({} KiB board DRAM), \
+         queue high-water {}",
+        stats.batched_requests,
+        stats.parked_entries,
+        stats.parked_bytes / 1024,
+        stats.queue_high_water,
     );
-    let batch = system.batch(&rep2, 256, OperandLocation::BoardDram);
-    println!(
-        "batch of 256 DRAM-resident rotations: {:.2} ms wall -> {:.0} ops/s",
-        batch.total_us / 1e3,
-        batch.ops_per_sec
-    );
-
-    let wire_result = serialize_ciphertext(&combined);
 
     // ---- Client again ----------------------------------------------------
-    let result = deserialize_ciphertext(&wire_result, &ctx)?;
+    let (_, _, last) = client::parse_reply(replies.last().expect("three replies"))?;
+    let Reply::Ciphertext(result_bytes) = last else {
+        panic!("expected the final sum inline, got {last:?}");
+    };
+    println!(
+        "server -> client: result {} KiB (intermediates never crossed the wire)",
+        result_bytes.len() / 1024
+    );
+    let result = deserialize_ciphertext(&result_bytes, &ctx)?;
     let got = encoder.decode_real(&Decryptor::new(&ctx, &sk).decrypt(&result)?)?;
     println!("\nclient receives x^2 + rot(x^2, 1):");
     for i in 0..4 {
@@ -97,6 +125,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  slot {i}: {:.4} (plaintext {:.4})", got[i], want);
         assert!((got[i] - want).abs() < 0.05);
     }
-    println!("round trip through serialization + hardware model verified ✓");
+    println!("round trip through the wire protocol + server subsystem verified ✓");
     Ok(())
 }

@@ -7,7 +7,10 @@
 //! * [`ckks`] — the full RNS-CKKS scheme (CPU baseline / golden model);
 //! * [`hw`] — FPGA component models and cycle-accurate dataflow simulators;
 //! * [`accel`] — the HEAX accelerator (architecture derivation, resource
-//!   and performance models, functional execution).
+//!   and performance models, functional execution);
+//! * [`server`] — the multi-session serving layer (framed wire protocol,
+//!   session key cache, batch scheduler with hoisted rotations, metrics —
+//!   the paper's Figure 7 deployment).
 //!
 //! The accelerator layer is re-exported as `accel` (not `core`, its crate
 //! name) so the facade never shadows the built-in `core` prelude path.
@@ -37,5 +40,6 @@ pub use heax_ckks as ckks;
 pub use heax_core as accel;
 pub use heax_hw as hw;
 pub use heax_math as math;
+pub use heax_server as server;
 
 pub use heax_math::exec;
