@@ -1,0 +1,99 @@
+//! Board-level pipeline snapshot (PR 5): models the 8-client × 8-rotation
+//! server workload on the board-level pipeline scheduler
+//! (`heax::hw::scheduler`) at 1/2/4 HEAX cores for every paper design
+//! point, in both return modes (results over PCIe vs parked in board
+//! DRAM), and writes the machine-readable `BENCH_pipeline.json`
+//! snapshot (path overridable via `HEAX_BENCH_PIPELINE_JSON`).
+//!
+//! Before any model figure is reported, the same workload is served
+//! functionally through a `HeaxServer` with the board model attached
+//! and verified decrypt-identical to the one-request-at-a-time loop —
+//! the model must ride along without perturbing results.
+//!
+//! The committed snapshot at the repo root is the acceptance artifact:
+//! the modeled 4-core board must show ≥ 2× the 1-core model on the
+//! wire-return workload at Set-C (the paper's DRAM-streamed flagship
+//! set).
+//!
+//! Usage: `bench_pipeline [budget_ms]` — the model is deterministic and
+//! ignores the budget; the argument is accepted for harness uniformity.
+
+use heax_bench::server::{CLIENTS, ROTATIONS_PER_CLIENT};
+use heax_bench::{bench_json, fmt_ops, fmt_speedup, pipeline, render_table};
+
+fn main() {
+    // Functional leg first: decrypt-identical or nothing.
+    eprintln!(
+        "serving the {CLIENTS}-client workload through the modeled backend (n = {}) ...",
+        pipeline::FUNCTIONAL_N
+    );
+    let functional = pipeline::functional_pass(4);
+    println!(
+        "functional pass: {} requests served with the 4-core board model attached, \
+         verified decrypt-identical to the sequential loop \
+         (modeled {:.1} us -> {} req/s, bound: {})",
+        functional.modeled_requests,
+        functional.modeled_us(),
+        fmt_ops(functional.modeled_requests_per_sec()),
+        functional.last_bound,
+    );
+
+    let records = pipeline::model_suite();
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.set.clone(),
+                r.n.to_string(),
+                r.cores.to_string(),
+                if r.parked { "dram" } else { "wire" }.to_string(),
+                fmt_ops(r.requests_per_sec),
+                fmt_speedup(r.speedup_vs_1core),
+                r.bound.clone(),
+                format!("{:.0}%", 100.0 * r.core_utilization),
+                r.fifo_high_water.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "modeled board pipeline: 8 clients x 8 hoisted rotations",
+            &[
+                "set",
+                "n",
+                "cores",
+                "return",
+                "req/s",
+                "vs 1-core",
+                "bound",
+                "core-util",
+                "fifo-hw"
+            ],
+            &rows,
+        )
+    );
+
+    let bar = pipeline::acceptance_speedup(&records);
+    println!(
+        "\nacceptance bar (Set-C wire-return, 4-core >= 2x 1-core): {} ({:.2}x)",
+        if bar >= 2.0 { "met" } else { "NOT met" },
+        bar
+    );
+
+    let path = bench_json::path_from_env("HEAX_BENCH_PIPELINE_JSON", "BENCH_pipeline.json");
+    let json = bench_json::render_pipeline(
+        &records,
+        CLIENTS,
+        ROTATIONS_PER_CLIENT,
+        pipeline::FUNCTIONAL_N,
+        &functional,
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -22,6 +22,7 @@ fn main() {
         "ablation_modules",
         "ablation_ntt",
         "bench_parallel",
+        "bench_pipeline",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

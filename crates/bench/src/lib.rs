@@ -667,6 +667,119 @@ pub mod server {
     }
 }
 
+/// Workloads and helpers for the board-level pipeline scheduler
+/// (`bench_pipeline`): the 8-client × 8-rotation server workload
+/// modeled on 1/2/4 HEAX cores at every paper design point (wire
+/// return and DRAM-parked variants), plus a functional leg that serves
+/// the same workload through a modeled-backend [`heax_server::HeaxServer`]
+/// and verifies it decrypt-identical to the one-request-at-a-time loop
+/// before reporting any model figure.
+pub mod pipeline {
+    use heax_ckks::{Evaluator, ParamSet};
+    use heax_core::arch::DesignPoint;
+    use heax_core::perf::estimate_stream;
+    use heax_hw::board::Board;
+    use heax_hw::scheduler::BoardOp;
+    use heax_server::ModeledBoardStats;
+
+    use crate::bench_json::PipeRecord;
+    use crate::server as srv;
+
+    /// Modeled HEAX core counts swept by the suite.
+    pub const CORES: [usize; 3] = [1, 2, 4];
+
+    /// Ring degree of the decrypt-verified functional leg.
+    pub const FUNCTIONAL_N: usize = 4096;
+
+    /// The 8-client × 8-rotation server workload as a board op stream:
+    /// one hoisted rotation group per client. `parked` keeps results in
+    /// board DRAM (the `park_as` serving pattern) instead of shipping
+    /// them back over PCIe.
+    pub fn workload(parked: bool) -> Vec<BoardOp> {
+        let group = BoardOp::rotate_many(srv::ROTATIONS_PER_CLIENT);
+        let group = if parked {
+            group.with_parked_output()
+        } else {
+            group
+        };
+        vec![group; srv::CLIENTS]
+    }
+
+    /// Functional leg: serves the 8-client workload
+    /// (n = [`FUNCTIONAL_N`]) through a `HeaxServer` with the board
+    /// model attached at `cores` modeled cores, asserts the batched
+    /// results decrypt-identical to the sequential loop, and returns
+    /// the server's accumulated model stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batched results disagree with the sequential loop
+    /// or the model observed a different request count.
+    pub fn functional_pass(cores: usize) -> ModeledBoardStats {
+        let w = srv::prepare(FUNCTIONAL_N);
+        let eval = Evaluator::new(&w.ctx);
+        let (server, sessions) = srv::build_server(&w);
+        let mut server = server.with_board_model(cores).expect("board model");
+        let seq = srv::sequential_pass(&w, &eval);
+        let batched = srv::batched_pass(&mut server, &sessions, &w);
+        srv::verify_equivalent(&w, &seq, &batched);
+        let modeled = server.stats().modeled.expect("model enabled");
+        assert_eq!(
+            modeled.modeled_requests,
+            w.requests_per_pass() as u64,
+            "the board model must observe every served request"
+        );
+        modeled
+    }
+
+    /// The deterministic model sweep: every paper design point × core
+    /// count × return mode, with speedups relative to the 1-core model
+    /// of the same (set, mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics on scheduler configuration errors (cannot happen for the
+    /// paper design points).
+    pub fn model_suite() -> Vec<PipeRecord> {
+        let mut records = Vec::new();
+        for set in ParamSet::ALL {
+            let dp = DesignPoint::derive(Board::stratix10(), set).expect("paper row");
+            for parked in [false, true] {
+                let ops = workload(parked);
+                let base = estimate_stream(&dp, &ops, 1)
+                    .expect("schedule")
+                    .requests_per_sec();
+                for cores in CORES {
+                    let r = estimate_stream(&dp, &ops, cores).expect("schedule");
+                    records.push(PipeRecord {
+                        set: set.to_string(),
+                        n: set.n(),
+                        cores,
+                        parked,
+                        requests_per_sec: r.requests_per_sec(),
+                        speedup_vs_1core: r.requests_per_sec() / base,
+                        bound: r.bound().to_string(),
+                        core_utilization: r.core_utilization(),
+                        fifo_high_water: r.fifo_high_water,
+                    });
+                }
+            }
+        }
+        records
+    }
+
+    /// The acceptance figure: modeled 4-core over 1-core speedup on the
+    /// wire-return workload at the paper's DRAM-streamed flagship set
+    /// (Set-C).
+    pub fn acceptance_speedup(records: &[PipeRecord]) -> f64 {
+        records
+            .iter()
+            .find(|r| r.n == 16384 && r.cores == 4 && !r.parked)
+            .map(|r| r.speedup_vs_1core)
+            .unwrap_or(0.0)
+    }
+}
+
 /// Machine-readable perf snapshots (`BENCH_parallel.json`): a tiny
 /// hand-rolled JSON emitter (the workspace is offline; no serde) so the
 /// BENCH trajectory can be diffed and plotted across PRs and archived
@@ -820,6 +933,78 @@ pub mod bench_json {
         }
     }
 
+    /// One modeled board-pipeline point (`BENCH_pipeline.json`).
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct PipeRecord {
+        /// Paper parameter set label (`Set-A` …).
+        pub set: String,
+        /// Ring degree.
+        pub n: usize,
+        /// Modeled HEAX cores.
+        pub cores: usize,
+        /// Whether results stay parked in board DRAM (no PCIe return).
+        pub parked: bool,
+        /// Modeled sustained request throughput.
+        pub requests_per_sec: f64,
+        /// Throughput relative to the 1-core model of the same
+        /// (set, mode).
+        pub speedup_vs_1core: f64,
+        /// What binds the makespan (`compute` / `pcie-in` / `pcie-out`).
+        pub bound: String,
+        /// Fraction of core-cycles spent computing.
+        pub core_utilization: f64,
+        /// Deepest any core's input FIFO got (operation buffers).
+        pub fifo_high_water: u64,
+    }
+
+    /// Renders the pipeline snapshot document (schema
+    /// `heax-bench-pipeline/1`). `functional` carries the modeled stats
+    /// of the decrypt-verified serving pass, which ran at ring degree
+    /// `functional_n`.
+    pub fn render_pipeline(
+        records: &[PipeRecord],
+        clients: usize,
+        rotations_per_client: usize,
+        functional_n: usize,
+        functional: &heax_server::ModeledBoardStats,
+    ) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"heax-bench-pipeline/1\",\n");
+        out.push_str(&format!("  \"clients\": {clients},\n"));
+        out.push_str(&format!(
+            "  \"rotations_per_client\": {rotations_per_client},\n"
+        ));
+        out.push_str(&format!(
+            "  \"functional\": {{\"n\": {functional_n}, \"cores\": {}, \
+             \"verified_decrypt_identical\": true, \"modeled_requests\": {}, \
+             \"modeled_requests_per_sec\": {:.3}}},\n",
+            functional.cores,
+            functional.modeled_requests,
+            functional.modeled_requests_per_sec(),
+        ));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"set\": \"{}\", \"n\": {}, \"cores\": {}, \"parked\": {}, \
+                 \"requests_per_sec\": {:.3}, \"speedup_vs_1core\": {:.3}, \
+                 \"bound\": \"{}\", \"core_utilization\": {:.3}, \
+                 \"fifo_high_water\": {}}}{}\n",
+                esc(&r.set),
+                r.n,
+                r.cores,
+                r.parked,
+                r.requests_per_sec,
+                r.speedup_vs_1core,
+                esc(&r.bound),
+                r.core_utilization,
+                r.fifo_high_water,
+                if i + 1 < records.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Renders the server snapshot document (schema
     /// `heax-bench-server/1`).
     pub fn render_server(
@@ -938,6 +1123,72 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn pipeline_json_renders_valid_shape() {
+        use bench_json::PipeRecord;
+        let records = vec![
+            PipeRecord {
+                set: "Set-C".into(),
+                n: 16384,
+                cores: 1,
+                parked: false,
+                requests_per_sec: 2500.0,
+                speedup_vs_1core: 1.0,
+                bound: "compute".into(),
+                core_utilization: 0.97,
+                fifo_high_water: 2,
+            },
+            PipeRecord {
+                set: "Set-C".into(),
+                n: 16384,
+                cores: 4,
+                parked: false,
+                requests_per_sec: 7200.0,
+                speedup_vs_1core: 2.88,
+                bound: "pcie-out".into(),
+                core_utilization: 0.72,
+                fifo_high_water: 2,
+            },
+        ];
+        let functional = heax_server::ModeledBoardStats {
+            cores: 4,
+            freq_mhz: 300.0,
+            modeled_requests: 64,
+            modeled_cycles: 100_000,
+            ..Default::default()
+        };
+        let json = bench_json::render_pipeline(&records, 8, 8, 16384, &functional);
+        assert!(json.contains("\"n\": 16384,"));
+        assert!(json.contains("\"schema\": \"heax-bench-pipeline/1\""));
+        assert!(json.contains("\"verified_decrypt_identical\": true"));
+        assert!(json.contains("\"speedup_vs_1core\": 2.880"));
+        assert!(json.contains("\"bound\": \"pcie-out\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn pipeline_model_suite_meets_the_acceptance_bar() {
+        // Deterministic model: the full sweep must show 4-core >= 2x
+        // 1-core on the wire-return 8-client workload at Set-C, and the
+        // parked variants must scale at least as well as wire return.
+        let records = pipeline::model_suite();
+        assert_eq!(records.len(), 3 * 2 * pipeline::CORES.len());
+        let bar = pipeline::acceptance_speedup(&records);
+        assert!(bar >= 2.0, "modeled 4-core speedup only {bar:.2}x");
+        for r in records.iter().filter(|r| r.cores == 1) {
+            assert!((r.speedup_vs_1core - 1.0).abs() < 1e-9);
+        }
+        for wire in records.iter().filter(|r| !r.parked) {
+            let parked = records
+                .iter()
+                .find(|p| p.parked && p.n == wire.n && p.cores == wire.cores)
+                .expect("parked twin");
+            assert!(parked.speedup_vs_1core >= wire.speedup_vs_1core - 1e-9);
+        }
     }
 
     #[test]

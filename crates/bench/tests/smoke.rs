@@ -52,6 +52,13 @@ fn run_binary(name: &str, path: &str) {
                     env!("CARGO_TARGET_TMPDIR")
                 ),
             )
+            .env(
+                "HEAX_BENCH_PIPELINE_JSON",
+                format!(
+                    "{}/BENCH_pipeline_smoke_{threads}.json",
+                    env!("CARGO_TARGET_TMPDIR")
+                ),
+            )
             .output()
             .unwrap_or_else(|e| panic!("failed to spawn {name} ({path}): {e}"));
         assert!(
@@ -98,6 +105,7 @@ smoke!(
     bench_parallel,
     bench_keyswitch,
     bench_server,
+    bench_pipeline,
     extension_scaling,
     noise_growth,
 );

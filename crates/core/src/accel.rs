@@ -151,6 +151,31 @@ impl<'a> HeaxAccelerator<'a> {
         &self.arch
     }
 
+    /// The NTT/INTT module configuration in use.
+    pub fn ntt_config(&self) -> &NttModuleConfig {
+        &self.ntt_config
+    }
+
+    /// The MULT module configuration in use.
+    pub fn mult_config(&self) -> &MultModuleConfig {
+        &self.mult_config
+    }
+
+    /// Board-level pipeline configuration for scheduling op streams
+    /// across `num_cores` replicas of this accelerator's architecture
+    /// (see [`heax_hw::scheduler`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`heax_hw::scheduler::PipelineConfig::new`] validation.
+    pub fn pipeline_config(
+        &self,
+        num_cores: usize,
+    ) -> Result<heax_hw::scheduler::PipelineConfig, CoreError> {
+        heax_hw::scheduler::PipelineConfig::new(&self.board, self.arch, self.mult_config, num_cores)
+            .map_err(CoreError::Hw)
+    }
+
     fn report(&self, op: HeaxOp, interval: u64, latency: u64, inw: u64, outw: u64) -> OpReport {
         OpReport {
             op,

@@ -27,6 +27,7 @@ use heax_hw::keyswitch_pipeline::KeySwitchArch;
 use heax_hw::mult_dataflow::MultModuleConfig;
 use heax_hw::ntt_dataflow::NttModuleConfig;
 use heax_hw::resources::Resources;
+use heax_hw::scheduler::PipelineConfig;
 use heax_hw::HwError;
 
 use crate::resources::{design_resources, KskPlacement};
@@ -178,6 +179,21 @@ impl DesignPoint {
     pub fn mult_config(&self) -> MultModuleConfig {
         MultModuleConfig::new(self.set.n(), standalone_mult_cores(&self.board))
             .expect("valid by construction")
+    }
+
+    /// Board-level pipeline configuration for this design point with
+    /// `num_cores` HEAX cores: key-switching keys stream from DRAM
+    /// exactly when [`KskPlacement::choose`] placed them off-chip
+    /// (Set-C), mirroring §5.1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineConfig::new`] validation.
+    pub fn pipeline_config(&self, num_cores: usize) -> Result<PipelineConfig, HwError> {
+        Ok(
+            PipelineConfig::new(&self.board, self.arch, self.mult_config(), num_cores)?
+                .with_ksk_in_dram(matches!(self.ksk_placement, KskPlacement::OffChipDram)),
+        )
     }
 
     /// Logic resources of one core type across the whole KeySwitch module

@@ -13,6 +13,8 @@
 
 use heax_ckks::params::ParamSet;
 use heax_hw::board::Board;
+use heax_hw::scheduler::{BoardOp, PipelineReport};
+use heax_hw::HwError;
 
 use crate::arch::DesignPoint;
 
@@ -77,6 +79,25 @@ pub fn estimate(dp: &DesignPoint, op: HeaxOp) -> PerfEstimate {
         ops_per_sec,
         op_us: 1e6 / ops_per_sec,
     }
+}
+
+/// Schedules a high-level op stream on the board-level pipeline of a
+/// design point with `num_cores` HEAX cores — the whole-machine
+/// counterpart of the per-op [`estimate`]: where `estimate` reads off
+/// one module's initiation interval, this plays a mixed stream through
+/// the [`heax_hw::scheduler`] with overlapped PCIe/DRAM transfers and
+/// returns the full [`PipelineReport`] (utilization, FIFO high-water,
+/// stall breakdown).
+///
+/// # Errors
+///
+/// Propagates configuration/stream validation from the scheduler.
+pub fn estimate_stream(
+    dp: &DesignPoint,
+    ops: &[BoardOp],
+    num_cores: usize,
+) -> Result<PipelineReport, HwError> {
+    dp.pipeline_config(num_cores)?.schedule_stream(ops)
 }
 
 /// The paper's published numbers for cross-checking (ops/second).
@@ -190,6 +211,45 @@ mod tests {
         let mr = estimate(&dp, HeaxOp::MultRelin).ops_per_sec
             / paper_cpu_ops_per_sec(ParamSet::SetA, HeaxOp::MultRelin);
         assert!((100.0..115.0).contains(&mr), "{mr:.1}");
+    }
+
+    #[test]
+    fn stream_estimate_consistent_with_per_op_interval() {
+        // One rotation's modeled compute occupancy is exactly the
+        // KeySwitch initiation interval the Table 8 estimate uses.
+        let dp = DesignPoint::derive(heax_hw::board::Board::stratix10(), ParamSet::SetB).unwrap();
+        let r = estimate_stream(
+            &dp,
+            &[BoardOp::new(heax_hw::scheduler::BoardOpKind::Rotate)],
+            1,
+        )
+        .unwrap();
+        let t = &r.ops[0];
+        assert_eq!(
+            t.compute.1 - t.compute.0,
+            estimate(&dp, HeaxOp::KeySwitch).cycles
+        );
+    }
+
+    #[test]
+    fn set_c_streams_keys_from_dram_and_scales_across_cores() {
+        // §5.1: only Set-C parks its keys off-chip; the derived pipeline
+        // config must reflect the placement, and the modeled 4-core
+        // board must clear 2x the 1-core rate on the 8-client workload.
+        let board = heax_hw::board::Board::stratix10();
+        assert!(
+            !DesignPoint::derive(board.clone(), ParamSet::SetA)
+                .unwrap()
+                .pipeline_config(1)
+                .unwrap()
+                .ksk_in_dram
+        );
+        let dp = DesignPoint::derive(board, ParamSet::SetC).unwrap();
+        assert!(dp.pipeline_config(1).unwrap().ksk_in_dram);
+        let ops = vec![BoardOp::rotate_many(8); 8];
+        let one = estimate_stream(&dp, &ops, 1).unwrap();
+        let four = estimate_stream(&dp, &ops, 4).unwrap();
+        assert!(four.requests_per_sec() / one.requests_per_sec() >= 2.0);
     }
 
     #[test]

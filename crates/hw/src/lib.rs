@@ -12,13 +12,44 @@
 //! * [`mult_dataflow`] — the MULT module simulator (Figure 1);
 //! * [`keyswitch_pipeline`] — the KeySwitch module pipeline scheduler
 //!   (Figures 5–6), reproducing the Table 8 initiation intervals;
-//! * [`xfer`] — PCIe and DRAM transfer models (Section 5).
+//! * [`xfer`] — PCIe and DRAM transfer models (Section 5);
+//! * [`scheduler`] — the board-level pipeline scheduler composing the
+//!   module models into multi-core schedules with overlapped PCIe/DRAM
+//!   transfers (Figure 7), reporting per-stage utilization and stalls.
 //!
 //! This crate is deliberately independent of the CKKS scheme: it moves raw
 //! residue polynomials. `heax-core` composes these models into a full
 //! accelerator and checks them against `heax-ckks`.
+//!
+//! ## Example: from one module's cycle count to a board schedule
+//!
+//! ```
+//! use heax_hw::board::Board;
+//! use heax_hw::keyswitch_pipeline::KeySwitchArch;
+//! use heax_hw::mult_dataflow::MultModuleConfig;
+//! use heax_hw::ntt_dataflow::NttModuleConfig;
+//! use heax_hw::scheduler::{BoardOp, PipelineConfig};
+//!
+//! # fn main() -> Result<(), heax_hw::HwError> {
+//! // A 16-core NTT module at n = 4096 sustains one transform per
+//! // n·log n / (2·nc) = 1536 cycles (Table 7).
+//! assert_eq!(NttModuleConfig::new(4096, 16)?.transform_cycles(), 1536);
+//!
+//! // The same formulas drive the board-level schedule: Set-A on
+//! // Stratix 10, two HEAX cores, four rotations.
+//! let arch = KeySwitchArch {
+//!     n: 4096, k: 2, nc_intt0: 16, m0: 2, nc_ntt0: 16,
+//!     num_dyad: 3, nc_dyad: 8, nc_intt1: 8, nc_ntt1: 16, nc_ms: 4,
+//! };
+//! let config = PipelineConfig::new(
+//!     &Board::stratix10(), arch, MultModuleConfig::new(4096, 16)?, 2)?;
+//! let report = config.schedule_stream(&[BoardOp::rotate_many(4)])?;
+//! assert_eq!(report.requests(), 4);
+//! # Ok(())
+//! # }
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod board;
 pub mod bram;
@@ -27,6 +58,7 @@ pub mod keyswitch_pipeline;
 pub mod mult_dataflow;
 pub mod ntt_dataflow;
 pub mod resources;
+pub mod scheduler;
 pub mod wordsize;
 pub mod xfer;
 

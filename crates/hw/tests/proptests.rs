@@ -142,4 +142,77 @@ proptest! {
         );
         prop_assert!(moduli_needed(bits, hi) <= moduli_needed(bits, lo));
     }
+
+    /// Board-level pipeline scheduler invariants under random op
+    /// streams, architectures, and core counts: per-core compute
+    /// exclusivity, DMA-channel exclusivity, stall/busy accounting
+    /// consistency, FIFO backpressure respected, and monotone
+    /// improvement when cores are added.
+    #[test]
+    fn board_scheduler_invariants(
+        arch in arb_arch(),
+        cores in 1usize..=4,
+        picks in prop::collection::vec(0usize..7, 1..12),
+    ) {
+        prop_assume!(arch.validate().is_ok());
+        use heax_hw::scheduler::{BoardOp, BoardOpKind, PipelineConfig};
+        let mult = heax_hw::mult_dataflow::MultModuleConfig::new(arch.n, 16).unwrap();
+        let board = heax_hw::board::Board::stratix10();
+        let ops: Vec<BoardOp> = picks.iter().map(|&p| match p {
+            0 => BoardOp::new(BoardOpKind::Multiply),
+            1 => BoardOp::new(BoardOpKind::Relinearize),
+            2 => BoardOp::new(BoardOpKind::Rotate),
+            3 => BoardOp::rotate_many(3),
+            4 => BoardOp::new(BoardOpKind::Rescale),
+            5 => BoardOp::new(BoardOpKind::Add),
+            _ => BoardOp::new(BoardOpKind::Fetch).with_parked_input(),
+        }).collect();
+        let cfg = PipelineConfig::new(&board, arch, mult, cores).unwrap();
+        let r = cfg.schedule_stream(&ops).unwrap();
+
+        // Every op scheduled, on a valid core, with sane spans.
+        prop_assert_eq!(r.ops.len(), ops.len());
+        for t in &r.ops {
+            prop_assert!(t.core < cores);
+            prop_assert!(t.xfer_in.1 >= t.xfer_in.0);
+            prop_assert!(t.compute.0 >= t.xfer_in.1);
+            prop_assert!(t.compute.1 >= t.compute.0);
+            prop_assert!(t.xfer_out.0 >= t.compute.1);
+            prop_assert!(t.xfer_out.1 >= t.xfer_out.0);
+        }
+        // Compute exclusivity per core.
+        for core in 0..cores {
+            let mut evs: Vec<_> = r.ops.iter().filter(|t| t.core == core).collect();
+            evs.sort_by_key(|t| t.compute.0);
+            for w in evs.windows(2) {
+                prop_assert!(w[1].compute.0 >= w[0].compute.1);
+            }
+        }
+        // DMA-channel exclusivity (nonzero transfers only).
+        for get in [
+            |t: &heax_hw::scheduler::OpTiming| t.xfer_in,
+            |t: &heax_hw::scheduler::OpTiming| t.xfer_out,
+        ] {
+            let mut evs: Vec<(u64, u64)> = r.ops.iter()
+                .map(get).filter(|&(s, e)| e > s).collect();
+            evs.sort();
+            for w in evs.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1, "DMA channel overlap");
+            }
+        }
+        // Accounting: core busy equals the compute spans; makespan
+        // bounds every resource; FIFO within the configured depth.
+        let span: u64 = r.ops.iter().map(|t| t.compute.1 - t.compute.0).sum();
+        prop_assert_eq!(r.core_busy(), span);
+        prop_assert!(r.core_busy() <= cores as u64 * r.total_cycles);
+        prop_assert!(r.fifo_high_water <= cfg.input_fifo_depth as u64);
+        prop_assert!((0.0..=1.0).contains(&r.core_utilization()));
+
+        // More cores never hurt the makespan.
+        if cores > 1 {
+            let one = PipelineConfig::new(&board, arch, mult, 1)
+                .unwrap().schedule_stream(&ops).unwrap();
+            prop_assert!(r.total_cycles <= one.total_cycles);
+        }
+    }
 }

@@ -17,6 +17,13 @@
 //! TCP, RPC, or drive it inline as the tests, examples, and the
 //! `bench_server` snapshot do.
 //!
+//! With [`HeaxServer::with_board_model`] the server also carries the
+//! board-level pipeline model of `heax-hw`: every flush's executed op
+//! stream (hoisted groups, parked operands and all) is replayed on a
+//! modeled multi-core HEAX board, so [`ServerStats`] reports the
+//! modeled cycle cost of the served traffic next to the measured wall
+//! time — without perturbing any functional result.
+//!
 //! ```
 //! use heax_ckks::serialize::{
 //!     deserialize_ciphertext, serialize_ciphertext, serialize_galois_keys,
@@ -65,7 +72,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod error;
 pub mod metrics;
@@ -74,7 +81,7 @@ pub mod session;
 pub mod wire;
 
 pub use error::{ErrorCode, ServerError};
-pub use metrics::{OpStats, ServerStats, SessionStats};
+pub use metrics::{ModeledBoardStats, OpStats, ServerStats, SessionStats};
 pub use server::HeaxServer;
 pub use session::SessionRegistry;
 pub use wire::{MessageKind, OpCode};

@@ -18,6 +18,10 @@ pub struct OpStats {
     /// Wall-clock µs spent executing this op (shared batch work is
     /// attributed to the op that triggered it).
     pub busy_us: f64,
+    /// Modeled board compute cycles this op occupied a HEAX core for
+    /// (0 unless the board model is enabled; hoisted-group cost is
+    /// attributed to the rotation op).
+    pub modeled_cycles: u64,
 }
 
 impl OpStats {
@@ -42,6 +46,65 @@ pub struct SessionStats {
     pub bytes_in: u64,
     /// Frame bytes sent to this session.
     pub bytes_out: u64,
+}
+
+/// Aggregated board-model figures for a server with the modeled
+/// backend enabled (see `HeaxServer::with_board_model`): every flush's
+/// op stream is scheduled on the board-level pipeline of
+/// [`heax_hw::scheduler`], and its cycle/occupancy outcome accumulates
+/// here.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ModeledBoardStats {
+    /// HEAX cores the model schedules across.
+    pub cores: usize,
+    /// Board clock in MHz (for converting cycles to time).
+    pub freq_mhz: f64,
+    /// Flushes that were modeled.
+    pub flushes: u64,
+    /// Board-level ops scheduled (a hoisted group is one op).
+    pub modeled_ops: u64,
+    /// Client requests those ops answered.
+    pub modeled_requests: u64,
+    /// Sum of per-flush makespans, in cycles.
+    pub modeled_cycles: u64,
+    /// Core compute busy cycles across all flushes.
+    pub core_busy_cycles: u64,
+    /// Deepest any core's input FIFO got, across all flushes.
+    pub fifo_high_water: u64,
+    /// Core idle cycles spent waiting on input transfers.
+    pub input_wait_cycles: u64,
+    /// Result cycles spent waiting on the board→host channel.
+    pub output_wait_cycles: u64,
+    /// Input-DMA cycles spent waiting on FIFO backpressure.
+    pub fifo_backpressure_cycles: u64,
+    /// What bound the most recent modeled flush
+    /// (`"compute"` / `"pcie-in"` / `"pcie-out"`; empty before any).
+    pub last_bound: &'static str,
+}
+
+impl ModeledBoardStats {
+    /// Modeled wall time across all flushes, microseconds.
+    pub fn modeled_us(&self) -> f64 {
+        self.modeled_cycles as f64 / self.freq_mhz
+    }
+
+    /// Modeled sustained request throughput across all flushes.
+    pub fn modeled_requests_per_sec(&self) -> f64 {
+        if self.modeled_cycles == 0 {
+            0.0
+        } else {
+            self.modeled_requests as f64 / (self.modeled_us() / 1e6)
+        }
+    }
+
+    /// Fraction of core-cycles spent computing across all flushes.
+    pub fn core_utilization(&self) -> f64 {
+        if self.modeled_cycles == 0 {
+            0.0
+        } else {
+            self.core_busy_cycles as f64 / (self.cores as u64 * self.modeled_cycles) as f64
+        }
+    }
 }
 
 /// A point-in-time snapshot of every server gauge and counter.
@@ -81,6 +144,9 @@ pub struct ServerStats {
     pub per_op: Vec<(&'static str, OpStats)>,
     /// Per-session counters as `(session_id, stats)`, sorted by id.
     pub per_session: Vec<(u64, SessionStats)>,
+    /// Board-model aggregates (`None` unless the server was built with
+    /// `with_board_model`).
+    pub modeled: Option<ModeledBoardStats>,
 }
 
 impl ServerStats {
@@ -137,6 +203,26 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn modeled_board_stats_helpers() {
+        let m = ModeledBoardStats {
+            cores: 4,
+            freq_mhz: 300.0,
+            flushes: 2,
+            modeled_ops: 8,
+            modeled_requests: 64,
+            modeled_cycles: 300_000,
+            core_busy_cycles: 600_000,
+            ..Default::default()
+        };
+        assert!((m.modeled_us() - 1000.0).abs() < 1e-9);
+        assert!((m.modeled_requests_per_sec() - 64_000.0).abs() < 1e-6);
+        assert!((m.core_utilization() - 0.5).abs() < 1e-12);
+        let zero = ModeledBoardStats::default();
+        assert_eq!(zero.modeled_requests_per_sec(), 0.0);
+        assert_eq!(zero.core_utilization(), 0.0);
+    }
 
     #[test]
     fn occupancy_and_lookup() {

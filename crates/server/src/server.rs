@@ -57,10 +57,11 @@ use heax_ckks::serialize::{
 use heax_ckks::{Ciphertext, CkksContext, Evaluator};
 use heax_core::{HeaxAccelerator, HeaxSystem};
 use heax_hw::board::Board;
+use heax_hw::scheduler::{BoardOp, BoardOpKind, PipelineConfig, PipelineReport};
 use heax_math::exec::Executor;
 
 use crate::error::ServerError;
-use crate::metrics::{Metrics, ServerStats, SessionStats};
+use crate::metrics::{Metrics, ModeledBoardStats, ServerStats, SessionStats};
 use crate::session::SessionRegistry;
 use crate::wire::{self, Frame, MessageKind, OpCode, ReplyBody, WireOperand};
 
@@ -95,6 +96,16 @@ impl Operand {
     }
 }
 
+/// The board model attached by [`HeaxServer::with_board_model`]: every
+/// flush's op stream is replayed on the board-level pipeline scheduler
+/// and the modeled cost accumulates into [`ModeledBoardStats`].
+#[derive(Debug)]
+struct BoardModel {
+    config: PipelineConfig,
+    stats: ModeledBoardStats,
+    last_report: Option<PipelineReport>,
+}
+
 /// The multi-session HEAX server (see the module docs for the serving
 /// model).
 #[derive(Debug)]
@@ -105,6 +116,7 @@ pub struct HeaxServer<'a> {
     sessions: SessionRegistry,
     queue: VecDeque<Pending>,
     metrics: Metrics,
+    board_model: Option<BoardModel>,
     scratch_out: Vec<u8>,
 }
 
@@ -133,6 +145,7 @@ impl<'a> HeaxServer<'a> {
             sessions: SessionRegistry::default(),
             queue: VecDeque::new(),
             metrics: Metrics::default(),
+            board_model: None,
             scratch_out: Vec::new(),
         }
     }
@@ -143,6 +156,44 @@ impl<'a> HeaxServer<'a> {
     pub fn with_executor(mut self, exec: Arc<dyn Executor>) -> Self {
         self.eval = Evaluator::with_executor(self.ctx, exec);
         self
+    }
+
+    /// Builder option: attaches the board-level pipeline model with
+    /// `num_cores` modeled HEAX cores. Every subsequent flush replays
+    /// its executed op stream (hoisted groups and all) on the
+    /// [`heax_hw::scheduler`] pipeline; aggregates surface as
+    /// [`ServerStats::modeled`], per-request compute cost as
+    /// [`crate::metrics::OpStats::modeled_cycles`], and the latest
+    /// flush's full [`PipelineReport`] via
+    /// [`HeaxServer::board_report`]. Functional results are untouched —
+    /// the model runs beside the evaluator, not instead of it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Core`] if the pipeline configuration is invalid
+    /// for this server's accelerator (zero cores).
+    pub fn with_board_model(mut self, num_cores: usize) -> Result<Self, ServerError> {
+        let config = self.system.accelerator().pipeline_config(num_cores)?;
+        let stats = ModeledBoardStats {
+            cores: num_cores,
+            freq_mhz: config.freq_mhz,
+            ..Default::default()
+        };
+        self.board_model = Some(BoardModel {
+            config,
+            stats,
+            last_report: None,
+        });
+        Ok(self)
+    }
+
+    /// The board-pipeline report of the most recent modeled flush
+    /// (`None` before the first flush or without
+    /// [`HeaxServer::with_board_model`]).
+    pub fn board_report(&self) -> Option<&PipelineReport> {
+        self.board_model
+            .as_ref()
+            .and_then(|m| m.last_report.as_ref())
     }
 
     /// The server's context.
@@ -344,6 +395,9 @@ impl<'a> HeaxServer<'a> {
 
         let mut results: Vec<Option<Result<Ciphertext, ServerError>>> =
             (0..items.len()).map(|_| None).collect();
+        // The board-model op stream of this flush, in execution order
+        // (one entry per executed op — a fused group is one entry).
+        let mut modeled: Vec<(OpCode, BoardOp)> = Vec::new();
         let mut replies = Vec::with_capacity(items.len());
         for idx in 0..items.len() {
             // Execute (a fused group executes when its first member is
@@ -358,11 +412,17 @@ impl<'a> HeaxServer<'a> {
                         .map(|g| g.members.clone())
                         .unwrap_or_else(|| vec![idx]);
                     self.exec_rotate_group(&items, &members, &mut results);
+                    if self.board_model.is_some() {
+                        modeled.push((OpCode::Rotate, Self::board_op_group(&items, &members)));
+                    }
                     let stats = self.metrics.op_mut(OpCode::Rotate);
                     stats.requests += members.len() as u64;
                     stats.busy_us += start.elapsed().as_secs_f64() * 1e6;
                 } else {
                     let outcome = self.exec_single(&items[idx]);
+                    if self.board_model.is_some() {
+                        modeled.push((items[idx].op, Self::board_op_single(&items[idx])));
+                    }
                     let stats = self.metrics.op_mut(items[idx].op);
                     stats.requests += 1;
                     stats.busy_us += start.elapsed().as_secs_f64() * 1e6;
@@ -389,7 +449,88 @@ impl<'a> HeaxServer<'a> {
             };
             replies.push(frame);
         }
+        self.model_flush(&modeled);
         replies
+    }
+
+    /// The board-model descriptor of a fused rotation group. Parking is
+    /// accounted per member: only the outputs that actually return over
+    /// the wire are charged PCIe-out.
+    fn board_op_group(items: &[Pending], members: &[usize]) -> BoardOp {
+        let first = &items[members[0]];
+        let parked = members
+            .iter()
+            .filter(|&&i| items[i].park_as.is_some())
+            .count();
+        let kind = if members.len() == 1 {
+            BoardOpKind::Rotate
+        } else {
+            BoardOpKind::RotateMany {
+                count: members.len(),
+                parked_outputs: parked,
+            }
+        };
+        let mut op = BoardOp::new(kind);
+        if matches!(first.operands[0], Operand::Parked(_)) {
+            op = op.with_parked_input();
+        }
+        if members.len() == 1 && parked == 1 {
+            op = op.with_parked_output();
+        }
+        op
+    }
+
+    /// The board-model descriptor of one non-fused request.
+    fn board_op_single(it: &Pending) -> BoardOp {
+        let kind = match it.op {
+            OpCode::Add => BoardOpKind::Add,
+            OpCode::MultiplyRelin | OpCode::SquareRelin => BoardOpKind::Multiply,
+            OpCode::Rescale => BoardOpKind::Rescale,
+            OpCode::Rotate => BoardOpKind::Rotate,
+            OpCode::Fetch => BoardOpKind::Fetch,
+        };
+        let mut op = BoardOp::new(kind);
+        if !it.operands.is_empty() && it.operands.iter().all(|o| matches!(o, Operand::Parked(_))) {
+            op = op.with_parked_input();
+        }
+        if it.park_as.is_some() {
+            op = op.with_parked_output();
+        }
+        op
+    }
+
+    /// Replays one flush's executed op stream on the board model and
+    /// accumulates its modeled cost.
+    fn model_flush(&mut self, modeled: &[(OpCode, BoardOp)]) {
+        let Some(model) = self.board_model.as_mut() else {
+            return;
+        };
+        if modeled.is_empty() {
+            return;
+        }
+        let ops: Vec<BoardOp> = modeled.iter().map(|&(_, op)| op).collect();
+        let report = match model.config.schedule_stream(&ops) {
+            Ok(r) => r,
+            // Unreachable: the op descriptors above are well-formed by
+            // construction; never let a model hiccup fail serving.
+            Err(_) => return,
+        };
+        let s = &mut model.stats;
+        s.flushes += 1;
+        s.modeled_ops += report.ops.len() as u64;
+        s.modeled_requests += report.requests();
+        s.modeled_cycles += report.total_cycles;
+        s.core_busy_cycles += report.core_busy();
+        s.fifo_high_water = s.fifo_high_water.max(report.fifo_high_water);
+        let stalls = report.stalls();
+        s.input_wait_cycles += stalls.input_wait;
+        s.output_wait_cycles += stalls.output_wait;
+        s.fifo_backpressure_cycles += stalls.fifo_backpressure;
+        s.last_bound = report.bound();
+        for (&(code, _), timing) in modeled.iter().zip(&report.ops) {
+            self.metrics.op_mut(code).modeled_cycles += timing.compute.1 - timing.compute.0;
+        }
+        model.last_report = Some(report);
     }
 
     /// Parks or serializes one successful result into a complete
@@ -579,6 +720,7 @@ impl<'a> HeaxServer<'a> {
             parked_bytes: self.system.dram_used_bytes(),
             per_op: self.metrics.per_op_snapshot(),
             per_session,
+            modeled: self.board_model.as_ref().map(|m| m.stats),
         }
     }
 }

@@ -1,0 +1,304 @@
+//! Property tests for the modeled-backend server: with the board-level
+//! pipeline scheduler attached (`with_board_model`), random op streams
+//! must produce results decrypt-identical to direct [`Evaluator`]
+//! execution at every modeled core count k ∈ {1, 2, 4} — the model
+//! runs *beside* the evaluator and must never perturb serving.
+//!
+//! CI runs this suite under both `HEAX_THREADS=1` (the default test
+//! job) and `HEAX_THREADS=4` (the dedicated 4-lane re-run step).
+
+use heax_ckks::serialize::{
+    deserialize_ciphertext, serialize_ciphertext, serialize_galois_keys, serialize_relin_key,
+};
+use heax_ckks::{
+    Ciphertext, CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys,
+    PublicKey, RelinKey, SecretKey,
+};
+use heax_core::{HeaxAccelerator, HeaxSystem};
+use heax_hw::board::Board;
+use heax_hw::keyswitch_pipeline::KeySwitchArch;
+use heax_hw::mult_dataflow::MultModuleConfig;
+use heax_hw::ntt_dataflow::NttModuleConfig;
+use heax_server::wire::client::{self, Reply};
+use heax_server::wire::{OpCode, Request, WireOperand};
+use heax_server::HeaxServer;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Modeled core counts every stream is checked at.
+const CORES: [usize; 3] = [1, 2, 4];
+
+/// Rotation steps the test Galois keys cover.
+const STEPS: [i64; 4] = [1, 2, -1, -2];
+
+fn ctx() -> CkksContext {
+    let chain = heax_math::primes::generate_prime_chain(&[40, 40, 40, 41], 64).unwrap();
+    CkksContext::new(CkksParams::new(64, chain, (1u64 << 32) as f64).unwrap()).unwrap()
+}
+
+fn system(ctx: &CkksContext) -> HeaxSystem<'_> {
+    let accel = HeaxAccelerator::with_arch(
+        ctx,
+        Board::stratix10(),
+        KeySwitchArch {
+            n: 64,
+            k: 3,
+            nc_intt0: 4,
+            m0: 2,
+            nc_ntt0: 4,
+            num_dyad: 3,
+            nc_dyad: 4,
+            nc_intt1: 2,
+            nc_ntt1: 4,
+            nc_ms: 2,
+        },
+        NttModuleConfig::new(64, 4).unwrap(),
+        MultModuleConfig::new(64, 8).unwrap(),
+    )
+    .unwrap();
+    HeaxSystem::new(accel)
+}
+
+struct Rig {
+    sk: SecretKey,
+    rlk: RelinKey,
+    gks: GaloisKeys,
+    ct: Ciphertext,
+}
+
+fn rig(ctx: &CkksContext, seed: u64) -> Rig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = SecretKey::generate(ctx, &mut rng);
+    let pk = PublicKey::generate(ctx, &sk, &mut rng);
+    let rlk = RelinKey::generate(ctx, &sk, &mut rng);
+    let gks = GaloisKeys::generate(ctx, &sk, &STEPS, &mut rng);
+    let enc = CkksEncoder::new(ctx);
+    let vals: Vec<f64> = (0..ctx.n() / 2)
+        .map(|i| (i as f64) * 0.05 - 0.6 + seed as f64 * 0.01)
+        .collect();
+    let ct = Encryptor::new(ctx, &pk)
+        .encrypt(
+            &enc.encode_real(&vals, ctx.params().scale(), ctx.max_level())
+                .unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    Rig { sk, rlk, gks, ct }
+}
+
+fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Vec<f64> {
+    let enc = CkksEncoder::new(ctx);
+    enc.decode_real(&Decryptor::new(ctx, sk).decrypt(ct).unwrap())
+        .unwrap()
+}
+
+/// Opens a modeled-backend server with one registered session.
+fn modeled_server<'a>(
+    ctx: &'a CkksContext,
+    system: HeaxSystem<'a>,
+    r: &Rig,
+    cores: usize,
+) -> (HeaxServer<'a>, u64) {
+    let mut server = HeaxServer::with_system(ctx, system)
+        .with_board_model(cores)
+        .unwrap();
+    let reply = server.handle_frame(&client::open_session()).unwrap();
+    let (session, _, _) = client::parse_reply(&reply).unwrap();
+    for frame in [
+        client::register_relin_key(session, &serialize_relin_key(&r.rlk)),
+        client::register_galois_keys(session, &serialize_galois_keys(&r.gks)),
+    ] {
+        let (_, _, reply) = client::parse_reply(&server.handle_frame(&frame).unwrap()).unwrap();
+        assert_eq!(reply, Reply::KeyRegistered);
+    }
+    (server, session)
+}
+
+/// One step of a random chained op stream.
+#[derive(Clone, Copy, Debug)]
+enum StreamOp {
+    Rotate(i64),
+    Add,
+    /// Square-relinearize then rescale (burns one level; capped at the
+    /// chain depth by the generator).
+    SquareRescale,
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<StreamOp>> {
+    let choices = vec![
+        StreamOp::Rotate(1),
+        StreamOp::Rotate(2),
+        StreamOp::Rotate(-1),
+        StreamOp::Rotate(-2),
+        StreamOp::Add,
+        StreamOp::SquareRescale,
+    ];
+    prop::collection::vec(prop::sample::select(choices), 1..7).prop_map(|mut ops| {
+        // The 4-prime chain affords two rescales; demote extras.
+        let mut budget = 2;
+        for op in ops.iter_mut() {
+            if matches!(op, StreamOp::SquareRescale) {
+                if budget == 0 {
+                    *op = StreamOp::Rotate(1);
+                } else {
+                    budget -= 1;
+                }
+            }
+        }
+        ops
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A chained stream (each op reads the parked intermediate and
+    /// re-parks it) served by the modeled server is bit-identical to
+    /// the evaluator applying the same ops, at every modeled core
+    /// count.
+    #[test]
+    fn modeled_chain_matches_evaluator(ops in arb_stream(), seed in 0u64..1000) {
+        let c = ctx();
+        let r = rig(&c, seed);
+        let eval = Evaluator::new(&c);
+
+        // Golden chain through the evaluator.
+        let mut want = deserialize_ciphertext(&serialize_ciphertext(&r.ct), &c).unwrap();
+        for op in &ops {
+            want = match op {
+                StreamOp::Rotate(step) => eval.rotate(&want, *step, &r.gks).unwrap(),
+                StreamOp::Add => eval.add(&want, &want).unwrap(),
+                StreamOp::SquareRescale => {
+                    let sq = eval.multiply_relin(&want, &want, &r.rlk).unwrap();
+                    eval.rescale(&sq).unwrap()
+                }
+            };
+        }
+
+        for cores in CORES {
+            let (mut server, session) = modeled_server(&c, system(&c), &r, cores);
+            let ct_bytes = serialize_ciphertext(&r.ct);
+            let mut id = 0u64;
+            let mut submit = |server: &mut HeaxServer<'_>, req: &Request<'_>| {
+                id += 1;
+                assert!(server.handle_frame(&client::request(session, id, req)).is_none());
+            };
+            // Seed the chain: park the inline input under "acc".
+            submit(&mut server, &Request {
+                op: OpCode::Fetch,
+                step: 0,
+                park_as: Some("acc"),
+                operands: vec![WireOperand::Inline(&ct_bytes)],
+            });
+            let mut expected_requests = 1u64;
+            for op in &ops {
+                let reqs: Vec<Request<'_>> = match op {
+                    StreamOp::Rotate(step) => vec![Request {
+                        op: OpCode::Rotate,
+                        step: *step,
+                        park_as: Some("acc"),
+                        operands: vec![WireOperand::Parked("acc")],
+                    }],
+                    StreamOp::Add => vec![Request {
+                        op: OpCode::Add,
+                        step: 0,
+                        park_as: Some("acc"),
+                        operands: vec![WireOperand::Parked("acc"), WireOperand::Parked("acc")],
+                    }],
+                    StreamOp::SquareRescale => vec![
+                        Request {
+                            op: OpCode::SquareRelin,
+                            step: 0,
+                            park_as: Some("acc"),
+                            operands: vec![WireOperand::Parked("acc")],
+                        },
+                        Request {
+                            op: OpCode::Rescale,
+                            step: 0,
+                            park_as: Some("acc"),
+                            operands: vec![WireOperand::Parked("acc")],
+                        },
+                    ],
+                };
+                for req in &reqs {
+                    submit(&mut server, req);
+                    expected_requests += 1;
+                }
+            }
+            submit(&mut server, &Request {
+                op: OpCode::Fetch,
+                step: 0,
+                park_as: None,
+                operands: vec![WireOperand::Parked("acc")],
+            });
+            expected_requests += 1;
+
+            let replies = server.flush();
+            let (_, _, last) = client::parse_reply(replies.last().unwrap()).unwrap();
+            let Reply::Ciphertext(bytes) = last else {
+                panic!("chain must end in a ciphertext reply, got {last:?}");
+            };
+            let got = deserialize_ciphertext(&bytes, &c).unwrap();
+            prop_assert_eq!(&got, &want, "cores = {}", cores);
+
+            // The model observed every request and billed real cycles.
+            let stats = server.stats();
+            let modeled = stats.modeled.expect("board model enabled");
+            prop_assert_eq!(modeled.cores, cores);
+            prop_assert_eq!(modeled.modeled_requests, expected_requests);
+            prop_assert!(modeled.modeled_cycles > 0);
+            prop_assert!(modeled.fifo_high_water <= 2);
+            prop_assert!(!modeled.last_bound.is_empty());
+            prop_assert!(server.board_report().is_some());
+            let billed: u64 = stats.per_op.iter().map(|&(_, s)| s.modeled_cycles).sum();
+            prop_assert_eq!(billed, modeled.core_busy_cycles);
+        }
+    }
+
+    /// A fan-out stream (every rotation reads the same input, so the
+    /// batch fuses them into one hoisted group) decrypts to the same
+    /// values as sequential evaluator rotations, at every modeled core
+    /// count (hoisting is decrypt-equal, not bit-equal).
+    #[test]
+    fn modeled_fanout_matches_evaluator(
+        steps in prop::collection::vec(prop::sample::select(STEPS.to_vec()), 2..6),
+        seed in 0u64..1000,
+    ) {
+        let c = ctx();
+        let r = rig(&c, seed);
+        let eval = Evaluator::new(&c);
+        let want: Vec<Vec<f64>> = steps
+            .iter()
+            .map(|&s| decrypt(&c, &r.sk, &eval.rotate(&r.ct, s, &r.gks).unwrap()))
+            .collect();
+
+        for cores in CORES {
+            let (mut server, session) = modeled_server(&c, system(&c), &r, cores);
+            let ct_bytes = serialize_ciphertext(&r.ct);
+            for (i, &step) in steps.iter().enumerate() {
+                let frame = client::rotate(session, i as u64 + 1, &ct_bytes, step);
+                assert!(server.handle_frame(&frame).is_none());
+            }
+            let replies = server.flush();
+            prop_assert_eq!(replies.len(), steps.len());
+            for (reply, want_vals) in replies.iter().zip(&want) {
+                let (_, _, body) = client::parse_reply(reply).unwrap();
+                let Reply::Ciphertext(bytes) = body else {
+                    panic!("expected ciphertext reply, got {body:?}");
+                };
+                let got = decrypt(&c, &r.sk, &deserialize_ciphertext(&bytes, &c).unwrap());
+                for (g, w) in got.iter().zip(want_vals).take(16) {
+                    prop_assert!((g - w).abs() < 2e-2, "cores {}: {} vs {}", cores, g, w);
+                }
+            }
+            // Identical inputs fuse into one hoisted group, modeled as
+            // one rotate-many op.
+            let stats = server.stats();
+            let modeled = stats.modeled.expect("board model enabled");
+            prop_assert_eq!(modeled.modeled_ops, 1);
+            prop_assert_eq!(modeled.modeled_requests, steps.len() as u64);
+            prop_assert_eq!(stats.hoisted_groups, 1);
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! Accelerator deep-dive: derive the HEAX design for every board/set,
 //! run a real KeySwitch through the cycle-accurate hardware model with
-//! bit-exact verification, and show the system-level (PCIe/DRAM) batch
-//! throughput of Figure 7.
+//! bit-exact verification (exits nonzero on any model/evaluator
+//! mismatch), and schedule a served workload on the board-level
+//! pipeline, printing its full `PipelineReport` (Figure 7).
 //!
 //! ```text
 //! cargo run --release --example accelerator_sim
@@ -9,7 +10,7 @@
 
 use heax::accel::accel::HeaxAccelerator;
 use heax::accel::arch::DesignPoint;
-use heax::accel::perf::{estimate, HeaxOp};
+use heax::accel::perf::{estimate, estimate_stream, HeaxOp};
 use heax::accel::system::{HeaxSystem, OperandLocation};
 use heax::ckks::{
     CkksContext, CkksEncoder, CkksParams, Encryptor, Evaluator, ParamSet, PublicKey, RelinKey,
@@ -17,6 +18,7 @@ use heax::ckks::{
 };
 use heax::hw::board::Board;
 use heax::hw::keyswitch_pipeline::schedule;
+use heax::hw::scheduler::BoardOp;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,20 +57,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prod = eval.multiply(&ct, &ct)?;
 
     let accel = HeaxAccelerator::new(&ctx, Board::stratix10())?;
-    let ((f0, f1), report) = accel.key_switch(prod.component(2), rlk.ksk(), prod.level())?;
+    let ((f0, f1), _) = accel.key_switch(prod.component(2), rlk.ksk(), prod.level())?;
     let (g0, g1) = eval.key_switch(prod.component(2), rlk.ksk(), prod.level())?;
-    assert_eq!((&f0, &f1), (&g0, &g1));
-    println!(
-        "hardware == golden model ✓   interval {} cycles ({:.1} us), latency {} cycles",
-        report.interval_cycles, report.interval_us, report.latency_cycles
-    );
+    if (&f0, &f1) != (&g0, &g1) {
+        eprintln!("error: hardware KeySwitch disagrees with the golden model");
+        std::process::exit(1);
+    }
+    println!("hardware == golden model ✓");
 
     // 3. Pipeline schedule (Figure 6 for this configuration).
     let sched = schedule(accel.arch(), 3)?;
     println!("\npipeline ({}):", accel.arch().summary());
     print!("{}", sched.gantt(sched.op_completion[2], 100));
 
-    // 4. System view: batched throughput with PCIe overlap (Figure 7).
+    // 4. Board-level pipeline: the 8-client x 8-rotation serving
+    // workload scheduled across 1 and 4 HEAX cores with overlapped
+    // PCIe transfers (Figure 7).
+    println!("\n== board-level pipeline (8 clients x 8 hoisted rotations) ==");
+    let dp = DesignPoint::derive(Board::stratix10(), ParamSet::SetA)?;
+    let workload = vec![BoardOp::rotate_many(8); 8];
+    for cores in [1usize, 4] {
+        print!("\n{}", estimate_stream(&dp, &workload, cores)?.render());
+    }
+
+    // 5. System view: batched throughput with PCIe overlap (Figure 7).
     println!("\n== system batch model (1024 MULT+ReLin ops) ==");
     let (_, op_rep) = accel.multiply_relin(&ct, &ct, &rlk)?;
     let sys = HeaxSystem::new(HeaxAccelerator::new(&ctx, Board::stratix10())?);
@@ -86,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 5. Table 8 summary for this set.
+    // 6. Table 8 summary for this set.
     let dp = DesignPoint::derive(Board::stratix10(), ParamSet::SetA)?;
     let e = estimate(&dp, HeaxOp::KeySwitch);
     println!(

@@ -5,12 +5,18 @@
 //!
 //! * [`math`] — modular arithmetic, NTT, RNS, FFT, sampling;
 //! * [`ckks`] — the full RNS-CKKS scheme (CPU baseline / golden model);
-//! * [`hw`] — FPGA component models and cycle-accurate dataflow simulators;
+//! * [`hw`] — FPGA component models, cycle-accurate dataflow simulators,
+//!   and the board-level pipeline scheduler (`hw::scheduler`) composing
+//!   them into multi-core schedules with overlapped transfers;
 //! * [`accel`] — the HEAX accelerator (architecture derivation, resource
 //!   and performance models, functional execution);
 //! * [`server`] — the multi-session serving layer (framed wire protocol,
-//!   session key cache, batch scheduler with hoisted rotations, metrics —
-//!   the paper's Figure 7 deployment).
+//!   session key cache, batch scheduler with hoisted rotations, metrics,
+//!   optional modeled board cost per request — the paper's Figure 7
+//!   deployment).
+//!
+//! `ARCHITECTURE.md` in the repository root maps the crates onto the
+//! paper's machine end to end.
 //!
 //! The accelerator layer is re-exported as `accel` (not `core`, its crate
 //! name) so the facade never shadows the built-in `core` prelude path.
