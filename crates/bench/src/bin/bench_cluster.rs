@@ -1,0 +1,78 @@
+//! Fleet-scale cluster routing snapshot: routes a many-session
+//! rotation-serving stream across 1/2/4 modeled HEAX boards
+//! (`heax_hw::cluster`) under session→board key affinity versus random
+//! spraying, sweeping sessions × boards × cores at Set-B, prints the
+//! comparison table, and writes the machine-readable
+//! `BENCH_cluster.json` snapshot (path overridable via the
+//! `HEAX_BENCH_CLUSTER_JSON` environment variable).
+//!
+//! The committed snapshot at the repo root is the acceptance artifact:
+//! affinity routing must show ≥ 1.5× random's requests/sec at the
+//! 10 000-session, 4-board, 4-core sweep point, with the routing-miss
+//! and key-replication-bytes breakdown alongside.
+//!
+//! Usage: `bench_cluster [budget_ms]` — the model is deterministic and
+//! ignores the budget; the argument is accepted for harness
+//! uniformity. `HEAX_BENCH_QUICK=1` shrinks the session sweep for CI
+//! smoke.
+
+use heax_bench::cluster::{self, ROUNDS, SET};
+use heax_bench::{bench_json, fmt_ops, fmt_speedup, render_table, snapshot};
+
+fn main() {
+    let records = cluster::measure_suite();
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.sessions.to_string(),
+                r.boards.to_string(),
+                r.cores.to_string(),
+                fmt_ops(r.requests_per_sec),
+                fmt_speedup(r.speedup_vs_random),
+                r.routing_misses.to_string(),
+                format!("{:.1}", r.replication_bytes as f64 / 1e9),
+                r.steals.to_string(),
+                format!("{:.0}%", 100.0 * r.mean_utilization),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!("modeled board cluster at {SET}: affinity vs random routing"),
+            &[
+                "policy",
+                "sessions",
+                "boards",
+                "cores",
+                "req/s",
+                "vs random",
+                "misses",
+                "repl-GB",
+                "steals",
+                "mean-util"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "\nworkload: each session submits {ROUNDS} wire-return rotations, \
+         round-robin interleaved; every routing miss replicates the \
+         session's key-switching key to the chosen board first"
+    );
+
+    let bar = cluster::acceptance_speedup(&records);
+    println!(
+        "acceptance bar (affinity >= 1.5x random at the largest \
+         4-board, 4-core point): {} ({:.2}x)",
+        if bar >= 1.5 { "met" } else { "NOT met" },
+        bar
+    );
+
+    let path = snapshot::path_from_env("HEAX_BENCH_CLUSTER_JSON", "BENCH_cluster.json");
+    let json = bench_json::render_cluster(&records, &SET.to_string(), ROUNDS);
+    snapshot::write_or_exit(&path, &json);
+}

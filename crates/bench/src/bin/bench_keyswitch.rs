@@ -13,13 +13,10 @@
 //! `HEAX_BENCH_QUICK=1` restricts to N = 4096 for CI smoke).
 
 use heax_bench::keyswitch::{self, ROTATE_STEPS};
-use heax_bench::{bench_json, fmt_ops, fmt_speedup, render_table};
+use heax_bench::{bench_json, fmt_ops, fmt_speedup, render_table, snapshot};
 
 fn main() {
-    let budget_ms = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300u64);
+    let budget_ms = snapshot::budget_from_args(300);
     let records = keyswitch::measure_suite(budget_ms);
 
     let rows: Vec<Vec<String>> = records
@@ -48,13 +45,7 @@ fn main() {
          >= 2.0x at n = 8192 is the PR 3 acceptance bar"
     );
 
-    let path = bench_json::path_from_env("HEAX_BENCH_KS_JSON", "BENCH_keyswitch.json");
+    let path = snapshot::path_from_env("HEAX_BENCH_KS_JSON", "BENCH_keyswitch.json");
     let json = bench_json::render_keyswitch(&records, budget_ms, ROTATE_STEPS);
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => {
-            eprintln!("error: could not write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
+    snapshot::write_or_exit(&path, &json);
 }

@@ -6,14 +6,11 @@
 //!
 //! Usage: `bench_parallel [budget_ms]` (default 300 ms per data point).
 
-use heax_bench::bench_json;
+use heax_bench::{bench_json, snapshot};
 use heax_bench::{fmt_ops, fmt_speedup, parallel, render_table};
 
 fn main() {
-    let budget_ms = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300u64);
+    let budget_ms = snapshot::budget_from_args(300);
     let records = parallel::measure_suite(budget_ms);
 
     let rows: Vec<Vec<String>> = records
@@ -48,11 +45,5 @@ fn main() {
 
     let path = bench_json::default_path();
     let json = bench_json::render(&records, budget_ms);
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => {
-            eprintln!("error: could not write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
+    snapshot::write_or_exit(&path, &json);
 }

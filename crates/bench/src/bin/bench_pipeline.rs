@@ -19,7 +19,7 @@
 //! ignores the budget; the argument is accepted for harness uniformity.
 
 use heax_bench::server::{CLIENTS, ROTATIONS_PER_CLIENT};
-use heax_bench::{bench_json, fmt_ops, fmt_speedup, pipeline, render_table};
+use heax_bench::{bench_json, fmt_ops, fmt_speedup, pipeline, render_table, snapshot};
 
 fn main() {
     // Functional leg first: decrypt-identical or nothing.
@@ -81,7 +81,7 @@ fn main() {
         bar
     );
 
-    let path = bench_json::path_from_env("HEAX_BENCH_PIPELINE_JSON", "BENCH_pipeline.json");
+    let path = snapshot::path_from_env("HEAX_BENCH_PIPELINE_JSON", "BENCH_pipeline.json");
     let json = bench_json::render_pipeline(
         &records,
         CLIENTS,
@@ -89,11 +89,5 @@ fn main() {
         pipeline::FUNCTIONAL_N,
         &functional,
     );
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => {
-            eprintln!("error: could not write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
+    snapshot::write_or_exit(&path, &json);
 }

@@ -14,13 +14,10 @@
 //! `HEAX_BENCH_QUICK=1` restricts to n = 4096 for CI smoke).
 
 use heax_bench::server::{CLIENTS, ROTATIONS_PER_CLIENT};
-use heax_bench::{bench_json, fmt_ops, fmt_speedup, render_table, server};
+use heax_bench::{bench_json, fmt_ops, fmt_speedup, render_table, server, snapshot};
 
 fn main() {
-    let budget_ms = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300u64);
+    let budget_ms = snapshot::budget_from_args(300);
     let (records, occupancy) = server::measure_suite(budget_ms);
 
     let rows: Vec<Vec<String>> = records
@@ -62,13 +59,7 @@ fn main() {
         }
     );
 
-    let path = bench_json::path_from_env("HEAX_BENCH_SERVER_JSON", "BENCH_server.json");
+    let path = snapshot::path_from_env("HEAX_BENCH_SERVER_JSON", "BENCH_server.json");
     let json = bench_json::render_server(&records, budget_ms, ROTATIONS_PER_CLIENT, occupancy);
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => {
-            eprintln!("error: could not write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
+    snapshot::write_or_exit(&path, &json);
 }

@@ -780,11 +780,246 @@ pub mod pipeline {
     }
 }
 
+/// Workloads and helpers for the fleet-scale multi-board cluster model
+/// (`bench_cluster`): a many-session rotation-serving stream routed
+/// across 1/2/4 modeled HEAX boards under session→board key affinity
+/// versus random spraying. The sweep runs at Set-B, where one
+/// key-switching key (≈ 2.6 MB) is five ciphertexts' worth of PCIe
+/// traffic, so every routing miss — a ksk replication — is the
+/// dominant cost the router exists to avoid.
+pub mod cluster {
+    use heax_ckks::ParamSet;
+    use heax_core::arch::DesignPoint;
+    use heax_core::perf::estimate_cluster;
+    use heax_hw::board::Board;
+    use heax_hw::cluster::RoutingPolicy;
+    use heax_hw::ir::OpKind;
+    use heax_hw::scheduler::BoardOp;
+
+    use crate::bench_json::ClusterRecord;
+
+    /// Parameter set of the sweep (ksk ≈ 5× a ciphertext over PCIe).
+    pub const SET: ParamSet = ParamSet::SetB;
+    /// Wire-return rotations each session submits across the stream —
+    /// enough repeat traffic that key residency, not cold misses,
+    /// decides throughput.
+    pub const ROUNDS: usize = 4;
+    /// Board counts swept.
+    pub const BOARDS: [usize; 3] = [1, 2, 4];
+    /// Cores-per-board counts swept.
+    pub const CORES: [usize; 2] = [1, 4];
+    /// Seed of the random-routing control.
+    pub const RANDOM_SEED: u64 = 0x464C_4545; // "FLEE"
+
+    /// Session counts swept: fleet scale, or a small count under
+    /// `HEAX_BENCH_QUICK` (CI smoke budget).
+    pub fn session_counts() -> Vec<usize> {
+        if std::env::var_os("HEAX_BENCH_QUICK").is_some() {
+            vec![200]
+        } else {
+            vec![1_000, 10_000]
+        }
+    }
+
+    /// The fleet workload: `sessions` sessions each submitting
+    /// [`ROUNDS`] wire-return rotations, round-robin interleaved across
+    /// sessions — the arrival order a front-end router actually sees.
+    /// No op touches parked state, so the policies differ purely in
+    /// where keys end up resident.
+    pub fn workload(sessions: usize) -> Vec<BoardOp> {
+        let mut ops = Vec::with_capacity(sessions * ROUNDS);
+        for _ in 0..ROUNDS {
+            for s in 0..sessions {
+                ops.push(BoardOp::new(OpKind::Rotate).with_session(s as u64 + 1));
+            }
+        }
+        ops
+    }
+
+    /// The deterministic routing sweep: sessions × boards × cores, each
+    /// point routed under both policies, with affinity's speedup taken
+    /// against random routing at the same point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on scheduler configuration errors (cannot happen for the
+    /// paper design point and the fixed sweep shapes).
+    pub fn measure_suite() -> Vec<ClusterRecord> {
+        let dp = DesignPoint::derive(Board::stratix10(), SET).expect("paper row");
+        let mut records = Vec::new();
+        for sessions in session_counts() {
+            eprintln!("routing {sessions} sessions x {ROUNDS} rotations ...");
+            let ops = workload(sessions);
+            for boards in BOARDS {
+                for cores in CORES {
+                    let random = estimate_cluster(
+                        &dp,
+                        &ops,
+                        boards,
+                        cores,
+                        RoutingPolicy::Random { seed: RANDOM_SEED },
+                    )
+                    .expect("schedule");
+                    let affinity = estimate_cluster(
+                        &dp,
+                        &ops,
+                        boards,
+                        cores,
+                        RoutingPolicy::Affinity { steal: true },
+                    )
+                    .expect("schedule");
+                    let base = random.requests_per_sec();
+                    for report in [&random, &affinity] {
+                        records.push(ClusterRecord {
+                            policy: report.policy.to_string(),
+                            sessions,
+                            boards,
+                            cores,
+                            requests_per_sec: report.requests_per_sec(),
+                            speedup_vs_random: report.requests_per_sec() / base,
+                            routing_hits: report.routing_hits,
+                            routing_misses: report.routing_misses,
+                            steals: report.steals,
+                            replication_bytes: report.replication_bytes,
+                            mean_utilization: report.mean_utilization(),
+                        });
+                    }
+                }
+            }
+        }
+        records
+    }
+
+    /// The acceptance figure: affinity over random requests/sec at the
+    /// largest swept session count on the 4-board, 4-core point.
+    pub fn acceptance_speedup(records: &[ClusterRecord]) -> f64 {
+        let fleet = records.iter().map(|r| r.sessions).max().unwrap_or(0);
+        records
+            .iter()
+            .find(|r| {
+                r.sessions == fleet && r.boards == 4 && r.cores == 4 && r.policy == "affinity"
+            })
+            .map(|r| r.speedup_vs_random)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Shared machinery for the `BENCH_*.json` snapshot binaries: CLI
+/// budget parsing, per-binary snapshot paths, a tiny hand-rolled JSON
+/// document builder (the workspace is offline; no serde), and the
+/// write-or-exit tail every bin ends with. The per-suite record types
+/// and their row formats live in [`crate::bench_json`]; this module
+/// owns everything they have in common.
+pub mod snapshot {
+    use std::path::PathBuf;
+
+    /// Measurement budget in milliseconds: `argv[1]` when parseable,
+    /// `default_ms` otherwise — the argument convention every snapshot
+    /// binary shares.
+    pub fn budget_from_args(default_ms: u64) -> u64 {
+        std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_ms)
+    }
+
+    /// Snapshot path from an environment-variable override with a
+    /// per-binary default (each snapshot binary gets its own variable
+    /// so concurrent smoke tests never race on one file).
+    pub fn path_from_env(var: &str, default: &str) -> PathBuf {
+        std::env::var_os(var)
+            .map(Into::into)
+            .unwrap_or_else(|| default.into())
+    }
+
+    /// Escapes a string for embedding inside a JSON string literal.
+    pub fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect()
+    }
+
+    /// Writes a rendered snapshot document, printing the destination on
+    /// success; on I/O failure prints the error and exits the process
+    /// with status 1 (the shared tail of every snapshot binary).
+    pub fn write_or_exit(path: &std::path::Path, json: &str) {
+        match std::fs::write(path, json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Builder for one snapshot document: a `schema` line, header
+    /// fields, then a `results` array of pre-rendered row objects —
+    /// with the indentation and trailing-comma discipline handled in
+    /// one place instead of per emitter.
+    #[derive(Debug)]
+    pub struct Doc {
+        head: String,
+        rows: Vec<String>,
+    }
+
+    impl Doc {
+        /// Starts a document with its schema identifier.
+        pub fn new(schema: &str) -> Self {
+            Doc {
+                head: format!("  \"schema\": \"{}\",\n", esc(schema)),
+                rows: Vec::new(),
+            }
+        }
+
+        /// Adds a header field; `value` is embedded verbatim, so pass
+        /// numbers, pre-formatted floats, or rendered JSON objects.
+        #[must_use]
+        pub fn field(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+            self.head
+                .push_str(&format!("  \"{}\": {},\n", esc(key), value));
+            self
+        }
+
+        /// Adds the standard `host_parallelism` header field.
+        #[must_use]
+        pub fn host_parallelism(self) -> Self {
+            let lanes = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            self.field("host_parallelism", lanes)
+        }
+
+        /// Appends one pre-rendered `{...}` result row.
+        pub fn push_row(&mut self, row: String) {
+            self.rows.push(row);
+        }
+
+        /// Renders the complete document.
+        pub fn render(self) -> String {
+            let mut out = String::from("{\n");
+            out.push_str(&self.head);
+            out.push_str("  \"results\": [\n");
+            for (i, row) in self.rows.iter().enumerate() {
+                out.push_str("    ");
+                out.push_str(row);
+                out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("  ]\n}\n");
+            out
+        }
+    }
+}
+
 /// Machine-readable perf snapshots (`BENCH_parallel.json`): a tiny
 /// hand-rolled JSON emitter (the workspace is offline; no serde) so the
 /// BENCH trajectory can be diffed and plotted across PRs and archived
 /// from CI.
 pub mod bench_json {
+    use crate::snapshot::{esc, Doc};
     /// One measured `(op, n, threads)` point.
     #[derive(Clone, Debug, PartialEq)]
     pub struct BenchRecord {
@@ -813,40 +1048,23 @@ pub mod bench_json {
         }
     }
 
-    fn esc(s: &str) -> String {
-        s.chars()
-            .flat_map(|c| match c {
-                '"' | '\\' => vec!['\\', c],
-                '\n' => vec!['\\', 'n'],
-                c => vec![c],
-            })
-            .collect()
-    }
-
     /// Renders the snapshot document for a set of records.
     pub fn render(records: &[BenchRecord], budget_ms: u64) -> String {
-        let host_lanes = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"heax-bench-parallel/1\",\n");
-        out.push_str(&format!("  \"host_parallelism\": {host_lanes},\n"));
-        out.push_str(&format!("  \"budget_ms\": {budget_ms},\n"));
-        out.push_str("  \"results\": [\n");
-        for (i, r) in records.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"op\": \"{}\", \"n\": {}, \"threads\": {}, \
-                 \"ops_per_sec\": {:.3}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+        let mut doc = Doc::new("heax-bench-parallel/1")
+            .host_parallelism()
+            .field("budget_ms", budget_ms);
+        for r in records {
+            doc.push_row(format!(
+                "{{\"op\": \"{}\", \"n\": {}, \"threads\": {}, \
+                 \"ops_per_sec\": {:.3}, \"speedup_vs_sequential\": {:.3}}}",
                 esc(&r.op),
                 r.n,
                 r.threads,
                 r.ops_per_sec,
                 r.speedup_vs_sequential,
-                if i + 1 < records.len() { "," } else { "" },
             ));
         }
-        out.push_str("  ]\n}\n");
-        out
+        doc.render()
     }
 
     /// Snapshot path: the `HEAX_BENCH_JSON` environment variable when
@@ -855,14 +1073,8 @@ pub mod bench_json {
         path_from_env("HEAX_BENCH_JSON", "BENCH_parallel.json")
     }
 
-    /// Snapshot path from an environment-variable override with a
-    /// per-binary default (each snapshot binary gets its own variable so
-    /// concurrent smoke tests never race on one file).
-    pub fn path_from_env(var: &str, default: &str) -> std::path::PathBuf {
-        std::env::var_os(var)
-            .map(Into::into)
-            .unwrap_or_else(|| default.into())
-    }
+    /// Re-export of [`crate::snapshot::path_from_env`] (historic home).
+    pub use crate::snapshot::path_from_env;
 
     /// One measured key-switch-path point (`BENCH_keyswitch.json`).
     #[derive(Clone, Debug, PartialEq)]
@@ -968,27 +1180,26 @@ pub mod bench_json {
         functional_n: usize,
         functional: &heax_server::ModeledBoardStats,
     ) -> String {
-        let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"heax-bench-pipeline/1\",\n");
-        out.push_str(&format!("  \"clients\": {clients},\n"));
-        out.push_str(&format!(
-            "  \"rotations_per_client\": {rotations_per_client},\n"
-        ));
-        out.push_str(&format!(
-            "  \"functional\": {{\"n\": {functional_n}, \"cores\": {}, \
-             \"verified_decrypt_identical\": true, \"modeled_requests\": {}, \
-             \"modeled_requests_per_sec\": {:.3}}},\n",
-            functional.cores,
-            functional.modeled_requests,
-            functional.modeled_requests_per_sec(),
-        ));
-        out.push_str("  \"results\": [\n");
-        for (i, r) in records.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"set\": \"{}\", \"n\": {}, \"cores\": {}, \"parked\": {}, \
+        let mut doc = Doc::new("heax-bench-pipeline/1")
+            .field("clients", clients)
+            .field("rotations_per_client", rotations_per_client)
+            .field(
+                "functional",
+                format!(
+                    "{{\"n\": {functional_n}, \"cores\": {}, \
+                     \"verified_decrypt_identical\": true, \"modeled_requests\": {}, \
+                     \"modeled_requests_per_sec\": {:.3}}}",
+                    functional.cores,
+                    functional.modeled_requests,
+                    functional.modeled_requests_per_sec(),
+                ),
+            );
+        for r in records {
+            doc.push_row(format!(
+                "{{\"set\": \"{}\", \"n\": {}, \"cores\": {}, \"parked\": {}, \
                  \"requests_per_sec\": {:.3}, \"speedup_vs_1core\": {:.3}, \
                  \"bound\": \"{}\", \"core_utilization\": {:.3}, \
-                 \"fifo_high_water\": {}}}{}\n",
+                 \"fifo_high_water\": {}}}",
                 esc(&r.set),
                 r.n,
                 r.cores,
@@ -998,11 +1209,9 @@ pub mod bench_json {
                 esc(&r.bound),
                 r.core_utilization,
                 r.fifo_high_water,
-                if i + 1 < records.len() { "," } else { "" },
             ));
         }
-        out.push_str("  ]\n}\n");
-        out
+        doc.render()
     }
 
     /// Renders the server snapshot document (schema
@@ -1013,61 +1222,106 @@ pub mod bench_json {
         rotations_per_client: usize,
         batch_occupancy: f64,
     ) -> String {
-        let host_lanes = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"heax-bench-server/1\",\n");
-        out.push_str(&format!("  \"host_parallelism\": {host_lanes},\n"));
-        out.push_str(&format!("  \"budget_ms\": {budget_ms},\n"));
-        out.push_str(&format!(
-            "  \"rotations_per_client\": {rotations_per_client},\n"
-        ));
-        out.push_str(&format!("  \"batch_occupancy\": {batch_occupancy:.3},\n"));
-        out.push_str("  \"results\": [\n");
-        for (i, r) in records.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"op\": \"{}\", \"n\": {}, \"clients\": {}, \"threads\": {}, \
-                 \"requests_per_sec\": {:.3}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+        let mut doc = Doc::new("heax-bench-server/1")
+            .host_parallelism()
+            .field("budget_ms", budget_ms)
+            .field("rotations_per_client", rotations_per_client)
+            .field("batch_occupancy", format!("{batch_occupancy:.3}"));
+        for r in records {
+            doc.push_row(format!(
+                "{{\"op\": \"{}\", \"n\": {}, \"clients\": {}, \"threads\": {}, \
+                 \"requests_per_sec\": {:.3}, \"speedup_vs_sequential\": {:.3}}}",
                 esc(&r.op),
                 r.n,
                 r.clients,
                 r.threads,
                 r.requests_per_sec,
                 r.speedup_vs_sequential,
-                if i + 1 < records.len() { "," } else { "" },
             ));
         }
-        out.push_str("  ]\n}\n");
-        out
+        doc.render()
+    }
+
+    /// One modeled cluster routing point (`BENCH_cluster.json`).
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct ClusterRecord {
+        /// Routing policy label (`affinity`, `random`).
+        pub policy: String,
+        /// Sessions in the workload.
+        pub sessions: usize,
+        /// Boards in the modeled cluster.
+        pub boards: usize,
+        /// Modeled HEAX cores per board.
+        pub cores: usize,
+        /// Modeled sustained request throughput.
+        pub requests_per_sec: f64,
+        /// Throughput relative to random routing at the same
+        /// (sessions, boards, cores) point (`1.0` for random itself).
+        pub speedup_vs_random: f64,
+        /// Key-consuming ops that found their ksk resident.
+        pub routing_hits: u64,
+        /// Key-consuming ops that had to replicate their ksk first.
+        pub routing_misses: u64,
+        /// Warm-session ops stolen to a less-loaded board.
+        pub steals: u64,
+        /// Total key bytes replicated across the host link.
+        pub replication_bytes: u64,
+        /// Mean per-board core utilization against the cluster makespan.
+        pub mean_utilization: f64,
+    }
+
+    /// Renders the cluster snapshot document (schema
+    /// `heax-bench-cluster/1`). The model is deterministic; `set` and
+    /// `rounds_per_session` record the workload shape.
+    pub fn render_cluster(
+        records: &[ClusterRecord],
+        set: &str,
+        rounds_per_session: usize,
+    ) -> String {
+        let mut doc = Doc::new("heax-bench-cluster/1")
+            .field("set", format!("\"{}\"", esc(set)))
+            .field("rounds_per_session", rounds_per_session);
+        for r in records {
+            doc.push_row(format!(
+                "{{\"policy\": \"{}\", \"sessions\": {}, \"boards\": {}, \"cores\": {}, \
+                 \"requests_per_sec\": {:.3}, \"speedup_vs_random\": {:.3}, \
+                 \"routing_hits\": {}, \"routing_misses\": {}, \"steals\": {}, \
+                 \"replication_bytes\": {}, \"mean_utilization\": {:.3}}}",
+                esc(&r.policy),
+                r.sessions,
+                r.boards,
+                r.cores,
+                r.requests_per_sec,
+                r.speedup_vs_random,
+                r.routing_hits,
+                r.routing_misses,
+                r.steals,
+                r.replication_bytes,
+                r.mean_utilization,
+            ));
+        }
+        doc.render()
     }
 
     /// Renders the key-switch snapshot document
     /// (schema `heax-bench-keyswitch/1`).
     pub fn render_keyswitch(records: &[KsRecord], budget_ms: u64, rotate_steps: usize) -> String {
-        let host_lanes = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"heax-bench-keyswitch/1\",\n");
-        out.push_str(&format!("  \"host_parallelism\": {host_lanes},\n"));
-        out.push_str(&format!("  \"budget_ms\": {budget_ms},\n"));
-        out.push_str(&format!("  \"rotate_steps\": {rotate_steps},\n"));
-        out.push_str("  \"results\": [\n");
-        for (i, r) in records.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"op\": \"{}\", \"n\": {}, \"threads\": {}, \
-                 \"ops_per_sec\": {:.3}, \"speedup_vs_baseline\": {:.3}}}{}\n",
+        let mut doc = Doc::new("heax-bench-keyswitch/1")
+            .host_parallelism()
+            .field("budget_ms", budget_ms)
+            .field("rotate_steps", rotate_steps);
+        for r in records {
+            doc.push_row(format!(
+                "{{\"op\": \"{}\", \"n\": {}, \"threads\": {}, \
+                 \"ops_per_sec\": {:.3}, \"speedup_vs_baseline\": {:.3}}}",
                 esc(&r.op),
                 r.n,
                 r.threads,
                 r.ops_per_sec,
                 r.speedup_vs_baseline,
-                if i + 1 < records.len() { "," } else { "" },
             ));
         }
-        out.push_str("  ]\n}\n");
-        out
+        doc.render()
     }
 }
 
@@ -1168,6 +1422,80 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn cluster_json_renders_valid_shape() {
+        use bench_json::ClusterRecord;
+        let records = vec![
+            ClusterRecord {
+                policy: "random".into(),
+                sessions: 10_000,
+                boards: 4,
+                cores: 4,
+                requests_per_sec: 40_000.0,
+                speedup_vs_random: 1.0,
+                routing_hits: 12_000,
+                routing_misses: 28_000,
+                steals: 0,
+                replication_bytes: 73_000_000_000,
+                mean_utilization: 0.41,
+            },
+            ClusterRecord {
+                policy: "affinity".into(),
+                sessions: 10_000,
+                boards: 4,
+                cores: 4,
+                requests_per_sec: 75_000.0,
+                speedup_vs_random: 1.875,
+                routing_hits: 30_000,
+                routing_misses: 10_000,
+                steals: 3,
+                replication_bytes: 26_000_000_000,
+                mean_utilization: 0.77,
+            },
+        ];
+        let json = bench_json::render_cluster(&records, "Set-B", 4);
+        assert!(json.contains("\"schema\": \"heax-bench-cluster/1\""));
+        assert!(json.contains("\"set\": \"Set-B\""));
+        assert!(json.contains("\"policy\": \"affinity\""));
+        assert!(json.contains("\"speedup_vs_random\": 1.875"));
+        assert!(json.contains("\"routing_misses\": 10000"));
+        assert!(json.contains("\"replication_bytes\": 26000000000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn cluster_affinity_beats_random_at_a_small_fleet_point() {
+        // Deterministic model at a scaled-down fleet point: affinity
+        // routing must clear the same >= 1.5x bar the committed
+        // snapshot pins at 10k sessions.
+        use heax_core::arch::DesignPoint;
+        use heax_core::perf::estimate_cluster;
+        use heax_hw::board::Board;
+        use heax_hw::cluster::RoutingPolicy;
+
+        let dp = DesignPoint::derive(Board::stratix10(), cluster::SET).expect("paper row");
+        let ops = cluster::workload(200);
+        let random = estimate_cluster(
+            &dp,
+            &ops,
+            4,
+            4,
+            RoutingPolicy::Random {
+                seed: cluster::RANDOM_SEED,
+            },
+        )
+        .expect("schedule");
+        let affinity = estimate_cluster(&dp, &ops, 4, 4, RoutingPolicy::Affinity { steal: true })
+            .expect("schedule");
+        assert_eq!(affinity.routing_misses, 200, "one replication per session");
+        assert!(random.routing_misses > affinity.routing_misses);
+        assert!(random.replication_bytes > affinity.replication_bytes);
+        let speedup = affinity.requests_per_sec() / random.requests_per_sec();
+        assert!(speedup >= 1.5, "affinity only {speedup:.2}x over random");
     }
 
     #[test]

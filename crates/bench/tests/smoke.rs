@@ -59,6 +59,13 @@ fn run_binary(name: &str, path: &str) {
                     env!("CARGO_TARGET_TMPDIR")
                 ),
             )
+            .env(
+                "HEAX_BENCH_CLUSTER_JSON",
+                format!(
+                    "{}/BENCH_cluster_smoke_{threads}.json",
+                    env!("CARGO_TARGET_TMPDIR")
+                ),
+            )
             .output()
             .unwrap_or_else(|e| panic!("failed to spawn {name} ({path}): {e}"));
         assert!(
@@ -106,6 +113,7 @@ smoke!(
     bench_keyswitch,
     bench_server,
     bench_pipeline,
+    bench_cluster,
     extension_scaling,
     noise_growth,
 );

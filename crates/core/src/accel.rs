@@ -176,6 +176,22 @@ impl<'a> HeaxAccelerator<'a> {
             .map_err(CoreError::Hw)
     }
 
+    /// Cluster configuration for routing op streams across `num_boards`
+    /// modeled boards of `num_cores` cores each (see
+    /// [`heax_hw::cluster`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and cluster configuration validation.
+    pub fn cluster_config(
+        &self,
+        num_boards: usize,
+        num_cores: usize,
+    ) -> Result<heax_hw::cluster::ClusterConfig, CoreError> {
+        heax_hw::cluster::ClusterConfig::new(self.pipeline_config(num_cores)?, num_boards)
+            .map_err(CoreError::Hw)
+    }
+
     fn report(&self, op: HeaxOp, interval: u64, latency: u64, inw: u64, outw: u64) -> OpReport {
         OpReport {
             op,

@@ -196,6 +196,22 @@ impl DesignPoint {
         )
     }
 
+    /// Cluster configuration for this design point: `num_boards`
+    /// replicas of the [`DesignPoint::pipeline_config`] board, behind
+    /// the [`heax_hw::cluster`] session-affinity router.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineConfig::new`] and
+    /// [`heax_hw::cluster::ClusterConfig::new`] validation.
+    pub fn cluster_config(
+        &self,
+        num_boards: usize,
+        num_cores: usize,
+    ) -> Result<heax_hw::cluster::ClusterConfig, HwError> {
+        heax_hw::cluster::ClusterConfig::new(self.pipeline_config(num_cores)?, num_boards)
+    }
+
     /// Logic resources of one core type across the whole KeySwitch module
     /// (diagnostic).
     pub fn core_count(&self, kind: CoreKind) -> usize {

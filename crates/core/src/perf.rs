@@ -13,6 +13,7 @@
 
 use heax_ckks::params::ParamSet;
 use heax_hw::board::Board;
+use heax_hw::cluster::{ClusterReport, RoutingPolicy};
 use heax_hw::scheduler::{BoardOp, PipelineReport};
 use heax_hw::HwError;
 
@@ -98,6 +99,28 @@ pub fn estimate_stream(
     num_cores: usize,
 ) -> Result<PipelineReport, HwError> {
     dp.pipeline_config(num_cores)?.schedule_stream(ops)
+}
+
+/// Routes a high-level op stream across a modeled cluster of
+/// `num_boards` boards (each with `num_cores` HEAX cores) of a design
+/// point — the fleet-scale counterpart of [`estimate_stream`]: the
+/// [`heax_hw::cluster`] router applies session→board key affinity (or
+/// the given policy) and returns the full [`ClusterReport`] (per-board
+/// utilization, routing hit/miss, replication bytes, steal counts).
+///
+/// # Errors
+///
+/// Propagates configuration/stream validation from the cluster and
+/// board schedulers.
+pub fn estimate_cluster(
+    dp: &DesignPoint,
+    ops: &[BoardOp],
+    num_boards: usize,
+    num_cores: usize,
+    policy: RoutingPolicy,
+) -> Result<ClusterReport, HwError> {
+    dp.cluster_config(num_boards, num_cores)?
+        .schedule_stream(ops, policy)
 }
 
 /// The paper's published numbers for cross-checking (ops/second).
@@ -250,6 +273,23 @@ mod tests {
         let one = estimate_stream(&dp, &ops, 1).unwrap();
         let four = estimate_stream(&dp, &ops, 4).unwrap();
         assert!(four.requests_per_sec() / one.requests_per_sec() >= 2.0);
+    }
+
+    #[test]
+    fn cluster_estimate_scales_and_prices_replication() {
+        let dp = DesignPoint::derive(heax_hw::board::Board::stratix10(), ParamSet::SetB).unwrap();
+        // Eight sessions, four hoisted groups each.
+        let ops: Vec<BoardOp> = (0..32)
+            .map(|i| BoardOp::rotate_many(8).with_session(1 + i % 8))
+            .collect();
+        let affinity = RoutingPolicy::Affinity { steal: false };
+        let one = estimate_cluster(&dp, &ops, 1, 1, affinity).unwrap();
+        let four = estimate_cluster(&dp, &ops, 4, 1, affinity).unwrap();
+        assert!(four.requests_per_sec() > 2.0 * one.requests_per_sec());
+        // One board, affinity: every session's key replicates exactly once.
+        assert_eq!(one.routing_misses, 8);
+        let random = estimate_cluster(&dp, &ops, 4, 1, RoutingPolicy::Random { seed: 1 }).unwrap();
+        assert!(random.replication_bytes > four.replication_bytes);
     }
 
     #[test]

@@ -13,9 +13,15 @@
 //! * [`keyswitch_pipeline`] — the KeySwitch module pipeline scheduler
 //!   (Figures 5–6), reproducing the Table 8 initiation intervals;
 //! * [`xfer`] — PCIe and DRAM transfer models (Section 5);
+//! * [`ir`] — the shared op-stream IR (ops, operand placement,
+//!   session/key identity, dependency edges) that serving layers lower
+//!   requests into and every scheduler consumes;
 //! * [`scheduler`] — the board-level pipeline scheduler composing the
 //!   module models into multi-core schedules with overlapped PCIe/DRAM
-//!   transfers (Figure 7), reporting per-stage utilization and stalls.
+//!   transfers (Figure 7), reporting per-stage utilization and stalls;
+//! * [`cluster`] — the multi-board cluster scheduler: a front-end
+//!   router with session→board key affinity, work stealing and
+//!   key-replication cost modeling over N single-board pipelines.
 //!
 //! This crate is deliberately independent of the CKKS scheme: it moves raw
 //! residue polynomials. `heax-core` composes these models into a full
@@ -53,7 +59,9 @@
 
 pub mod board;
 pub mod bram;
+pub mod cluster;
 pub mod cores;
+pub mod ir;
 pub mod keyswitch_pipeline;
 pub mod mult_dataflow;
 pub mod ntt_dataflow;

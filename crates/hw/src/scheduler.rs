@@ -4,7 +4,7 @@
 //!
 //! The per-module simulators answer "how many cycles does one NTT /
 //! MULT / KeySwitch take"; this module answers "what does the *board*
-//! sustain": a stream of high-level operations (multiply, relinearize,
+//! sustain": an [`ir`](crate::ir) op stream (multiply, relinearize,
 //! rotate — including hoisted multi-rotation groups, rescale) is
 //! lowered onto a configurable number of fully-pipelined HEAX cores,
 //! with host↔board PCIe transfers running on their own DMA channels so
@@ -53,95 +53,7 @@ use crate::mult_dataflow::MultModuleConfig;
 use crate::xfer::{DramModel, PcieModel};
 use crate::HwError;
 
-/// The high-level operation kinds a board op stream is made of — the
-/// server-side CKKS vocabulary, one entry per distinct machine cost.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BoardOpKind {
-    /// Homomorphic multiply: MULT module pass plus the relinearization
-    /// KeySwitch (the Table 8 composite).
-    Multiply,
-    /// Relinearize a 3-component ciphertext: one KeySwitch.
-    Relinearize,
-    /// Single slot rotation: the Galois permutation is free addressing;
-    /// one KeySwitch.
-    Rotate,
-    /// Hoisted multi-rotation group: the input is decomposed once (one
-    /// full KeySwitch interval), each further rotation pays only the
-    /// DyadMult-accumulate + modulus-switch tail.
-    RotateMany {
-        /// Rotations in the group (≥ 1).
-        count: usize,
-        /// How many of the group's outputs stay parked in board DRAM;
-        /// the remaining `count − parked_outputs` return over PCIe.
-        /// Must not exceed `count`.
-        parked_outputs: usize,
-    },
-    /// Rescale by the last active prime: the modulus-switch tail
-    /// (INTT1 → NTT1 → MS) without the decomposition stages.
-    Rescale,
-    /// Ciphertext movement with no compute: an inline operand uploads
-    /// host→board (optionally parking there); a parked operand ships
-    /// board→host.
-    Fetch,
-    /// Component-wise ciphertext addition on the dyadic cores.
-    Add,
-}
-
-/// One operation of a board op stream: a kind plus where its operands
-/// live and where its result goes (host memory across PCIe, or board
-/// DRAM via the Figure 7 memory map).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct BoardOp {
-    /// What to execute.
-    pub kind: BoardOpKind,
-    /// Operands are already board-resident (no host→board transfer).
-    pub input_parked: bool,
-    /// The result stays in board DRAM (no board→host transfer).
-    pub park_output: bool,
-}
-
-impl BoardOp {
-    /// An op with host-resident operands and a host-returned result.
-    pub fn new(kind: BoardOpKind) -> Self {
-        Self {
-            kind,
-            input_parked: false,
-            park_output: false,
-        }
-    }
-
-    /// Shorthand for a hoisted group of `count` rotations, all results
-    /// returning over PCIe.
-    pub fn rotate_many(count: usize) -> Self {
-        Self::new(BoardOpKind::RotateMany {
-            count,
-            parked_outputs: 0,
-        })
-    }
-
-    /// Marks the operands as already board-resident.
-    #[must_use]
-    pub fn with_parked_input(mut self) -> Self {
-        self.input_parked = true;
-        self
-    }
-
-    /// Marks the result as staying in board DRAM.
-    #[must_use]
-    pub fn with_parked_output(mut self) -> Self {
-        self.park_output = true;
-        self
-    }
-
-    /// Client-visible requests this op answers (a hoisted group answers
-    /// one per rotation).
-    pub fn requests(&self) -> u64 {
-        match self.kind {
-            BoardOpKind::RotateMany { count, .. } => count as u64,
-            _ => 1,
-        }
-    }
-}
+pub use crate::ir::{IrOp as BoardOp, OpKind as BoardOpKind};
 
 /// Compute/transfer stage classes, for utilization attribution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -307,6 +219,24 @@ impl PipelineConfig {
             .max(k * self.arch.ms_cycles())
     }
 
+    /// Cycles to move one key-switching key host→board over PCIe (the
+    /// replication cost a cluster router charges on a residency miss).
+    fn ksk_upload_cycles(&self) -> u64 {
+        let words = DramModel::ksk_bits(self.arch.n, self.arch.k) / 64;
+        self.xfer_cycles(words)
+    }
+
+    /// Compute cycles one op occupies a core for (no transfers) — the
+    /// load estimate the cluster router balances boards by.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidConfig`] for malformed ops (empty hoisted
+    /// groups).
+    pub fn op_compute_cycles(&self, op: &BoardOp) -> Result<u64, HwError> {
+        Ok(self.lower(op)?.compute.iter().map(|&(_, c)| c).sum())
+    }
+
     /// Lowers one high-level op into transfer volumes and compute
     /// stages. All volumes are modeled at the top of the modulus chain
     /// (`k` residue limbs per polynomial) — the level the paper
@@ -383,14 +313,23 @@ impl PipelineConfig {
             // park_output below cancels the return leg.
             BoardOpKind::Fetch => ("fetch", ct, ct, Vec::new()),
         };
+        // A ksk upload (cluster residency miss) rides the host→board
+        // channel ahead of the op's data, even when the ciphertext
+        // operands themselves are already parked on the board.
+        let ksk_cycles = if op.ksk_upload {
+            self.ksk_upload_cycles()
+        } else {
+            0
+        };
         Ok(LoweredOp {
             label,
             requests: op.requests(),
-            in_cycles: if op.input_parked {
-                0
-            } else {
-                self.xfer_cycles(in_words)
-            },
+            in_cycles: ksk_cycles
+                + if op.input_parked {
+                    0
+                } else {
+                    self.xfer_cycles(in_words)
+                },
             out_cycles: if op.park_output {
                 0
             } else {
@@ -404,13 +343,25 @@ impl PipelineConfig {
     /// each op placed on the earliest-available core, host→board and
     /// board→host DMA serialized on their own channels, per-core input
     /// FIFOs `input_fifo_depth` deep (an op's input transfer cannot
-    /// start until a buffer slot frees).
+    /// start until a buffer slot frees). Dependency edges
+    /// ([`BoardOp::deps`]) delay an op's compute until every
+    /// producer's compute has finished.
     ///
     /// # Errors
     ///
     /// [`HwError::InvalidConfig`] for malformed ops (empty hoisted
-    /// groups).
+    /// groups, or a dependency edge that does not point strictly
+    /// backwards in the stream).
     pub fn schedule_stream(&self, ops: &[BoardOp]) -> Result<PipelineReport, HwError> {
+        for (index, op) in ops.iter().enumerate() {
+            for dep in op.dep_indices() {
+                if dep >= index {
+                    return Err(HwError::InvalidConfig {
+                        reason: format!("op {index} depends on non-earlier op {dep}"),
+                    });
+                }
+            }
+        }
         let lowered: Vec<LoweredOp> = ops
             .iter()
             .map(|op| self.lower(op))
@@ -424,7 +375,7 @@ impl PipelineConfig {
         // slot is free, i.e. when the (j-depth)-th op on that core has
         // finished consuming its own slot.
         let mut core_history: Vec<Vec<u64>> = vec![Vec::new(); self.num_cores];
-        let mut timings = Vec::with_capacity(lowered.len());
+        let mut timings: Vec<OpTiming> = Vec::with_capacity(lowered.len());
         let mut stage_busy: Vec<(StageClass, u64)> =
             StageClass::ALL.iter().map(|&s| (s, 0)).collect();
         let add_busy = |class: StageClass, cycles: u64, busy: &mut Vec<(StageClass, u64)>| {
@@ -461,8 +412,17 @@ impl PipelineConfig {
             };
 
             let compute_cycles: u64 = op.compute.iter().map(|&(_, c)| c).sum();
-            let compute_start = core_free[core].max(in_end);
-            let input_stall = in_end.saturating_sub(core_free[core]);
+            // A dependency edge means this op reads an earlier op's
+            // board-resident result: compute cannot start before every
+            // producer's compute has finished.
+            let deps_ready = ops[index]
+                .dep_indices()
+                .map(|d| timings[d].compute.1)
+                .max()
+                .unwrap_or(0);
+            let ready = core_free[core].max(deps_ready);
+            let compute_start = ready.max(in_end);
+            let input_stall = in_end.saturating_sub(ready);
             let compute_end = compute_start + compute_cycles;
             core_free[core] = compute_end;
             core_history[core].push(compute_end);
@@ -498,16 +458,24 @@ impl PipelineConfig {
 
         // Input-FIFO high-water per core: buffers are live from the
         // start of the input transfer until compute releases them.
+        // Event sweep (O(n log n)) — cluster-scale streams run to tens
+        // of thousands of ops, where the naive pairwise overlap count
+        // would dominate the schedule itself. Releases sort before
+        // acquisitions at equal time (half-open [start, end) spans).
         let mut fifo_high_water = 0u64;
         for core in 0..self.num_cores {
-            let spans: Vec<(u64, u64)> = timings
-                .iter()
-                .filter(|t| t.core == core && t.xfer_in.1 > t.xfer_in.0)
-                .map(|t| (t.xfer_in.0, t.compute.1))
-                .collect();
-            for &(s, _) in &spans {
-                let live = spans.iter().filter(|&&(a, b)| a <= s && s < b).count() as u64;
-                fifo_high_water = fifo_high_water.max(live);
+            let mut events: Vec<(u64, i64)> = Vec::new();
+            for t in timings.iter().filter(|t| t.core == core) {
+                if t.xfer_in.1 > t.xfer_in.0 && t.compute.1 > t.xfer_in.0 {
+                    events.push((t.xfer_in.0, 1));
+                    events.push((t.compute.1, -1));
+                }
+            }
+            events.sort_unstable_by_key(|&(time, delta)| (time, delta));
+            let mut live = 0i64;
+            for (_, delta) in events {
+                live += delta;
+                fifo_high_water = fifo_high_water.max(live.max(0) as u64);
             }
         }
 
@@ -965,6 +933,56 @@ mod tests {
         // Requests: 1 each except the hoisted group.
         assert_eq!(r.requests(), 9);
         assert!((0.0..=1.0).contains(&r.core_utilization()));
+    }
+
+    #[test]
+    fn dependency_edges_serialize_across_cores() {
+        // Producer parks its result; the consumer on the other core
+        // must wait for it even though its own core is free.
+        let cfg = config(set_b(), 2);
+        let ops = vec![
+            BoardOp::new(BoardOpKind::Rotate).with_parked_output(),
+            BoardOp::new(BoardOpKind::Add)
+                .with_parked_input()
+                .with_dep(0),
+        ];
+        let r = cfg.schedule_stream(&ops).unwrap();
+        assert!(r.ops[1].compute.0 >= r.ops[0].compute.1);
+        // Without the edge the add starts immediately.
+        let free = cfg
+            .schedule_stream(&[
+                BoardOp::new(BoardOpKind::Rotate).with_parked_output(),
+                BoardOp::new(BoardOpKind::Add).with_parked_input(),
+            ])
+            .unwrap();
+        assert_eq!(free.ops[1].compute.0, 0);
+        // Forward or self edges are structurally invalid.
+        assert!(cfg
+            .schedule_stream(&[BoardOp::new(BoardOpKind::Rotate).with_dep(0)])
+            .is_err());
+    }
+
+    #[test]
+    fn ksk_upload_charges_the_input_channel() {
+        let cfg = config(set_b(), 1);
+        let plain = cfg
+            .schedule_stream(&[BoardOp::new(BoardOpKind::Rotate)])
+            .unwrap();
+        let uploaded = cfg
+            .schedule_stream(&[BoardOp::new(BoardOpKind::Rotate).with_ksk_upload()])
+            .unwrap();
+        // Set-B: the ksk (2·k·(k+1)·n words) is 2.5x a ciphertext
+        // (2·k·n) — the upload must dominate the input leg.
+        assert!(uploaded.busy(StageClass::XferIn) > 2 * plain.busy(StageClass::XferIn));
+        // Parked operands still pay the key upload (keys travel even
+        // when ciphertexts don't).
+        let parked = cfg
+            .schedule_stream(&[BoardOp::new(BoardOpKind::Rotate)
+                .with_parked_input()
+                .with_ksk_upload()])
+            .unwrap();
+        assert!(parked.busy(StageClass::XferIn) > 0);
+        assert!(parked.busy(StageClass::XferIn) < uploaded.busy(StageClass::XferIn));
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //! TCP, RPC, or drive it inline as the tests, examples, and the
 //! `bench_server` snapshot do.
 //!
-//! With [`HeaxServer::with_board_model`] the server also carries the
-//! board-level pipeline model of `heax-hw`: every flush's executed op
-//! stream (hoisted groups, parked operands and all) is replayed on a
-//! modeled multi-core HEAX board, so [`ServerStats`] reports the
-//! modeled cycle cost of the served traffic next to the measured wall
-//! time — without perturbing any functional result.
+//! Every flush lowers its requests into the shared op-stream IR of
+//! `heax_hw::ir` (rotation fusion is an IR pass), executes from the
+//! fused stream, and — with [`HeaxServer::with_board_model`] and/or
+//! [`HeaxServer::with_cluster_model`] — prices the *same* stream on a
+//! modeled multi-core HEAX board or a multi-board cluster with
+//! session→board key affinity, so [`ServerStats`] reports the modeled
+//! cycle cost (and routing/replication behavior) of the served
+//! traffic next to the measured wall time — without perturbing any
+//! functional result.
 //!
 //! ```
 //! use heax_ckks::serialize::{
@@ -81,7 +84,7 @@ pub mod session;
 pub mod wire;
 
 pub use error::{ErrorCode, ServerError};
-pub use metrics::{ModeledBoardStats, OpStats, ServerStats, SessionStats};
+pub use metrics::{ModeledBoardStats, ModeledClusterStats, OpStats, ServerStats, SessionStats};
 pub use server::HeaxServer;
 pub use session::SessionRegistry;
 pub use wire::{MessageKind, OpCode};

@@ -46,6 +46,12 @@ pub struct SessionStats {
     pub bytes_in: u64,
     /// Frame bytes sent to this session.
     pub bytes_out: u64,
+    /// Modeled board compute cycles this session's requests occupied,
+    /// accumulated across **every** flush (0 without a board or
+    /// cluster model) — the attribution figure for long-running
+    /// sessions; a hoisted group's cost is billed to the group's
+    /// owning session.
+    pub modeled_cycles: u64,
 }
 
 /// Aggregated board-model figures for a server with the modeled
@@ -107,6 +113,65 @@ impl ModeledBoardStats {
     }
 }
 
+/// Aggregated cluster-model figures for a server with the multi-board
+/// model enabled (see `HeaxServer::with_cluster_model`): every flush's
+/// fused IR stream is routed across the modeled board cluster of
+/// [`heax_hw::cluster`], and the routing/throughput outcome accumulates
+/// here.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ModeledClusterStats {
+    /// Boards the cluster model routes across.
+    pub boards: usize,
+    /// HEAX cores per modeled board.
+    pub cores_per_board: usize,
+    /// Board clock in MHz (for converting cycles to time).
+    pub freq_mhz: f64,
+    /// Flushes that were modeled.
+    pub flushes: u64,
+    /// Cluster-level ops routed (a hoisted group is one op).
+    pub modeled_ops: u64,
+    /// Client requests those ops answered.
+    pub modeled_requests: u64,
+    /// Sum of per-flush cluster makespans, in cycles.
+    pub modeled_cycles: u64,
+    /// Key-consuming ops routed to a board already holding their ksk.
+    pub routing_hits: u64,
+    /// Key-consuming ops that had to replicate their ksk first.
+    pub routing_misses: u64,
+    /// Warm-session ops stolen to a less-loaded board.
+    pub steals: u64,
+    /// Total key bytes replicated across the host link.
+    pub replication_bytes: u64,
+    /// Dependency edges dropped across board boundaries.
+    pub cross_board_deps: u64,
+}
+
+impl ModeledClusterStats {
+    /// Modeled wall time across all flushes, microseconds.
+    pub fn modeled_us(&self) -> f64 {
+        self.modeled_cycles as f64 / self.freq_mhz
+    }
+
+    /// Modeled sustained request throughput across all flushes.
+    pub fn modeled_requests_per_sec(&self) -> f64 {
+        if self.modeled_cycles == 0 {
+            0.0
+        } else {
+            self.modeled_requests as f64 / (self.modeled_us() / 1e6)
+        }
+    }
+
+    /// Fraction of key-consuming ops that hit resident keys.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.routing_hits + self.routing_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.routing_hits as f64 / total as f64
+        }
+    }
+}
+
 /// A point-in-time snapshot of every server gauge and counter.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServerStats {
@@ -147,6 +212,9 @@ pub struct ServerStats {
     /// Board-model aggregates (`None` unless the server was built with
     /// `with_board_model`).
     pub modeled: Option<ModeledBoardStats>,
+    /// Cluster-model aggregates (`None` unless the server was built
+    /// with `with_cluster_model`).
+    pub cluster: Option<ModeledClusterStats>,
 }
 
 impl ServerStats {
@@ -222,6 +290,26 @@ mod tests {
         let zero = ModeledBoardStats::default();
         assert_eq!(zero.modeled_requests_per_sec(), 0.0);
         assert_eq!(zero.core_utilization(), 0.0);
+    }
+
+    #[test]
+    fn modeled_cluster_stats_helpers() {
+        let c = ModeledClusterStats {
+            boards: 4,
+            cores_per_board: 2,
+            freq_mhz: 300.0,
+            modeled_requests: 600,
+            modeled_cycles: 300_000,
+            routing_hits: 9,
+            routing_misses: 1,
+            ..Default::default()
+        };
+        assert!((c.modeled_us() - 1000.0).abs() < 1e-9);
+        assert!((c.modeled_requests_per_sec() - 600_000.0).abs() < 1e-6);
+        assert!((c.hit_rate() - 0.9).abs() < 1e-12);
+        let zero = ModeledClusterStats::default();
+        assert_eq!(zero.modeled_requests_per_sec(), 0.0);
+        assert_eq!(zero.hit_rate(), 0.0);
     }
 
     #[test]

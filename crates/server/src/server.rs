@@ -15,11 +15,15 @@
 //!
 //! ## Batching semantics
 //!
-//! Within a flush, rotation requests of one session that target the
-//! same input ciphertext are fused into a single hoisted
-//! [`Evaluator::rotate_many`] call: the input's RNS decomposition is
-//! computed once and every requested step reuses it, so `t` rotations
-//! cost one decomposition plus `t` cheap accumulation passes. A fused
+//! A flush is a compiler pipeline: **lower → fuse → execute → model.**
+//! Queued requests lower into the shared op-stream IR of
+//! [`heax_hw::ir`] — one [`IrOp`] per request carrying session/key
+//! identity, operand placement, handle identity and dependency edges —
+//! and the rotation-fusion IR pass ([`OpStream::fuse_rotations`])
+//! merges same-session rotations of one input into hoisted groups:
+//! the input's RNS decomposition is computed once and every requested
+//! step reuses it, so `t` rotations cost one decomposition plus `t`
+//! cheap accumulation passes ([`Evaluator::rotate_many`]). A fused
 //! group executes at the queue position of its *first* member and
 //! resolves its input there; a `park_as` that overwrites a handle the
 //! group reads closes the group, so rotations submitted after the
@@ -31,6 +35,15 @@
 //! server's shared evaluator — whose key-switch scratch and the
 //! sessions' Shoup-ready cached keys are themselves cross-request
 //! amortizations.
+//!
+//! The fused stream is the single source of truth: the executor walks
+//! its member lists, and the *same* stream is then priced by the
+//! attached machine models — the single-board pipeline
+//! ([`HeaxServer::with_board_model`]) and/or the multi-board cluster
+//! router ([`HeaxServer::with_cluster_model`]). There is no
+//! model-only stream reconstruction anywhere; what the models price
+//! is exactly what the server ran. [`HeaxServer::queued_plan`]
+//! exposes the same lowering for inspection without executing.
 //!
 //! Results can be **parked** in modeled board DRAM ([`HeaxSystem`]'s
 //! Figure 7 memory map) instead of shipping back: a request with
@@ -45,7 +58,7 @@
 //! [`ErrorCode`](crate::error::ErrorCode); neither the session nor the
 //! server is ever torn down by hostile or malformed input.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -57,11 +70,13 @@ use heax_ckks::serialize::{
 use heax_ckks::{Ciphertext, CkksContext, Evaluator};
 use heax_core::{HeaxAccelerator, HeaxSystem};
 use heax_hw::board::Board;
-use heax_hw::scheduler::{BoardOp, BoardOpKind, PipelineConfig, PipelineReport};
+use heax_hw::cluster::{ClusterConfig, ClusterReport, RoutingPolicy};
+use heax_hw::ir::{FusedStream, IrOp, OpKind, OpStream};
+use heax_hw::scheduler::{PipelineConfig, PipelineReport};
 use heax_math::exec::Executor;
 
 use crate::error::ServerError;
-use crate::metrics::{Metrics, ModeledBoardStats, ServerStats, SessionStats};
+use crate::metrics::{Metrics, ModeledBoardStats, ModeledClusterStats, ServerStats, SessionStats};
 use crate::session::SessionRegistry;
 use crate::wire::{self, Frame, MessageKind, OpCode, ReplyBody, WireOperand};
 
@@ -85,25 +100,25 @@ enum Operand {
     Parked(String),
 }
 
-impl Operand {
-    /// Whether two operands denote the same input for rotation fusion.
-    fn same_input(&self, other: &Operand) -> bool {
-        match (self, other) {
-            (Operand::Parked(a), Operand::Parked(b)) => a == b,
-            (Operand::Inline(a), Operand::Inline(b)) => a == b,
-            _ => false,
-        }
-    }
-}
-
 /// The board model attached by [`HeaxServer::with_board_model`]: every
-/// flush's op stream is replayed on the board-level pipeline scheduler
-/// and the modeled cost accumulates into [`ModeledBoardStats`].
+/// flush's fused IR stream is scheduled on the board-level pipeline and
+/// the modeled cost accumulates into [`ModeledBoardStats`].
 #[derive(Debug)]
 struct BoardModel {
     config: PipelineConfig,
     stats: ModeledBoardStats,
     last_report: Option<PipelineReport>,
+}
+
+/// The cluster model attached by [`HeaxServer::with_cluster_model`]:
+/// every flush's fused IR stream is routed across N modeled boards and
+/// the routing outcome accumulates into [`ModeledClusterStats`].
+#[derive(Debug)]
+struct ClusterModel {
+    config: ClusterConfig,
+    policy: RoutingPolicy,
+    stats: ModeledClusterStats,
+    last_report: Option<ClusterReport>,
 }
 
 /// The multi-session HEAX server (see the module docs for the serving
@@ -117,6 +132,7 @@ pub struct HeaxServer<'a> {
     queue: VecDeque<Pending>,
     metrics: Metrics,
     board_model: Option<BoardModel>,
+    cluster_model: Option<ClusterModel>,
     scratch_out: Vec<u8>,
 }
 
@@ -146,6 +162,7 @@ impl<'a> HeaxServer<'a> {
             queue: VecDeque::new(),
             metrics: Metrics::default(),
             board_model: None,
+            cluster_model: None,
             scratch_out: Vec::new(),
         }
     }
@@ -187,11 +204,69 @@ impl<'a> HeaxServer<'a> {
         Ok(self)
     }
 
+    /// Builder option: attaches the multi-board cluster model —
+    /// `num_boards` modeled HEAX boards of `num_cores` cores each
+    /// behind the session-affinity router of [`heax_hw::cluster`]
+    /// (stealing enabled; override with
+    /// [`HeaxServer::with_routing_policy`]). Every subsequent flush
+    /// routes its fused IR stream — the exact stream the server
+    /// executes — across the cluster; aggregates surface as
+    /// [`ServerStats::cluster`] and the latest flush's full
+    /// [`ClusterReport`] via [`HeaxServer::cluster_report`].
+    /// Functional results are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Core`] if the cluster configuration is invalid
+    /// (zero cores, or a board count outside 1..=64).
+    pub fn with_cluster_model(
+        mut self,
+        num_boards: usize,
+        num_cores: usize,
+    ) -> Result<Self, ServerError> {
+        let config = self
+            .system
+            .accelerator()
+            .cluster_config(num_boards, num_cores)?;
+        let stats = ModeledClusterStats {
+            boards: num_boards,
+            cores_per_board: num_cores,
+            freq_mhz: config.board.freq_mhz,
+            ..Default::default()
+        };
+        self.cluster_model = Some(ClusterModel {
+            config,
+            policy: RoutingPolicy::Affinity { steal: true },
+            stats,
+            last_report: None,
+        });
+        Ok(self)
+    }
+
+    /// Builder option: the cluster model's routing policy (no effect
+    /// without [`HeaxServer::with_cluster_model`]).
+    #[must_use]
+    pub fn with_routing_policy(mut self, policy: RoutingPolicy) -> Self {
+        if let Some(m) = self.cluster_model.as_mut() {
+            m.policy = policy;
+        }
+        self
+    }
+
     /// The board-pipeline report of the most recent modeled flush
     /// (`None` before the first flush or without
     /// [`HeaxServer::with_board_model`]).
     pub fn board_report(&self) -> Option<&PipelineReport> {
         self.board_model
+            .as_ref()
+            .and_then(|m| m.last_report.as_ref())
+    }
+
+    /// The cluster report of the most recent modeled flush (`None`
+    /// before the first flush or without
+    /// [`HeaxServer::with_cluster_model`]).
+    pub fn cluster_report(&self) -> Option<&ClusterReport> {
+        self.cluster_model
             .as_ref()
             .and_then(|m| m.last_report.as_ref())
     }
@@ -344,8 +419,38 @@ impl<'a> HeaxServer<'a> {
         self.queue.len()
     }
 
+    /// Lowers the currently queued requests into the shared op-stream
+    /// IR, *without* executing or draining anything — the stream the
+    /// next [`HeaxServer::flush`] will fuse, execute and model. One
+    /// [`IrOp`] per request, submission order; parked handles and
+    /// inline inputs carry identity ids, handle write→read edges become
+    /// dependency edges.
+    pub fn queued_stream(&self) -> OpStream {
+        let items: Vec<&Pending> = self.queue.iter().collect();
+        lower_ops(&items)
+    }
+
+    /// The fused IR plan of the currently queued requests:
+    /// [`HeaxServer::queued_stream`] after the
+    /// [`OpStream::fuse_rotations`] pass — exactly what the next flush
+    /// executes and what the board/cluster models price. Pure
+    /// inspection: nothing is drained, no model is required.
+    pub fn queued_plan(&self) -> FusedStream {
+        self.queued_stream().fuse_rotations()
+    }
+
     /// Executes every queued request as one batch and returns a response
     /// frame per request, in submission order.
+    ///
+    /// The pipeline is lower → fuse → execute → model: requests lower
+    /// into the shared IR ([`heax_hw::ir`]), the rotation-fusion pass
+    /// merges same-session same-input rotations into hoisted groups,
+    /// and the resulting fused stream is the *single source of truth* —
+    /// the executor walks its member lists (a fused group runs as one
+    /// hoisted [`Evaluator::rotate_many`] at its first member's queue
+    /// position), and the very same stream is handed to the board
+    /// and/or cluster models afterwards. No model-only stream is ever
+    /// reconstructed.
     pub fn flush(&mut self) -> Vec<Vec<u8>> {
         let items: Vec<Pending> = self.queue.drain(..).collect();
         if items.is_empty() {
@@ -354,75 +459,35 @@ impl<'a> HeaxServer<'a> {
         self.metrics.batches += 1;
         self.metrics.batched_requests += items.len() as u64;
 
-        // Fusion plan: rotation requests sharing (session, input) form a
-        // group keyed by its first member's index. A group resolves its
-        // input once, at the first member's queue position — so a later
-        // `park_as` that overwrites a handle the group reads must CLOSE
-        // the group: rotations submitted after the write start a fresh
-        // group and see the new value, preserving in-order semantics.
-        struct RotGroup {
-            session: u64,
-            first: usize,
-            members: Vec<usize>,
-            open: bool,
-        }
-        let mut groups: Vec<RotGroup> = Vec::new();
-        for (idx, it) in items.iter().enumerate() {
-            if it.op == OpCode::Rotate {
-                let found = groups.iter_mut().find(|g| {
-                    g.open
-                        && g.session == it.session
-                        && items[g.first].operands[0].same_input(&it.operands[0])
-                });
-                match found {
-                    Some(g) => g.members.push(idx),
-                    None => groups.push(RotGroup {
-                        session: it.session,
-                        first: idx,
-                        members: vec![idx],
-                        open: true,
-                    }),
-                }
-            }
-            if let Some(written) = &it.park_as {
-                for g in groups.iter_mut().filter(|g| g.session == it.session) {
-                    if matches!(&items[g.first].operands[0], Operand::Parked(n) if n == written) {
-                        g.open = false;
-                    }
-                }
-            }
-        }
+        let refs: Vec<&Pending> = items.iter().collect();
+        let plan = lower_ops(&refs).fuse_rotations();
+        // A fused group executes at its first member's queue position
+        // (the IR pass guarantees first members are group minima), so
+        // in-order reply semantics and handle visibility hold.
+        let fused_at_first: HashMap<usize, usize> = plan
+            .members
+            .iter()
+            .enumerate()
+            .map(|(fused, members)| (members[0], fused))
+            .collect();
 
         let mut results: Vec<Option<Result<Ciphertext, ServerError>>> =
             (0..items.len()).map(|_| None).collect();
-        // The board-model op stream of this flush, in execution order
-        // (one entry per executed op — a fused group is one entry).
-        let mut modeled: Vec<(OpCode, BoardOp)> = Vec::new();
         let mut replies = Vec::with_capacity(items.len());
         for idx in 0..items.len() {
             // Execute (a fused group executes when its first member is
             // reached and pre-fills every member's slot).
             if results[idx].is_none() {
+                let fused = fused_at_first[&idx];
+                let members = &plan.members[fused];
                 let start = Instant::now();
-                let group = items[idx].op == OpCode::Rotate;
-                if group {
-                    let members = groups
-                        .iter()
-                        .find(|g| g.first == idx)
-                        .map(|g| g.members.clone())
-                        .unwrap_or_else(|| vec![idx]);
-                    self.exec_rotate_group(&items, &members, &mut results);
-                    if self.board_model.is_some() {
-                        modeled.push((OpCode::Rotate, Self::board_op_group(&items, &members)));
-                    }
+                if items[idx].op == OpCode::Rotate {
+                    self.exec_rotate_group(&items, members, &mut results);
                     let stats = self.metrics.op_mut(OpCode::Rotate);
                     stats.requests += members.len() as u64;
                     stats.busy_us += start.elapsed().as_secs_f64() * 1e6;
                 } else {
                     let outcome = self.exec_single(&items[idx]);
-                    if self.board_model.is_some() {
-                        modeled.push((items[idx].op, Self::board_op_single(&items[idx])));
-                    }
                     let stats = self.metrics.op_mut(items[idx].op);
                     stats.requests += 1;
                     stats.busy_us += start.elapsed().as_secs_f64() * 1e6;
@@ -449,88 +514,72 @@ impl<'a> HeaxServer<'a> {
             };
             replies.push(frame);
         }
-        self.model_flush(&modeled);
+        self.model_flush(&items, &plan);
         replies
     }
 
-    /// The board-model descriptor of a fused rotation group. Parking is
-    /// accounted per member: only the outputs that actually return over
-    /// the wire are charged PCIe-out.
-    fn board_op_group(items: &[Pending], members: &[usize]) -> BoardOp {
-        let first = &items[members[0]];
-        let parked = members
-            .iter()
-            .filter(|&&i| items[i].park_as.is_some())
-            .count();
-        let kind = if members.len() == 1 {
-            BoardOpKind::Rotate
-        } else {
-            BoardOpKind::RotateMany {
-                count: members.len(),
-                parked_outputs: parked,
+    /// Prices one flush's fused IR stream on the attached machine
+    /// models — the same stream the executor just ran. Modeled compute
+    /// cost is attributed back to op kinds and to owning sessions
+    /// (accumulating across flushes).
+    fn model_flush(&mut self, items: &[Pending], plan: &FusedStream) {
+        if plan.ops.is_empty() {
+            return;
+        }
+        if let Some(model) = self.board_model.as_mut() {
+            // Never let a model hiccup fail serving: the ops are
+            // well-formed by construction.
+            if let Ok(report) = model.config.schedule_stream(&plan.ops) {
+                let s = &mut model.stats;
+                s.flushes += 1;
+                s.modeled_ops += report.ops.len() as u64;
+                s.modeled_requests += report.requests();
+                s.modeled_cycles += report.total_cycles;
+                s.core_busy_cycles += report.core_busy();
+                s.fifo_high_water = s.fifo_high_water.max(report.fifo_high_water);
+                let stalls = report.stalls();
+                s.input_wait_cycles += stalls.input_wait;
+                s.output_wait_cycles += stalls.output_wait;
+                s.fifo_backpressure_cycles += stalls.fifo_backpressure;
+                s.last_bound = report.bound();
+                for (fused, timing) in report.ops.iter().enumerate() {
+                    let cycles = timing.compute.1 - timing.compute.0;
+                    let code = items[plan.members[fused][0]].op;
+                    self.metrics.op_mut(code).modeled_cycles += cycles;
+                    if let Ok(sess) = self.sessions.get_mut(plan.ops[fused].session) {
+                        sess.stats.modeled_cycles += cycles;
+                    }
+                }
+                model.last_report = Some(report);
             }
-        };
-        let mut op = BoardOp::new(kind);
-        if matches!(first.operands[0], Operand::Parked(_)) {
-            op = op.with_parked_input();
         }
-        if members.len() == 1 && parked == 1 {
-            op = op.with_parked_output();
+        if let Some(model) = self.cluster_model.as_mut() {
+            if let Ok(report) = model.config.schedule_stream(&plan.ops, model.policy) {
+                let s = &mut model.stats;
+                s.flushes += 1;
+                s.modeled_ops += plan.ops.len() as u64;
+                s.modeled_requests += report.requests();
+                s.modeled_cycles += report.total_cycles;
+                s.routing_hits += report.routing_hits;
+                s.routing_misses += report.routing_misses;
+                s.steals += report.steals;
+                s.replication_bytes += report.replication_bytes;
+                s.cross_board_deps += report.cross_board_deps;
+                // Attribute per-op/per-session compute from the cluster
+                // only when no board model already did (avoid billing
+                // the same flush twice).
+                if self.board_model.is_none() {
+                    for (fused, cycles) in report.per_op_compute_cycles().into_iter().enumerate() {
+                        let code = items[plan.members[fused][0]].op;
+                        self.metrics.op_mut(code).modeled_cycles += cycles;
+                        if let Ok(sess) = self.sessions.get_mut(plan.ops[fused].session) {
+                            sess.stats.modeled_cycles += cycles;
+                        }
+                    }
+                }
+                model.last_report = Some(report);
+            }
         }
-        op
-    }
-
-    /// The board-model descriptor of one non-fused request.
-    fn board_op_single(it: &Pending) -> BoardOp {
-        let kind = match it.op {
-            OpCode::Add => BoardOpKind::Add,
-            OpCode::MultiplyRelin | OpCode::SquareRelin => BoardOpKind::Multiply,
-            OpCode::Rescale => BoardOpKind::Rescale,
-            OpCode::Rotate => BoardOpKind::Rotate,
-            OpCode::Fetch => BoardOpKind::Fetch,
-        };
-        let mut op = BoardOp::new(kind);
-        if !it.operands.is_empty() && it.operands.iter().all(|o| matches!(o, Operand::Parked(_))) {
-            op = op.with_parked_input();
-        }
-        if it.park_as.is_some() {
-            op = op.with_parked_output();
-        }
-        op
-    }
-
-    /// Replays one flush's executed op stream on the board model and
-    /// accumulates its modeled cost.
-    fn model_flush(&mut self, modeled: &[(OpCode, BoardOp)]) {
-        let Some(model) = self.board_model.as_mut() else {
-            return;
-        };
-        if modeled.is_empty() {
-            return;
-        }
-        let ops: Vec<BoardOp> = modeled.iter().map(|&(_, op)| op).collect();
-        let report = match model.config.schedule_stream(&ops) {
-            Ok(r) => r,
-            // Unreachable: the op descriptors above are well-formed by
-            // construction; never let a model hiccup fail serving.
-            Err(_) => return,
-        };
-        let s = &mut model.stats;
-        s.flushes += 1;
-        s.modeled_ops += report.ops.len() as u64;
-        s.modeled_requests += report.requests();
-        s.modeled_cycles += report.total_cycles;
-        s.core_busy_cycles += report.core_busy();
-        s.fifo_high_water = s.fifo_high_water.max(report.fifo_high_water);
-        let stalls = report.stalls();
-        s.input_wait_cycles += stalls.input_wait;
-        s.output_wait_cycles += stalls.output_wait;
-        s.fifo_backpressure_cycles += stalls.fifo_backpressure;
-        s.last_bound = report.bound();
-        for (&(code, _), timing) in modeled.iter().zip(&report.ops) {
-            self.metrics.op_mut(code).modeled_cycles += timing.compute.1 - timing.compute.0;
-        }
-        model.last_report = Some(report);
     }
 
     /// Parks or serializes one successful result into a complete
@@ -721,8 +770,96 @@ impl<'a> HeaxServer<'a> {
             per_op: self.metrics.per_op_snapshot(),
             per_session,
             modeled: self.board_model.as_ref().map(|m| m.stats),
+            cluster: self.cluster_model.as_ref().map(|m| m.stats),
         }
     }
+}
+
+/// Lowers a batch of pending requests into the shared op-stream IR —
+/// one [`IrOp`] per request, submission order. Pure: no evaluator, no
+/// board model, no side effects, so the lowering is unit-testable on
+/// its own and `flush` and [`HeaxServer::queued_stream`] share it.
+///
+/// Identity assignment:
+/// * every distinct `(session, handle)` parked name gets a handle id —
+///   used both as operand identity (`input_id`) and park target
+///   (`output_id`), so the IR fusion pass sees handle overwrites;
+/// * the *first* operand of a rotation, when inline, gets an id by
+///   full ciphertext equality against earlier inline rotation inputs —
+///   equal inline inputs fuse exactly as the wire-level batching
+///   semantics promise;
+/// * parked reads gain dependency edges on the request that last
+///   parked the handle within this batch.
+fn lower_ops(items: &[&Pending]) -> OpStream {
+    let mut stream = OpStream::new();
+    let mut next_id: u64 = 1;
+    let mut handle_ids: HashMap<(u64, &str), u64> = HashMap::new();
+    let mut last_writer: HashMap<u64, usize> = HashMap::new();
+    // Inline rotation inputs seen so far: (item index, assigned id).
+    let mut inline_reps: Vec<(usize, u64)> = Vec::new();
+    for (idx, it) in items.iter().enumerate() {
+        let kind = match it.op {
+            OpCode::Add => OpKind::Add,
+            OpCode::MultiplyRelin | OpCode::SquareRelin => OpKind::Multiply,
+            OpCode::Rescale => OpKind::Rescale,
+            OpCode::Rotate => OpKind::Rotate,
+            OpCode::Fetch => OpKind::Fetch,
+        };
+        let mut op = IrOp::new(kind).with_session(it.session);
+        if !it.operands.is_empty() && it.operands.iter().all(|o| matches!(o, Operand::Parked(_))) {
+            op = op.with_parked_input();
+        }
+        match it.operands.first() {
+            Some(Operand::Parked(name)) => {
+                let id = *handle_ids
+                    .entry((it.session, name.as_str()))
+                    .or_insert_with(|| {
+                        let id = next_id;
+                        next_id += 1;
+                        id
+                    });
+                op = op.with_input_id(id);
+            }
+            Some(Operand::Inline(ct)) if it.op == OpCode::Rotate => {
+                let found = inline_reps.iter().find(
+                    |&&(rep, _)| matches!(&items[rep].operands[0], Operand::Inline(rc) if rc == ct),
+                );
+                let id = match found {
+                    Some(&(_, id)) => id,
+                    None => {
+                        let id = next_id;
+                        next_id += 1;
+                        inline_reps.push((idx, id));
+                        id
+                    }
+                };
+                op = op.with_input_id(id);
+            }
+            _ => {}
+        }
+        for operand in it.operands.iter().take(2) {
+            if let Operand::Parked(name) = operand {
+                if let Some(&id) = handle_ids.get(&(it.session, name.as_str())) {
+                    if let Some(&writer) = last_writer.get(&id) {
+                        op = op.with_dep(writer as u32);
+                    }
+                }
+            }
+        }
+        if let Some(name) = &it.park_as {
+            let id = *handle_ids
+                .entry((it.session, name.as_str()))
+                .or_insert_with(|| {
+                    let id = next_id;
+                    next_id += 1;
+                    id
+                });
+            op = op.with_parked_output().with_output_id(id);
+            last_writer.insert(id, idx);
+        }
+        stream.push(op);
+    }
+    stream
 }
 
 /// Session-scoped park handle, so sessions can never read or clobber

@@ -1,0 +1,365 @@
+//! IR-layer tests for the server's lower → fuse pipeline, exercised
+//! **without** any board or cluster model attached: lowering queued
+//! requests into the shared `heax_hw::ir` op stream is a pure
+//! inspection ([`HeaxServer::queued_stream`] / `queued_plan`), so its
+//! shape — kinds, operand placement, identity ids, dependency edges,
+//! hoisted groups — is unit-testable on its own. Also pins two batch
+//! properties: rotation fusion is order-insensitive across session
+//! interleavings, and per-session modeled cycles accumulate across
+//! flushes.
+
+use heax_ckks::serialize::{serialize_ciphertext, serialize_galois_keys};
+use heax_ckks::{
+    Ciphertext, CkksContext, CkksEncoder, CkksParams, Encryptor, GaloisKeys, PublicKey, SecretKey,
+};
+use heax_core::{HeaxAccelerator, HeaxSystem};
+use heax_hw::board::Board;
+use heax_hw::ir::{FusedStream, OpKind};
+use heax_hw::keyswitch_pipeline::KeySwitchArch;
+use heax_hw::mult_dataflow::MultModuleConfig;
+use heax_hw::ntt_dataflow::NttModuleConfig;
+use heax_server::wire::client::{self};
+use heax_server::wire::{OpCode, Request, WireOperand};
+use heax_server::HeaxServer;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ctx() -> CkksContext {
+    let chain = heax_math::primes::generate_prime_chain(&[40, 40, 40, 41], 64).unwrap();
+    CkksContext::new(CkksParams::new(64, chain, (1u64 << 32) as f64).unwrap()).unwrap()
+}
+
+fn system(ctx: &CkksContext) -> HeaxSystem<'_> {
+    let accel = HeaxAccelerator::with_arch(
+        ctx,
+        Board::stratix10(),
+        KeySwitchArch {
+            n: 64,
+            k: 3,
+            nc_intt0: 4,
+            m0: 2,
+            nc_ntt0: 4,
+            num_dyad: 3,
+            nc_dyad: 4,
+            nc_intt1: 2,
+            nc_ntt1: 4,
+            nc_ms: 2,
+        },
+        NttModuleConfig::new(64, 4).unwrap(),
+        MultModuleConfig::new(64, 8).unwrap(),
+    )
+    .unwrap();
+    HeaxSystem::new(accel)
+}
+
+/// A keyed client: Galois keys (covering ±1, ±2) plus one fresh
+/// ciphertext, both ready for the wire.
+struct Client {
+    gks: GaloisKeys,
+    ct: Ciphertext,
+}
+
+fn client_rig(ctx: &CkksContext, seed: u64) -> Client {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = SecretKey::generate(ctx, &mut rng);
+    let pk = PublicKey::generate(ctx, &sk, &mut rng);
+    let gks = GaloisKeys::generate(ctx, &sk, &[1, 2, -1, -2], &mut rng);
+    let enc = CkksEncoder::new(ctx);
+    let vals: Vec<f64> = (0..ctx.n() / 2)
+        .map(|i| (i as f64) * 0.04 + seed as f64 * 0.03)
+        .collect();
+    let ct = Encryptor::new(ctx, &pk)
+        .encrypt(
+            &enc.encode_real(&vals, ctx.params().scale(), ctx.max_level())
+                .unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    Client { gks, ct }
+}
+
+/// Opens one session and registers its Galois keys.
+fn open_keyed(server: &mut HeaxServer<'_>, c: &Client) -> u64 {
+    let reply = server.handle_frame(&client::open_session()).unwrap();
+    let (session, _, _) = client::parse_reply(&reply).unwrap();
+    let frame = client::register_galois_keys(session, &serialize_galois_keys(&c.gks));
+    server.handle_frame(&frame).unwrap();
+    session
+}
+
+fn submit(server: &mut HeaxServer<'_>, session: u64, id: u64, req: &Request<'_>) {
+    assert!(server
+        .handle_frame(&client::request(session, id, req))
+        .is_none());
+}
+
+/// The multiset of hoisted rotation groups in a fused plan, as
+/// `(session, fanout)` pairs sorted for comparison — the shape the
+/// order-insensitivity property compares across submission orders.
+fn group_shape(plan: &FusedStream) -> Vec<(u64, usize)> {
+    let mut shape: Vec<(u64, usize)> = plan
+        .ops
+        .iter()
+        .zip(&plan.members)
+        .filter(|(op, _)| matches!(op.kind, OpKind::Rotate | OpKind::RotateMany { .. }))
+        .map(|(op, members)| (op.session, members.len()))
+        .collect();
+    shape.sort_unstable();
+    shape
+}
+
+#[test]
+fn lowering_is_pure_and_captures_placement_ids_and_deps() {
+    let c = ctx();
+    let rig = client_rig(&c, 11);
+    let mut server = HeaxServer::with_system(&c, system(&c));
+    let session = open_keyed(&mut server, &rig);
+    let ct_bytes = serialize_ciphertext(&rig.ct);
+
+    // fetch(inline) → "a"; rotate("a") → "b"; add("a","b") → "c";
+    // fetch("c") out.
+    submit(
+        &mut server,
+        session,
+        1,
+        &Request {
+            op: OpCode::Fetch,
+            step: 0,
+            park_as: Some("a"),
+            operands: vec![WireOperand::Inline(&ct_bytes)],
+        },
+    );
+    submit(
+        &mut server,
+        session,
+        2,
+        &Request {
+            op: OpCode::Rotate,
+            step: 1,
+            park_as: Some("b"),
+            operands: vec![WireOperand::Parked("a")],
+        },
+    );
+    submit(
+        &mut server,
+        session,
+        3,
+        &Request {
+            op: OpCode::Add,
+            step: 0,
+            park_as: Some("c"),
+            operands: vec![WireOperand::Parked("a"), WireOperand::Parked("b")],
+        },
+    );
+    submit(
+        &mut server,
+        session,
+        4,
+        &Request {
+            op: OpCode::Fetch,
+            step: 0,
+            park_as: None,
+            operands: vec![WireOperand::Parked("c")],
+        },
+    );
+
+    let stream = server.queued_stream();
+    assert_eq!(stream.len(), 4);
+    let ops = &stream.ops;
+
+    // fetch(inline) → "a": inline input, parked output with an id.
+    assert_eq!(ops[0].kind, OpKind::Fetch);
+    assert!(!ops[0].input_parked);
+    assert!(ops[0].park_output);
+    let a = ops[0].output_id;
+    assert_ne!(a, 0);
+    assert_eq!(ops[0].dep_indices().count(), 0);
+
+    // rotate("a") → "b": parked input carries "a"'s id and a dep edge
+    // on its writer.
+    assert_eq!(ops[1].kind, OpKind::Rotate);
+    assert!(ops[1].input_parked);
+    assert_eq!(ops[1].input_id, a);
+    assert_eq!(ops[1].dep_indices().collect::<Vec<_>>(), vec![0]);
+    let b = ops[1].output_id;
+    assert!(b != 0 && b != a);
+
+    // add("a","b") → "c": depends on both writers.
+    assert_eq!(ops[2].kind, OpKind::Add);
+    assert!(ops[2].input_parked);
+    let mut deps: Vec<usize> = ops[2].dep_indices().collect();
+    deps.sort_unstable();
+    assert_eq!(deps, vec![0, 1]);
+
+    // fetch("c"): read-only tail, no parked output.
+    assert_eq!(ops[3].kind, OpKind::Fetch);
+    assert!(ops[3].input_parked);
+    assert!(!ops[3].park_output);
+    assert_eq!(ops[3].output_id, 0);
+    assert_eq!(ops[3].dep_indices().collect::<Vec<_>>(), vec![2]);
+
+    assert!(ops.iter().all(|op| op.session == session));
+
+    // Inspection drained nothing; the same queue still flushes fully.
+    assert_eq!(server.queue_depth(), 4);
+    let plan = server.queued_plan();
+    assert_eq!(plan.requests(), 4);
+    assert_eq!(server.flush().len(), 4);
+    assert_eq!(server.queue_depth(), 0);
+}
+
+#[test]
+fn fanout_plan_fuses_same_input_rotations_only() {
+    let c = ctx();
+    let rig = client_rig(&c, 12);
+    let other = client_rig(&c, 13);
+    let mut server = HeaxServer::with_system(&c, system(&c));
+    let session = open_keyed(&mut server, &rig);
+    let ct_bytes = serialize_ciphertext(&rig.ct);
+    let other_bytes = serialize_ciphertext(&other.ct);
+
+    // Three rotations of one ciphertext, then one of a different one.
+    for (id, step) in [(1u64, 1i64), (2, 2), (3, -1)] {
+        let frame = client::rotate(session, id, &ct_bytes, step);
+        assert!(server.handle_frame(&frame).is_none());
+    }
+    let frame = client::rotate(session, 4, &other_bytes, 1);
+    assert!(server.handle_frame(&frame).is_none());
+
+    let plan = server.queued_plan();
+    assert_eq!(plan.ops.len(), 2, "one hoisted group plus one singleton");
+    assert_eq!(
+        plan.ops[0].kind,
+        OpKind::RotateMany {
+            count: 3,
+            parked_outputs: 0
+        }
+    );
+    assert_eq!(plan.members[0], vec![0, 1, 2]);
+    assert_eq!(plan.ops[1].kind, OpKind::Rotate);
+    assert_eq!(plan.members[1], vec![3]);
+    assert_eq!(plan.requests(), 4);
+}
+
+#[test]
+fn per_session_modeled_cycles_accumulate_across_flushes() {
+    let c = ctx();
+    let rig = client_rig(&c, 14);
+
+    // Board model: each flush's attributed cycles add onto the
+    // session's running total.
+    let mut server = HeaxServer::with_system(&c, system(&c))
+        .with_board_model(2)
+        .unwrap();
+    let session = open_keyed(&mut server, &rig);
+    let ct_bytes = serialize_ciphertext(&rig.ct);
+
+    let frame = client::rotate(session, 1, &ct_bytes, 1);
+    assert!(server.handle_frame(&frame).is_none());
+    server.flush();
+    let after_one = session_cycles(&server, session);
+    assert!(after_one > 0, "first flush must bill the session");
+
+    for id in [2u64, 3] {
+        let frame = client::rotate(session, id, &ct_bytes, 1);
+        assert!(server.handle_frame(&frame).is_none());
+    }
+    server.flush();
+    let after_two = session_cycles(&server, session);
+    assert!(
+        after_two > after_one,
+        "second flush must add to the running total ({after_two} vs {after_one})"
+    );
+
+    // Cluster model alone attributes per-session cycles the same way.
+    let mut cluster = HeaxServer::with_system(&c, system(&c))
+        .with_cluster_model(2, 2)
+        .unwrap();
+    let session = open_keyed(&mut cluster, &rig);
+    let frame = client::rotate(session, 1, &ct_bytes, 1);
+    assert!(cluster.handle_frame(&frame).is_none());
+    cluster.flush();
+    let first = session_cycles(&cluster, session);
+    assert!(first > 0, "cluster model must bill the session");
+    let frame = client::rotate(session, 2, &ct_bytes, 1);
+    assert!(cluster.handle_frame(&frame).is_none());
+    cluster.flush();
+    assert!(session_cycles(&cluster, session) > first);
+}
+
+fn session_cycles(server: &HeaxServer<'_>, session: u64) -> u64 {
+    server
+        .stats()
+        .per_session
+        .iter()
+        .find(|&&(id, _)| id == session)
+        .map(|&(_, s)| s.modeled_cycles)
+        .expect("session registered")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Rotation fusion is order-insensitive: interleaving requests
+    /// from different sessions within a flush yields the same hoisted
+    /// groups (same per-session fan-outs) as submitting them sorted by
+    /// session.
+    #[test]
+    fn fusion_is_order_insensitive_across_sessions(
+        fanouts in prop::collection::vec(1usize..5, 2..4),
+        seed in 0u64..1000,
+    ) {
+        let c = ctx();
+        let rigs: Vec<Client> = (0..fanouts.len())
+            .map(|i| client_rig(&c, seed.wrapping_add(i as u64)))
+            .collect();
+
+        // Two servers, sessions opened in the same order so ids match.
+        let mut interleaved = HeaxServer::with_system(&c, system(&c));
+        let mut sorted = HeaxServer::with_system(&c, system(&c));
+        let mut sessions = Vec::new();
+        for rig in &rigs {
+            let a = open_keyed(&mut interleaved, rig);
+            let b = open_keyed(&mut sorted, rig);
+            prop_assert_eq!(a, b);
+            sessions.push(a);
+        }
+        let cts: Vec<Vec<u8>> = rigs.iter().map(|r| serialize_ciphertext(&r.ct)).collect();
+
+        // Round-robin interleaving across sessions...
+        let mut id = 0u64;
+        let mut left: Vec<usize> = fanouts.clone();
+        while left.iter().any(|&n| n > 0) {
+            for (i, n) in left.iter_mut().enumerate() {
+                if *n > 0 {
+                    *n -= 1;
+                    id += 1;
+                    let frame = client::rotate(sessions[i], id, &cts[i], 1);
+                    prop_assert!(interleaved.handle_frame(&frame).is_none());
+                }
+            }
+        }
+        // ...versus strictly session-sorted submission.
+        let mut id = 0u64;
+        for (i, &n) in fanouts.iter().enumerate() {
+            for _ in 0..n {
+                id += 1;
+                let frame = client::rotate(sessions[i], id, &cts[i], 1);
+                prop_assert!(sorted.handle_frame(&frame).is_none());
+            }
+        }
+
+        let shape_a = group_shape(&interleaved.queued_plan());
+        let shape_b = group_shape(&sorted.queued_plan());
+        prop_assert_eq!(&shape_a, &shape_b);
+        // Every session contributes exactly one group of its fan-out.
+        let mut want: Vec<(u64, usize)> = sessions
+            .iter()
+            .zip(&fanouts)
+            .map(|(&s, &n)| (s, n))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(shape_a, want);
+    }
+}

@@ -29,6 +29,10 @@ use rand::SeedableRng;
 /// Modeled core counts every stream is checked at.
 const CORES: [usize; 3] = [1, 2, 4];
 
+/// Modeled cluster shapes (boards × cores per board) the cluster
+/// decrypt-identity property is checked at.
+const CLUSTERS: [(usize, usize); 4] = [(1, 1), (1, 4), (2, 1), (2, 4)];
+
 /// Rotation steps the test Galois keys cover.
 const STEPS: [i64; 4] = [1, 2, -1, -2];
 
@@ -91,6 +95,29 @@ fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Vec<f64> {
     let enc = CkksEncoder::new(ctx);
     enc.decode_real(&Decryptor::new(ctx, sk).decrypt(ct).unwrap())
         .unwrap()
+}
+
+/// Opens a cluster-modeled server with one registered session.
+fn cluster_server<'a>(
+    ctx: &'a CkksContext,
+    system: HeaxSystem<'a>,
+    r: &Rig,
+    boards: usize,
+    cores: usize,
+) -> (HeaxServer<'a>, u64) {
+    let mut server = HeaxServer::with_system(ctx, system)
+        .with_cluster_model(boards, cores)
+        .unwrap();
+    let reply = server.handle_frame(&client::open_session()).unwrap();
+    let (session, _, _) = client::parse_reply(&reply).unwrap();
+    for frame in [
+        client::register_relin_key(session, &serialize_relin_key(&r.rlk)),
+        client::register_galois_keys(session, &serialize_galois_keys(&r.gks)),
+    ] {
+        let (_, _, reply) = client::parse_reply(&server.handle_frame(&frame).unwrap()).unwrap();
+        assert_eq!(reply, Reply::KeyRegistered);
+    }
+    (server, session)
 }
 
 /// Opens a modeled-backend server with one registered session.
@@ -299,6 +326,114 @@ proptest! {
             prop_assert_eq!(modeled.modeled_ops, 1);
             prop_assert_eq!(modeled.modeled_requests, steps.len() as u64);
             prop_assert_eq!(stats.hoisted_groups, 1);
+        }
+    }
+
+    /// The same chained stream served with the multi-board **cluster**
+    /// model attached stays bit-identical to the evaluator at every
+    /// boards × cores shape — routing, key replication and work
+    /// stealing are accounting only and never perturb serving.
+    #[test]
+    fn cluster_modeled_chain_matches_evaluator(ops in arb_stream(), seed in 0u64..1000) {
+        let c = ctx();
+        let r = rig(&c, seed);
+        let eval = Evaluator::new(&c);
+
+        let mut want = deserialize_ciphertext(&serialize_ciphertext(&r.ct), &c).unwrap();
+        for op in &ops {
+            want = match op {
+                StreamOp::Rotate(step) => eval.rotate(&want, *step, &r.gks).unwrap(),
+                StreamOp::Add => eval.add(&want, &want).unwrap(),
+                StreamOp::SquareRescale => {
+                    let sq = eval.multiply_relin(&want, &want, &r.rlk).unwrap();
+                    eval.rescale(&sq).unwrap()
+                }
+            };
+        }
+
+        for (boards, cores) in CLUSTERS {
+            let (mut server, session) = cluster_server(&c, system(&c), &r, boards, cores);
+            let ct_bytes = serialize_ciphertext(&r.ct);
+            let mut id = 0u64;
+            let mut submit = |server: &mut HeaxServer<'_>, req: &Request<'_>| {
+                id += 1;
+                assert!(server.handle_frame(&client::request(session, id, req)).is_none());
+            };
+            submit(&mut server, &Request {
+                op: OpCode::Fetch,
+                step: 0,
+                park_as: Some("acc"),
+                operands: vec![WireOperand::Inline(&ct_bytes)],
+            });
+            let mut expected_requests = 1u64;
+            for op in &ops {
+                let reqs: Vec<Request<'_>> = match op {
+                    StreamOp::Rotate(step) => vec![Request {
+                        op: OpCode::Rotate,
+                        step: *step,
+                        park_as: Some("acc"),
+                        operands: vec![WireOperand::Parked("acc")],
+                    }],
+                    StreamOp::Add => vec![Request {
+                        op: OpCode::Add,
+                        step: 0,
+                        park_as: Some("acc"),
+                        operands: vec![WireOperand::Parked("acc"), WireOperand::Parked("acc")],
+                    }],
+                    StreamOp::SquareRescale => vec![
+                        Request {
+                            op: OpCode::SquareRelin,
+                            step: 0,
+                            park_as: Some("acc"),
+                            operands: vec![WireOperand::Parked("acc")],
+                        },
+                        Request {
+                            op: OpCode::Rescale,
+                            step: 0,
+                            park_as: Some("acc"),
+                            operands: vec![WireOperand::Parked("acc")],
+                        },
+                    ],
+                };
+                for req in &reqs {
+                    submit(&mut server, req);
+                    expected_requests += 1;
+                }
+            }
+            submit(&mut server, &Request {
+                op: OpCode::Fetch,
+                step: 0,
+                park_as: None,
+                operands: vec![WireOperand::Parked("acc")],
+            });
+            expected_requests += 1;
+
+            let replies = server.flush();
+            let (_, _, last) = client::parse_reply(replies.last().unwrap()).unwrap();
+            let Reply::Ciphertext(bytes) = last else {
+                panic!("chain must end in a ciphertext reply, got {last:?}");
+            };
+            let got = deserialize_ciphertext(&bytes, &c).unwrap();
+            prop_assert_eq!(&got, &want, "boards = {}, cores = {}", boards, cores);
+
+            // The cluster model observed the whole flush: one routing
+            // miss replicated the session's keys, the rest hit.
+            let stats = server.stats();
+            let cluster = stats.cluster.expect("cluster model enabled");
+            prop_assert_eq!(cluster.boards, boards);
+            prop_assert_eq!(cluster.cores_per_board, cores);
+            prop_assert_eq!(cluster.modeled_requests, expected_requests);
+            prop_assert!(cluster.modeled_cycles > 0);
+            if cluster.routing_hits + cluster.routing_misses > 0 {
+                prop_assert!(cluster.routing_misses <= 1, "one session uploads once");
+                prop_assert_eq!(
+                    cluster.replication_bytes > 0,
+                    cluster.routing_misses == 1
+                );
+            }
+            prop_assert!(server.cluster_report().is_some());
+            let billed: u64 = stats.per_session.iter().map(|&(_, s)| s.modeled_cycles).sum();
+            prop_assert!(billed > 0, "per-session attribution must flow from the cluster");
         }
     }
 }
