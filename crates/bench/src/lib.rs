@@ -688,19 +688,33 @@ pub mod pipeline {
     /// Modeled HEAX core counts swept by the suite.
     pub const CORES: [usize; 3] = [1, 2, 4];
 
+    /// Transfer/return modes swept by the suite:
+    /// * `"wire"` — v1 serving: full ciphertexts up, full ciphertexts
+    ///   back over PCIe;
+    /// * `"dram"` — results parked in board DRAM (`park_as`), no PCIe
+    ///   return leg;
+    /// * `"wire-v2"` — the v2 wire path: seeded uploads (a 32-byte
+    ///   seed replaces the uniform polynomial, halving host→board) and
+    ///   compressed replies (one RNS limb of `k` ships back).
+    pub const MODES: [&str; 3] = ["wire", "dram", "wire-v2"];
+
     /// Ring degree of the decrypt-verified functional leg.
     pub const FUNCTIONAL_N: usize = 4096;
 
     /// The 8-client × 8-rotation server workload as a board op stream:
-    /// one hoisted rotation group per client. `parked` keeps results in
-    /// board DRAM (the `park_as` serving pattern) instead of shipping
-    /// them back over PCIe.
-    pub fn workload(parked: bool) -> Vec<BoardOp> {
+    /// one hoisted rotation group per client, shaped per [`MODES`]
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a mode label outside [`MODES`].
+    pub fn workload(mode: &str) -> Vec<BoardOp> {
         let group = BoardOp::rotate_many(srv::ROTATIONS_PER_CLIENT);
-        let group = if parked {
-            group.with_parked_output()
-        } else {
-            group
+        let group = match mode {
+            "wire" => group,
+            "dram" => group.with_parked_output(),
+            "wire-v2" => group.with_seeded_input().with_reply_limbs(1),
+            other => panic!("unknown pipeline mode {other:?}"),
         };
         vec![group; srv::CLIENTS]
     }
@@ -744,8 +758,8 @@ pub mod pipeline {
         let mut records = Vec::new();
         for set in ParamSet::ALL {
             let dp = DesignPoint::derive(Board::stratix10(), set).expect("paper row");
-            for parked in [false, true] {
-                let ops = workload(parked);
+            for mode in MODES {
+                let ops = workload(mode);
                 let base = estimate_stream(&dp, &ops, 1)
                     .expect("schedule")
                     .requests_per_sec();
@@ -755,7 +769,8 @@ pub mod pipeline {
                         set: set.to_string(),
                         n: set.n(),
                         cores,
-                        parked,
+                        mode: mode.to_string(),
+                        parked: mode == "dram",
                         requests_per_sec: r.requests_per_sec(),
                         speedup_vs_1core: r.requests_per_sec() / base,
                         bound: r.bound().to_string(),
@@ -774,9 +789,32 @@ pub mod pipeline {
     pub fn acceptance_speedup(records: &[PipeRecord]) -> f64 {
         records
             .iter()
-            .find(|r| r.n == 16384 && r.cores == 4 && !r.parked)
+            .find(|r| r.n == 16384 && r.cores == 4 && r.mode == "wire")
             .map(|r| r.speedup_vs_1core)
             .unwrap_or(0.0)
+    }
+
+    /// The v2 acceptance figure: how many `(set, cores)` points the v2
+    /// wire path rescued from the PCIe return bottleneck. A point
+    /// counts when its v1 `wire` row was `pcie-out`-bound and the
+    /// `wire-v2` twin either became compute-bound or, where the v1
+    /// speedup had collapsed to ≤ 1.12×, recovered at least 1.5× the
+    /// v1 figure.
+    pub fn v2_flip_count(records: &[PipeRecord]) -> usize {
+        records
+            .iter()
+            .filter(|v1| v1.mode == "wire" && v1.bound == "pcie-out")
+            .filter(|v1| {
+                records
+                    .iter()
+                    .find(|v2| v2.mode == "wire-v2" && v2.n == v1.n && v2.cores == v1.cores)
+                    .is_some_and(|v2| {
+                        v2.bound == "compute"
+                            || (v1.speedup_vs_1core <= 1.12
+                                && v2.speedup_vs_1core >= 1.5 * v1.speedup_vs_1core)
+                    })
+            })
+            .count()
     }
 }
 
@@ -1154,7 +1192,11 @@ pub mod bench_json {
         pub n: usize,
         /// Modeled HEAX cores.
         pub cores: usize,
-        /// Whether results stay parked in board DRAM (no PCIe return).
+        /// Transfer/return mode (`wire`, `dram`, `wire-v2` — see
+        /// `pipeline::MODES`).
+        pub mode: String,
+        /// Whether results stay parked in board DRAM (no PCIe return);
+        /// redundant with `mode == "dram"`, kept for `/1` consumers.
         pub parked: bool,
         /// Modeled sustained request throughput.
         pub requests_per_sec: f64,
@@ -1170,8 +1212,9 @@ pub mod bench_json {
     }
 
     /// Renders the pipeline snapshot document (schema
-    /// `heax-bench-pipeline/1`). `functional` carries the modeled stats
-    /// of the decrypt-verified serving pass, which ran at ring degree
+    /// `heax-bench-pipeline/2` — `/2` added the `mode` field and the
+    /// `wire-v2` rows). `functional` carries the modeled stats of the
+    /// decrypt-verified serving pass, which ran at ring degree
     /// `functional_n`.
     pub fn render_pipeline(
         records: &[PipeRecord],
@@ -1180,7 +1223,7 @@ pub mod bench_json {
         functional_n: usize,
         functional: &heax_server::ModeledBoardStats,
     ) -> String {
-        let mut doc = Doc::new("heax-bench-pipeline/1")
+        let mut doc = Doc::new("heax-bench-pipeline/2")
             .field("clients", clients)
             .field("rotations_per_client", rotations_per_client)
             .field(
@@ -1196,13 +1239,15 @@ pub mod bench_json {
             );
         for r in records {
             doc.push_row(format!(
-                "{{\"set\": \"{}\", \"n\": {}, \"cores\": {}, \"parked\": {}, \
+                "{{\"set\": \"{}\", \"n\": {}, \"cores\": {}, \"mode\": \"{}\", \
+                 \"parked\": {}, \
                  \"requests_per_sec\": {:.3}, \"speedup_vs_1core\": {:.3}, \
                  \"bound\": \"{}\", \"core_utilization\": {:.3}, \
                  \"fifo_high_water\": {}}}",
                 esc(&r.set),
                 r.n,
                 r.cores,
+                esc(&r.mode),
                 r.parked,
                 r.requests_per_sec,
                 r.speedup_vs_1core,
@@ -1387,6 +1432,7 @@ mod tests {
                 set: "Set-C".into(),
                 n: 16384,
                 cores: 1,
+                mode: "wire".into(),
                 parked: false,
                 requests_per_sec: 2500.0,
                 speedup_vs_1core: 1.0,
@@ -1398,6 +1444,7 @@ mod tests {
                 set: "Set-C".into(),
                 n: 16384,
                 cores: 4,
+                mode: "wire-v2".into(),
                 parked: false,
                 requests_per_sec: 7200.0,
                 speedup_vs_1core: 2.88,
@@ -1415,7 +1462,8 @@ mod tests {
         };
         let json = bench_json::render_pipeline(&records, 8, 8, 16384, &functional);
         assert!(json.contains("\"n\": 16384,"));
-        assert!(json.contains("\"schema\": \"heax-bench-pipeline/1\""));
+        assert!(json.contains("\"schema\": \"heax-bench-pipeline/2\""));
+        assert!(json.contains("\"mode\": \"wire-v2\""));
         assert!(json.contains("\"verified_decrypt_identical\": true"));
         assert!(json.contains("\"speedup_vs_1core\": 2.880"));
         assert!(json.contains("\"bound\": \"pcie-out\""));
@@ -1504,19 +1552,85 @@ mod tests {
         // 1-core on the wire-return 8-client workload at Set-C, and the
         // parked variants must scale at least as well as wire return.
         let records = pipeline::model_suite();
-        assert_eq!(records.len(), 3 * 2 * pipeline::CORES.len());
+        assert_eq!(
+            records.len(),
+            3 * pipeline::MODES.len() * pipeline::CORES.len()
+        );
         let bar = pipeline::acceptance_speedup(&records);
         assert!(bar >= 2.0, "modeled 4-core speedup only {bar:.2}x");
         for r in records.iter().filter(|r| r.cores == 1) {
             assert!((r.speedup_vs_1core - 1.0).abs() < 1e-9);
         }
-        for wire in records.iter().filter(|r| !r.parked) {
+        for wire in records.iter().filter(|r| r.mode == "wire") {
             let parked = records
                 .iter()
                 .find(|p| p.parked && p.n == wire.n && p.cores == wire.cores)
                 .expect("parked twin");
             assert!(parked.speedup_vs_1core >= wire.speedup_vs_1core - 1e-9);
         }
+    }
+
+    #[test]
+    fn wire_v2_flips_pcie_bound_rows_to_compute() {
+        // The v2 acceptance bar: at least two (set, cores) points that
+        // were pcie-out-bound under v1 wire return must be rescued by
+        // seeded uploads + compressed replies.
+        let records = pipeline::model_suite();
+        let flips = pipeline::v2_flip_count(&records);
+        assert!(
+            flips >= 2,
+            "only {flips} pcie-out rows flipped under wire-v2"
+        );
+        // The v2 path can never be slower than v1 at the same point.
+        for v1 in records.iter().filter(|r| r.mode == "wire") {
+            let v2 = records
+                .iter()
+                .find(|v| v.mode == "wire-v2" && v.n == v1.n && v.cores == v1.cores)
+                .expect("wire-v2 twin");
+            assert!(
+                v2.requests_per_sec >= v1.requests_per_sec - 1e-9,
+                "wire-v2 slower than wire at n={} cores={}",
+                v1.n,
+                v1.cores
+            );
+        }
+    }
+
+    #[test]
+    fn v2_flip_count_judges_synthetic_records() {
+        use bench_json::PipeRecord;
+        let row = |mode: &str, cores: usize, bound: &str, speedup: f64| PipeRecord {
+            set: "Set-X".into(),
+            n: 8192,
+            cores,
+            mode: mode.into(),
+            parked: false,
+            requests_per_sec: 1000.0 * speedup,
+            speedup_vs_1core: speedup,
+            bound: bound.into(),
+            core_utilization: 0.5,
+            fifo_high_water: 2,
+        };
+        // pcie-out -> compute: counts.
+        let flipped = vec![
+            row("wire", 2, "pcie-out", 1.12),
+            row("wire-v2", 2, "compute", 1.9),
+        ];
+        assert_eq!(pipeline::v2_flip_count(&flipped), 1);
+        // Still pcie-out but speedup recovered >= 1.5x from <= 1.12x: counts.
+        let recovered = vec![
+            row("wire", 4, "pcie-out", 1.0),
+            row("wire-v2", 4, "pcie-out", 1.6),
+        ];
+        assert_eq!(pipeline::v2_flip_count(&recovered), 1);
+        // Compute-bound v1 rows never count, nor do unimproved twins.
+        let unmoved = vec![
+            row("wire", 1, "compute", 1.0),
+            row("wire-v2", 1, "compute", 1.0),
+            row("wire", 2, "pcie-out", 1.12),
+            row("wire-v2", 2, "pcie-out", 1.2),
+        ];
+        assert_eq!(pipeline::v2_flip_count(&unmoved), 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Plaintext and ciphertext containers.
 
 use heax_math::poly::{Representation, RnsPoly};
+use heax_math::sampling::{expand_uniform, EXPAND_SEED_LEN};
 
 use crate::context::CkksContext;
 use crate::CkksError;
@@ -167,6 +168,99 @@ impl Ciphertext {
             }
         }
         Ok(())
+    }
+}
+
+/// A fresh symmetric encryption in seeded form: the `b` component plus the
+/// 32-byte seed that deterministically regenerates the uniform `a`
+/// component (`a = expand(seed)`), in place of `a` itself.
+///
+/// This is SEAL's seeded-ciphertext idiom: a fresh encryption's second
+/// component is uniform, so the sender can ship the PRNG seed instead and
+/// roughly **halve** the upload bytes. The receiver calls
+/// [`SeededCiphertext::expand`] to recover the ordinary two-component
+/// [`Ciphertext`]; expansion is deterministic, so both sides agree
+/// bit-exactly. Only *fresh* encryptions can be seeded — evaluation results
+/// are not uniform in any component.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeededCiphertext {
+    pub(crate) b: RnsPoly,
+    pub(crate) seed: [u8; EXPAND_SEED_LEN],
+    pub(crate) level: usize,
+    pub(crate) scale: f64,
+}
+
+impl SeededCiphertext {
+    /// Assembles a seeded ciphertext from parts; `b` must be in NTT form
+    /// with `level + 1` residues.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::Math`] on a representation mismatch,
+    /// [`CkksError::LevelMismatch`] when `b`'s residue count disagrees
+    /// with `level`.
+    pub fn from_parts(
+        b: RnsPoly,
+        seed: [u8; EXPAND_SEED_LEN],
+        level: usize,
+        scale: f64,
+    ) -> Result<Self, CkksError> {
+        if b.representation() != Representation::Ntt {
+            return Err(CkksError::Math(
+                heax_math::MathError::RepresentationMismatch,
+            ));
+        }
+        if b.num_residues() != level + 1 {
+            return Err(CkksError::LevelMismatch {
+                a: level,
+                b: b.num_residues().saturating_sub(1),
+            });
+        }
+        Ok(Self {
+            b,
+            seed,
+            level,
+            scale,
+        })
+    }
+
+    /// The `b` component.
+    #[inline]
+    pub fn b(&self) -> &RnsPoly {
+        &self.b
+    }
+
+    /// The 32-byte expansion seed standing in for the `a` component.
+    #[inline]
+    pub fn seed(&self) -> &[u8; EXPAND_SEED_LEN] {
+        &self.seed
+    }
+
+    /// Level in the modulus chain.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Encoding scale Δ.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Re-expands the seed into the uniform `a` component and returns the
+    /// ordinary two-component ciphertext. Deterministic: every receiver of
+    /// the same seeded ciphertext obtains a bit-identical [`Ciphertext`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures against `ctx` (degree or modulus
+    /// chain mismatch).
+    pub fn expand(&self, ctx: &CkksContext) -> Result<Ciphertext, CkksError> {
+        let a = expand_uniform(&self.seed, self.b.n(), self.b.moduli(), Representation::Ntt);
+        let ct = Ciphertext::from_parts(vec![self.b.clone(), a], self.level, self.scale)?;
+        ct.validate(ctx)?;
+        Ok(ct)
     }
 }
 

@@ -7,10 +7,12 @@
 //! `p`.
 
 use heax_math::poly::{Representation, RnsPoly};
-use heax_math::sampling::{sample_error, sample_ternary, sample_uniform};
+use heax_math::sampling::{
+    expand_uniform, sample_error, sample_ternary, sample_uniform, EXPAND_SEED_LEN,
+};
 use rand::Rng;
 
-use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::ciphertext::{Ciphertext, Plaintext, SeededCiphertext};
 use crate::context::CkksContext;
 use crate::flooring::floor_special;
 use crate::keys::{restrict_poly, PublicKey, SecretKey};
@@ -125,6 +127,43 @@ pub fn encrypt_symmetric<R: Rng + ?Sized>(
     Ciphertext::from_parts(vec![b, a], level, pt.scale)
 }
 
+/// Symmetric-key encryption in seeded form: ships a 32-byte seed in place
+/// of the uniform `a` component, roughly halving the bytes of a fresh
+/// encryption on the wire.
+///
+/// `a = expand(seed)` is derived deterministically
+/// ([`heax_math::sampling::expand_uniform`]), then `b = -a·s + e + m`
+/// exactly as in [`encrypt_symmetric`] — so
+/// [`SeededCiphertext::expand`] on the receiver reconstructs a ciphertext
+/// that decrypts identically to the unseeded path. The caller's `rng`
+/// supplies both the seed and the (non-transmitted) error polynomial.
+///
+/// # Errors
+///
+/// Propagates arithmetic failures (none for well-formed inputs).
+pub fn encrypt_symmetric_seeded<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    pt: &Plaintext,
+    rng: &mut R,
+) -> Result<SeededCiphertext, CkksError> {
+    let level = pt.level;
+    let moduli = ctx.level_moduli(level);
+    let indices: Vec<usize> = (0..=level).collect();
+    let s = sk.restricted(&indices);
+
+    let mut seed = [0u8; EXPAND_SEED_LEN];
+    rng.fill_bytes(&mut seed);
+    let a = expand_uniform(&seed, ctx.n(), moduli, Representation::Ntt);
+    let mut e = sample_error(rng, ctx.n(), moduli);
+    e.ntt_forward(ctx.ntt_tables())?;
+
+    let mut b = a.dyadic_mul(&s)?.neg();
+    b.add_assign(&e)?;
+    b.add_assign(&pt.poly)?;
+    SeededCiphertext::from_parts(b, seed, level, pt.scale)
+}
+
 /// Decryptor holding the secret key.
 #[derive(Clone, Debug)]
 pub struct Decryptor<'a> {
@@ -217,6 +256,25 @@ mod tests {
         let back = enc.decode_real(&dec).unwrap();
         assert!((back[0] - 7.5).abs() < 1e-2);
         assert!((back[1] + 0.125).abs() < 1e-2);
+    }
+
+    #[test]
+    fn seeded_encrypt_expands_and_decrypts() {
+        let s = setup(31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let enc = CkksEncoder::new(&s.ctx);
+        let pt = enc
+            .encode_real(&[3.5, -1.25], s.ctx.params().scale(), s.ctx.max_level())
+            .unwrap();
+        let seeded = encrypt_symmetric_seeded(&s.ctx, &s.sk, &pt, &mut rng).unwrap();
+        let ct = seeded.expand(&s.ctx).unwrap();
+        assert_eq!(ct.size(), 2);
+        // Expansion is deterministic.
+        assert_eq!(ct, seeded.expand(&s.ctx).unwrap());
+        let dec = Decryptor::new(&s.ctx, &s.sk).decrypt(&ct).unwrap();
+        let back = enc.decode_real(&dec).unwrap();
+        assert!((back[0] - 3.5).abs() < 1e-2);
+        assert!((back[1] + 1.25).abs() < 1e-2);
     }
 
     #[test]

@@ -372,6 +372,41 @@ impl<'a> Evaluator<'a> {
         Ciphertext::from_parts(polys, a.level - 1, a.scale)
     }
 
+    /// Modulus-switches down to an arbitrary `target` level (repeated
+    /// [`Evaluator::mod_switch_to_next`]). The wire path uses this to
+    /// compress replies: a client that will only *decrypt* the result
+    /// needs a single residue, so the server drops every higher limb
+    /// before serializing and shrinks the PCIe-out transfer by `k×`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::LevelMismatch`] when `target` is above the
+    /// ciphertext's current level.
+    pub fn mod_switch_to_level(
+        &self,
+        a: &Ciphertext,
+        target: usize,
+    ) -> Result<Ciphertext, CkksError> {
+        if target > a.level {
+            return Err(CkksError::LevelMismatch {
+                a: target,
+                b: a.level,
+            });
+        }
+        if target == a.level {
+            return Ok(a.clone());
+        }
+        let mut polys = Vec::with_capacity(a.size());
+        for c in &a.polys {
+            let mut p = c.clone();
+            for _ in target..a.level {
+                p.pop_residue();
+            }
+            polys.push(p);
+        }
+        Ciphertext::from_parts(polys, target, a.scale)
+    }
+
     /// The inner key-switching primitive (Algorithm 7, lines 1–19): given a
     /// single NTT-form polynomial `target` over the basis of `level` and a
     /// key-switching key, produces the pair `(f₀, f₁)` over the same basis
@@ -1370,5 +1405,23 @@ mod tests {
         assert_eq!(dropped.level(), a.level() - 1);
         let got = h.decrypt(&dropped);
         assert!((got[0] - 2.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn mod_switch_to_level_compresses_to_one_residue() {
+        let mut h = harness(42);
+        let a = h.encrypt(&[4.75]);
+        let ev = Evaluator::new(&h.ctx);
+        // Dropping to level 0 leaves one residue and the same scale, and
+        // still decrypts: decrypt-only precision survives the compression.
+        let compressed = ev.mod_switch_to_level(&a, 0).unwrap();
+        assert_eq!(compressed.level(), 0);
+        assert_eq!(compressed.component(0).num_residues(), 1);
+        assert_eq!(compressed.scale(), a.scale());
+        let got = h.decrypt(&compressed);
+        assert!((got[0] - 4.75).abs() < 1e-2);
+        // Identity at the current level; error above it.
+        assert_eq!(ev.mod_switch_to_level(&a, a.level()).unwrap(), a);
+        assert!(ev.mod_switch_to_level(&a, a.level() + 1).is_err());
     }
 }

@@ -67,10 +67,10 @@ pub mod params;
 mod scratch;
 pub mod serialize;
 
-pub use ciphertext::{Ciphertext, Plaintext};
+pub use ciphertext::{Ciphertext, Plaintext, SeededCiphertext};
 pub use context::CkksContext;
 pub use encoder::CkksEncoder;
-pub use encrypt::{encrypt_symmetric, Decryptor, Encryptor};
+pub use encrypt::{encrypt_symmetric, encrypt_symmetric_seeded, Decryptor, Encryptor};
 pub use error::CkksError;
 pub use eval::Evaluator;
 pub use keys::{GaloisKeys, KeySwitchKey, PublicKey, RelinKey, SecretKey};

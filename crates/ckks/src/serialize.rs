@@ -24,9 +24,10 @@
 //! each entry point to enforce this.
 
 use heax_math::poly::{Representation, RnsPoly};
+use heax_math::sampling::EXPAND_SEED_LEN;
 use heax_math::word::Modulus;
 
-use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::ciphertext::{Ciphertext, Plaintext, SeededCiphertext};
 use crate::context::CkksContext;
 use crate::keys::{KeySwitchKey, PublicKey, RelinKey, SecretKey};
 use crate::CkksError;
@@ -35,6 +36,8 @@ use crate::CkksError;
 const MAGIC: [u8; 4] = *b"HEAX";
 /// Format version.
 const VERSION: u8 = 1;
+/// Bytes of the object header: magic (4) + version (1) + tag (1).
+const HEADER_LEN: usize = 6;
 
 /// Object tags.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +49,7 @@ enum Tag {
     SecretKey = 4,
     PublicKey = 5,
     KeySwitchKey = 6,
+    SeededCiphertext = 7,
 }
 
 impl Tag {
@@ -57,6 +61,7 @@ impl Tag {
             4 => Some(Tag::SecretKey),
             5 => Some(Tag::PublicKey),
             6 => Some(Tag::KeySwitchKey),
+            7 => Some(Tag::SeededCiphertext),
             _ => None,
         }
     }
@@ -306,6 +311,313 @@ pub fn deserialize_ciphertext(buf: &[u8], ctx: &CkksContext) -> Result<Ciphertex
     let ct = Ciphertext::from_parts(polys, level, scale)?;
     ct.validate(ctx)?;
     Ok(ct)
+}
+
+/// Serializes a seeded ciphertext (tag 7): the `b` component plus the
+/// 32-byte expansion seed, in place of the uniform `a` polynomial —
+/// roughly half the bytes of the equivalent [`serialize_ciphertext`].
+pub fn serialize_seeded_ciphertext(ct: &SeededCiphertext) -> Vec<u8> {
+    let mut buf = Vec::new();
+    serialize_seeded_ciphertext_into(ct, &mut buf);
+    buf
+}
+
+/// [`serialize_seeded_ciphertext`] into a caller-provided buffer (cleared
+/// first).
+pub fn serialize_seeded_ciphertext_into(ct: &SeededCiphertext, buf: &mut Vec<u8>) {
+    buf.clear();
+    let mut w = Writer { buf };
+    w.header(Tag::SeededCiphertext);
+    w.u64(ct.level() as u64);
+    w.f64(ct.scale());
+    w.buf.extend_from_slice(ct.seed());
+    write_poly(&mut w, ct.b());
+}
+
+/// Deserializes a seeded ciphertext, validating against the context. Call
+/// [`SeededCiphertext::expand`] on the result to recover the ordinary
+/// two-component ciphertext.
+///
+/// # Errors
+///
+/// [`CkksError::InvalidParameters`] on malformed input or context
+/// mismatch.
+pub fn deserialize_seeded_ciphertext(
+    buf: &[u8],
+    ctx: &CkksContext,
+) -> Result<SeededCiphertext, CkksError> {
+    let mut r = Reader::new(buf);
+    r.header(Tag::SeededCiphertext)?;
+    let level = r.u64()? as usize;
+    let scale = r.scale()?;
+    let mut seed = [0u8; EXPAND_SEED_LEN];
+    seed.copy_from_slice(r.take(EXPAND_SEED_LEN)?);
+    let b = read_poly(&mut r)?;
+    r.finish()?;
+    validate_poly(&b, ctx, level)?;
+    SeededCiphertext::from_parts(b, seed, level, scale)
+}
+
+/// A zero-copy view over one serialized polynomial: metadata is parsed and
+/// bounds-checked, but the limb words stay as borrowed little-endian bytes
+/// in the frame buffer until they are actually needed.
+#[derive(Clone, Debug)]
+pub struct PolyView<'a> {
+    n: usize,
+    repr: Representation,
+    moduli: Vec<Modulus>,
+    words: &'a [u8],
+}
+
+impl PolyView<'_> {
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of RNS residues.
+    #[inline]
+    pub fn num_residues(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// Representation tag.
+    #[inline]
+    pub fn representation(&self) -> Representation {
+        self.repr
+    }
+
+    /// The modulus chain.
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// Decodes the word at `(residue, index)` straight from the borrowed
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residue` or `index` is out of range (the view's shape is
+    /// already validated, so in-range access never fails).
+    #[inline]
+    pub fn word(&self, residue: usize, index: usize) -> u64 {
+        assert!(
+            residue < self.moduli.len() && index < self.n,
+            "out of range"
+        );
+        let off = (residue * self.n + index) * 8;
+        u64::from_le_bytes(self.words[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Materializes the view into an owned [`RnsPoly`], validating residue
+    /// canonicity in the same single pass that copies the words — the only
+    /// full traversal of the limb data on the receive path.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::InvalidParameters`] on a non-canonical residue.
+    pub fn to_poly(&self) -> Result<RnsPoly, CkksError> {
+        let mut data = vec![0u64; self.moduli.len() * self.n];
+        for (i, m) in self.moduli.iter().enumerate() {
+            let bound = m.value();
+            for j in 0..self.n {
+                let off = (i * self.n + j) * 8;
+                let w = u64::from_le_bytes(self.words[off..off + 8].try_into().expect("8 bytes"));
+                if w >= bound {
+                    return Err(Reader::error("non-canonical residue"));
+                }
+                data[i * self.n + j] = w;
+            }
+        }
+        Ok(RnsPoly::from_data(self.n, &self.moduli, data, self.repr)?)
+    }
+}
+
+fn read_poly_view<'a>(r: &mut Reader<'a>) -> Result<PolyView<'a>, CkksError> {
+    let n = r.u64()? as usize;
+    let repr = match r.u8()? {
+        0 => Representation::Coefficient,
+        1 => Representation::Ntt,
+        _ => return Err(Reader::error("bad representation tag")),
+    };
+    let moduli_vals = r.words()?;
+    let moduli: Result<Vec<Modulus>, _> = moduli_vals.iter().map(|&p| Modulus::new(p)).collect();
+    let moduli = moduli?;
+    let count = r.u64()? as usize;
+    let expect = moduli
+        .len()
+        .checked_mul(n)
+        .ok_or_else(|| Reader::error("data length overflow"))?;
+    if count != expect {
+        return Err(Reader::error("data shorter than moduli require"));
+    }
+    let byte_len = count
+        .checked_mul(8)
+        .ok_or_else(|| Reader::error("data length overflow"))?;
+    let words = r.take(byte_len)?;
+    Ok(PolyView {
+        n,
+        repr,
+        moduli,
+        words,
+    })
+}
+
+/// A zero-copy view over a serialized ciphertext: level, scale, and
+/// per-component [`PolyView`]s borrowing the frame buffer. Parsing
+/// validates every length field against the bytes actually present but
+/// copies **no limb words** — a hot receive path can inspect metadata
+/// (and reject garbage) before paying for a single word of polynomial
+/// data, then materialize with [`CiphertextView::to_ciphertext`] in one
+/// validate-while-copy pass.
+///
+/// ```
+/// use heax_ckks::serialize::{serialize_ciphertext, CiphertextView};
+/// use heax_ckks::{CkksContext, CkksEncoder, CkksParams, Encryptor, PublicKey, SecretKey};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let chain = heax_math::primes::generate_prime_chain(&[40, 40, 40, 41], 64)?;
+/// let ctx = CkksContext::new(CkksParams::new(64, chain, (1u64 << 32) as f64)?)?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let sk = SecretKey::generate(&ctx, &mut rng);
+/// let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+/// let enc = CkksEncoder::new(&ctx);
+/// let pt = enc.encode_real(&[1.5], ctx.params().scale(), ctx.max_level())?;
+/// let ct = Encryptor::new(&ctx, &pk).encrypt(&pt, &mut rng)?;
+/// let wire_bytes = serialize_ciphertext(&ct);
+///
+/// // Parse borrows: metadata is validated, limb words stay in the buffer.
+/// let view = CiphertextView::parse(&wire_bytes)?;
+/// assert_eq!((view.size(), view.level()), (ct.size(), ct.level()));
+/// // Materialize decodes + canonicity-checks each word exactly once.
+/// assert_eq!(view.to_ciphertext(&ctx)?, ct);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CiphertextView<'a> {
+    level: usize,
+    scale: f64,
+    components: Vec<PolyView<'a>>,
+}
+
+impl<'a> CiphertextView<'a> {
+    /// Parses a borrowed view from serialized ciphertext bytes. Decoding
+    /// is total: any malformed input (bad magic, hostile length fields,
+    /// truncation, trailing bytes) yields `Err`, never a panic, and no
+    /// limb data is read or copied.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::InvalidParameters`] on malformed input.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, CkksError> {
+        let mut r = Reader::new(buf);
+        r.header(Tag::Ciphertext)?;
+        let level = r.u64()? as usize;
+        let scale = r.scale()?;
+        let size = r.u64()? as usize;
+        if !(2..=8).contains(&size) {
+            return Err(Reader::error("implausible component count"));
+        }
+        let mut components = Vec::with_capacity(size);
+        for _ in 0..size {
+            components.push(read_poly_view(&mut r)?);
+        }
+        r.finish()?;
+        Ok(Self {
+            level,
+            scale,
+            components,
+        })
+    }
+
+    /// Level in the modulus chain.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Encoding scale Δ.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Number of polynomial components.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Component `i` as a borrowed polynomial view.
+    #[inline]
+    pub fn component(&self, i: usize) -> &PolyView<'a> {
+        &self.components[i]
+    }
+
+    /// Materializes the view into an owned, context-validated
+    /// [`Ciphertext`]. Limb words are decoded, canonicity-checked, and
+    /// copied exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`CkksError::InvalidParameters`] on context mismatch or
+    /// non-canonical residues.
+    pub fn to_ciphertext(&self, ctx: &CkksContext) -> Result<Ciphertext, CkksError> {
+        let mut polys = Vec::with_capacity(self.components.len());
+        for view in &self.components {
+            let p = view.to_poly()?;
+            validate_poly(&p, ctx, self.level)?;
+            polys.push(p);
+        }
+        let ct = Ciphertext::from_parts(polys, self.level, self.scale)?;
+        ct.validate(ctx)?;
+        Ok(ct)
+    }
+}
+
+/// Decodes an inline wire operand that may be either a full ciphertext
+/// (tag 3, via the zero-copy [`CiphertextView`] path) or a seeded fresh
+/// encryption (tag 7, expanded deterministically). Returns the owned
+/// ciphertext plus `true` when the operand arrived seeded — the serving
+/// layer feeds that bit into the transfer model, which prices a seeded
+/// upload at roughly half the bytes.
+///
+/// # Errors
+///
+/// [`CkksError::InvalidParameters`] on malformed input or context
+/// mismatch.
+pub fn deserialize_operand(buf: &[u8], ctx: &CkksContext) -> Result<(Ciphertext, bool), CkksError> {
+    // Peek the object tag (byte 6) without committing to either decoder.
+    match buf.get(5).copied().and_then(Tag::from_u8) {
+        Some(Tag::SeededCiphertext) => {
+            let seeded = deserialize_seeded_ciphertext(buf, ctx)?;
+            Ok((seeded.expand(ctx)?, true))
+        }
+        _ => Ok((CiphertextView::parse(buf)?.to_ciphertext(ctx)?, false)),
+    }
+}
+
+/// Closed-form serialized size of one polynomial with `limbs` residues at
+/// ring degree `n`: `n`(8) + repr(1) + moduli(8 + 8·limbs) + data
+/// (8 + 8·limbs·n). Unit-tested against the real encoder.
+pub fn serialized_poly_bytes(n: usize, limbs: usize) -> usize {
+    8 + 1 + (8 + 8 * limbs) + (8 + 8 * limbs * n)
+}
+
+/// Closed-form serialized size of a `size`-component ciphertext.
+pub fn serialized_ciphertext_bytes(n: usize, limbs: usize, size: usize) -> usize {
+    HEADER_LEN + 8 + 8 + 8 + size * serialized_poly_bytes(n, limbs)
+}
+
+/// Closed-form serialized size of a seeded fresh encryption: one `b`
+/// polynomial plus the 32-byte seed standing in for `a`.
+pub fn serialized_seeded_ciphertext_bytes(n: usize, limbs: usize) -> usize {
+    HEADER_LEN + 8 + 8 + EXPAND_SEED_LEN + serialized_poly_bytes(n, limbs)
 }
 
 /// Serializes a secret key.
@@ -690,5 +1002,117 @@ mod tests {
         let payload = 2 * (r.ct.level() + 1) * r.ctx.n() * 8;
         assert!(bytes.len() > payload);
         assert!(bytes.len() < payload + 1024);
+    }
+
+    #[test]
+    fn seeded_ciphertext_roundtrip_halves_the_bytes() {
+        let r = rig();
+        let mut rng = StdRng::seed_from_u64(91);
+        let enc = CkksEncoder::new(&r.ctx);
+        let pt = enc
+            .encode_real(&[2.25, -8.0], r.ctx.params().scale(), r.ctx.max_level())
+            .unwrap();
+        let seeded =
+            crate::encrypt::encrypt_symmetric_seeded(&r.ctx, &r.sk, &pt, &mut rng).unwrap();
+        let bytes = serialize_seeded_ciphertext(&seeded);
+        let back = deserialize_seeded_ciphertext(&bytes, &r.ctx).unwrap();
+        assert_eq!(back, seeded);
+        // The expansion of the decoded object matches the sender's.
+        assert_eq!(back.expand(&r.ctx).unwrap(), seeded.expand(&r.ctx).unwrap());
+        // Roughly half the full encoding (one poly + 32 bytes vs two).
+        let full = serialize_ciphertext(&seeded.expand(&r.ctx).unwrap());
+        assert!(bytes.len() * 2 < full.len() + 1024);
+        // And the closed forms agree with the real encoders.
+        let limbs = r.ctx.max_level() + 1;
+        assert_eq!(
+            bytes.len(),
+            serialized_seeded_ciphertext_bytes(r.ctx.n(), limbs)
+        );
+        assert_eq!(full.len(), serialized_ciphertext_bytes(r.ctx.n(), limbs, 2));
+    }
+
+    #[test]
+    fn seeded_corruption_detected() {
+        let r = rig();
+        let mut rng = StdRng::seed_from_u64(92);
+        let enc = CkksEncoder::new(&r.ctx);
+        let pt = enc
+            .encode_real(&[1.0], r.ctx.params().scale(), r.ctx.max_level())
+            .unwrap();
+        let seeded =
+            crate::encrypt::encrypt_symmetric_seeded(&r.ctx, &r.sk, &pt, &mut rng).unwrap();
+        let bytes = serialize_seeded_ciphertext(&seeded);
+        assert!(deserialize_seeded_ciphertext(&bytes[..10], &r.ctx).is_err());
+        let mut bad = bytes.clone();
+        bad[5] = Tag::Ciphertext as u8;
+        assert!(deserialize_seeded_ciphertext(&bad, &r.ctx).is_err());
+        let mut long = bytes;
+        long.push(0);
+        assert!(deserialize_seeded_ciphertext(&long, &r.ctx).is_err());
+    }
+
+    #[test]
+    fn ciphertext_view_is_faithful() {
+        let r = rig();
+        let bytes = serialize_ciphertext(&r.ct);
+        let view = CiphertextView::parse(&bytes).unwrap();
+        assert_eq!(view.level(), r.ct.level());
+        assert_eq!(view.scale(), r.ct.scale());
+        assert_eq!(view.size(), r.ct.size());
+        let c0 = view.component(0);
+        assert_eq!(c0.n(), r.ct.n());
+        assert_eq!(c0.num_residues(), r.ct.level() + 1);
+        assert_eq!(c0.representation(), Representation::Ntt);
+        assert_eq!(c0.word(0, 3), r.ct.component(0).residue(0)[3]);
+        assert_eq!(view.to_ciphertext(&r.ctx).unwrap(), r.ct);
+    }
+
+    #[test]
+    fn ciphertext_view_rejects_garbage_without_touching_limbs() {
+        let r = rig();
+        let bytes = serialize_ciphertext(&r.ct);
+        assert!(CiphertextView::parse(&bytes[..20]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(CiphertextView::parse(&bad_magic).is_err());
+        // Hostile word-count header.
+        let words_off = HEADER_LEN + 8 + 8 + 8 + 8 + 1;
+        for huge in [u64::MAX, 1 << 40] {
+            let mut t = bytes.clone();
+            t[words_off..words_off + 8].copy_from_slice(&huge.to_le_bytes());
+            assert!(CiphertextView::parse(&t).is_err());
+        }
+        // Non-canonical residues pass parse (limbs untouched) but fail
+        // materialization.
+        let mut tampered = bytes;
+        let len = tampered.len();
+        tampered[len - 1] = 0xff;
+        tampered[len - 2] = 0xff;
+        let view = CiphertextView::parse(&tampered).unwrap();
+        assert!(view.to_ciphertext(&r.ctx).is_err());
+    }
+
+    #[test]
+    fn operand_decoder_handles_both_encodings() {
+        let r = rig();
+        let (full, seeded_flag) =
+            deserialize_operand(&serialize_ciphertext(&r.ct), &r.ctx).unwrap();
+        assert_eq!(full, r.ct);
+        assert!(!seeded_flag);
+
+        let mut rng = StdRng::seed_from_u64(93);
+        let enc = CkksEncoder::new(&r.ctx);
+        let pt = enc
+            .encode_real(&[5.0], r.ctx.params().scale(), r.ctx.max_level())
+            .unwrap();
+        let seeded =
+            crate::encrypt::encrypt_symmetric_seeded(&r.ctx, &r.sk, &pt, &mut rng).unwrap();
+        let (expanded, seeded_flag) =
+            deserialize_operand(&serialize_seeded_ciphertext(&seeded), &r.ctx).unwrap();
+        assert_eq!(expanded, seeded.expand(&r.ctx).unwrap());
+        assert!(seeded_flag);
+
+        assert!(deserialize_operand(&[], &r.ctx).is_err());
+        assert!(deserialize_operand(&serialize_plaintext(&r.pt), &r.ctx).is_err());
     }
 }

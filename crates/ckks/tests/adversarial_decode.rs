@@ -12,14 +12,15 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 use heax_ckks::serialize::{
-    deserialize_ciphertext, deserialize_galois_keys, deserialize_ksk, deserialize_plaintext,
-    deserialize_public_key, deserialize_relin_key, deserialize_secret_key, serialize_ciphertext,
-    serialize_galois_keys, serialize_ksk, serialize_plaintext, serialize_public_key,
-    serialize_relin_key, serialize_secret_key,
+    deserialize_ciphertext, deserialize_galois_keys, deserialize_ksk, deserialize_operand,
+    deserialize_plaintext, deserialize_public_key, deserialize_relin_key, deserialize_secret_key,
+    deserialize_seeded_ciphertext, serialize_ciphertext, serialize_galois_keys, serialize_ksk,
+    serialize_plaintext, serialize_public_key, serialize_relin_key, serialize_secret_key,
+    serialize_seeded_ciphertext, CiphertextView,
 };
 use heax_ckks::{
-    CkksContext, CkksEncoder, CkksParams, Encryptor, GaloisKeys, KeySwitchKey, PublicKey, RelinKey,
-    SecretKey,
+    encrypt_symmetric_seeded, CkksContext, CkksEncoder, CkksParams, Encryptor, GaloisKeys,
+    KeySwitchKey, PublicKey, RelinKey, SecretKey,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -49,6 +50,7 @@ fn corpus() -> &'static Corpus {
             .encode_real(&[1.5, -2.25, 0.5], ctx.params().scale(), ctx.max_level())
             .unwrap();
         let ct = Encryptor::new(&ctx, &pk).encrypt(&pt, &mut rng).unwrap();
+        let seeded = encrypt_symmetric_seeded(&ctx, &sk, &pt, &mut rng).unwrap();
         let blobs = vec![
             ("plaintext", serialize_plaintext(&pt)),
             ("ciphertext", serialize_ciphertext(&ct)),
@@ -57,13 +59,17 @@ fn corpus() -> &'static Corpus {
             ("ksk", serialize_ksk(&ksk)),
             ("relin_key", serialize_relin_key(&rlk)),
             ("galois_keys", serialize_galois_keys(&gks)),
+            ("seeded_ciphertext", serialize_seeded_ciphertext(&seeded)),
         ];
         Corpus { ctx, blobs }
     })
 }
 
 /// Runs every decoder over the bytes; returns how many accepted. Any
-/// panic propagates to the caller's `catch_unwind`.
+/// panic propagates to the caller's `catch_unwind`. The v2 entry
+/// points — seeded ciphertexts, the zero-copy view (parse *and*
+/// materialize), and the tag-dispatching operand decoder — face the
+/// same hostile bytes as the originals.
 fn decode_all(ctx: &CkksContext, bytes: &[u8]) -> usize {
     let mut ok = 0;
     ok += usize::from(deserialize_plaintext(bytes, ctx).is_ok());
@@ -73,6 +79,13 @@ fn decode_all(ctx: &CkksContext, bytes: &[u8]) -> usize {
     ok += usize::from(deserialize_ksk(bytes, ctx).is_ok());
     ok += usize::from(deserialize_relin_key(bytes, ctx).is_ok());
     ok += usize::from(deserialize_galois_keys(bytes, ctx).is_ok());
+    ok += usize::from(deserialize_seeded_ciphertext(bytes, ctx).is_ok());
+    ok += usize::from(
+        CiphertextView::parse(bytes)
+            .and_then(|v| v.to_ciphertext(ctx))
+            .is_ok(),
+    );
+    ok += usize::from(deserialize_operand(bytes, ctx).is_ok());
     ok
 }
 

@@ -230,6 +230,77 @@ mod keyswitch_overhaul {
     }
 }
 
+/// PR 7 seeded wire path (PROTOCOL.md §4.4): a seeded fresh encryption
+/// must survive the wire byte-for-byte, expand identically on both
+/// ends, travel through the tag-dispatching operand decoder, and
+/// decrypt to the same values as its unseeded symmetric twin.
+mod seeded_wire_path {
+    use super::*;
+    use heax_ckks::encrypt_symmetric_seeded;
+    use heax_ckks::serialize::{deserialize_operand, serialize_seeded_ciphertext};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn seeded_roundtrip_expands_and_decrypts_identically(
+            vals in prop::collection::vec(-50.0f64..50.0, 1..16),
+            seed in any::<u64>(),
+        ) {
+            let mut r = rig(seed);
+            let enc = CkksEncoder::new(&r.ctx);
+            let pt = enc
+                .encode_real(&vals, r.ctx.params().scale(), r.ctx.max_level())
+                .unwrap();
+            let seeded = encrypt_symmetric_seeded(&r.ctx, &r.sk, &pt, &mut r.rng).unwrap();
+            let sender_side = seeded.expand(&r.ctx).unwrap();
+
+            // Wire trip through the operand decoder: the receiver's
+            // expansion must be bit-identical to the sender's.
+            let bytes = serialize_seeded_ciphertext(&seeded);
+            let (receiver_side, was_seeded) = deserialize_operand(&bytes, &r.ctx).unwrap();
+            prop_assert!(was_seeded);
+            prop_assert_eq!(&receiver_side, &sender_side);
+
+            // And it decrypts to the encoded values, like an unseeded
+            // symmetric encryption of the same plaintext does.
+            let dec = Decryptor::new(&r.ctx, &r.sk);
+            let got = enc.decode_real(&dec.decrypt(&receiver_side).unwrap()).unwrap();
+            let unseeded = heax_ckks::encrypt_symmetric(&r.ctx, &r.sk, &pt, &mut r.rng).unwrap();
+            let via_unseeded = enc.decode_real(&dec.decrypt(&unseeded).unwrap()).unwrap();
+            for (j, &v) in vals.iter().enumerate() {
+                prop_assert!((got[j] - v).abs() < 0.05, "slot {} seeded: {} vs {}", j, got[j], v);
+                prop_assert!(
+                    (got[j] - via_unseeded[j]).abs() < 0.1,
+                    "slot {} seeded vs unseeded drifted", j
+                );
+            }
+        }
+
+        /// The operand decoder's zero-copy full-ciphertext path agrees
+        /// with the classic owned decoder on arbitrary encrypted data.
+        #[test]
+        fn operand_view_path_matches_owned_decoder(
+            vals in prop::collection::vec(-50.0f64..50.0, 1..16),
+            seed in any::<u64>(),
+        ) {
+            let mut r = rig(seed);
+            let enc = CkksEncoder::new(&r.ctx);
+            let ct = Encryptor::new(&r.ctx, &r.pk)
+                .encrypt(
+                    &enc.encode_real(&vals, r.ctx.params().scale(), r.ctx.max_level()).unwrap(),
+                    &mut r.rng,
+                )
+                .unwrap();
+            let bytes = serialize_ciphertext(&ct);
+            let (via_view, was_seeded) = deserialize_operand(&bytes, &r.ctx).unwrap();
+            prop_assert!(!was_seeded);
+            prop_assert_eq!(&via_view, &deserialize_ciphertext(&bytes, &r.ctx).unwrap());
+            prop_assert_eq!(&via_view, &ct);
+        }
+    }
+}
+
 /// Backend equivalence at the scheme layer: an evaluator pinned to
 /// `ThreadPool(k)` must produce bit-identical ciphertexts to the
 /// `Sequential` backend for the full multiply / key-switch / relinearize

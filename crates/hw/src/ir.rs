@@ -105,6 +105,16 @@ pub struct IrOp {
     pub input_id: u64,
     /// Handle id the result parks under (`0` = none).
     pub output_id: u64,
+    /// The inline input arrived as a **seeded** fresh encryption (wire
+    /// v2): a 32-byte seed replaced the uniform `a` component, so the
+    /// host→board transfer carries one polynomial instead of two. The
+    /// board scheduler halves the ciphertext-shaped input volume.
+    pub input_seeded: bool,
+    /// Residue limbs of a wire-returned reply after compression (`0` =
+    /// full chain). A client that only decrypts needs a single limb;
+    /// the server modulus-switches before serializing and the board
+    /// scheduler scales the board→host volume by `reply_limbs / k`.
+    pub reply_limbs: u8,
     /// Indices of earlier ops this op reads results of ([`NO_DEP`] =
     /// unused slot).
     pub deps: [u32; 2],
@@ -122,6 +132,8 @@ impl IrOp {
             ksk_upload: false,
             input_id: 0,
             output_id: 0,
+            input_seeded: false,
+            reply_limbs: 0,
             deps: [NO_DEP; 2],
         }
     }
@@ -174,6 +186,22 @@ impl IrOp {
     #[must_use]
     pub fn with_ksk_upload(mut self) -> Self {
         self.ksk_upload = true;
+        self
+    }
+
+    /// Marks the inline input as a seeded fresh encryption (half the
+    /// host→board bytes).
+    #[must_use]
+    pub fn with_seeded_input(mut self) -> Self {
+        self.input_seeded = true;
+        self
+    }
+
+    /// Sets the compressed reply width in residue limbs (`0` = full
+    /// chain).
+    #[must_use]
+    pub fn with_reply_limbs(mut self, limbs: u8) -> Self {
+        self.reply_limbs = limbs;
         self
     }
 
@@ -421,6 +449,13 @@ mod tests {
             .with_dep(5);
         assert_eq!(op.session, 9);
         assert!(op.input_parked && op.park_output && op.ksk_upload);
+        assert!(!op.input_seeded);
+        assert_eq!(op.reply_limbs, 0);
+        let v2 = IrOp::new(OpKind::Rotate)
+            .with_seeded_input()
+            .with_reply_limbs(1);
+        assert!(v2.input_seeded);
+        assert_eq!(v2.reply_limbs, 1);
         assert_eq!((op.input_id, op.output_id), (3, 4));
         assert_eq!(op.deps, [0, 5]);
         assert_eq!(op.dep_indices().collect::<Vec<_>>(), vec![0, 5]);

@@ -313,6 +313,23 @@ impl PipelineConfig {
             // park_output below cancels the return leg.
             BoardOpKind::Fetch => ("fetch", ct, ct, Vec::new()),
         };
+        // Wire-v2 byte economics. A seeded fresh operand ships one
+        // polynomial plus a 32-byte seed instead of two polynomials, so
+        // the host→board ciphertext volume halves (the seed itself is 4
+        // words — noise at these sizes). A compressed reply returns only
+        // `reply_limbs` of the `k` residue limbs after the server's
+        // modulus switch (limb-dropping is free of compute: it never
+        // touches the remaining residues), scaling the board→host volume
+        // proportionally.
+        let in_words = if op.input_seeded {
+            in_words / 2
+        } else {
+            in_words
+        };
+        let out_words = match op.reply_limbs as u64 {
+            limbs if limbs > 0 && limbs < k => out_words * limbs / k,
+            _ => out_words,
+        };
         // A ksk upload (cluster residency miss) rides the host→board
         // channel ahead of the op's data, even when the ciphertext
         // operands themselves are already parked on the board.
@@ -772,6 +789,36 @@ mod tests {
         assert_eq!(r.total_cycles, t.xfer_out.1);
         assert_eq!(r.requests(), 1);
         assert_eq!(r.fifo_high_water, 1);
+    }
+
+    #[test]
+    fn v2_flags_shrink_the_transfer_legs() {
+        let cfg = config(set_b(), 1);
+        let rot = BoardOp::new(BoardOpKind::Rotate);
+        let full = cfg.schedule_stream(&[rot]).unwrap();
+        let full_in = full.ops[0].xfer_in.1 - full.ops[0].xfer_in.0;
+        let full_out = full.ops[0].xfer_out.1 - full.ops[0].xfer_out.0;
+
+        // Seeded input: roughly half the host→board leg.
+        let seeded = cfg.schedule_stream(&[rot.with_seeded_input()]).unwrap();
+        let seeded_in = seeded.ops[0].xfer_in.1 - seeded.ops[0].xfer_in.0;
+        assert!(seeded_in < full_in);
+        assert!(seeded_in <= full_in / 2 + full_in / 8, "expected ~half");
+
+        // Compressed reply: the board→host leg scales by limbs/k.
+        let compressed = cfg.schedule_stream(&[rot.with_reply_limbs(1)]).unwrap();
+        let comp_out = compressed.ops[0].xfer_out.1 - compressed.ops[0].xfer_out.0;
+        assert!(comp_out < full_out / 2);
+
+        // Full-width replies (0 or >= k) change nothing.
+        for limbs in [0u8, cfg.arch.k as u8, u8::MAX] {
+            let r = cfg.schedule_stream(&[rot.with_reply_limbs(limbs)]).unwrap();
+            assert_eq!(
+                r.ops[0].xfer_out.1 - r.ops[0].xfer_out.0,
+                full_out,
+                "limbs {limbs}"
+            );
+        }
     }
 
     #[test]

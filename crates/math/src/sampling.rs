@@ -16,6 +16,83 @@ use crate::word::Modulus;
 /// Standard deviation of the error distribution (`CBD(21)`).
 pub const ERROR_STDDEV: f64 = 3.240_370_349; // sqrt(10.5)
 
+/// Byte length of the seed carried by seeded ciphertexts.
+pub const EXPAND_SEED_LEN: usize = 32;
+
+/// Deterministic expander for 32-byte wire seeds.
+///
+/// Seeded ciphertexts ship a 32-byte seed in place of their uniform `a`
+/// component; sender and receiver both re-derive `a` by running this
+/// generator through [`sample_uniform`]. The construction is xoshiro256++
+/// with its four state words loaded little-endian from the seed and chained
+/// through a SplitMix64 finalizer, so even degenerate seeds (all zero, one
+/// bit set) yield a well-distributed state. Like the rest of the vendored
+/// `rand` stand-in it is **not** cryptographically secure — a production
+/// deployment would use SEAL's Blake2 expansion — but the byte-level
+/// expansion is pinned by the wire protocol (`PROTOCOL.md`) and must not
+/// change across versions.
+#[derive(Clone, Debug)]
+pub struct ExpandRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ExpandRng {
+    /// Constructs the expander from a 32-byte seed.
+    pub fn from_seed(seed: &[u8; EXPAND_SEED_LEN]) -> Self {
+        let mut acc = 0x243f_6a88_85a3_08d3u64; // π fraction: fixed chain IV
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            acc ^= u64::from_le_bytes(w);
+            *word = splitmix64(&mut acc);
+        }
+        Self { s }
+    }
+}
+
+impl rand::RngCore for ExpandRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Expands a 32-byte seed into the uniform polynomial it stands for.
+///
+/// This is *the* normative seed→polynomial map of the wire format: both the
+/// seeded encryptor and every receiver of a seeded ciphertext call it with
+/// the same `(n, moduli)` and must obtain bit-identical output.
+pub fn expand_uniform(
+    seed: &[u8; EXPAND_SEED_LEN],
+    n: usize,
+    moduli: &[Modulus],
+    repr: Representation,
+) -> RnsPoly {
+    let mut rng = ExpandRng::from_seed(seed);
+    sample_uniform(&mut rng, n, moduli, repr)
+}
+
 /// Number of bit pairs in the centered binomial error sampler.
 const CBD_BITS: u32 = 21;
 
@@ -175,6 +252,35 @@ mod tests {
         for (j, &c) in coeffs.iter().enumerate() {
             assert_eq!(poly.residue(0)[j], m[0].reduce_i64(c));
         }
+    }
+
+    #[test]
+    fn expand_uniform_is_deterministic_and_canonical() {
+        let m = mods();
+        let seed = [0xA5u8; EXPAND_SEED_LEN];
+        let a = expand_uniform(&seed, 256, &m, Representation::Ntt);
+        let b = expand_uniform(&seed, 256, &m, Representation::Ntt);
+        assert_eq!(a, b);
+        for (p, res) in a.iter() {
+            assert!(res.iter().all(|&c| c < p.value()));
+        }
+        // A different seed must diverge.
+        let mut other = seed;
+        other[31] ^= 1;
+        assert_ne!(a, expand_uniform(&other, 256, &m, Representation::Ntt));
+    }
+
+    #[test]
+    fn expand_rng_survives_degenerate_seeds() {
+        use rand::RngCore;
+        let mut zero = ExpandRng::from_seed(&[0u8; EXPAND_SEED_LEN]);
+        let words: Vec<u64> = (0..64).map(|_| zero.next_u64()).collect();
+        assert!(words.iter().any(|&w| w != 0));
+        // One-bit seeds land on distinct streams.
+        let mut one = [0u8; EXPAND_SEED_LEN];
+        one[0] = 1;
+        let mut rng_one = ExpandRng::from_seed(&one);
+        assert_ne!(words[0], rng_one.next_u64());
     }
 
     #[test]

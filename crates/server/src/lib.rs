@@ -74,6 +74,62 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## The v2 wire path: seeded uploads, compressed replies
+//!
+//! Wire v2 (the byte-level spec is `PROTOCOL.md` at the repo root)
+//! attacks the transfer-bound serving points from both directions: a
+//! fresh symmetric encryption uploads *seeded* — a 32-byte seed stands
+//! in for the uniform polynomial, roughly halving ingress — and the
+//! `compress_reply` request flag asks the server to modulus-switch a
+//! wire-returned result down to one RNS limb (decrypt-only precision):
+//!
+//! ```
+//! use heax_ckks::serialize::{deserialize_ciphertext, serialize_seeded_ciphertext};
+//! use heax_ckks::{
+//!     encrypt_symmetric_seeded, CkksContext, CkksEncoder, CkksParams, Decryptor, ParamSet,
+//!     SecretKey,
+//! };
+//! use heax_hw::board::Board;
+//! use heax_server::wire::client::{self, Reply};
+//! use heax_server::wire::{OpCode, Request, WireOperand};
+//! use heax_server::HeaxServer;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = CkksContext::new(CkksParams::from_set(ParamSet::SetA)?)?;
+//! let mut rng = StdRng::seed_from_u64(9);
+//! let sk = SecretKey::generate(&ctx, &mut rng);
+//! let enc = CkksEncoder::new(&ctx);
+//! let pt = enc.encode_real(&[4.0], ctx.params().scale(), ctx.max_level())?;
+//! // Seeded upload: one polynomial + 32 bytes instead of two polynomials.
+//! let seeded = encrypt_symmetric_seeded(&ctx, &sk, &pt, &mut rng)?;
+//! let upload = serialize_seeded_ciphertext(&seeded);
+//!
+//! let mut server = HeaxServer::new(&ctx, Board::stratix10())?;
+//! let opened = server.handle_frame(&client::open_session()).unwrap();
+//! let (session, _, _) = client::parse_reply(&opened)?;
+//! let frame = client::request(session, 1, &Request {
+//!     op: OpCode::Add,
+//!     step: 0,
+//!     compress_reply: true, // one-limb reply, please
+//!     park_as: None,
+//!     operands: vec![WireOperand::Inline(&upload), WireOperand::Inline(&upload)],
+//! });
+//! server.handle_frame(&frame);
+//! let replies = server.flush();
+//! let (_, _, reply) = client::parse_reply(&replies[0])?;
+//! let Reply::Ciphertext(bytes) = reply else { panic!("expected a result") };
+//! let result = deserialize_ciphertext(&bytes, &ctx)?;
+//! assert_eq!(result.level(), 0); // exactly one limb crossed the wire back
+//! let vals = enc.decode_real(&Decryptor::new(&ctx, &sk).decrypt(&result)?)?;
+//! assert!((vals[0] - 8.0).abs() < 0.05); // the seeded vector added to itself
+//! assert_eq!(server.stats().seeded_operands, 2);
+//! assert_eq!(server.stats().compressed_replies, 1);
+//! # Ok(())
+//! # }
+//! ```
 
 #![deny(missing_docs)]
 

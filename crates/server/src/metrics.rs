@@ -201,6 +201,13 @@ pub struct ServerStats {
     pub hoisted_groups: u64,
     /// Rotations served by those hoisted groups.
     pub hoisted_rotations: u64,
+    /// Inline operands that arrived as seeded ciphertexts (v2 upload
+    /// compression: a 32-byte PRNG seed replaces the uniform
+    /// polynomial and is re-expanded server-side).
+    pub seeded_operands: u64,
+    /// Wire-returned results modulus-switched down to one RNS limb
+    /// because the request set the v2 compress-reply flag.
+    pub compressed_replies: u64,
     /// Results currently parked in board DRAM.
     pub parked_entries: usize,
     /// Modeled DRAM bytes used by parked results.
@@ -251,6 +258,8 @@ pub(crate) struct Metrics {
     pub(crate) batched_requests: u64,
     pub(crate) hoisted_groups: u64,
     pub(crate) hoisted_rotations: u64,
+    pub(crate) seeded_operands: u64,
+    pub(crate) compressed_replies: u64,
     pub(crate) per_op: [OpStats; OpCode::ALL.len()],
 }
 

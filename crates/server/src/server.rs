@@ -64,8 +64,7 @@ use std::time::Instant;
 
 use heax_ckks::galois::galois_elt_from_step;
 use heax_ckks::serialize::{
-    deserialize_ciphertext, deserialize_galois_keys, deserialize_relin_key,
-    serialize_ciphertext_into,
+    deserialize_galois_keys, deserialize_operand, deserialize_relin_key, serialize_ciphertext_into,
 };
 use heax_ckks::{Ciphertext, CkksContext, Evaluator};
 use heax_core::{HeaxAccelerator, HeaxSystem};
@@ -85,8 +84,17 @@ use crate::wire::{self, Frame, MessageKind, OpCode, ReplyBody, WireOperand};
 struct Pending {
     session: u64,
     request: u64,
+    /// Wire version of the request frame — echoed in the reply.
+    version: u8,
     op: OpCode,
     step: i64,
+    /// v2 compress-reply flag: modulus-switch a wire-returned result
+    /// down to one RNS limb before serializing.
+    compress_reply: bool,
+    /// Whether any inline operand arrived seeded (halved upload) —
+    /// carried into the IR so the board models price the smaller
+    /// host→board transfer.
+    seeded_input: bool,
     park_as: Option<String>,
     operands: Vec<Operand>,
 }
@@ -296,15 +304,17 @@ impl<'a> HeaxServer<'a> {
     pub fn handle_frame(&mut self, bytes: &[u8]) -> Option<Vec<u8>> {
         self.metrics.frames_in += 1;
         self.metrics.bytes_in += bytes.len() as u64;
-        let (session, request, outcome) = match wire::decode_frame(bytes) {
+        let (version, session, request, outcome) = match wire::decode_frame(bytes) {
             Ok(frame) => {
                 if let Ok(sess) = self.sessions.get_mut(frame.session) {
                     sess.stats.bytes_in += bytes.len() as u64;
                 }
-                let (s, r) = (frame.session, frame.request);
-                (s, r, self.dispatch_control(frame))
+                let (v, s, r) = (frame.version, frame.session, frame.request);
+                (v, s, r, self.dispatch_control(frame))
             }
-            Err(e) => (0, 0, Err(e)),
+            // An undecodable frame has no trustworthy version field;
+            // answer at v1, which every client can parse.
+            Err(e) => (wire::WIRE_V1, 0, 0, Err(e)),
         };
         match outcome {
             Ok(reply) => reply.inspect(|frame| self.note_out(session, frame)),
@@ -315,7 +325,7 @@ impl<'a> HeaxServer<'a> {
                 if let Ok(sess) = self.sessions.get_mut(session) {
                     sess.stats.errors += 1;
                 }
-                Some(self.error_frame(session, request, &e))
+                Some(self.error_frame(version, session, request, &e))
             }
         }
     }
@@ -326,6 +336,7 @@ impl<'a> HeaxServer<'a> {
             MessageKind::OpenSession => {
                 let id = self.sessions.open();
                 Ok(Some(wire::encode_frame(
+                    frame.version,
                     MessageKind::SessionOpened,
                     id,
                     frame.request,
@@ -342,6 +353,7 @@ impl<'a> HeaxServer<'a> {
                 let rlk = deserialize_relin_key(frame.payload, self.ctx)?;
                 self.sessions.get_mut(frame.session)?.rlk = Some(rlk);
                 Ok(Some(wire::encode_frame(
+                    frame.version,
                     MessageKind::KeyRegistered,
                     frame.session,
                     frame.request,
@@ -353,6 +365,7 @@ impl<'a> HeaxServer<'a> {
                 let gks = deserialize_galois_keys(frame.payload, self.ctx)?;
                 self.sessions.get_mut(frame.session)?.gks = Some(gks);
                 Ok(Some(wire::encode_frame(
+                    frame.version,
                     MessageKind::KeyRegistered,
                     frame.session,
                     frame.request,
@@ -369,6 +382,7 @@ impl<'a> HeaxServer<'a> {
                     self.system.remove(&scoped(frame.session, name));
                 }
                 Ok(Some(wire::encode_frame(
+                    frame.version,
                     MessageKind::SessionClosed,
                     frame.session,
                     frame.request,
@@ -386,16 +400,24 @@ impl<'a> HeaxServer<'a> {
     fn enqueue(&mut self, frame: Frame<'_>) -> Result<(), ServerError> {
         // The session must exist before any payload work.
         self.sessions.get(frame.session)?;
-        let req = wire::decode_request(frame.payload)?;
+        let req = wire::decode_request(frame.payload, frame.version)?;
         let mut operands = Vec::with_capacity(req.operands.len());
+        let mut seeded_input = false;
         for operand in &req.operands {
             operands.push(match operand {
                 // Inline ciphertexts are decoded (and validated against
                 // the context) at intake, so a malformed operand fails
                 // here with a structured error instead of poisoning the
-                // batch.
+                // batch. `deserialize_operand` takes the zero-copy view
+                // path for full ciphertexts and re-expands the uniform
+                // polynomial for seeded ones.
                 WireOperand::Inline(bytes) => {
-                    Operand::Inline(deserialize_ciphertext(bytes, self.ctx)?)
+                    let (ct, seeded) = deserialize_operand(bytes, self.ctx)?;
+                    if seeded {
+                        seeded_input = true;
+                        self.metrics.seeded_operands += 1;
+                    }
+                    Operand::Inline(ct)
                 }
                 WireOperand::Parked(name) => Operand::Parked((*name).to_string()),
             });
@@ -405,8 +427,11 @@ impl<'a> HeaxServer<'a> {
         self.queue.push_back(Pending {
             session: frame.session,
             request: frame.request,
+            version: frame.version,
             op: req.op,
             step: req.step,
+            compress_reply: req.compress_reply,
+            seeded_input,
             park_as: req.park_as.map(str::to_string),
             operands,
         });
@@ -509,7 +534,7 @@ impl<'a> HeaxServer<'a> {
                     if let Ok(sess) = self.sessions.get_mut(it.session) {
                         sess.stats.errors += 1;
                     }
-                    self.error_frame(it.session, it.request, &e)
+                    self.error_frame(it.version, it.session, it.request, &e)
                 }
             };
             replies.push(frame);
@@ -590,7 +615,7 @@ impl<'a> HeaxServer<'a> {
         it: &Pending,
         outcome: Result<Ciphertext, ServerError>,
     ) -> Result<Vec<u8>, ServerError> {
-        let ct = outcome?;
+        let mut ct = outcome?;
         match &it.park_as {
             Some(name) => {
                 // Session before store: a request can outlive its session
@@ -605,14 +630,25 @@ impl<'a> HeaxServer<'a> {
                     sess.parked.push(name.clone());
                 }
                 Ok(wire::encode_response_frame(
+                    it.version,
                     it.session,
                     it.request,
                     &ReplyBody::Parked(name),
                 ))
             }
             None => {
+                // v2 compress-reply: the client only needs decrypt-level
+                // precision, so drop every limb above the last before
+                // serializing — the board→host leg shrinks by ~k×.
+                if it.compress_reply && ct.level() > 0 {
+                    ct = self.eval.mod_switch_to_level(&ct, 0)?;
+                }
+                if it.compress_reply {
+                    self.metrics.compressed_replies += 1;
+                }
                 serialize_ciphertext_into(&ct, &mut self.scratch_out);
                 Ok(wire::encode_response_frame(
+                    it.version,
                     it.session,
                     it.request,
                     &ReplyBody::Ciphertext(&self.scratch_out),
@@ -729,10 +765,10 @@ impl<'a> HeaxServer<'a> {
         }
     }
 
-    /// Builds (and accounts) an error frame.
-    fn error_frame(&mut self, session: u64, request: u64, e: &ServerError) -> Vec<u8> {
+    /// Builds (and accounts) an error frame at the peer's wire version.
+    fn error_frame(&mut self, version: u8, session: u64, request: u64, e: &ServerError) -> Vec<u8> {
         let payload = wire::encode_error(e.code(), &e.to_string());
-        let frame = wire::encode_frame(MessageKind::Error, session, request, &payload);
+        let frame = wire::encode_frame(version, MessageKind::Error, session, request, &payload);
         self.note_out(session, &frame);
         frame
     }
@@ -765,6 +801,8 @@ impl<'a> HeaxServer<'a> {
             batched_requests: self.metrics.batched_requests,
             hoisted_groups: self.metrics.hoisted_groups,
             hoisted_rotations: self.metrics.hoisted_rotations,
+            seeded_operands: self.metrics.seeded_operands,
+            compressed_replies: self.metrics.compressed_replies,
             parked_entries: self.system.mapped_entries(),
             parked_bytes: self.system.dram_used_bytes(),
             per_op: self.metrics.per_op_snapshot(),
@@ -808,6 +846,15 @@ fn lower_ops(items: &[&Pending]) -> OpStream {
         let mut op = IrOp::new(kind).with_session(it.session);
         if !it.operands.is_empty() && it.operands.iter().all(|o| matches!(o, Operand::Parked(_))) {
             op = op.with_parked_input();
+        }
+        // v2 transfer shaping: seeded uploads halve the host→board leg;
+        // a compressed wire-returned reply ships one limb of k. Both
+        // are priced by the board/cluster models through these flags.
+        if it.seeded_input {
+            op = op.with_seeded_input();
+        }
+        if it.compress_reply && it.park_as.is_none() {
+            op = op.with_reply_limbs(1);
         }
         match it.operands.first() {
             Some(Operand::Parked(name)) => {

@@ -6,17 +6,34 @@
 //! that carries routing (session id), correlation (request id), and a
 //! message kind, plus the encoding of request and reply bodies.
 //!
-//! ## Frame layout (version 1, little-endian)
+//! ## Frame layout (little-endian)
 //!
 //! | field     | size | meaning                                    |
 //! |-----------|------|--------------------------------------------|
 //! | magic     | 4    | `"HEAW"`                                   |
-//! | version   | 1    | `1`                                        |
+//! | version   | 1    | `1` or `2`                                 |
 //! | kind      | 1    | [`MessageKind`]                            |
 //! | session   | 8    | session id (`0` before a session exists)   |
 //! | request   | 8    | client-chosen request id, echoed in replies|
 //! | length    | 4    | payload byte count                         |
 //! | payload   | n    | kind-specific body                         |
+//!
+//! The normative byte-level specification of every header and body —
+//! including the v1/v2 differences — lives in `PROTOCOL.md` at the
+//! repository root; this module is its implementation.
+//!
+//! ## Versioning
+//!
+//! Two wire versions are live. [`WIRE_V1`] is the original protocol;
+//! [`WIRE_V2`] adds a request **flags** byte (bit 0 = *compress
+//! reply*: the server modulus-switches a wire-returned result down to
+//! one RNS limb before serializing) and, at the object layer
+//! underneath, seeded fresh ciphertexts
+//! ([`heax_ckks::serialize::deserialize_operand`]). Version
+//! negotiation is implicit and per-frame: the server accepts both
+//! versions and **echoes the request frame's version** in every reply,
+//! so a v1 client never sees a v2 byte. The [`client`] builders emit
+//! the current version ([`WIRE_VERSION`] = v2).
 //!
 //! ## Totality
 //!
@@ -34,8 +51,22 @@ use crate::error::{ErrorCode, ServerError};
 /// Frame magic: "HEAW" (HEAX wire) — distinct from the object-level
 /// `"HEAX"` magic so a frame can never be confused with a bare object.
 pub const FRAME_MAGIC: [u8; 4] = *b"HEAW";
-/// Wire protocol version.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire protocol version 1: the original frame and body layouts.
+pub const WIRE_V1: u8 = 1;
+/// Wire protocol version 2: request bodies carry a flags byte
+/// (bit 0 = compress reply) and operands may be seeded ciphertexts.
+pub const WIRE_V2: u8 = 2;
+/// The current (preferred) wire protocol version, emitted by the
+/// [`client`] builders. The server accepts every version in
+/// `WIRE_V1..=WIRE_VERSION` and echoes the request's version back.
+pub const WIRE_VERSION: u8 = WIRE_V2;
+/// Request flags byte (v2 bodies only), bit 0: the client only needs
+/// decrypt-level precision, so the server modulus-switches a
+/// wire-returned result down to one RNS limb before serializing.
+pub const REQUEST_FLAG_COMPRESS_REPLY: u8 = 0b0000_0001;
+/// All request flag bits a v2 body may carry; unknown bits are
+/// rejected as malformed rather than ignored.
+pub const REQUEST_FLAGS_ALL: u8 = REQUEST_FLAG_COMPRESS_REPLY;
 /// Frame header size in bytes (everything before the payload).
 pub const FRAME_HEADER_LEN: usize = 4 + 1 + 1 + 8 + 8 + 4;
 
@@ -156,6 +187,11 @@ pub struct Request<'a> {
     pub op: OpCode,
     /// Rotation step (only meaningful for [`OpCode::Rotate`]).
     pub step: i64,
+    /// v2 only: ask the server to modulus-switch a wire-returned
+    /// result down to one RNS limb before serializing (the reply still
+    /// decrypts, at decrypt-only precision). Ignored for parked
+    /// results; a v1 body cannot express it.
+    pub compress_reply: bool,
     /// Park the result in board DRAM under this session-scoped name
     /// instead of returning ciphertext bytes.
     pub park_as: Option<&'a str>,
@@ -175,6 +211,9 @@ pub enum ReplyBody<'a> {
 /// A decoded frame borrowing the input buffer.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Frame<'a> {
+    /// Wire version this frame was encoded with ([`WIRE_V1`] or
+    /// [`WIRE_V2`]); replies must echo it.
+    pub version: u8,
     /// Message kind.
     pub kind: MessageKind,
     /// Session id (`0` when no session applies yet).
@@ -190,16 +229,26 @@ pub struct Frame<'a> {
 // ---------------------------------------------------------------------
 
 /// Encodes a frame into a caller-provided buffer (cleared first).
+///
+/// # Panics
+///
+/// If `version` is not a known wire version — emitting undecodable
+/// frames is a caller bug, not an input condition.
 pub fn encode_frame_into(
+    version: u8,
     kind: MessageKind,
     session: u64,
     request: u64,
     payload: &[u8],
     out: &mut Vec<u8>,
 ) {
+    assert!(
+        (WIRE_V1..=WIRE_VERSION).contains(&version),
+        "unknown wire version {version}"
+    );
     out.clear();
     out.extend_from_slice(&FRAME_MAGIC);
-    out.push(WIRE_VERSION);
+    out.push(version);
     out.push(kind as u8);
     out.extend_from_slice(&session.to_le_bytes());
     out.extend_from_slice(&request.to_le_bytes());
@@ -207,10 +256,16 @@ pub fn encode_frame_into(
     out.extend_from_slice(payload);
 }
 
-/// Encodes a frame.
-pub fn encode_frame(kind: MessageKind, session: u64, request: u64, payload: &[u8]) -> Vec<u8> {
+/// Encodes a frame at the given wire version.
+pub fn encode_frame(
+    version: u8,
+    kind: MessageKind,
+    session: u64,
+    request: u64,
+    payload: &[u8],
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-    encode_frame_into(kind, session, request, payload, &mut out);
+    encode_frame_into(version, kind, session, request, payload, &mut out);
     out
 }
 
@@ -234,11 +289,29 @@ fn put_operand(out: &mut Vec<u8>, operand: &WireOperand<'_>) {
 }
 
 /// Encodes a request body (the payload of a [`MessageKind::Request`]
-/// frame).
-pub fn encode_request(req: &Request<'_>) -> Vec<u8> {
+/// frame) at the given wire version. The v2 layout inserts a flags
+/// byte after the step; v1 has no flags byte at all.
+///
+/// # Panics
+///
+/// If `req.compress_reply` is set at [`WIRE_V1`] — the v1 body cannot
+/// carry the flag, and silently dropping it would corrupt intent.
+pub fn encode_request(version: u8, req: &Request<'_>) -> Vec<u8> {
+    assert!(
+        version >= WIRE_V2 || !req.compress_reply,
+        "compress_reply requires wire v2"
+    );
     let mut out = Vec::new();
     out.push(req.op as u8);
     out.extend_from_slice(&req.step.to_le_bytes());
+    if version >= WIRE_V2 {
+        let flags = if req.compress_reply {
+            REQUEST_FLAG_COMPRESS_REPLY
+        } else {
+            0
+        };
+        out.push(flags);
+    }
     match req.park_as {
         Some(name) => {
             out.push(1);
@@ -273,15 +346,24 @@ pub fn encode_reply(body: &ReplyBody<'_>) -> Vec<u8> {
 /// Encodes a complete [`MessageKind::Response`] frame — header, reply
 /// tag, and body written in one pass, so a megabyte ciphertext result
 /// is copied exactly once on the serving hot path (no intermediate
-/// payload buffer).
-pub fn encode_response_frame(session: u64, request: u64, body: &ReplyBody<'_>) -> Vec<u8> {
+/// payload buffer). `version` is echoed from the request frame.
+pub fn encode_response_frame(
+    version: u8,
+    session: u64,
+    request: u64,
+    body: &ReplyBody<'_>,
+) -> Vec<u8> {
+    assert!(
+        (WIRE_V1..=WIRE_VERSION).contains(&version),
+        "unknown wire version {version}"
+    );
     let (tag, bytes): (u8, &[u8]) = match body {
         ReplyBody::Ciphertext(b) => (0, b),
         ReplyBody::Parked(name) => (1, name.as_bytes()),
     };
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 1 + bytes.len());
     out.extend_from_slice(&FRAME_MAGIC);
-    out.push(WIRE_VERSION);
+    out.push(version);
     out.push(MessageKind::Response as u8);
     out.extend_from_slice(&session.to_le_bytes());
     out.extend_from_slice(&request.to_le_bytes());
@@ -372,7 +454,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, ServerError> {
         return Err(ServerError::malformed("bad frame magic"));
     }
     let version = r.u8()?;
-    if version != WIRE_VERSION {
+    if !(WIRE_V1..=WIRE_VERSION).contains(&version) {
         return Err(ServerError::malformed(format!(
             "unsupported wire version {version}"
         )));
@@ -385,6 +467,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, ServerError> {
     let payload = r.take(len)?;
     r.finish()?;
     Ok(Frame {
+        version,
         kind,
         session,
         request,
@@ -400,16 +483,30 @@ fn decode_operand<'a>(r: &mut Reader<'a>) -> Result<WireOperand<'a>, ServerError
     }
 }
 
-/// Decodes a request body.
+/// Decodes a request body laid out per the given wire version (the
+/// enclosing frame's): v1 bodies have no flags byte, v2 bodies carry
+/// one right after the step.
 ///
 /// # Errors
 ///
 /// [`ServerError::Malformed`] on any structural problem, including an
-/// operand count that disagrees with the op's arity.
-pub fn decode_request(buf: &[u8]) -> Result<Request<'_>, ServerError> {
+/// operand count that disagrees with the op's arity or a v2 flags
+/// byte with unknown bits set.
+pub fn decode_request(buf: &[u8], version: u8) -> Result<Request<'_>, ServerError> {
     let mut r = Reader::new(buf);
     let op = OpCode::from_u8(r.u8()?).ok_or_else(|| ServerError::malformed("unknown op code"))?;
     let step = r.i64()?;
+    let compress_reply = if version >= WIRE_V2 {
+        let flags = r.u8()?;
+        if flags & !REQUEST_FLAGS_ALL != 0 {
+            return Err(ServerError::malformed(format!(
+                "unknown request flags {flags:#04x}"
+            )));
+        }
+        flags & REQUEST_FLAG_COMPRESS_REPLY != 0
+    } else {
+        false
+    };
     let park_as = match r.u8()? {
         0 => None,
         1 => {
@@ -440,6 +537,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Request<'_>, ServerError> {
     Ok(Request {
         op,
         step,
+        compress_reply,
         park_as,
         operands,
     })
@@ -474,36 +572,55 @@ pub fn decode_error(buf: &[u8]) -> (ErrorCode, String) {
 
 /// Client-side frame builders and reply parsing, so examples, benches,
 /// and tests can speak the protocol without hand-rolling byte layouts.
+///
+/// All builders emit the current wire version ([`WIRE_VERSION`], i.e.
+/// v2). A v1 peer can still be spoken to by calling [`encode_frame`] /
+/// [`encode_request`] with [`WIRE_V1`] directly; the server keeps
+/// accepting both.
 pub mod client {
     use super::*;
 
     /// Builds an `OpenSession` frame.
     pub fn open_session() -> Vec<u8> {
-        encode_frame(MessageKind::OpenSession, 0, 0, &[])
+        encode_frame(WIRE_VERSION, MessageKind::OpenSession, 0, 0, &[])
     }
 
     /// Builds a `RegisterRelinKey` frame around serialized key bytes.
     pub fn register_relin_key(session: u64, key_bytes: &[u8]) -> Vec<u8> {
-        encode_frame(MessageKind::RegisterRelinKey, session, 0, key_bytes)
+        encode_frame(
+            WIRE_VERSION,
+            MessageKind::RegisterRelinKey,
+            session,
+            0,
+            key_bytes,
+        )
     }
 
     /// Builds a `RegisterGaloisKeys` frame around serialized key bytes.
     pub fn register_galois_keys(session: u64, key_bytes: &[u8]) -> Vec<u8> {
-        encode_frame(MessageKind::RegisterGaloisKeys, session, 0, key_bytes)
+        encode_frame(
+            WIRE_VERSION,
+            MessageKind::RegisterGaloisKeys,
+            session,
+            0,
+            key_bytes,
+        )
     }
 
     /// Builds a `CloseSession` frame.
     pub fn close_session(session: u64) -> Vec<u8> {
-        encode_frame(MessageKind::CloseSession, session, 0, &[])
+        encode_frame(WIRE_VERSION, MessageKind::CloseSession, session, 0, &[])
     }
 
-    /// Builds a request frame from a structured [`Request`].
+    /// Builds a request frame from a structured [`Request`] at the
+    /// current wire version.
     pub fn request(session: u64, request_id: u64, req: &Request<'_>) -> Vec<u8> {
         encode_frame(
+            WIRE_VERSION,
             MessageKind::Request,
             session,
             request_id,
-            &encode_request(req),
+            &encode_request(WIRE_VERSION, req),
         )
     }
 
@@ -515,6 +632,7 @@ pub mod client {
             &Request {
                 op: OpCode::Rotate,
                 step,
+                compress_reply: false,
                 park_as: None,
                 operands: vec![WireOperand::Inline(ct_bytes)],
             },
@@ -579,13 +697,16 @@ mod tests {
 
     #[test]
     fn frame_roundtrip() {
-        let bytes = encode_frame(MessageKind::Request, 7, 42, b"payload");
-        let frame = decode_frame(&bytes).unwrap();
-        assert_eq!(frame.kind, MessageKind::Request);
-        assert_eq!(frame.session, 7);
-        assert_eq!(frame.request, 42);
-        assert_eq!(frame.payload, b"payload");
-        assert_eq!(bytes.len(), FRAME_HEADER_LEN + 7);
+        for version in [WIRE_V1, WIRE_V2] {
+            let bytes = encode_frame(version, MessageKind::Request, 7, 42, b"payload");
+            let frame = decode_frame(&bytes).unwrap();
+            assert_eq!(frame.version, version);
+            assert_eq!(frame.kind, MessageKind::Request);
+            assert_eq!(frame.session, 7);
+            assert_eq!(frame.request, 42);
+            assert_eq!(frame.payload, b"payload");
+            assert_eq!(bytes.len(), FRAME_HEADER_LEN + 7);
+        }
     }
 
     #[test]
@@ -594,39 +715,102 @@ mod tests {
             Request {
                 op: OpCode::Add,
                 step: 0,
+                compress_reply: false,
                 park_as: None,
                 operands: vec![WireOperand::Inline(b"aaaa"), WireOperand::Parked("x2")],
             },
             Request {
                 op: OpCode::Rotate,
                 step: -3,
+                compress_reply: true,
                 park_as: Some("out"),
                 operands: vec![WireOperand::Parked("x2")],
             },
             Request {
                 op: OpCode::Fetch,
                 step: 0,
+                compress_reply: false,
                 park_as: None,
                 operands: vec![WireOperand::Parked("out")],
             },
         ];
         for req in &reqs {
-            let bytes = encode_request(req);
-            assert_eq!(&decode_request(&bytes).unwrap(), req);
+            let bytes = encode_request(WIRE_V2, req);
+            assert_eq!(&decode_request(&bytes, WIRE_V2).unwrap(), req);
         }
     }
 
     #[test]
+    fn v1_request_bodies_still_decode() {
+        // A v1 body has no flags byte; it must decode byte-for-byte as
+        // before, with `compress_reply` defaulting to off.
+        let req = Request {
+            op: OpCode::Add,
+            step: 0,
+            compress_reply: false,
+            park_as: Some("sum"),
+            operands: vec![WireOperand::Inline(b"aa"), WireOperand::Inline(b"bb")],
+        };
+        let v1 = encode_request(WIRE_V1, &req);
+        let v2 = encode_request(WIRE_V2, &req);
+        assert_eq!(v2.len(), v1.len() + 1, "v2 adds exactly one flags byte");
+        assert_eq!(decode_request(&v1, WIRE_V1).unwrap(), req);
+        // Cross-version confusion is caught: a v1 body parsed as v2
+        // (or vice versa) fails structurally rather than silently
+        // misreading the park tag as flags.
+        assert!(
+            decode_request(&v1, WIRE_V2).is_err() || decode_request(&v1, WIRE_V2).unwrap() != req
+        );
+    }
+
+    #[test]
+    fn v2_unknown_flag_bits_rejected() {
+        let req = Request {
+            op: OpCode::Fetch,
+            step: 0,
+            compress_reply: true,
+            park_as: None,
+            operands: vec![WireOperand::Parked("x")],
+        };
+        let mut bytes = encode_request(WIRE_V2, &req);
+        assert_eq!(decode_request(&bytes, WIRE_V2).unwrap(), req);
+        let flags_off = 1 + 8; // op + step
+        assert_eq!(bytes[flags_off], REQUEST_FLAG_COMPRESS_REPLY);
+        bytes[flags_off] |= 0b1000_0000;
+        let err = decode_request(&bytes, WIRE_V2).unwrap_err();
+        assert!(err.to_string().contains("unknown request flags"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "compress_reply requires wire v2")]
+    fn v1_cannot_express_compression() {
+        let _ = encode_request(
+            WIRE_V1,
+            &Request {
+                op: OpCode::Fetch,
+                step: 0,
+                compress_reply: true,
+                park_as: None,
+                operands: vec![WireOperand::Parked("x")],
+            },
+        );
+    }
+
+    #[test]
     fn response_frame_fast_path_matches_two_step_encoding() {
-        for body in [
-            ReplyBody::Ciphertext(b"some ciphertext bytes".as_slice()),
-            ReplyBody::Parked("handle"),
-        ] {
-            let fast = encode_response_frame(9, 77, &body);
-            let slow = encode_frame(MessageKind::Response, 9, 77, &encode_reply(&body));
-            assert_eq!(fast, slow);
-            let frame = decode_frame(&fast).unwrap();
-            assert_eq!(decode_reply(frame.payload).unwrap(), body);
+        for version in [WIRE_V1, WIRE_V2] {
+            for body in [
+                ReplyBody::Ciphertext(b"some ciphertext bytes".as_slice()),
+                ReplyBody::Parked("handle"),
+            ] {
+                let fast = encode_response_frame(version, 9, 77, &body);
+                let slow =
+                    encode_frame(version, MessageKind::Response, 9, 77, &encode_reply(&body));
+                assert_eq!(fast, slow);
+                let frame = decode_frame(&fast).unwrap();
+                assert_eq!(frame.version, version);
+                assert_eq!(decode_reply(frame.payload).unwrap(), body);
+            }
         }
     }
 
@@ -649,7 +833,7 @@ mod tests {
 
     #[test]
     fn hostile_frames_rejected_not_panicking() {
-        let good = encode_frame(MessageKind::Request, 1, 1, b"abc");
+        let good = encode_frame(WIRE_V2, MessageKind::Request, 1, 1, b"abc");
         // Truncations at every length.
         for cut in 0..good.len() {
             assert!(decode_frame(&good[..cut]).is_err(), "cut at {cut}");
@@ -677,36 +861,44 @@ mod tests {
     #[test]
     fn request_arity_and_tags_checked() {
         // Add with one operand.
-        let bytes = encode_request(&Request {
-            op: OpCode::Add,
-            step: 0,
-            park_as: None,
-            operands: vec![WireOperand::Inline(b"a"), WireOperand::Inline(b"b")],
-        });
+        let bytes = encode_request(
+            WIRE_V2,
+            &Request {
+                op: OpCode::Add,
+                step: 0,
+                compress_reply: false,
+                park_as: None,
+                operands: vec![WireOperand::Inline(b"a"), WireOperand::Inline(b"b")],
+            },
+        );
         // Truncate away the second operand *and* patch the count.
-        let mut short = decode_request(&bytes).map(|_| bytes.clone()).unwrap();
-        let count_off = 1 + 8 + 1; // op + step + park flag
+        let mut short = decode_request(&bytes, WIRE_V2)
+            .map(|_| bytes.clone())
+            .unwrap();
+        let count_off = 1 + 8 + 1 + 1; // op + step + flags + park flag
         short[count_off] = 1;
-        assert!(decode_request(&short).is_err());
+        assert!(decode_request(&short, WIRE_V2).is_err());
         // Unknown op.
         let mut bad = short.clone();
         bad[0] = 200;
-        assert!(decode_request(&bad).is_err());
+        assert!(decode_request(&bad, WIRE_V2).is_err());
         // Park name must be valid UTF-8 and bounded.
         let req = Request {
             op: OpCode::Fetch,
             step: 0,
+            compress_reply: false,
             park_as: Some("ok"),
             operands: vec![WireOperand::Parked("x")],
         };
-        let bytes = encode_request(&req);
-        assert_eq!(decode_request(&bytes).unwrap(), req);
+        let bytes = encode_request(WIRE_V2, &req);
+        assert_eq!(decode_request(&bytes, WIRE_V2).unwrap(), req);
     }
 
     #[test]
     fn client_reply_parsing() {
         use super::client;
         let frame = encode_frame(
+            WIRE_V1,
             MessageKind::Error,
             3,
             9,

@@ -126,6 +126,7 @@ fn lowering_is_pure_and_captures_placement_ids_and_deps() {
         &Request {
             op: OpCode::Fetch,
             step: 0,
+            compress_reply: false,
             park_as: Some("a"),
             operands: vec![WireOperand::Inline(&ct_bytes)],
         },
@@ -137,6 +138,7 @@ fn lowering_is_pure_and_captures_placement_ids_and_deps() {
         &Request {
             op: OpCode::Rotate,
             step: 1,
+            compress_reply: false,
             park_as: Some("b"),
             operands: vec![WireOperand::Parked("a")],
         },
@@ -148,6 +150,7 @@ fn lowering_is_pure_and_captures_placement_ids_and_deps() {
         &Request {
             op: OpCode::Add,
             step: 0,
+            compress_reply: false,
             park_as: Some("c"),
             operands: vec![WireOperand::Parked("a"), WireOperand::Parked("b")],
         },
@@ -159,6 +162,7 @@ fn lowering_is_pure_and_captures_placement_ids_and_deps() {
         &Request {
             op: OpCode::Fetch,
             step: 0,
+            compress_reply: false,
             park_as: None,
             operands: vec![WireOperand::Parked("c")],
         },

@@ -215,6 +215,7 @@ proptest! {
             submit(&mut server, &Request {
                 op: OpCode::Fetch,
                 step: 0,
+                compress_reply: false,
                 park_as: Some("acc"),
                 operands: vec![WireOperand::Inline(&ct_bytes)],
             });
@@ -224,12 +225,14 @@ proptest! {
                     StreamOp::Rotate(step) => vec![Request {
                         op: OpCode::Rotate,
                         step: *step,
+                        compress_reply: false,
                         park_as: Some("acc"),
                         operands: vec![WireOperand::Parked("acc")],
                     }],
                     StreamOp::Add => vec![Request {
                         op: OpCode::Add,
                         step: 0,
+                        compress_reply: false,
                         park_as: Some("acc"),
                         operands: vec![WireOperand::Parked("acc"), WireOperand::Parked("acc")],
                     }],
@@ -237,12 +240,14 @@ proptest! {
                         Request {
                             op: OpCode::SquareRelin,
                             step: 0,
+                            compress_reply: false,
                             park_as: Some("acc"),
                             operands: vec![WireOperand::Parked("acc")],
                         },
                         Request {
                             op: OpCode::Rescale,
                             step: 0,
+                            compress_reply: false,
                             park_as: Some("acc"),
                             operands: vec![WireOperand::Parked("acc")],
                         },
@@ -256,6 +261,7 @@ proptest! {
             submit(&mut server, &Request {
                 op: OpCode::Fetch,
                 step: 0,
+                compress_reply: false,
                 park_as: None,
                 operands: vec![WireOperand::Parked("acc")],
             });
@@ -362,6 +368,7 @@ proptest! {
             submit(&mut server, &Request {
                 op: OpCode::Fetch,
                 step: 0,
+                compress_reply: false,
                 park_as: Some("acc"),
                 operands: vec![WireOperand::Inline(&ct_bytes)],
             });
@@ -371,12 +378,14 @@ proptest! {
                     StreamOp::Rotate(step) => vec![Request {
                         op: OpCode::Rotate,
                         step: *step,
+                        compress_reply: false,
                         park_as: Some("acc"),
                         operands: vec![WireOperand::Parked("acc")],
                     }],
                     StreamOp::Add => vec![Request {
                         op: OpCode::Add,
                         step: 0,
+                        compress_reply: false,
                         park_as: Some("acc"),
                         operands: vec![WireOperand::Parked("acc"), WireOperand::Parked("acc")],
                     }],
@@ -384,12 +393,14 @@ proptest! {
                         Request {
                             op: OpCode::SquareRelin,
                             step: 0,
+                            compress_reply: false,
                             park_as: Some("acc"),
                             operands: vec![WireOperand::Parked("acc")],
                         },
                         Request {
                             op: OpCode::Rescale,
                             step: 0,
+                            compress_reply: false,
                             park_as: Some("acc"),
                             operands: vec![WireOperand::Parked("acc")],
                         },
@@ -403,6 +414,7 @@ proptest! {
             submit(&mut server, &Request {
                 op: OpCode::Fetch,
                 step: 0,
+                compress_reply: false,
                 park_as: None,
                 operands: vec![WireOperand::Parked("acc")],
             });

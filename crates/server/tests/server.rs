@@ -4,10 +4,11 @@
 
 use heax_ckks::serialize::{
     deserialize_ciphertext, serialize_ciphertext, serialize_galois_keys, serialize_relin_key,
+    serialize_seeded_ciphertext,
 };
 use heax_ckks::{
-    Ciphertext, CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, Evaluator, GaloisKeys,
-    PublicKey, RelinKey, SecretKey,
+    encrypt_symmetric_seeded, Ciphertext, CkksContext, CkksEncoder, CkksParams, Decryptor,
+    Encryptor, Evaluator, GaloisKeys, PublicKey, RelinKey, SecretKey,
 };
 use heax_core::{HeaxAccelerator, HeaxSystem};
 use heax_hw::board::Board;
@@ -15,7 +16,7 @@ use heax_hw::keyswitch_pipeline::KeySwitchArch;
 use heax_hw::mult_dataflow::MultModuleConfig;
 use heax_hw::ntt_dataflow::NttModuleConfig;
 use heax_server::wire::client::{self, Reply};
-use heax_server::wire::{OpCode, Request, WireOperand};
+use heax_server::wire::{self, MessageKind, OpCode, Request, WireOperand, WIRE_V1, WIRE_V2};
 use heax_server::{ErrorCode, HeaxServer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -155,6 +156,7 @@ fn parked_pipeline_computes_x2_plus_rotated_x2() {
         &Request {
             op: OpCode::SquareRelin,
             step: 0,
+            compress_reply: false,
             park_as: Some("x2"),
             operands: vec![WireOperand::Inline(&wire_ct)],
         },
@@ -166,6 +168,7 @@ fn parked_pipeline_computes_x2_plus_rotated_x2() {
         &Request {
             op: OpCode::Rotate,
             step: 1,
+            compress_reply: false,
             park_as: Some("x2r"),
             operands: vec![WireOperand::Parked("x2")],
         },
@@ -177,6 +180,7 @@ fn parked_pipeline_computes_x2_plus_rotated_x2() {
         &Request {
             op: OpCode::Add,
             step: 0,
+            compress_reply: false,
             park_as: None,
             operands: vec![WireOperand::Parked("x2"), WireOperand::Parked("x2r")],
         },
@@ -252,6 +256,7 @@ fn batched_rotations_decrypt_like_sequential_and_hoist() {
                 &Request {
                     op: OpCode::Rotate,
                     step,
+                    compress_reply: false,
                     park_as: None,
                     operands: vec![WireOperand::Inline(wire)],
                 },
@@ -326,6 +331,7 @@ fn hostile_input_gets_structured_errors_session_survives() {
         &Request {
             op: OpCode::Fetch,
             step: 0,
+            compress_reply: false,
             park_as: None,
             operands: vec![WireOperand::Parked("never-parked")],
         },
@@ -341,6 +347,7 @@ fn hostile_input_gets_structured_errors_session_survives() {
         &Request {
             op: OpCode::Rotate,
             step: 1,
+            compress_reply: false,
             park_as: None,
             operands: vec![WireOperand::Inline(&wire_ct)],
         },
@@ -371,6 +378,7 @@ fn uncovered_steps_fail_individually_inside_a_fused_group() {
             &Request {
                 op: OpCode::Rotate,
                 step,
+                compress_reply: false,
                 park_as: None,
                 operands: vec![WireOperand::Inline(&wire_ct)],
             },
@@ -414,6 +422,7 @@ fn parked_handles_are_session_scoped() {
         &Request {
             op: OpCode::Fetch,
             step: 0,
+            compress_reply: false,
             park_as: Some("shared-name"),
             operands: vec![WireOperand::Inline(&wire_a)],
         },
@@ -428,6 +437,7 @@ fn parked_handles_are_session_scoped() {
         &Request {
             op: OpCode::Fetch,
             step: 0,
+            compress_reply: false,
             park_as: None,
             operands: vec![WireOperand::Parked("shared-name")],
         },
@@ -443,6 +453,7 @@ fn parked_handles_are_session_scoped() {
         &Request {
             op: OpCode::Fetch,
             step: 0,
+            compress_reply: false,
             park_as: None,
             operands: vec![WireOperand::Parked("shared-name")],
         },
@@ -468,6 +479,7 @@ fn park_after_session_close_cannot_orphan_dram() {
         &Request {
             op: OpCode::Fetch,
             step: 0,
+            compress_reply: false,
             park_as: Some("orphan"),
             operands: vec![WireOperand::Inline(&wire_ct)],
         },
@@ -505,6 +517,7 @@ fn reparking_a_handle_splits_the_rotation_group() {
         &Request {
             op: OpCode::Fetch,
             step: 0,
+            compress_reply: false,
             park_as: Some("x"),
             operands: vec![WireOperand::Inline(&wire_ct)],
         },
@@ -520,6 +533,7 @@ fn reparking_a_handle_splits_the_rotation_group() {
         &Request {
             op: OpCode::Rotate,
             step: 1,
+            compress_reply: false,
             park_as: None,
             operands: vec![WireOperand::Parked("x")],
         },
@@ -531,6 +545,7 @@ fn reparking_a_handle_splits_the_rotation_group() {
         &Request {
             op: OpCode::Add,
             step: 0,
+            compress_reply: false,
             park_as: Some("x"),
             operands: vec![WireOperand::Parked("x"), WireOperand::Parked("x")],
         },
@@ -542,6 +557,7 @@ fn reparking_a_handle_splits_the_rotation_group() {
         &Request {
             op: OpCode::Rotate,
             step: 1,
+            compress_reply: false,
             park_as: None,
             operands: vec![WireOperand::Parked("x")],
         },
@@ -596,10 +612,262 @@ fn missing_relin_key_is_a_structured_error() {
         &Request {
             op: OpCode::SquareRelin,
             step: 0,
+            compress_reply: false,
             park_as: None,
             operands: vec![WireOperand::Inline(&wire_ct)],
         },
     );
     let replies = server.flush();
     assert_eq!(expect_error(&replies[0]).0, ErrorCode::MissingKey);
+}
+
+#[test]
+fn v2_seeded_upload_and_compressed_reply() {
+    let ctx = ctx();
+    let c = client(&ctx, 9, &[1]);
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx));
+    let session = open(&mut server);
+
+    // A fresh symmetric encryption shipped seeded: 32 bytes of seed
+    // stand in for the whole uniform polynomial.
+    let mut rng = StdRng::seed_from_u64(99);
+    let enc = CkksEncoder::new(&ctx);
+    let vals: Vec<f64> = (0..ctx.n() / 2).map(|i| i as f64 * 0.5 - 3.0).collect();
+    let pt = enc
+        .encode_real(&vals, ctx.params().scale(), ctx.max_level())
+        .unwrap();
+    let seeded = encrypt_symmetric_seeded(&ctx, &c.sk, &pt, &mut rng).unwrap();
+    let seeded_bytes = serialize_seeded_ciphertext(&seeded);
+    let full_bytes = serialize_ciphertext(&c.ct);
+    assert!(
+        seeded_bytes.len() * 2 < full_bytes.len() + 1024,
+        "seeded upload should be about half the full encoding"
+    );
+
+    submit(
+        &mut server,
+        session,
+        1,
+        &Request {
+            op: OpCode::Add,
+            step: 0,
+            compress_reply: true,
+            park_as: None,
+            operands: vec![
+                WireOperand::Inline(&seeded_bytes),
+                WireOperand::Inline(&full_bytes),
+            ],
+        },
+    );
+    let replies = server.flush();
+    assert_eq!(replies.len(), 1);
+    assert_eq!(
+        wire::decode_frame(&replies[0]).unwrap().version,
+        WIRE_V2,
+        "reply echoes the request's wire version"
+    );
+    let out = expect_ciphertext(&ctx, &replies[0]);
+    assert_eq!(out.level(), 0, "compressed reply ships one RNS limb");
+    assert!(
+        replies[0].len() * 2 < full_bytes.len(),
+        "compressed reply should be a small fraction of a full ciphertext"
+    );
+    let got = decrypt(&ctx, &c.sk, &out);
+    for (i, g) in got.iter().enumerate().take(8) {
+        let want = vals[i] + c.vals[i];
+        assert!((g - want).abs() < 0.05, "slot {i}: {g} vs {want}");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.seeded_operands, 1);
+    assert_eq!(stats.compressed_replies, 1);
+}
+
+#[test]
+fn v1_clients_still_served_with_version_echoed() {
+    let ctx = ctx();
+    let c = client(&ctx, 3, &[1]);
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx));
+
+    // Hand-rolled v1 frames throughout: the upgraded server must keep
+    // speaking v1 to a v1 peer, byte-compatibly.
+    let reply = server
+        .handle_frame(&wire::encode_frame(
+            WIRE_V1,
+            MessageKind::OpenSession,
+            0,
+            0,
+            &[],
+        ))
+        .unwrap();
+    assert_eq!(wire::decode_frame(&reply).unwrap().version, WIRE_V1);
+    let (session, _, r) = client::parse_reply(&reply).unwrap();
+    assert_eq!(r, Reply::SessionOpened);
+
+    let reply = server
+        .handle_frame(&wire::encode_frame(
+            WIRE_V1,
+            MessageKind::RegisterGaloisKeys,
+            session,
+            0,
+            &serialize_galois_keys(&c.gks),
+        ))
+        .unwrap();
+    assert_eq!(wire::decode_frame(&reply).unwrap().version, WIRE_V1);
+
+    // A v1 request body has no flags byte.
+    let wire_ct = serialize_ciphertext(&c.ct);
+    let req = Request {
+        op: OpCode::Rotate,
+        step: 1,
+        compress_reply: false,
+        park_as: None,
+        operands: vec![WireOperand::Inline(&wire_ct)],
+    };
+    let frame = wire::encode_frame(
+        WIRE_V1,
+        MessageKind::Request,
+        session,
+        7,
+        &wire::encode_request(WIRE_V1, &req),
+    );
+    assert!(server.handle_frame(&frame).is_none());
+    let replies = server.flush();
+    assert_eq!(replies.len(), 1);
+    assert_eq!(
+        wire::decode_frame(&replies[0]).unwrap().version,
+        WIRE_V1,
+        "v1 request answered with a v1 frame"
+    );
+    let out = expect_ciphertext(&ctx, &replies[0]);
+    let got = decrypt(&ctx, &c.sk, &out);
+    assert!((got[0] - c.vals[1]).abs() < 0.01, "rotation by 1");
+
+    // Undecodable bytes (no trustworthy version) are answered at v1.
+    let err = server.handle_frame(b"not a frame at all").unwrap();
+    assert_eq!(wire::decode_frame(&err).unwrap().version, WIRE_V1);
+    assert_eq!(expect_error(&err).0, ErrorCode::Malformed);
+}
+
+#[test]
+fn v2_flags_reach_the_board_model() {
+    // The same request submitted plainly vs. seeded+compressed must
+    // lower into IR ops whose modeled transfer legs shrink.
+    let ctx = ctx();
+    let c = client(&ctx, 5, &[1]);
+    let mut server = HeaxServer::with_system(&ctx, system(&ctx))
+        .with_board_model(1)
+        .unwrap();
+    let session = open(&mut server);
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let enc = CkksEncoder::new(&ctx);
+    let pt = enc
+        .encode_real(&[1.0, 2.0], ctx.params().scale(), ctx.max_level())
+        .unwrap();
+    let seeded = encrypt_symmetric_seeded(&ctx, &c.sk, &pt, &mut rng).unwrap();
+    let seeded_bytes = serialize_seeded_ciphertext(&seeded);
+    let full_bytes = serialize_ciphertext(&c.ct);
+
+    submit(
+        &mut server,
+        session,
+        1,
+        &Request {
+            op: OpCode::Rescale,
+            step: 0,
+            compress_reply: false,
+            park_as: None,
+            operands: vec![WireOperand::Inline(&full_bytes)],
+        },
+    );
+    let plain_stream = server.queued_stream();
+    server.flush();
+    submit(
+        &mut server,
+        session,
+        2,
+        &Request {
+            op: OpCode::Rescale,
+            step: 0,
+            compress_reply: true,
+            park_as: None,
+            operands: vec![WireOperand::Inline(&seeded_bytes)],
+        },
+    );
+    let v2_stream = server.queued_stream();
+    server.flush();
+
+    assert!(!plain_stream.ops[0].input_seeded);
+    assert_eq!(plain_stream.ops[0].reply_limbs, 0);
+    assert!(v2_stream.ops[0].input_seeded);
+    assert_eq!(v2_stream.ops[0].reply_limbs, 1);
+}
+
+/// Adversarial decoding of v1/v2 request bodies: `decode_request` must
+/// be total on untrusted input at both wire versions, and a hostile
+/// frame fed to a live server must come back as an error frame (at
+/// wire v1, since an undecodable frame has no trustworthy version),
+/// never take the session down.
+mod wire_body_fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_body(version: u8) -> Vec<u8> {
+        wire::encode_request(
+            version,
+            &Request {
+                op: OpCode::Add,
+                step: -5,
+                compress_reply: false,
+                park_as: Some("sum"),
+                operands: vec![
+                    WireOperand::Inline(b"not a ciphertext"),
+                    WireOperand::Parked("x"),
+                ],
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Truncations, bit flips, and injected garbage never panic the
+        /// body decoder at either version; raw garbage never decodes.
+        #[test]
+        fn decode_request_is_total_at_both_versions(
+            version in prop::sample::select(vec![WIRE_V1, WIRE_V2]),
+            kind in 0usize..3,
+            pos in any::<u64>(),
+            bit in 0u8..8,
+        ) {
+            let mut bytes = sample_body(version);
+            let len = bytes.len() as u64;
+            match kind {
+                0 => bytes.truncate((pos % (len + 1)) as usize),
+                1 => bytes[(pos % len) as usize] ^= 1 << bit,
+                _ => bytes.extend_from_slice(&pos.to_le_bytes()),
+            }
+            // Decode under both version interpretations — a hostile
+            // peer controls the frame header too.
+            for decode_as in [WIRE_V1, WIRE_V2] {
+                let _ = wire::decode_request(&bytes, decode_as);
+            }
+        }
+
+        /// Random garbage bodies are rejected, not accepted or panicked
+        /// on, at both versions.
+        #[test]
+        fn garbage_bodies_rejected(
+            bytes in prop::collection::vec(any::<u8>(), 0..64),
+            version in prop::sample::select(vec![WIRE_V1, WIRE_V2]),
+        ) {
+            // Byte 0 is the op code; valid ops are 1..=6, so force an
+            // invalid one to guarantee rejection regardless of the rest.
+            let mut bytes = bytes;
+            if !bytes.is_empty() {
+                bytes[0] = 0xEE;
+            }
+            prop_assert!(wire::decode_request(&bytes, version).is_err());
+        }
+    }
 }

@@ -75,18 +75,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Request {
             op: OpCode::SquareRelin,
             step: 0,
+            compress_reply: false,
             park_as: Some("x2"),
             operands: vec![WireOperand::Inline(&wire_ct)],
         },
         Request {
             op: OpCode::Rotate,
             step: 1,
+            compress_reply: false,
             park_as: Some("x2_rot"),
             operands: vec![WireOperand::Parked("x2")],
         },
         Request {
             op: OpCode::Add,
             step: 0,
+            compress_reply: false,
             park_as: None,
             operands: vec![WireOperand::Parked("x2"), WireOperand::Parked("x2_rot")],
         },

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Consistency gate between the normative docs and the source of truth.
+#
+# PROTOCOL.md pins wire constants (error codes, message kinds, op codes,
+# versions) and EXPERIMENTS.md pins the BENCH_*.json schema names; both
+# are prose, so nothing stops them drifting from the code. This script
+# re-derives every pinned value from the Rust source and greps the docs
+# for it, failing loudly on any mismatch. CI runs it in the docs job;
+# run it locally with: bash scripts/check_protocol.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+    echo "check_protocol: $*" >&2
+    fail=1
+}
+
+# Extracts "Name Value" pairs from a `#[repr(..)]` enum block: lines of
+# the form `    Variant = 7,` between `pub enum <name> {` and its `}`.
+enum_pairs() { # file enum_name
+    awk -v enum="pub enum $2" '
+        $0 ~ enum { in_enum = 1; next }
+        in_enum && /^}/ { exit }
+        in_enum && /^[[:space:]]+[A-Za-z]+ = [0-9]+,/ {
+            gsub(/[=,]/, ""); print $1, $2
+        }
+    ' "$1"
+}
+
+# Every enum row must appear in PROTOCOL.md as a table row `| value | name |`.
+check_enum_table() { # file enum_name
+    while read -r name value; do
+        if ! grep -Eq "^\| *${value} *\| *${name}" PROTOCOL.md; then
+            err "PROTOCOL.md is missing the $2 row: $name = $value"
+        fi
+    done < <(enum_pairs "$1" "$2")
+}
+
+check_enum_table crates/server/src/error.rs ErrorCode
+check_enum_table crates/server/src/wire.rs MessageKind
+check_enum_table crates/server/src/wire.rs OpCode
+
+# The error-code table must not list codes the source does not define.
+doc_codes=$(grep -Eo '^\| *[0-9]+ *\| *[A-Za-z]+ *\|' PROTOCOL.md |
+    awk -F'|' '$3 ~ /Malformed|UnknownSession|UnknownHandle|MissingKey|Crypto|Capacity|Unsupported/ {gsub(/ /,"",$2); print $2}' | sort -n)
+src_codes=$(enum_pairs crates/server/src/error.rs ErrorCode | awk '{print $2}' | sort -n)
+if [ "$doc_codes" != "$src_codes" ]; then
+    err "PROTOCOL.md error-code table disagrees with ErrorCode: doc={$doc_codes} src={$src_codes}"
+fi
+
+# Wire constants PROTOCOL.md states in prose.
+grep -q 'WIRE_V1: u8 = 1' crates/server/src/wire.rs || err "WIRE_V1 is no longer 1; update PROTOCOL.md §1.2"
+grep -q 'WIRE_V2: u8 = 2' crates/server/src/wire.rs || err "WIRE_V2 is no longer 2; update PROTOCOL.md §1.2"
+grep -q 'REQUEST_FLAG_COMPRESS_REPLY: u8 = 0b0000_0001' crates/server/src/wire.rs ||
+    err "REQUEST_FLAG_COMPRESS_REPLY is no longer 0x01; update PROTOCOL.md §2"
+grep -q 'FRAME_HEADER_LEN: usize = 4 + 1 + 1 + 8 + 8 + 4' crates/server/src/wire.rs ||
+    err "FRAME_HEADER_LEN changed; update the PROTOCOL.md §1 frame table"
+grep -q 'The header is 26 bytes' PROTOCOL.md || err "PROTOCOL.md no longer states the 26-byte header"
+grep -Fq '*b"HEAW"' crates/server/src/wire.rs || err "frame magic is no longer HEAW; update PROTOCOL.md"
+grep -Fq '*b"HEAX"' crates/ckks/src/serialize.rs || err "object magic is no longer HEAX; update PROTOCOL.md"
+grep -q 'EXPAND_SEED_LEN: usize = 32' crates/math/src/sampling.rs ||
+    err "EXPAND_SEED_LEN is no longer 32; update PROTOCOL.md §4.4"
+grep -q 'SeededCiphertext = 7' crates/ckks/src/serialize.rs ||
+    err "the seeded-ciphertext tag is no longer 7; update PROTOCOL.md §4"
+
+# Every BENCH_*.json schema name the bench crate emits must be
+# documented verbatim in EXPERIMENTS.md.
+while read -r schema; do
+    if ! grep -qF "$schema" EXPERIMENTS.md; then
+        err "EXPERIMENTS.md does not document snapshot schema '$schema'"
+    fi
+done < <(grep -rhoE 'heax-bench-[a-z]+/[0-9]+' crates/bench/src | sort -u)
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_protocol: FAILED — docs and source have drifted" >&2
+    exit 1
+fi
+echo "check_protocol: OK (error codes, kinds, ops, wire constants, schema names)"
