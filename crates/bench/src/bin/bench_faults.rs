@@ -1,0 +1,101 @@
+//! Fault-injection snapshot (PR 8): routes the fleet rotation-serving
+//! workload (`heax_bench::cluster`) across a modeled multi-board
+//! cluster while a seeded `heax_hw::faults::FaultPlan` crashes boards,
+//! slows compute, stalls PCIe links, degrades DMA channels and corrupts
+//! resident keys — sweeping fault-rate levels × board counts and
+//! pinning the headline scenario (board 0 of 4 crashes at half the
+//! healthy makespan). Writes the machine-readable `BENCH_faults.json`
+//! snapshot (path overridable via `HEAX_BENCH_FAULTS_JSON`).
+//!
+//! Before any model figure is reported, the 8-client workload is served
+//! functionally through a `HeaxServer` with the cluster model and a
+//! crash-plus-key-corruption plan attached, and verified
+//! decrypt-identical to the one-request-at-a-time loop — fault handling
+//! must never perturb results.
+//!
+//! The committed snapshot at the repo root is the acceptance artifact:
+//! losing 1 of 4 boards mid-run must retain ≥ 55% of the healthy
+//! baseline's throughput.
+//!
+//! Usage: `bench_faults [budget_ms]` — the model is deterministic and
+//! ignores the budget; the argument is accepted for harness uniformity.
+//! `HEAX_BENCH_QUICK=1` shrinks the session count for CI smoke runs.
+
+use heax_bench::cluster::ROUNDS;
+use heax_bench::{bench_json, faults, fmt_ops, render_table, snapshot};
+
+fn main() {
+    // Functional leg first: decrypt-identical or nothing.
+    eprintln!(
+        "serving the 8-client workload through a faulted 4-board cluster model (n = {}) ...",
+        faults::FUNCTIONAL_N
+    );
+    let functional = snapshot::checked_functional("bench_faults", || {
+        let stats = faults::functional_pass(4, faults::CORES, faults::functional_plan());
+        assert_eq!(
+            stats.boards_alive, 3,
+            "the functional plan must actually crash a board"
+        );
+        stats
+    });
+    println!(
+        "functional pass: {} requests served while board 0 of {} crashed mid-flush \
+         ({}/{} boards alive), verified decrypt-identical to the sequential loop",
+        functional.modeled_requests, functional.boards, functional.boards_alive, functional.boards,
+    );
+
+    let records = faults::measure_suite();
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                format!("{:.2}", r.rate),
+                r.boards.to_string(),
+                format!("{}/{}", r.boards_alive, r.boards),
+                fmt_ops(r.requests_per_sec),
+                format!("{:.0}%", 100.0 * r.retention_vs_healthy),
+                r.failovers.to_string(),
+                r.re_replications.to_string(),
+                r.corrupt_ksk_evictions.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "modeled cluster under injected faults: rotation-serving fleet",
+            &[
+                "scenario",
+                "rate",
+                "boards",
+                "alive",
+                "req/s",
+                "retained",
+                "failovers",
+                "re-repl",
+                "evictions"
+            ],
+            &rows,
+        )
+    );
+
+    let retention = faults::acceptance_retention(&records);
+    println!(
+        "\nacceptance bar (lose 1 of 4 boards mid-run, >= 55% of healthy throughput): \
+         {} ({:.0}% retained)",
+        if retention >= 0.55 { "met" } else { "NOT met" },
+        100.0 * retention,
+    );
+
+    let path = snapshot::path_from_env("HEAX_BENCH_FAULTS_JSON", "BENCH_faults.json");
+    let json = bench_json::render_faults(
+        &records,
+        "Set-B",
+        faults::sessions(),
+        ROUNDS,
+        faults::FUNCTIONAL_N,
+        &functional,
+    );
+    snapshot::write_or_exit(&path, &json);
+}

@@ -30,7 +30,8 @@ fn main() {
         "serving the {CLIENTS}-client workload through the modeled backend (n = {}) ...",
         pipeline::FUNCTIONAL_N
     );
-    let functional = pipeline::functional_pass(4);
+    let functional =
+        snapshot::checked_functional("bench_pipeline", || pipeline::functional_pass(4));
     println!(
         "functional pass: {} requests served with the 4-core board model attached, \
          verified decrypt-identical to the sequential loop \

@@ -18,7 +18,11 @@ use heax_bench::{bench_json, fmt_ops, fmt_speedup, render_table, server, snapsho
 
 fn main() {
     let budget_ms = snapshot::budget_from_args(300);
-    let (records, occupancy) = server::measure_suite(budget_ms);
+    // The suite verifies batched results decrypt-identical to the
+    // sequential loop before timing; route that through the shared gate
+    // so a verification failure is a uniform exit-1 across bench_* bins.
+    let (records, occupancy) =
+        snapshot::checked_functional("bench_server", || server::measure_suite(budget_ms));
 
     let rows: Vec<Vec<String>> = records
         .iter()

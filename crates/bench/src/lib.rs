@@ -942,6 +942,257 @@ pub mod cluster {
     }
 }
 
+/// Workloads and helpers for the fault-injection sweep (`bench_faults`):
+/// the fleet rotation-serving stream of [`cluster`] routed across
+/// modeled boards while a seeded [`heax_hw::faults::FaultPlan`] crashes
+/// boards, slows them down, stalls links, degrades DMA channels and
+/// corrupts resident keys — measuring how much throughput graceful
+/// degradation retains versus the healthy baseline. The headline
+/// scenario loses 1 of 4 boards mid-run; a functional leg serves the
+/// 8-client workload through a fault-planned cluster-modeled
+/// [`heax_server::HeaxServer`] and verifies it decrypt-identical before
+/// any figure is reported.
+pub mod faults {
+    use heax_ckks::Evaluator;
+    use heax_core::arch::DesignPoint;
+    use heax_core::perf::{estimate_cluster, estimate_cluster_faulted};
+    use heax_hw::board::Board;
+    use heax_hw::cluster::RoutingPolicy;
+    use heax_hw::faults::{FaultKind, FaultPlan, FaultRates};
+    use heax_hw::scheduler::BoardOp;
+    use heax_server::ModeledClusterStats;
+
+    use crate::bench_json::FaultRecord;
+    use crate::cluster;
+    use crate::server as srv;
+
+    /// Modeled HEAX cores per board in the sweep.
+    pub const CORES: usize = 4;
+    /// Board counts swept (graceful degradation needs a survivor, so
+    /// the sweep starts at 2).
+    pub const BOARDS: [usize; 2] = [2, 4];
+    /// Seeded fault-rate levels swept per board count: each level is
+    /// the per-board draw probability for the degradation fault
+    /// classes (crash draws at 0.3× the level).
+    pub const RATES: [f64; 3] = [0.1, 0.3, 0.5];
+    /// Seed of every generated fault schedule (xored with the board
+    /// count so each sweep point gets an independent schedule).
+    pub const FAULT_SEED: u64 = 0x4641_554C; // "FAUL"
+    /// Ring degree of the decrypt-verified functional leg.
+    pub const FUNCTIONAL_N: usize = 4096;
+    /// Label of the headline scenario: board 0 of 4 crashes at half the
+    /// healthy makespan.
+    pub const HEADLINE: &str = "lose-1-of-4-mid-run";
+
+    /// Sessions in the sweep workload: fleet scale, or a small count
+    /// under `HEAX_BENCH_QUICK` (CI smoke budget).
+    pub fn sessions() -> usize {
+        if std::env::var_os("HEAX_BENCH_QUICK").is_some() {
+            200
+        } else {
+            1_000
+        }
+    }
+
+    /// The deterministic fault sweep: for each board count, the healthy
+    /// affinity-routed baseline, the seeded [`RATES`] levels, and (at 4
+    /// boards) the pinned headline crash — every row carrying its
+    /// throughput retention against the healthy baseline of the same
+    /// shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on scheduler configuration errors (cannot happen for the
+    /// paper design point and the fixed sweep shapes).
+    pub fn measure_suite() -> Vec<FaultRecord> {
+        let dp = DesignPoint::derive(Board::stratix10(), cluster::SET).expect("paper row");
+        let sessions = sessions();
+        let ops = cluster::workload(sessions);
+        let session_ids: Vec<u64> = (1..=sessions as u64).collect();
+        let policy = RoutingPolicy::Affinity { steal: true };
+        let mut records = Vec::new();
+        for boards in BOARDS {
+            eprintln!("fault sweep: {sessions} sessions on {boards} boards x {CORES} cores ...");
+            let healthy = estimate_cluster(&dp, &ops, boards, CORES, policy).expect("schedule");
+            let base = healthy.requests_per_sec();
+            records.push(FaultRecord {
+                scenario: "healthy".to_string(),
+                rate: 0.0,
+                boards,
+                cores: CORES,
+                boards_alive: boards,
+                requests_per_sec: base,
+                retention_vs_healthy: 1.0,
+                failovers: 0,
+                re_replications: 0,
+                corrupt_ksk_evictions: 0,
+                recovery_cycles: 0,
+            });
+            for rate in RATES {
+                // Corruption draws at 2x the level: an event only fires
+                // if its (board, session) pair matches where the key is
+                // actually resident (~1/boards odds), so an undersampled
+                // draw would leave the eviction column structurally zero.
+                let rates = FaultRates {
+                    crash: 0.3 * rate,
+                    slowdown: rate,
+                    link: rate,
+                    dma: rate,
+                    ksk_corruption: (2.0 * rate).min(1.0),
+                };
+                let plan = FaultPlan::generate(
+                    FAULT_SEED ^ boards as u64,
+                    boards,
+                    healthy.total_cycles,
+                    &session_ids,
+                    &rates,
+                );
+                records.push(faulted_record(
+                    &dp,
+                    &ops,
+                    boards,
+                    policy,
+                    &plan,
+                    format!("seeded-rate-{rate}"),
+                    rate,
+                    base,
+                ));
+            }
+            if boards == 4 {
+                let plan = FaultPlan::new().with_event(
+                    0,
+                    mid_run_crash_cycle(&healthy),
+                    FaultKind::BoardCrash,
+                );
+                records.push(faulted_record(
+                    &dp,
+                    &ops,
+                    boards,
+                    policy,
+                    &plan,
+                    HEADLINE.to_string(),
+                    0.0,
+                    base,
+                ));
+            }
+        }
+        records
+    }
+
+    /// Half of board 0's accrued compute in the healthy run — the
+    /// crash trigger compares against per-board routed *compute* load,
+    /// so anchoring on the makespan (which includes transfer cycles)
+    /// would push the "mid-run" crash to the tail of the stream.
+    pub fn mid_run_crash_cycle(healthy: &heax_hw::cluster::ClusterReport) -> u64 {
+        healthy.boards[0]
+            .ops
+            .iter()
+            .map(|t| t.compute.1 - t.compute.0)
+            .sum::<u64>()
+            / 2
+    }
+
+    /// Routes `ops` under `plan` and folds the outcome into one record;
+    /// a plan that crashes every board is reported honestly as a total
+    /// outage (zero throughput, zero survivors) rather than skipped.
+    #[allow(clippy::too_many_arguments)]
+    fn faulted_record(
+        dp: &DesignPoint,
+        ops: &[BoardOp],
+        boards: usize,
+        policy: RoutingPolicy,
+        plan: &FaultPlan,
+        scenario: String,
+        rate: f64,
+        base: f64,
+    ) -> FaultRecord {
+        match estimate_cluster_faulted(dp, ops, boards, CORES, policy, plan) {
+            Ok(r) => FaultRecord {
+                scenario,
+                rate,
+                boards,
+                cores: CORES,
+                boards_alive: r.boards_alive(),
+                requests_per_sec: r.requests_per_sec(),
+                retention_vs_healthy: if base > 0.0 {
+                    r.requests_per_sec() / base
+                } else {
+                    0.0
+                },
+                failovers: r.failovers,
+                re_replications: r.re_replications,
+                corrupt_ksk_evictions: r.corrupt_ksk_evictions,
+                recovery_cycles: r.recovery_cycles,
+            },
+            Err(_) => FaultRecord {
+                scenario,
+                rate,
+                boards,
+                cores: CORES,
+                boards_alive: 0,
+                requests_per_sec: 0.0,
+                retention_vs_healthy: 0.0,
+                failovers: 0,
+                re_replications: 0,
+                corrupt_ksk_evictions: 0,
+                recovery_cycles: 0,
+            },
+        }
+    }
+
+    /// The functional leg's fault plan: board 0 crashes as soon as it
+    /// has accrued any load, so the remaining boards absorb the flush
+    /// mid-stream. (The 8 rotations per client fuse into one hoisted
+    /// group per session, so a single flush never revisits a session —
+    /// crash drainage is the fault class observable here; failover and
+    /// checksum-eviction *recovery* are exercised by the hw/server unit
+    /// tests and the fault proptest.)
+    pub fn functional_plan() -> FaultPlan {
+        FaultPlan::new().with_event(0, 1, FaultKind::BoardCrash)
+    }
+
+    /// Functional leg: serves the 8-client workload
+    /// (n = [`FUNCTIONAL_N`]) through a `HeaxServer` with the cluster
+    /// model attached at `boards` × `cores` and `plan` injected, asserts
+    /// the batched results decrypt-identical to the sequential loop, and
+    /// returns the server's accumulated cluster stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batched results disagree with the sequential loop
+    /// or the model observed a different request count.
+    pub fn functional_pass(boards: usize, cores: usize, plan: FaultPlan) -> ModeledClusterStats {
+        let w = srv::prepare(FUNCTIONAL_N);
+        let eval = Evaluator::new(&w.ctx);
+        let (server, sessions) = srv::build_server(&w);
+        let mut server = server
+            .with_cluster_model(boards, cores)
+            .expect("cluster model")
+            .with_fault_plan(plan);
+        let seq = srv::sequential_pass(&w, &eval);
+        let batched = srv::batched_pass(&mut server, &sessions, &w);
+        srv::verify_equivalent(&w, &seq, &batched);
+        let stats = server.stats().cluster.expect("model enabled");
+        assert_eq!(
+            stats.modeled_requests,
+            w.requests_per_pass() as u64,
+            "the cluster model must observe every served request"
+        );
+        stats
+    }
+
+    /// The acceptance figure: throughput retention of the headline
+    /// lose-1-of-4-boards-mid-run scenario against its healthy
+    /// baseline.
+    pub fn acceptance_retention(records: &[FaultRecord]) -> f64 {
+        records
+            .iter()
+            .find(|r| r.scenario == HEADLINE && r.boards == 4)
+            .map(|r| r.retention_vs_healthy)
+            .unwrap_or(0.0)
+    }
+}
+
 /// Shared machinery for the `BENCH_*.json` snapshot binaries: CLI
 /// budget parsing, per-binary snapshot paths, a tiny hand-rolled JSON
 /// document builder (the workspace is offline; no serde), and the
@@ -989,6 +1240,27 @@ pub mod snapshot {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Runs a decrypt-verification leg and turns any assertion failure
+    /// into a uniform diagnostic plus **exit status 1** — the shared
+    /// gate every snapshot binary with a functional leg funnels
+    /// through, so "verification failed" is one consistent, scriptable
+    /// outcome across `bench_*` bins instead of a raw panic's status
+    /// 101 in some and a clean exit in others.
+    pub fn checked_functional<T>(label: &str, leg: impl FnOnce() -> T) -> T {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(leg)) {
+            Ok(value) => value,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("verification panicked");
+                eprintln!("error: {label}: decrypt-verification failed: {msg}");
                 std::process::exit(1);
             }
         }
@@ -1348,6 +1620,88 @@ pub mod bench_json {
         doc.render()
     }
 
+    /// One fault-injection sweep point (`BENCH_faults.json`).
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct FaultRecord {
+        /// Scenario label (`healthy`, `seeded-rate-0.3`,
+        /// `lose-1-of-4-mid-run`).
+        pub scenario: String,
+        /// Seeded per-board fault-draw level (0.0 for pinned scenarios).
+        pub rate: f64,
+        /// Boards in the modeled cluster.
+        pub boards: usize,
+        /// Modeled HEAX cores per board.
+        pub cores: usize,
+        /// Boards still alive at the end of the run.
+        pub boards_alive: usize,
+        /// Modeled sustained request throughput under the plan.
+        pub requests_per_sec: f64,
+        /// Throughput relative to the healthy baseline at the same
+        /// (boards, cores) shape (`1.0` for the baseline itself).
+        pub retention_vs_healthy: f64,
+        /// Sessions that recovered their ksk on a healthy board after a
+        /// crash.
+        pub failovers: u64,
+        /// Key re-replications forced by faults.
+        pub re_replications: u64,
+        /// Resident ksk copies evicted on checksum mismatch.
+        pub corrupt_ksk_evictions: u64,
+        /// Modeled cycles spent re-replicating key material.
+        pub recovery_cycles: u64,
+    }
+
+    /// Renders the fault-injection snapshot document (schema
+    /// `heax-bench-faults/1`). `functional` is the cluster stats of the
+    /// decrypt-verified serving leg — the snapshot carries the proof
+    /// that faults were injected into a run whose results still
+    /// decrypted identically.
+    pub fn render_faults(
+        records: &[FaultRecord],
+        set: &str,
+        sessions: usize,
+        rounds_per_session: usize,
+        functional_n: usize,
+        functional: &heax_server::ModeledClusterStats,
+    ) -> String {
+        let mut doc = Doc::new("heax-bench-faults/1")
+            .field("set", format!("\"{}\"", esc(set)))
+            .field("sessions", sessions)
+            .field("rounds_per_session", rounds_per_session)
+            .field(
+                "functional",
+                format!(
+                    "{{\"n\": {}, \"boards\": {}, \"cores\": {}, \
+                     \"verified_decrypt_identical\": true, \"modeled_requests\": {}, \
+                     \"boards_alive\": {}}}",
+                    functional_n,
+                    functional.boards,
+                    functional.cores_per_board,
+                    functional.modeled_requests,
+                    functional.boards_alive,
+                ),
+            );
+        for r in records {
+            doc.push_row(format!(
+                "{{\"scenario\": \"{}\", \"rate\": {:.2}, \"boards\": {}, \"cores\": {}, \
+                 \"boards_alive\": {}, \"requests_per_sec\": {:.3}, \
+                 \"retention_vs_healthy\": {:.3}, \"failovers\": {}, \"re_replications\": {}, \
+                 \"corrupt_ksk_evictions\": {}, \"recovery_cycles\": {}}}",
+                esc(&r.scenario),
+                r.rate,
+                r.boards,
+                r.cores,
+                r.boards_alive,
+                r.requests_per_sec,
+                r.retention_vs_healthy,
+                r.failovers,
+                r.re_replications,
+                r.corrupt_ksk_evictions,
+                r.recovery_cycles,
+            ));
+        }
+        doc.render()
+    }
+
     /// Renders the key-switch snapshot document
     /// (schema `heax-bench-keyswitch/1`).
     pub fn render_keyswitch(records: &[KsRecord], budget_ms: u64, rotate_steps: usize) -> String {
@@ -1544,6 +1898,102 @@ mod tests {
         assert!(random.replication_bytes > affinity.replication_bytes);
         let speedup = affinity.requests_per_sec() / random.requests_per_sec();
         assert!(speedup >= 1.5, "affinity only {speedup:.2}x over random");
+    }
+
+    #[test]
+    fn faults_json_renders_valid_shape() {
+        use bench_json::FaultRecord;
+        let records = vec![
+            FaultRecord {
+                scenario: "healthy".into(),
+                rate: 0.0,
+                boards: 4,
+                cores: 4,
+                boards_alive: 4,
+                requests_per_sec: 75_000.0,
+                retention_vs_healthy: 1.0,
+                failovers: 0,
+                re_replications: 0,
+                corrupt_ksk_evictions: 0,
+                recovery_cycles: 0,
+            },
+            FaultRecord {
+                scenario: faults::HEADLINE.into(),
+                rate: 0.0,
+                boards: 4,
+                cores: 4,
+                boards_alive: 3,
+                requests_per_sec: 52_000.0,
+                retention_vs_healthy: 0.693,
+                failovers: 48,
+                re_replications: 51,
+                corrupt_ksk_evictions: 3,
+                recovery_cycles: 1_200_000,
+            },
+        ];
+        let functional = heax_server::ModeledClusterStats {
+            boards: 4,
+            cores_per_board: 4,
+            modeled_requests: 64,
+            boards_alive: 3,
+            failovers: 8,
+            corrupt_ksk_evictions: 1,
+            ..Default::default()
+        };
+        let json = bench_json::render_faults(&records, "Set-B", 1000, 4, 4096, &functional);
+        assert!(json.contains("\"schema\": \"heax-bench-faults/1\""));
+        assert!(json.contains("\"set\": \"Set-B\""));
+        assert!(json.contains("\"verified_decrypt_identical\": true"));
+        assert!(json.contains("\"scenario\": \"lose-1-of-4-mid-run\""));
+        assert!(json.contains("\"retention_vs_healthy\": 0.693"));
+        assert!(json.contains("\"recovery_cycles\": 1200000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+        // The acceptance picker finds the headline row.
+        assert!((faults::acceptance_retention(&records) - 0.693).abs() < 1e-9);
+        assert_eq!(faults::acceptance_retention(&records[..1]), 0.0);
+    }
+
+    #[test]
+    fn losing_one_of_four_boards_mid_run_retains_most_throughput() {
+        // Deterministic model at a scaled-down fleet point: the same
+        // headline scenario the committed snapshot pins — one of four
+        // boards crashes at half the healthy makespan — must keep at
+        // least 55% of healthy throughput after failover.
+        use heax_core::arch::DesignPoint;
+        use heax_core::perf::{estimate_cluster, estimate_cluster_faulted};
+        use heax_hw::board::Board;
+        use heax_hw::cluster::RoutingPolicy;
+        use heax_hw::faults::{FaultKind, FaultPlan};
+
+        let dp = DesignPoint::derive(Board::stratix10(), cluster::SET).expect("paper row");
+        let ops = cluster::workload(200);
+        let policy = RoutingPolicy::Affinity { steal: true };
+        let healthy = estimate_cluster(&dp, &ops, 4, 4, policy).expect("schedule");
+        let plan = FaultPlan::new().with_event(
+            0,
+            faults::mid_run_crash_cycle(&healthy),
+            FaultKind::BoardCrash,
+        );
+        let faulted = estimate_cluster_faulted(&dp, &ops, 4, 4, policy, &plan).expect("schedule");
+        assert_eq!(faulted.boards_alive(), 3);
+        assert!(faulted.failovers > 0, "crash must displace warm sessions");
+        assert!(faulted.recovery_cycles > 0);
+        let retention = faulted.requests_per_sec() / healthy.requests_per_sec();
+        assert!(
+            retention >= 0.55,
+            "1-of-4 crash retained only {retention:.2} of healthy throughput"
+        );
+    }
+
+    #[test]
+    fn checked_functional_passes_values_through() {
+        // The happy path of the shared verification gate is a plain
+        // pass-through (the failure path exits the process, so only
+        // the bin-level contract covers it).
+        let value = snapshot::checked_functional("unit", || 41 + 1);
+        assert_eq!(value, 42);
     }
 
     #[test]

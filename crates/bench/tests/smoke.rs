@@ -66,6 +66,13 @@ fn run_binary(name: &str, path: &str) {
                     env!("CARGO_TARGET_TMPDIR")
                 ),
             )
+            .env(
+                "HEAX_BENCH_FAULTS_JSON",
+                format!(
+                    "{}/BENCH_faults_smoke_{threads}.json",
+                    env!("CARGO_TARGET_TMPDIR")
+                ),
+            )
             .output()
             .unwrap_or_else(|e| panic!("failed to spawn {name} ({path}): {e}"));
         assert!(
@@ -114,6 +121,7 @@ smoke!(
     bench_server,
     bench_pipeline,
     bench_cluster,
+    bench_faults,
     extension_scaling,
     noise_growth,
 );

@@ -14,6 +14,7 @@
 use heax_ckks::params::ParamSet;
 use heax_hw::board::Board;
 use heax_hw::cluster::{ClusterReport, RoutingPolicy};
+use heax_hw::faults::FaultPlan;
 use heax_hw::scheduler::{BoardOp, PipelineReport};
 use heax_hw::HwError;
 
@@ -121,6 +122,30 @@ pub fn estimate_cluster(
 ) -> Result<ClusterReport, HwError> {
     dp.cluster_config(num_boards, num_cores)?
         .schedule_stream(ops, policy)
+}
+
+/// [`estimate_cluster`] replaying an injected
+/// [`FaultPlan`] — the chaos-engineering counterpart: boards crash and
+/// drain mid-run, degraded links and cores dilate, corrupted resident
+/// keys are evicted and re-uploaded, and the report carries the fault
+/// accounting (failovers, re-replications, recovery cycles, per-board
+/// health) next to the usual routing figures. An empty plan is
+/// bit-identical to [`estimate_cluster`].
+///
+/// # Errors
+///
+/// Propagates configuration/stream/plan validation from the cluster
+/// and board schedulers.
+pub fn estimate_cluster_faulted(
+    dp: &DesignPoint,
+    ops: &[BoardOp],
+    num_boards: usize,
+    num_cores: usize,
+    policy: RoutingPolicy,
+    plan: &FaultPlan,
+) -> Result<ClusterReport, HwError> {
+    dp.cluster_config(num_boards, num_cores)?
+        .schedule_stream_faulted(ops, policy, plan)
 }
 
 /// The paper's published numbers for cross-checking (ops/second).
@@ -290,6 +315,28 @@ mod tests {
         assert_eq!(one.routing_misses, 8);
         let random = estimate_cluster(&dp, &ops, 4, 1, RoutingPolicy::Random { seed: 1 }).unwrap();
         assert!(random.replication_bytes > four.replication_bytes);
+    }
+
+    #[test]
+    fn faulted_cluster_estimate_degrades_gracefully() {
+        use heax_hw::faults::{FaultKind, FaultPlan};
+        let dp = DesignPoint::derive(heax_hw::board::Board::stratix10(), ParamSet::SetB).unwrap();
+        let ops: Vec<BoardOp> = (0..32)
+            .map(|i| BoardOp::rotate_many(8).with_session(1 + i % 8))
+            .collect();
+        let affinity = RoutingPolicy::Affinity { steal: true };
+        let healthy = estimate_cluster(&dp, &ops, 4, 1, affinity).unwrap();
+        // Board 0 is gone from the start: the fleet serves everything
+        // on the surviving three at better than half throughput.
+        let plan = FaultPlan::new().with_event(0, 0, FaultKind::BoardCrash);
+        let faulted = estimate_cluster_faulted(&dp, &ops, 4, 1, affinity, &plan).unwrap();
+        assert_eq!(faulted.requests(), healthy.requests());
+        assert_eq!(faulted.boards_alive(), 3);
+        assert!(faulted.requests_per_sec() >= 0.55 * healthy.requests_per_sec());
+        // An empty plan is the fault-free schedule, bit for bit.
+        let same = estimate_cluster_faulted(&dp, &ops, 4, 1, affinity, &FaultPlan::none()).unwrap();
+        assert_eq!(same.total_cycles, healthy.total_cycles);
+        assert_eq!(same.assignment, healthy.assignment);
     }
 
     #[test]

@@ -64,6 +64,7 @@
 
 use std::collections::HashMap;
 
+use crate::faults::{BoardFaultProfile, FaultKind, FaultPlan};
 use crate::ir::IrOp;
 use crate::scheduler::{PipelineConfig, PipelineReport};
 use crate::xfer::DramModel;
@@ -169,9 +170,70 @@ impl ClusterConfig {
         ops: &[IrOp],
         policy: RoutingPolicy,
     ) -> Result<ClusterReport, HwError> {
+        self.schedule_stream_faulted(ops, policy, &FaultPlan::none())
+    }
+
+    /// [`ClusterConfig::schedule_stream`] replaying an injected
+    /// [`FaultPlan`] with graceful degradation:
+    ///
+    /// * a **crashed** board is drained from the routing table once its
+    ///   modeled load reaches the event cycle — resident sessions fail
+    ///   over to a healthy board (the ksk re-replication is billed
+    ///   through the normal byte accounting), and parked state is
+    ///   re-materialized from the host (the session re-pins to its new
+    ///   board and the first parked read pays the upload again);
+    /// * a **corrupted** resident ksk is detected by checksum mismatch
+    ///   on the session's next key-consuming op on that board, evicted,
+    ///   and re-uploaded;
+    /// * **slow-down, link-stall and DMA faults** fold into a per-board
+    ///   [`BoardFaultProfile`] that dilates the board's schedule (and
+    ///   its load accounting, so degraded boards naturally receive less
+    ///   new work) instead of wedging it.
+    ///
+    /// Faults reshape placement and timing only — every op is still
+    /// scheduled exactly once, so a faulted schedule answers the same
+    /// requests as the fault-free one. An empty plan is bit-identical
+    /// to [`ClusterConfig::schedule_stream`] (which delegates here).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidConfig`] for malformed ops, a fault event
+    /// naming a board outside the cluster, or a plan that crashes
+    /// *every* board before the stream completes.
+    pub fn schedule_stream_faulted(
+        &self,
+        ops: &[IrOp],
+        policy: RoutingPolicy,
+        plan: &FaultPlan,
+    ) -> Result<ClusterReport, HwError> {
         let n = self.num_boards;
+        if let Some(e) = plan.events.iter().find(|e| e.board >= n) {
+            return Err(HwError::InvalidConfig {
+                reason: format!(
+                    "fault event names board {} but the cluster has {n}",
+                    e.board
+                ),
+            });
+        }
+        let crash_at: Vec<Option<u64>> = (0..n).map(|b| plan.crash_cycle(b)).collect();
+        let profiles: Vec<BoardFaultProfile> = (0..n).map(|b| plan.board_profile(b)).collect();
+        // Pending corruption events: (board, session, trigger cycle).
+        let mut corruptions: Vec<(usize, u64, u64)> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::KskCorruption { session } => Some((e.board, session, e.at_cycle)),
+                _ => None,
+            })
+            .collect();
+
+        let mut alive = vec![true; n];
         let mut residency: HashMap<u64, u64> = HashMap::new();
         let mut parked_home: HashMap<u64, usize> = HashMap::new();
+        // Sessions that lost ksk residency / parked state to a crash
+        // and have not yet recovered.
+        let mut failover_pending: std::collections::HashSet<u64> = Default::default();
+        let mut rehome_pending: std::collections::HashSet<u64> = Default::default();
         let mut load = vec![0u64; n];
         let mut streams: Vec<Vec<IrOp>> = vec![Vec::new(); n];
         // Global stream index -> (board, position in its sub-stream).
@@ -183,18 +245,53 @@ impl ClusterConfig {
         };
         let (mut hits, mut misses, mut steals, mut cross_deps) = (0u64, 0u64, 0u64, 0u64);
         let mut replication_bytes = 0u64;
+        let (mut failovers, mut re_replications, mut corrupt_evictions) = (0u64, 0u64, 0u64);
+        let (mut parked_remats, mut recovery_cycles) = (0u64, 0u64);
+        let ksk_upload = self.board.ksk_upload_cycles();
 
         for op in ops {
             let compute = self.board.op_compute_cycles(op)?;
-            let least_loaded = |load: &[u64]| {
+
+            // Liveness sweep: a board whose accumulated load reached its
+            // crash cycle is drained from the routing table — resident
+            // sessions fail over, parked state must re-materialize.
+            for b in 0..n {
+                if alive[b] && crash_at[b].is_some_and(|c| load[b] >= c) {
+                    alive[b] = false;
+                    for (&session, bits) in residency.iter_mut() {
+                        if *bits >> b & 1 == 1 {
+                            *bits &= !(1u64 << b);
+                            failover_pending.insert(session);
+                        }
+                    }
+                    let orphaned: Vec<u64> = parked_home
+                        .iter()
+                        .filter(|&(_, &home)| home == b)
+                        .map(|(&s, _)| s)
+                        .collect();
+                    for session in orphaned {
+                        parked_home.remove(&session);
+                        rehome_pending.insert(session);
+                    }
+                }
+            }
+            if alive.iter().all(|&a| !a) {
+                return Err(HwError::InvalidConfig {
+                    reason: "fault plan crashes every board before the stream completes".into(),
+                });
+            }
+
+            let least_loaded = |load: &[u64], alive: &[bool]| {
                 (0..n)
+                    .filter(|&b| alive[b])
                     .min_by_key(|&b| (load[b], b))
-                    .expect("num_boards >= 1")
+                    .expect("at least one board alive")
             };
             // Parked state is per-board DRAM: once a session parks
             // anything, every op touching its parked handles is pinned
             // to that board, whatever the policy says.
-            let pinned = if op.session != 0 && touches_parked(op) {
+            let touches = op.session != 0 && touches_parked(op);
+            let pinned = if touches {
                 parked_home.get(&op.session).copied()
             } else {
                 None
@@ -211,51 +308,92 @@ impl ClusterConfig {
                         };
                         if op.needs_ksk() && bits != 0 {
                             let resident = (0..n)
-                                .filter(|&b| bits >> b & 1 == 1)
-                                .min_by_key(|&b| (load[b], b))
-                                .expect("non-empty mask");
-                            let idle = least_loaded(&load);
-                            if steal
-                                && load[resident].saturating_sub(load[idle])
-                                    > self.steal_threshold_cycles
-                            {
-                                steals += 1;
-                                idle
-                            } else {
-                                resident
+                                .filter(|&b| alive[b] && bits >> b & 1 == 1)
+                                .min_by_key(|&b| (load[b], b));
+                            match resident {
+                                Some(resident) => {
+                                    let idle = least_loaded(&load, &alive);
+                                    if steal
+                                        && load[resident].saturating_sub(load[idle])
+                                            > self.steal_threshold_cycles
+                                    {
+                                        steals += 1;
+                                        idle
+                                    } else {
+                                        resident
+                                    }
+                                }
+                                None => least_loaded(&load, &alive),
                             }
                         } else {
-                            least_loaded(&load)
+                            least_loaded(&load, &alive)
                         }
                     }
                     RoutingPolicy::Random { .. } => {
                         rng = rng
                             .wrapping_mul(6_364_136_223_846_793_005)
                             .wrapping_add(1_442_695_040_888_963_407);
-                        ((rng >> 33) as usize) % n
+                        let living: Vec<usize> = (0..n).filter(|&b| alive[b]).collect();
+                        living[((rng >> 33) as usize) % living.len()]
                     }
                 }
             };
-            if op.session != 0 && touches_parked(op) {
+            let mut routed = *op;
+            if touches {
                 parked_home.entry(op.session).or_insert(board);
+                // Parked inputs lost to a crash re-materialize from the
+                // host: the first parked read after the failover ships
+                // the operand over PCIe again.
+                if rehome_pending.remove(&op.session) {
+                    parked_remats += 1;
+                    routed.input_parked = false;
+                }
             }
 
             // Key residency: a key-consuming op either finds its ksk on
             // the chosen board (hit) or replicates it there first
             // (miss: bytes over the host link + an upload charged in
-            // the board's own schedule).
-            let mut routed = *op;
+            // the board's own schedule). A resident copy whose checksum
+            // no longer matches is evicted and re-uploaded on the spot.
             if op.needs_ksk() {
-                let resident = op.session != 0
+                let mut resident = op.session != 0
                     && residency.get(&op.session).copied().unwrap_or(0) >> board & 1 == 1;
+                let mut evicted_here = false;
+                if resident {
+                    if let Some(pos) = corruptions
+                        .iter()
+                        .position(|&(b, s, at)| b == board && s == op.session && load[board] >= at)
+                    {
+                        // Checksum mismatch: evict and re-upload.
+                        corruptions.swap_remove(pos);
+                        corrupt_evictions += 1;
+                        re_replications += 1;
+                        recovery_cycles = recovery_cycles.saturating_add(ksk_upload);
+                        replication_bytes = replication_bytes.saturating_add(self.ksk_bytes());
+                        routed = routed.with_ksk_upload();
+                        resident = false;
+                        evicted_here = true;
+                        // The re-uploaded copy is resident again.
+                        if let Some(bits) = residency.get_mut(&op.session) {
+                            *bits |= 1 << board;
+                        }
+                    }
+                }
                 if resident {
                     hits += 1;
-                } else {
+                } else if !evicted_here {
                     misses += 1;
-                    replication_bytes += self.ksk_bytes();
+                    replication_bytes = replication_bytes.saturating_add(self.ksk_bytes());
                     routed = routed.with_ksk_upload();
                     if op.session != 0 {
                         *residency.entry(op.session).or_insert(0) |= 1 << board;
+                    }
+                    // A miss for a session that lost its resident copy
+                    // to a crash is a failover recovery.
+                    if failover_pending.remove(&op.session) {
+                        failovers += 1;
+                        re_replications += 1;
+                        recovery_cycles = recovery_cycles.saturating_add(ksk_upload);
                     }
                 }
             }
@@ -278,12 +416,15 @@ impl ClusterConfig {
             placed.push((board, streams[board].len() as u32));
             assignment.push(board);
             streams[board].push(local);
-            load[board] += compute;
+            // Degraded boards accrue dilated load, so the router's
+            // balancing naturally steers new work away from them.
+            load[board] += BoardFaultProfile::dilate(compute, profiles[board].compute_slowdown_pct);
         }
 
         let boards = streams
             .iter()
-            .map(|s| self.board.schedule_stream(s))
+            .zip(&profiles)
+            .map(|(s, profile)| self.board.schedule_stream_degraded(s, profile))
             .collect::<Result<Vec<_>, _>>()?;
         let total_cycles = boards.iter().map(|r| r.total_cycles).max().unwrap_or(0);
         Ok(ClusterReport {
@@ -299,6 +440,12 @@ impl ClusterConfig {
             replication_bytes,
             cross_board_deps: cross_deps,
             total_cycles,
+            board_alive: alive,
+            failovers,
+            re_replications,
+            corrupt_ksk_evictions: corrupt_evictions,
+            parked_rematerializations: parked_remats,
+            recovery_cycles,
         })
     }
 }
@@ -341,6 +488,23 @@ pub struct ClusterReport {
     /// Cluster makespan: the slowest board's, in cycles (boards run in
     /// parallel).
     pub total_cycles: u64,
+    /// Per-board health at the end of the run (`false` = crashed and
+    /// drained from the routing table).
+    pub board_alive: Vec<bool>,
+    /// Sessions that lost their resident ksk to a board crash and
+    /// recovered on a healthy board.
+    pub failovers: u64,
+    /// Key re-replications forced by faults (failover recoveries plus
+    /// corruption re-uploads).
+    pub re_replications: u64,
+    /// Resident ksk copies evicted after a checksum mismatch.
+    pub corrupt_ksk_evictions: u64,
+    /// Parked operands re-materialized from the host after their home
+    /// board crashed.
+    pub parked_rematerializations: u64,
+    /// Modeled cycles spent on fault recovery (the PCIe uploads of all
+    /// fault-forced key re-replications).
+    pub recovery_cycles: u64,
 }
 
 impl ClusterReport {
@@ -373,12 +537,25 @@ impl ClusterReport {
 
     /// One board's compute utilization against the *cluster* makespan
     /// (1.0 = that board's cores busy for the whole cluster run).
+    /// Out-of-range board indices and zero-capacity reports answer 0.0
+    /// rather than panicking.
     pub fn board_utilization(&self, board: usize) -> f64 {
-        if self.total_cycles == 0 {
-            return 0.0;
+        let capacity = (self.cores_per_board as u64).saturating_mul(self.total_cycles);
+        match self.boards.get(board) {
+            Some(b) if capacity > 0 => b.core_busy() as f64 / capacity as f64,
+            _ => 0.0,
         }
-        self.boards[board].core_busy() as f64
-            / (self.cores_per_board as u64 * self.total_cycles) as f64
+    }
+
+    /// Boards still alive (not crashed) at the end of the run.
+    pub fn boards_alive(&self) -> usize {
+        self.board_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Recovery latency in microseconds: the modeled time spent
+    /// re-replicating key material after crashes and corruption.
+    pub fn recovery_us(&self) -> f64 {
+        self.recovery_cycles as f64 / self.freq_mhz
     }
 
     /// Mean per-board compute utilization against the cluster makespan.
@@ -431,13 +608,34 @@ impl ClusterReport {
             self.cross_board_deps,
             self.replication_bytes,
         );
+        if self.failovers + self.re_replications + self.parked_rematerializations > 0
+            || self.boards_alive() < self.num_boards
+        {
+            out.push_str(&format!(
+                "faults: {}/{} board(s) alive, {} failover(s), {} re-replication(s) \
+                 ({} corrupt ksk evicted), {} parked re-materialization(s), \
+                 recovery {:.1} us\n",
+                self.boards_alive(),
+                self.num_boards,
+                self.failovers,
+                self.re_replications,
+                self.corrupt_ksk_evictions,
+                self.parked_rematerializations,
+                self.recovery_us(),
+            ));
+        }
         for (b, r) in self.boards.iter().enumerate() {
             out.push_str(&format!(
-                "board {b}: {} op(s), {} cycles, utilization {:.1}%, bound {}\n",
+                "board {b}: {} op(s), {} cycles, utilization {:.1}%, bound {}{}\n",
                 r.ops.len(),
                 r.total_cycles,
                 100.0 * self.board_utilization(b),
                 r.bound(),
+                if self.board_alive.get(b).copied().unwrap_or(true) {
+                    ""
+                } else {
+                    " [CRASHED]"
+                },
             ));
         }
         out
@@ -629,6 +827,197 @@ mod tests {
     }
 
     #[test]
+    fn empty_fault_plan_is_bit_identical_to_fault_free() {
+        use crate::faults::FaultPlan;
+        let c = cluster(4, 2);
+        let ops = session_rotations(8, 4);
+        let plain = c
+            .schedule_stream(&ops, RoutingPolicy::Affinity { steal: true })
+            .unwrap();
+        let faulted = c
+            .schedule_stream_faulted(
+                &ops,
+                RoutingPolicy::Affinity { steal: true },
+                &FaultPlan::none(),
+            )
+            .unwrap();
+        assert_eq!(plain.assignment, faulted.assignment);
+        assert_eq!(plain.total_cycles, faulted.total_cycles);
+        assert_eq!(plain.replication_bytes, faulted.replication_bytes);
+        assert_eq!(plain.failovers, 0);
+        assert_eq!(plain.boards_alive(), 4);
+        assert_eq!(plain.recovery_cycles, 0);
+    }
+
+    #[test]
+    fn crashed_board_drains_and_sessions_fail_over() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let c = cluster(4, 1);
+        let ops = session_rotations(8, 6);
+        let healthy = c
+            .schedule_stream(&ops, RoutingPolicy::Affinity { steal: false })
+            .unwrap();
+        // Board 0 dies after roughly three ops' worth of load.
+        let op_cycles = c.board.op_compute_cycles(&ops[0]).unwrap();
+        let plan = FaultPlan::new().with_event(0, 3 * op_cycles, FaultKind::BoardCrash);
+        let faulted = c
+            .schedule_stream_faulted(&ops, RoutingPolicy::Affinity { steal: false }, &plan)
+            .unwrap();
+        assert_eq!(faulted.board_alive, vec![false, true, true, true]);
+        assert_eq!(faulted.boards_alive(), 3);
+        // The two sessions resident on board 0 recovered elsewhere.
+        assert_eq!(faulted.failovers, 2);
+        assert!(faulted.re_replications >= 2);
+        assert!(faulted.recovery_cycles > 0);
+        assert!(faulted.recovery_us() > 0.0);
+        // Every op still runs exactly once — coverage is unchanged.
+        assert_eq!(faulted.requests(), healthy.requests());
+        // Once drained, the dead board receives nothing further: its
+        // assignments form a strict prefix of the stream.
+        let last_dead = ops.len()
+            - 1
+            - faulted
+                .assignment
+                .iter()
+                .rev()
+                .position(|&b| b == 0)
+                .unwrap();
+        let first_after = faulted.assignment[last_dead + 1..].iter();
+        assert!(first_after.clone().all(|&b| b != 0));
+        assert!(
+            faulted.assignment.iter().filter(|&&b| b == 0).count()
+                < healthy.assignment.iter().filter(|&&b| b == 0).count()
+        );
+        // Graceful degradation: losing 1 of 4 boards mid-run keeps the
+        // cluster above half the healthy throughput.
+        let ratio = faulted.requests_per_sec() / healthy.requests_per_sec();
+        assert!(ratio >= 0.55, "degraded to {ratio:.2} of healthy");
+        assert!(faulted.render().contains("[CRASHED]"));
+        assert!(faulted.render().contains("failover"));
+    }
+
+    #[test]
+    fn corrupted_ksk_is_evicted_and_reuploaded() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let c = cluster(1, 1);
+        let ops = session_rotations(1, 4);
+        // The resident copy goes bad immediately; the session's second
+        // key op detects the mismatch and re-uploads.
+        let plan = FaultPlan::new().with_event(0, 0, FaultKind::KskCorruption { session: 1 });
+        let r = c
+            .schedule_stream_faulted(&ops, RoutingPolicy::Affinity { steal: false }, &plan)
+            .unwrap();
+        assert_eq!(r.corrupt_ksk_evictions, 1);
+        assert_eq!(r.re_replications, 1);
+        assert_eq!(r.failovers, 0);
+        // One cold miss + one corruption re-upload, then hits again.
+        assert_eq!(r.routing_misses, 1);
+        assert_eq!(r.routing_hits, 2);
+        assert_eq!(r.replication_bytes, 2 * c.ksk_bytes());
+        assert!(r.recovery_cycles > 0);
+        // A corruption for an unknown session never fires.
+        let miss_plan = FaultPlan::new().with_event(0, 0, FaultKind::KskCorruption { session: 99 });
+        let clean = c
+            .schedule_stream_faulted(&ops, RoutingPolicy::Affinity { steal: false }, &miss_plan)
+            .unwrap();
+        assert_eq!(clean.corrupt_ksk_evictions, 0);
+    }
+
+    #[test]
+    fn slow_board_receives_less_work_and_stalled_links_dilate() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let c = cluster(2, 1);
+        // Anonymous ops: pure least-loaded balancing.
+        let ops = vec![IrOp::rotate_many(4); 16];
+        let healthy = c
+            .schedule_stream(&ops, RoutingPolicy::Affinity { steal: false })
+            .unwrap();
+        let plan = FaultPlan::new().with_event(0, 0, FaultKind::BoardSlowdown { pct: 100 });
+        let slow = c
+            .schedule_stream_faulted(&ops, RoutingPolicy::Affinity { steal: false }, &plan)
+            .unwrap();
+        // The router sees the dilated load and steers work away.
+        let on_slow = slow.assignment.iter().filter(|&&b| b == 0).count();
+        let on_fast = slow.assignment.iter().filter(|&&b| b == 1).count();
+        assert!(on_slow < on_fast, "{on_slow} vs {on_fast}");
+        assert_eq!(slow.requests(), healthy.requests());
+        assert_eq!(slow.boards_alive(), 2); // degraded, not dead
+                                            // A stalled link dilates transfers instead of wedging: the
+                                            // schedule still completes, just later.
+        let stall = FaultPlan::new().with_event(
+            0,
+            0,
+            FaultKind::LinkStall {
+                stall_cycles: 10_000,
+            },
+        );
+        let stalled = c
+            .schedule_stream_faulted(&ops, RoutingPolicy::Affinity { steal: false }, &stall)
+            .unwrap();
+        assert_eq!(stalled.requests(), healthy.requests());
+        assert!(stalled.total_cycles > healthy.total_cycles);
+    }
+
+    #[test]
+    fn parked_state_rematerializes_after_its_home_board_crashes() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let c = cluster(2, 1);
+        let mut ops = vec![IrOp::new(OpKind::Fetch)
+            .with_session(1)
+            .with_output_id(1)
+            .with_parked_output()];
+        for _ in 0..6 {
+            ops.push(
+                IrOp::new(OpKind::Rotate)
+                    .with_session(1)
+                    .with_parked_input()
+                    .with_input_id(1),
+            );
+        }
+        let pinned = c
+            .schedule_stream(&ops, RoutingPolicy::Affinity { steal: false })
+            .unwrap();
+        let home = pinned.assignment[0];
+        let op_cycles = c.board.op_compute_cycles(&ops[1]).unwrap();
+        let plan = FaultPlan::new().with_event(home, 2 * op_cycles, FaultKind::BoardCrash);
+        let r = c
+            .schedule_stream_faulted(&ops, RoutingPolicy::Affinity { steal: false }, &plan)
+            .unwrap();
+        assert_eq!(r.parked_rematerializations, 1);
+        assert!(!r.board_alive[home]);
+        // The session re-pins: every op after the crash runs on the
+        // survivor.
+        let survivor = 1 - home;
+        assert_eq!(*r.assignment.last().unwrap(), survivor);
+        assert_eq!(r.requests(), pinned.requests());
+    }
+
+    #[test]
+    fn fault_plan_validation() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let c = cluster(2, 1);
+        let ops = session_rotations(2, 2);
+        // Naming a board outside the cluster is rejected.
+        let bad = FaultPlan::new().with_event(5, 0, FaultKind::BoardCrash);
+        assert!(c
+            .schedule_stream_faulted(&ops, RoutingPolicy::Affinity { steal: false }, &bad)
+            .is_err());
+        // Crashing every board wedges nothing — it errors out.
+        let total = FaultPlan::new()
+            .with_event(0, 0, FaultKind::BoardCrash)
+            .with_event(1, 0, FaultKind::BoardCrash);
+        assert!(c
+            .schedule_stream_faulted(&ops, RoutingPolicy::Affinity { steal: false }, &total)
+            .is_err());
+        // Random routing also avoids drained boards.
+        let half = FaultPlan::new().with_event(0, 0, FaultKind::BoardCrash);
+        let r = c
+            .schedule_stream_faulted(&ops, RoutingPolicy::Random { seed: 3 }, &half)
+            .unwrap();
+        assert!(r.assignment.iter().all(|&b| b == 1));
+    }
+
+    #[test]
     fn report_accounting_is_consistent() {
         let c = cluster(3, 2);
         let ops = session_rotations(6, 3);
@@ -652,5 +1041,10 @@ mod tests {
         assert_eq!(empty.requests_per_sec(), 0.0);
         assert_eq!(empty.hit_rate(), 0.0);
         assert_eq!(empty.mean_utilization(), 0.0);
+        // Ratio accessors are total: out-of-range boards answer 0.0.
+        assert_eq!(empty.board_utilization(0), 0.0);
+        assert_eq!(empty.board_utilization(99), 0.0);
+        assert_eq!(r.board_utilization(99), 0.0);
+        assert_eq!(empty.recovery_us(), 0.0);
     }
 }

@@ -275,6 +275,13 @@ impl OpStream {
         self.ops.is_empty()
     }
 
+    /// The distinct non-anonymous session ids in the stream, ascending —
+    /// the population a fault-schedule generator draws ksk-corruption
+    /// targets from ([`crate::faults::FaultPlan::generate`]).
+    pub fn session_ids(&self) -> Vec<u64> {
+        session_ids(&self.ops)
+    }
+
     /// The rotation-fusion IR pass.
     ///
     /// Same-session [`OpKind::Rotate`] ops reading the same non-anonymous
@@ -422,6 +429,18 @@ impl FusedStream {
     pub fn requests(&self) -> u64 {
         self.ops.iter().map(IrOp::requests).sum()
     }
+}
+
+/// The distinct non-anonymous session ids in an op slice, ascending.
+pub fn session_ids(ops: &[IrOp]) -> Vec<u64> {
+    let mut ids: Vec<u64> = ops
+        .iter()
+        .map(|op| op.session)
+        .filter(|&s| s != 0)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
 }
 
 #[cfg(test)]

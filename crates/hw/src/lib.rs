@@ -21,7 +21,10 @@
 //!   transfers (Figure 7), reporting per-stage utilization and stalls;
 //! * [`cluster`] — the multi-board cluster scheduler: a front-end
 //!   router with session→board key affinity, work stealing and
-//!   key-replication cost modeling over N single-board pipelines.
+//!   key-replication cost modeling over N single-board pipelines;
+//! * [`faults`] — seeded, deterministic fault schedules (board crash,
+//!   slow-down, link flap, DMA degradation, ksk corruption) that the
+//!   board and cluster schedulers replay with graceful degradation.
 //!
 //! This crate is deliberately independent of the CKKS scheme: it moves raw
 //! residue polynomials. `heax-core` composes these models into a full
@@ -61,6 +64,7 @@ pub mod board;
 pub mod bram;
 pub mod cluster;
 pub mod cores;
+pub mod faults;
 pub mod ir;
 pub mod keyswitch_pipeline;
 pub mod mult_dataflow;

@@ -48,6 +48,7 @@
 //! ```
 
 use crate::board::Board;
+use crate::faults::BoardFaultProfile;
 use crate::keyswitch_pipeline::KeySwitchArch;
 use crate::mult_dataflow::MultModuleConfig;
 use crate::xfer::{DramModel, PcieModel};
@@ -220,8 +221,9 @@ impl PipelineConfig {
     }
 
     /// Cycles to move one key-switching key host→board over PCIe (the
-    /// replication cost a cluster router charges on a residency miss).
-    fn ksk_upload_cycles(&self) -> u64 {
+    /// replication cost a cluster router charges on a residency miss,
+    /// and the recovery latency of a failover re-replication).
+    pub fn ksk_upload_cycles(&self) -> u64 {
         let words = DramModel::ksk_bits(self.arch.n, self.arch.k) / 64;
         self.xfer_cycles(words)
     }
@@ -370,6 +372,29 @@ impl PipelineConfig {
     /// groups, or a dependency edge that does not point strictly
     /// backwards in the stream).
     pub fn schedule_stream(&self, ops: &[BoardOp]) -> Result<PipelineReport, HwError> {
+        self.schedule_stream_degraded(ops, &BoardFaultProfile::default())
+    }
+
+    /// [`PipelineConfig::schedule_stream`] under an injected
+    /// degradation profile: every compute stage dilates by the
+    /// profile's compute slow-down, each DMA transfer dilates by its
+    /// channel's slow-down and pays the flat link-stall on top.
+    /// Degradation reshapes *timing only* — op order, placement rules
+    /// and data volumes are untouched, so a degraded schedule answers
+    /// exactly the same requests as a healthy one, later. A healthy
+    /// (default) profile is bit-identical to
+    /// [`PipelineConfig::schedule_stream`]
+    /// (which delegates here).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidConfig`] for malformed ops, as
+    /// [`PipelineConfig::schedule_stream`].
+    pub fn schedule_stream_degraded(
+        &self,
+        ops: &[BoardOp],
+        profile: &BoardFaultProfile,
+    ) -> Result<PipelineReport, HwError> {
         for (index, op) in ops.iter().enumerate() {
             for dep in op.dep_indices() {
                 if dep >= index {
@@ -379,10 +404,27 @@ impl PipelineConfig {
                 }
             }
         }
-        let lowered: Vec<LoweredOp> = ops
+        let mut lowered: Vec<LoweredOp> = ops
             .iter()
             .map(|op| self.lower(op))
             .collect::<Result<_, _>>()?;
+        if !profile.is_healthy() {
+            for op in &mut lowered {
+                if op.in_cycles > 0 {
+                    op.in_cycles =
+                        BoardFaultProfile::dilate(op.in_cycles, profile.dma_in_slowdown_pct)
+                            .saturating_add(profile.link_stall_cycles);
+                }
+                if op.out_cycles > 0 {
+                    op.out_cycles =
+                        BoardFaultProfile::dilate(op.out_cycles, profile.dma_out_slowdown_pct)
+                            .saturating_add(profile.link_stall_cycles);
+                }
+                for (_, cycles) in &mut op.compute {
+                    *cycles = BoardFaultProfile::dilate(*cycles, profile.compute_slowdown_pct);
+                }
+            }
+        }
 
         let mut xfer_in_free = 0u64;
         let mut xfer_out_free = 0u64;
@@ -1030,6 +1072,35 @@ mod tests {
             .unwrap();
         assert!(parked.busy(StageClass::XferIn) > 0);
         assert!(parked.busy(StageClass::XferIn) < uploaded.busy(StageClass::XferIn));
+    }
+
+    #[test]
+    fn degradation_dilates_timing_without_changing_coverage() {
+        let cfg = config(set_b(), 2);
+        let ops = eight_client_workload();
+        let healthy = cfg.schedule_stream(&ops).unwrap();
+        let profile = BoardFaultProfile {
+            compute_slowdown_pct: 50,
+            dma_in_slowdown_pct: 25,
+            dma_out_slowdown_pct: 25,
+            link_stall_cycles: 1000,
+        };
+        let degraded = cfg.schedule_stream_degraded(&ops, &profile).unwrap();
+        // Slower, but the same work lands: the link stalls and
+        // dilations never drop or reorder an op.
+        assert!(degraded.total_cycles > healthy.total_cycles);
+        assert_eq!(degraded.requests(), healthy.requests());
+        assert_eq!(degraded.ops.len(), healthy.ops.len());
+        for (d, h) in degraded.ops.iter().zip(&healthy.ops) {
+            assert_eq!(d.label, h.label);
+            assert!(d.compute.1 - d.compute.0 >= h.compute.1 - h.compute.0);
+        }
+        // A healthy profile is bit-identical to the plain entry point.
+        let same = cfg
+            .schedule_stream_degraded(&ops, &BoardFaultProfile::default())
+            .unwrap();
+        assert_eq!(same.total_cycles, healthy.total_cycles);
+        assert_eq!(same.ops, healthy.ops);
     }
 
     #[test]

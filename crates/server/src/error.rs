@@ -33,6 +33,12 @@ pub enum ErrorCode {
     Capacity = 6,
     /// The request is structurally valid but not supported.
     Unsupported = 7,
+    /// The request was shed: it could not be served within its
+    /// deadline budget and was dropped rather than queued forever.
+    LoadShed = 8,
+    /// The serving path is degraded: bounded retries were exhausted
+    /// without a healthy completion.
+    Degraded = 9,
 }
 
 impl ErrorCode {
@@ -46,9 +52,24 @@ impl ErrorCode {
             4 => ErrorCode::MissingKey,
             5 => ErrorCode::Crypto,
             6 => ErrorCode::Capacity,
+            8 => ErrorCode::LoadShed,
+            9 => ErrorCode::Degraded,
             _ => ErrorCode::Unsupported,
         }
     }
+
+    /// Every code, numeric order — the round-trip tests sweep this.
+    pub const ALL: [ErrorCode; 9] = [
+        ErrorCode::Malformed,
+        ErrorCode::UnknownSession,
+        ErrorCode::UnknownHandle,
+        ErrorCode::MissingKey,
+        ErrorCode::Crypto,
+        ErrorCode::Capacity,
+        ErrorCode::Unsupported,
+        ErrorCode::LoadShed,
+        ErrorCode::Degraded,
+    ];
 }
 
 /// Errors produced by the serving layer.
@@ -86,6 +107,22 @@ pub enum ServerError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The request was shed: its deadline budget ran out before it
+    /// could be served.
+    LoadShed {
+        /// Modeled microseconds the request had already consumed.
+        spent_us: u64,
+        /// The per-request deadline budget, microseconds.
+        budget_us: u64,
+    },
+    /// The serving path is degraded: the bounded retry policy was
+    /// exhausted without a healthy completion.
+    Degraded {
+        /// Retries attempted before giving up.
+        retries: u32,
+        /// Human-readable reason from the last attempt.
+        reason: String,
+    },
 }
 
 impl ServerError {
@@ -113,6 +150,8 @@ impl ServerError {
             ServerError::Core(CoreError::DramFull { .. }) => ErrorCode::Capacity,
             ServerError::Core(_) => ErrorCode::Unsupported,
             ServerError::Unsupported { .. } => ErrorCode::Unsupported,
+            ServerError::LoadShed { .. } => ErrorCode::LoadShed,
+            ServerError::Degraded { .. } => ErrorCode::Degraded,
         }
     }
 }
@@ -132,6 +171,16 @@ impl fmt::Display for ServerError {
             ServerError::Ckks(e) => write!(f, "ckks error: {e}"),
             ServerError::Core(e) => write!(f, "system error: {e}"),
             ServerError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+            ServerError::LoadShed {
+                spent_us,
+                budget_us,
+            } => write!(
+                f,
+                "request shed: {spent_us} us spent of a {budget_us} us deadline budget"
+            ),
+            ServerError::Degraded { retries, reason } => {
+                write!(f, "degraded after {retries} retries: {reason}")
+            }
         }
     }
 }
@@ -167,11 +216,37 @@ mod tests {
         assert_eq!(ErrorCode::Malformed as u16, 1);
         assert_eq!(ErrorCode::from_u16(2), ErrorCode::UnknownSession);
         assert_eq!(ErrorCode::from_u16(999), ErrorCode::Unsupported);
+        assert_eq!(ErrorCode::LoadShed as u16, 8);
+        assert_eq!(ErrorCode::Degraded as u16, 9);
         assert_eq!(
             ServerError::MissingGaloisKey { step: 3 }.code(),
             ErrorCode::MissingKey
         );
         assert_eq!(ServerError::malformed("x").code(), ErrorCode::Malformed);
+        // Every code survives the numeric round trip, and ALL is in
+        // numeric order with no gaps after the legacy block.
+        for (i, code) in ErrorCode::ALL.iter().enumerate() {
+            assert_eq!(ErrorCode::from_u16(*code as u16), *code);
+            if i > 0 {
+                assert!((*code as u16) > (ErrorCode::ALL[i - 1] as u16));
+            }
+        }
+        assert_eq!(
+            ServerError::LoadShed {
+                spent_us: 10,
+                budget_us: 5
+            }
+            .code(),
+            ErrorCode::LoadShed
+        );
+        assert_eq!(
+            ServerError::Degraded {
+                retries: 3,
+                reason: "x".into()
+            }
+            .code(),
+            ErrorCode::Degraded
+        );
     }
 
     #[test]

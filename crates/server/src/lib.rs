@@ -27,6 +27,14 @@
 //! traffic next to the measured wall time — without perturbing any
 //! functional result.
 //!
+//! Serving degrades gracefully under faults: a seeded
+//! [`heax_hw::faults::FaultPlan`] attached via
+//! [`HeaxServer::with_fault_plan`] drains crashed boards from the
+//! modeled cluster (sessions fail over, corrupted keys re-upload), and
+//! the [`FlushPolicy`] retry/deadline machinery answers requests that
+//! exhaust their budget with structured load-shed/degraded error
+//! frames instead of wedging the batch.
+//!
 //! ```
 //! use heax_ckks::serialize::{
 //!     deserialize_ciphertext, serialize_ciphertext, serialize_galois_keys,
@@ -141,6 +149,6 @@ pub mod wire;
 
 pub use error::{ErrorCode, ServerError};
 pub use metrics::{ModeledBoardStats, ModeledClusterStats, OpStats, ServerStats, SessionStats};
-pub use server::HeaxServer;
+pub use server::{FlushPolicy, HeaxServer};
 pub use session::SessionRegistry;
 pub use wire::{MessageKind, OpCode};

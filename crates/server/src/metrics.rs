@@ -89,26 +89,33 @@ pub struct ModeledBoardStats {
 }
 
 impl ModeledBoardStats {
-    /// Modeled wall time across all flushes, microseconds.
+    /// Modeled wall time across all flushes, microseconds (0.0 for an
+    /// unconfigured default snapshot rather than NaN).
     pub fn modeled_us(&self) -> f64 {
-        self.modeled_cycles as f64 / self.freq_mhz
+        if self.freq_mhz <= 0.0 {
+            0.0
+        } else {
+            self.modeled_cycles as f64 / self.freq_mhz
+        }
     }
 
     /// Modeled sustained request throughput across all flushes.
     pub fn modeled_requests_per_sec(&self) -> f64 {
-        if self.modeled_cycles == 0 {
+        let us = self.modeled_us();
+        if us <= 0.0 {
             0.0
         } else {
-            self.modeled_requests as f64 / (self.modeled_us() / 1e6)
+            self.modeled_requests as f64 / (us / 1e6)
         }
     }
 
     /// Fraction of core-cycles spent computing across all flushes.
     pub fn core_utilization(&self) -> f64 {
-        if self.modeled_cycles == 0 {
+        let capacity = (self.cores as u64).saturating_mul(self.modeled_cycles);
+        if capacity == 0 {
             0.0
         } else {
-            self.core_busy_cycles as f64 / (self.cores as u64 * self.modeled_cycles) as f64
+            self.core_busy_cycles as f64 / capacity as f64
         }
     }
 }
@@ -144,30 +151,60 @@ pub struct ModeledClusterStats {
     pub replication_bytes: u64,
     /// Dependency edges dropped across board boundaries.
     pub cross_board_deps: u64,
+    /// Boards still alive after the most recent modeled flush (equals
+    /// `boards` unless a fault plan crashed some).
+    pub boards_alive: usize,
+    /// Sessions that lost their resident ksk to a board crash and
+    /// recovered on a healthy board.
+    pub failovers: u64,
+    /// Key re-replications forced by faults (failovers plus corruption
+    /// re-uploads).
+    pub re_replications: u64,
+    /// Resident ksk copies evicted after a checksum mismatch.
+    pub corrupt_ksk_evictions: u64,
+    /// Parked operands re-materialized from the host after a crash.
+    pub parked_rematerializations: u64,
+    /// Modeled cycles spent re-replicating key material after faults.
+    pub recovery_cycles: u64,
 }
 
 impl ModeledClusterStats {
-    /// Modeled wall time across all flushes, microseconds.
+    /// Modeled wall time across all flushes, microseconds (0.0 for an
+    /// unconfigured default snapshot rather than NaN).
     pub fn modeled_us(&self) -> f64 {
-        self.modeled_cycles as f64 / self.freq_mhz
+        if self.freq_mhz <= 0.0 {
+            0.0
+        } else {
+            self.modeled_cycles as f64 / self.freq_mhz
+        }
     }
 
     /// Modeled sustained request throughput across all flushes.
     pub fn modeled_requests_per_sec(&self) -> f64 {
-        if self.modeled_cycles == 0 {
+        let us = self.modeled_us();
+        if us <= 0.0 {
             0.0
         } else {
-            self.modeled_requests as f64 / (self.modeled_us() / 1e6)
+            self.modeled_requests as f64 / (us / 1e6)
         }
     }
 
     /// Fraction of key-consuming ops that hit resident keys.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.routing_hits + self.routing_misses;
+        let total = self.routing_hits.saturating_add(self.routing_misses);
         if total == 0 {
             0.0
         } else {
             self.routing_hits as f64 / total as f64
+        }
+    }
+
+    /// Modeled fault-recovery time across all flushes, microseconds.
+    pub fn recovery_us(&self) -> f64 {
+        if self.freq_mhz <= 0.0 {
+            0.0
+        } else {
+            self.recovery_cycles as f64 / self.freq_mhz
         }
     }
 }
@@ -208,6 +245,14 @@ pub struct ServerStats {
     /// Wire-returned results modulus-switched down to one RNS limb
     /// because the request set the v2 compress-reply flag.
     pub compressed_replies: u64,
+    /// Requests answered with a load-shed error because their deadline
+    /// budget ran out before they could be served.
+    pub shed_requests: u64,
+    /// Requests answered with a degraded error after the bounded retry
+    /// policy was exhausted.
+    pub degraded_replies: u64,
+    /// Execution retries attempted under the flush retry policy.
+    pub retries: u64,
     /// Results currently parked in board DRAM.
     pub parked_entries: usize,
     /// Modeled DRAM bytes used by parked results.
@@ -260,6 +305,9 @@ pub(crate) struct Metrics {
     pub(crate) hoisted_rotations: u64,
     pub(crate) seeded_operands: u64,
     pub(crate) compressed_replies: u64,
+    pub(crate) shed_requests: u64,
+    pub(crate) degraded_replies: u64,
+    pub(crate) retries: u64,
     pub(crate) per_op: [OpStats; OpCode::ALL.len()],
 }
 
@@ -319,6 +367,43 @@ mod tests {
         let zero = ModeledClusterStats::default();
         assert_eq!(zero.modeled_requests_per_sec(), 0.0);
         assert_eq!(zero.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_snapshots_never_divide_by_zero() {
+        // The satellite audit: every ratio accessor on a default
+        // (never-served) snapshot answers a finite 0.0, not NaN/inf.
+        let board = ModeledBoardStats::default();
+        assert_eq!(board.modeled_us(), 0.0);
+        assert_eq!(board.modeled_requests_per_sec(), 0.0);
+        assert_eq!(board.core_utilization(), 0.0);
+        let cluster = ModeledClusterStats::default();
+        assert_eq!(cluster.modeled_us(), 0.0);
+        assert_eq!(cluster.recovery_us(), 0.0);
+        assert_eq!(cluster.hit_rate(), 0.0);
+        // Cycles without a clock (freq 0) still answer finitely.
+        let odd = ModeledClusterStats {
+            modeled_cycles: 100,
+            recovery_cycles: 50,
+            ..Default::default()
+        };
+        assert_eq!(odd.modeled_us(), 0.0);
+        assert_eq!(odd.modeled_requests_per_sec(), 0.0);
+        assert_eq!(odd.recovery_us(), 0.0);
+        let busy_no_cores = ModeledBoardStats {
+            modeled_cycles: 100,
+            core_busy_cycles: 10,
+            ..Default::default()
+        };
+        assert_eq!(busy_no_cores.core_utilization(), 0.0);
+        // Saturated hit counters must not wrap the ratio's denominator.
+        let saturated = ModeledClusterStats {
+            routing_hits: u64::MAX,
+            routing_misses: 1,
+            ..Default::default()
+        };
+        assert!((0.0..=1.0).contains(&saturated.hit_rate()));
+        assert_eq!(ServerStats::default().batch_occupancy(), 0.0);
     }
 
     #[test]

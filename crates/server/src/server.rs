@@ -70,6 +70,7 @@ use heax_ckks::{Ciphertext, CkksContext, Evaluator};
 use heax_core::{HeaxAccelerator, HeaxSystem};
 use heax_hw::board::Board;
 use heax_hw::cluster::{ClusterConfig, ClusterReport, RoutingPolicy};
+use heax_hw::faults::FaultPlan;
 use heax_hw::ir::{FusedStream, IrOp, OpKind, OpStream};
 use heax_hw::scheduler::{PipelineConfig, PipelineReport};
 use heax_math::exec::Executor;
@@ -125,8 +126,72 @@ struct BoardModel {
 struct ClusterModel {
     config: ClusterConfig,
     policy: RoutingPolicy,
+    /// Injected fault schedule (empty = healthy cluster). Routed flushes
+    /// go through the degradation-aware scheduler so crashes, slow
+    /// boards and corrupted keys show up in the modeled figures.
+    faults: FaultPlan,
     stats: ModeledClusterStats,
     last_report: Option<ClusterReport>,
+}
+
+/// Bounded-retry and deadline policy for [`HeaxServer::flush`].
+///
+/// Execution attempts that hit a (injected) transient fault are retried
+/// with exponential backoff, each wait billed in modeled microseconds
+/// against the request's deadline budget. A request whose budget runs
+/// out is **shed** ([`ErrorCode::LoadShed`](crate::error::ErrorCode));
+/// one that exhausts its retries with budget to spare is answered
+/// **degraded** ([`ErrorCode::Degraded`](crate::error::ErrorCode)).
+/// Either way the client gets a structured error frame — a faulty
+/// backend can slow the server down but never wedge it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Retries allowed per request before answering degraded.
+    pub max_retries: u32,
+    /// Base backoff in modeled microseconds; doubles per retry.
+    pub backoff_us: u64,
+    /// Per-request deadline budget in modeled microseconds
+    /// (0 = unlimited).
+    pub deadline_us: u64,
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy {
+            max_retries: 3,
+            backoff_us: 50,
+            deadline_us: 0,
+        }
+    }
+}
+
+/// Deterministic transient-fault source for the flush retry path: a
+/// seeded LCG draw per execution attempt, so a given
+/// `(seed, rate, workload)` triple always sheds/degrades the same
+/// requests — reproducible chaos, no wall clock involved.
+#[derive(Debug)]
+struct FaultInjector {
+    state: u64,
+    rate: f64,
+}
+
+impl FaultInjector {
+    fn new(seed: u64, rate: f64) -> Self {
+        FaultInjector {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Does this execution attempt hit a transient fault?
+    fn attempt_fails(&mut self) -> bool {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let unit = (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.rate
+    }
 }
 
 /// The multi-session HEAX server (see the module docs for the serving
@@ -141,6 +206,8 @@ pub struct HeaxServer<'a> {
     metrics: Metrics,
     board_model: Option<BoardModel>,
     cluster_model: Option<ClusterModel>,
+    flush_policy: FlushPolicy,
+    injector: Option<FaultInjector>,
     scratch_out: Vec<u8>,
 }
 
@@ -171,6 +238,8 @@ impl<'a> HeaxServer<'a> {
             metrics: Metrics::default(),
             board_model: None,
             cluster_model: None,
+            flush_policy: FlushPolicy::default(),
+            injector: None,
             scratch_out: Vec::new(),
         }
     }
@@ -240,11 +309,13 @@ impl<'a> HeaxServer<'a> {
             boards: num_boards,
             cores_per_board: num_cores,
             freq_mhz: config.board.freq_mhz,
+            boards_alive: num_boards,
             ..Default::default()
         };
         self.cluster_model = Some(ClusterModel {
             config,
             policy: RoutingPolicy::Affinity { steal: true },
+            faults: FaultPlan::none(),
             stats,
             last_report: None,
         });
@@ -258,6 +329,46 @@ impl<'a> HeaxServer<'a> {
         if let Some(m) = self.cluster_model.as_mut() {
             m.policy = policy;
         }
+        self
+    }
+
+    /// Builder option: a seeded fault schedule for the cluster model
+    /// (no effect without [`HeaxServer::with_cluster_model`]). Every
+    /// subsequent flush routes through the degradation-aware scheduler
+    /// — crashed boards are drained, sessions fail over, corrupted keys
+    /// are re-uploaded — and the fault counters accumulate into
+    /// [`ModeledClusterStats`]. Functional results are untouched: the
+    /// plan reshapes modeled placement and timing only.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        if let Some(m) = self.cluster_model.as_mut() {
+            m.faults = plan;
+        }
+        self
+    }
+
+    /// Builder option: the flush retry/deadline policy (see
+    /// [`FlushPolicy`]; the default allows 3 retries with a 50 µs base
+    /// backoff and no deadline).
+    #[must_use]
+    pub fn with_flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.flush_policy = policy;
+        self
+    }
+
+    /// Builder option: deterministic transient-fault injection on the
+    /// flush execution path. Each execution attempt fails with
+    /// probability `rate` drawn from a seeded generator, exercising the
+    /// [`FlushPolicy`] retry/backoff/shed machinery reproducibly. A
+    /// rate of 0 (or never calling this) leaves serving byte-identical
+    /// to a fault-free server.
+    #[must_use]
+    pub fn with_transient_faults(mut self, seed: u64, rate: f64) -> Self {
+        self.injector = if rate > 0.0 {
+            Some(FaultInjector::new(seed, rate))
+        } else {
+            None
+        };
         self
     }
 
@@ -302,12 +413,12 @@ impl<'a> HeaxServer<'a> {
     /// frame at all — is answered with an error frame rather than by
     /// dropping state.
     pub fn handle_frame(&mut self, bytes: &[u8]) -> Option<Vec<u8>> {
-        self.metrics.frames_in += 1;
-        self.metrics.bytes_in += bytes.len() as u64;
+        self.metrics.frames_in = self.metrics.frames_in.saturating_add(1);
+        self.metrics.bytes_in = self.metrics.bytes_in.saturating_add(bytes.len() as u64);
         let (version, session, request, outcome) = match wire::decode_frame(bytes) {
             Ok(frame) => {
                 if let Ok(sess) = self.sessions.get_mut(frame.session) {
-                    sess.stats.bytes_in += bytes.len() as u64;
+                    sess.stats.bytes_in = sess.stats.bytes_in.saturating_add(bytes.len() as u64);
                 }
                 let (v, s, r) = (frame.version, frame.session, frame.request);
                 (v, s, r, self.dispatch_control(frame))
@@ -320,10 +431,10 @@ impl<'a> HeaxServer<'a> {
             Ok(reply) => reply.inspect(|frame| self.note_out(session, frame)),
             Err(e) => {
                 if matches!(e, ServerError::Malformed { .. }) {
-                    self.metrics.decode_errors += 1;
+                    self.metrics.decode_errors = self.metrics.decode_errors.saturating_add(1);
                 }
                 if let Ok(sess) = self.sessions.get_mut(session) {
-                    sess.stats.errors += 1;
+                    sess.stats.errors = sess.stats.errors.saturating_add(1);
                 }
                 Some(self.error_frame(version, session, request, &e))
             }
@@ -415,7 +526,8 @@ impl<'a> HeaxServer<'a> {
                     let (ct, seeded) = deserialize_operand(bytes, self.ctx)?;
                     if seeded {
                         seeded_input = true;
-                        self.metrics.seeded_operands += 1;
+                        self.metrics.seeded_operands =
+                            self.metrics.seeded_operands.saturating_add(1);
                     }
                     Operand::Inline(ct)
                 }
@@ -423,7 +535,7 @@ impl<'a> HeaxServer<'a> {
             });
         }
         let sess = self.sessions.get_mut(frame.session)?;
-        sess.stats.requests += 1;
+        sess.stats.requests = sess.stats.requests.saturating_add(1);
         self.queue.push_back(Pending {
             session: frame.session,
             request: frame.request,
@@ -481,8 +593,11 @@ impl<'a> HeaxServer<'a> {
         if items.is_empty() {
             return Vec::new();
         }
-        self.metrics.batches += 1;
-        self.metrics.batched_requests += items.len() as u64;
+        self.metrics.batches = self.metrics.batches.saturating_add(1);
+        self.metrics.batched_requests = self
+            .metrics
+            .batched_requests
+            .saturating_add(items.len() as u64);
 
         let refs: Vec<&Pending> = items.iter().collect();
         let plan = lower_ops(&refs).fuse_rotations();
@@ -501,22 +616,42 @@ impl<'a> HeaxServer<'a> {
         let mut replies = Vec::with_capacity(items.len());
         for idx in 0..items.len() {
             // Execute (a fused group executes when its first member is
-            // reached and pre-fills every member's slot).
+            // reached and pre-fills every member's slot). Each execution
+            // site first passes the retry policy: transient faults are
+            // retried with backoff, and a request that runs out of
+            // budget or retries is answered shed/degraded instead of
+            // wedging the batch. The verdict covers the whole site — a
+            // fused group retries (and sheds) as a unit.
             if results[idx].is_none() {
                 let fused = fused_at_first[&idx];
                 let members = &plan.members[fused];
-                let start = Instant::now();
-                if items[idx].op == OpCode::Rotate {
-                    self.exec_rotate_group(&items, members, &mut results);
-                    let stats = self.metrics.op_mut(OpCode::Rotate);
-                    stats.requests += members.len() as u64;
-                    stats.busy_us += start.elapsed().as_secs_f64() * 1e6;
-                } else {
-                    let outcome = self.exec_single(&items[idx]);
+                if let Err(e) = self.admit_execution() {
+                    let n = members.len() as u64;
                     let stats = self.metrics.op_mut(items[idx].op);
-                    stats.requests += 1;
-                    stats.busy_us += start.elapsed().as_secs_f64() * 1e6;
-                    results[idx] = Some(outcome);
+                    stats.requests = stats.requests.saturating_add(n);
+                    if matches!(e, ServerError::LoadShed { .. }) {
+                        self.metrics.shed_requests = self.metrics.shed_requests.saturating_add(n);
+                    } else {
+                        self.metrics.degraded_replies =
+                            self.metrics.degraded_replies.saturating_add(n);
+                    }
+                    for &i in members {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                } else {
+                    let start = Instant::now();
+                    if items[idx].op == OpCode::Rotate {
+                        self.exec_rotate_group(&items, members, &mut results);
+                        let stats = self.metrics.op_mut(OpCode::Rotate);
+                        stats.requests = stats.requests.saturating_add(members.len() as u64);
+                        stats.busy_us += start.elapsed().as_secs_f64() * 1e6;
+                    } else {
+                        let outcome = self.exec_single(&items[idx]);
+                        let stats = self.metrics.op_mut(items[idx].op);
+                        stats.requests = stats.requests.saturating_add(1);
+                        stats.busy_us += start.elapsed().as_secs_f64() * 1e6;
+                        results[idx] = Some(outcome);
+                    }
                 }
             }
             // Park or serialize, then frame the reply. Parking happens
@@ -530,9 +665,10 @@ impl<'a> HeaxServer<'a> {
                     frame
                 }
                 Err(e) => {
-                    self.metrics.op_mut(it.op).errors += 1;
+                    let op = self.metrics.op_mut(it.op);
+                    op.errors = op.errors.saturating_add(1);
                     if let Ok(sess) = self.sessions.get_mut(it.session) {
-                        sess.stats.errors += 1;
+                        sess.stats.errors = sess.stats.errors.saturating_add(1);
                     }
                     self.error_frame(it.version, it.session, it.request, &e)
                 }
@@ -541,6 +677,44 @@ impl<'a> HeaxServer<'a> {
         }
         self.model_flush(&items, &plan);
         replies
+    }
+
+    /// Runs the flush retry policy for one execution site: draws
+    /// transient faults per attempt, bills exponential backoff in
+    /// modeled microseconds against the deadline budget, and decides
+    /// whether execution may proceed. `Ok(())` without an injector —
+    /// the healthy path is zero-cost and byte-identical.
+    fn admit_execution(&mut self) -> Result<(), ServerError> {
+        let policy = self.flush_policy;
+        let Some(injector) = self.injector.as_mut() else {
+            return Ok(());
+        };
+        let mut spent_us = 0u64;
+        let mut retries = 0u64;
+        let mut attempt = 0u32;
+        let verdict = loop {
+            if !injector.attempt_fails() {
+                break Ok(());
+            }
+            if attempt >= policy.max_retries {
+                break Err(ServerError::Degraded {
+                    retries: attempt,
+                    reason: "transient backend fault persisted".into(),
+                });
+            }
+            let backoff = policy.backoff_us.saturating_mul(1u64 << attempt.min(16));
+            spent_us = spent_us.saturating_add(backoff);
+            if policy.deadline_us > 0 && spent_us > policy.deadline_us {
+                break Err(ServerError::LoadShed {
+                    spent_us,
+                    budget_us: policy.deadline_us,
+                });
+            }
+            retries += 1;
+            attempt += 1;
+        };
+        self.metrics.retries = self.metrics.retries.saturating_add(retries);
+        verdict
     }
 
     /// Prices one flush's fused IR stream on the attached machine
@@ -557,48 +731,70 @@ impl<'a> HeaxServer<'a> {
             if let Ok(report) = model.config.schedule_stream(&plan.ops) {
                 let s = &mut model.stats;
                 s.flushes += 1;
-                s.modeled_ops += report.ops.len() as u64;
-                s.modeled_requests += report.requests();
-                s.modeled_cycles += report.total_cycles;
-                s.core_busy_cycles += report.core_busy();
+                s.modeled_ops = s.modeled_ops.saturating_add(report.ops.len() as u64);
+                s.modeled_requests = s.modeled_requests.saturating_add(report.requests());
+                s.modeled_cycles = s.modeled_cycles.saturating_add(report.total_cycles);
+                s.core_busy_cycles = s.core_busy_cycles.saturating_add(report.core_busy());
                 s.fifo_high_water = s.fifo_high_water.max(report.fifo_high_water);
                 let stalls = report.stalls();
-                s.input_wait_cycles += stalls.input_wait;
-                s.output_wait_cycles += stalls.output_wait;
-                s.fifo_backpressure_cycles += stalls.fifo_backpressure;
+                s.input_wait_cycles = s.input_wait_cycles.saturating_add(stalls.input_wait);
+                s.output_wait_cycles = s.output_wait_cycles.saturating_add(stalls.output_wait);
+                s.fifo_backpressure_cycles = s
+                    .fifo_backpressure_cycles
+                    .saturating_add(stalls.fifo_backpressure);
                 s.last_bound = report.bound();
                 for (fused, timing) in report.ops.iter().enumerate() {
                     let cycles = timing.compute.1 - timing.compute.0;
                     let code = items[plan.members[fused][0]].op;
-                    self.metrics.op_mut(code).modeled_cycles += cycles;
+                    let op = self.metrics.op_mut(code);
+                    op.modeled_cycles = op.modeled_cycles.saturating_add(cycles);
                     if let Ok(sess) = self.sessions.get_mut(plan.ops[fused].session) {
-                        sess.stats.modeled_cycles += cycles;
+                        sess.stats.modeled_cycles =
+                            sess.stats.modeled_cycles.saturating_add(cycles);
                     }
                 }
                 model.last_report = Some(report);
             }
         }
         if let Some(model) = self.cluster_model.as_mut() {
-            if let Ok(report) = model.config.schedule_stream(&plan.ops, model.policy) {
+            if let Ok(report) =
+                model
+                    .config
+                    .schedule_stream_faulted(&plan.ops, model.policy, &model.faults)
+            {
                 let s = &mut model.stats;
                 s.flushes += 1;
-                s.modeled_ops += plan.ops.len() as u64;
-                s.modeled_requests += report.requests();
-                s.modeled_cycles += report.total_cycles;
-                s.routing_hits += report.routing_hits;
-                s.routing_misses += report.routing_misses;
-                s.steals += report.steals;
-                s.replication_bytes += report.replication_bytes;
-                s.cross_board_deps += report.cross_board_deps;
+                s.modeled_ops = s.modeled_ops.saturating_add(plan.ops.len() as u64);
+                s.modeled_requests = s.modeled_requests.saturating_add(report.requests());
+                s.modeled_cycles = s.modeled_cycles.saturating_add(report.total_cycles);
+                s.routing_hits = s.routing_hits.saturating_add(report.routing_hits);
+                s.routing_misses = s.routing_misses.saturating_add(report.routing_misses);
+                s.steals = s.steals.saturating_add(report.steals);
+                s.replication_bytes = s.replication_bytes.saturating_add(report.replication_bytes);
+                s.cross_board_deps = s.cross_board_deps.saturating_add(report.cross_board_deps);
+                // Fault outcome: liveness is a gauge (the latest flush's
+                // survivor count), recovery work accumulates.
+                s.boards_alive = report.boards_alive();
+                s.failovers = s.failovers.saturating_add(report.failovers);
+                s.re_replications = s.re_replications.saturating_add(report.re_replications);
+                s.corrupt_ksk_evictions = s
+                    .corrupt_ksk_evictions
+                    .saturating_add(report.corrupt_ksk_evictions);
+                s.parked_rematerializations = s
+                    .parked_rematerializations
+                    .saturating_add(report.parked_rematerializations);
+                s.recovery_cycles = s.recovery_cycles.saturating_add(report.recovery_cycles);
                 // Attribute per-op/per-session compute from the cluster
                 // only when no board model already did (avoid billing
                 // the same flush twice).
                 if self.board_model.is_none() {
                     for (fused, cycles) in report.per_op_compute_cycles().into_iter().enumerate() {
                         let code = items[plan.members[fused][0]].op;
-                        self.metrics.op_mut(code).modeled_cycles += cycles;
+                        let op = self.metrics.op_mut(code);
+                        op.modeled_cycles = op.modeled_cycles.saturating_add(cycles);
                         if let Ok(sess) = self.sessions.get_mut(plan.ops[fused].session) {
-                            sess.stats.modeled_cycles += cycles;
+                            sess.stats.modeled_cycles =
+                                sess.stats.modeled_cycles.saturating_add(cycles);
                         }
                     }
                 }
@@ -644,7 +840,8 @@ impl<'a> HeaxServer<'a> {
                     ct = self.eval.mod_switch_to_level(&ct, 0)?;
                 }
                 if it.compress_reply {
-                    self.metrics.compressed_replies += 1;
+                    self.metrics.compressed_replies =
+                        self.metrics.compressed_replies.saturating_add(1);
                 }
                 serialize_ciphertext_into(&ct, &mut self.scratch_out);
                 Ok(wire::encode_response_frame(
@@ -749,8 +946,11 @@ impl<'a> HeaxServer<'a> {
             }
             _ => match self.eval.rotate_many(input, &steps, gks) {
                 Ok(outputs) => {
-                    self.metrics.hoisted_groups += 1;
-                    self.metrics.hoisted_rotations += covered.len() as u64;
+                    self.metrics.hoisted_groups = self.metrics.hoisted_groups.saturating_add(1);
+                    self.metrics.hoisted_rotations = self
+                        .metrics
+                        .hoisted_rotations
+                        .saturating_add(covered.len() as u64);
                     for (&i, ct) in covered.iter().zip(outputs) {
                         results[i] = Some(Ok(ct));
                     }
@@ -775,10 +975,10 @@ impl<'a> HeaxServer<'a> {
 
     /// Outbound frame accounting.
     fn note_out(&mut self, session: u64, frame: &[u8]) {
-        self.metrics.frames_out += 1;
-        self.metrics.bytes_out += frame.len() as u64;
+        self.metrics.frames_out = self.metrics.frames_out.saturating_add(1);
+        self.metrics.bytes_out = self.metrics.bytes_out.saturating_add(frame.len() as u64);
         if let Ok(sess) = self.sessions.get_mut(session) {
-            sess.stats.bytes_out += frame.len() as u64;
+            sess.stats.bytes_out = sess.stats.bytes_out.saturating_add(frame.len() as u64);
         }
     }
 
@@ -803,6 +1003,9 @@ impl<'a> HeaxServer<'a> {
             hoisted_rotations: self.metrics.hoisted_rotations,
             seeded_operands: self.metrics.seeded_operands,
             compressed_replies: self.metrics.compressed_replies,
+            shed_requests: self.metrics.shed_requests,
+            degraded_replies: self.metrics.degraded_replies,
+            retries: self.metrics.retries,
             parked_entries: self.system.mapped_entries(),
             parked_bytes: self.system.dram_used_bytes(),
             per_op: self.metrics.per_op_snapshot(),

@@ -832,6 +832,70 @@ mod tests {
     }
 
     #[test]
+    fn every_error_code_roundtrips_through_both_wire_versions() {
+        use super::client;
+        // Exhaustive: each of the nine codes (including the fault-path
+        // LoadShed and Degraded) survives encode → frame → parse at v1
+        // and v2, through both the raw decoder and the client parser.
+        for version in [WIRE_V1, WIRE_V2] {
+            for &code in &ErrorCode::ALL {
+                let frame = encode_frame(
+                    version,
+                    MessageKind::Error,
+                    5,
+                    9,
+                    &encode_error(code, "why"),
+                );
+                let decoded = decode_frame(&frame).unwrap();
+                assert_eq!(decoded.version, version);
+                assert_eq!(decode_error(decoded.payload), (code, "why".to_string()));
+                let (session, request, reply) = client::parse_reply(&frame).unwrap();
+                assert_eq!((session, request), (5, 9));
+                assert_eq!(
+                    reply,
+                    client::Reply::Error {
+                        code,
+                        message: "why".into()
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_and_hostile_error_payloads_decode_without_panic() {
+        use super::client;
+        // A peer speaking a future protocol revision may send codes we
+        // do not know; they must decode (to Unsupported), never panic.
+        for raw in [0u16, 10, 999, u16::MAX] {
+            let mut payload = raw.to_le_bytes().to_vec();
+            payload.extend_from_slice(b"m");
+            for version in [WIRE_V1, WIRE_V2] {
+                let frame = encode_frame(version, MessageKind::Error, 1, 1, &payload);
+                let (_, _, reply) = client::parse_reply(&frame).unwrap();
+                assert_eq!(
+                    reply,
+                    client::Reply::Error {
+                        code: ErrorCode::Unsupported,
+                        message: "m".into()
+                    }
+                );
+            }
+        }
+        // One stray byte: too short for a code, still total.
+        assert_eq!(
+            decode_error(&[0x07]),
+            (ErrorCode::Unsupported, String::new())
+        );
+        // Non-UTF-8 message bytes are replaced, not rejected.
+        let mut payload = (ErrorCode::Crypto as u16).to_le_bytes().to_vec();
+        payload.extend_from_slice(&[0xFF, 0xFE, b'!']);
+        let (code, message) = decode_error(&payload);
+        assert_eq!(code, ErrorCode::Crypto);
+        assert!(message.ends_with('!'));
+    }
+
+    #[test]
     fn hostile_frames_rejected_not_panicking() {
         let good = encode_frame(WIRE_V2, MessageKind::Request, 1, 1, b"abc");
         // Truncations at every length.

@@ -16,6 +16,7 @@ use heax_ckks::{
 };
 use heax_core::{HeaxAccelerator, HeaxSystem};
 use heax_hw::board::Board;
+use heax_hw::faults::{FaultPlan, FaultRates};
 use heax_hw::keyswitch_pipeline::KeySwitchArch;
 use heax_hw::mult_dataflow::MultModuleConfig;
 use heax_hw::ntt_dataflow::NttModuleConfig;
@@ -97,6 +98,20 @@ fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Vec<f64> {
         .unwrap()
 }
 
+/// Opens a session on `server` and registers the rig's keys into it.
+fn register_session(server: &mut HeaxServer<'_>, r: &Rig) -> u64 {
+    let reply = server.handle_frame(&client::open_session()).unwrap();
+    let (session, _, _) = client::parse_reply(&reply).unwrap();
+    for frame in [
+        client::register_relin_key(session, &serialize_relin_key(&r.rlk)),
+        client::register_galois_keys(session, &serialize_galois_keys(&r.gks)),
+    ] {
+        let (_, _, reply) = client::parse_reply(&server.handle_frame(&frame).unwrap()).unwrap();
+        assert_eq!(reply, Reply::KeyRegistered);
+    }
+    session
+}
+
 /// Opens a cluster-modeled server with one registered session.
 fn cluster_server<'a>(
     ctx: &'a CkksContext,
@@ -108,15 +123,7 @@ fn cluster_server<'a>(
     let mut server = HeaxServer::with_system(ctx, system)
         .with_cluster_model(boards, cores)
         .unwrap();
-    let reply = server.handle_frame(&client::open_session()).unwrap();
-    let (session, _, _) = client::parse_reply(&reply).unwrap();
-    for frame in [
-        client::register_relin_key(session, &serialize_relin_key(&r.rlk)),
-        client::register_galois_keys(session, &serialize_galois_keys(&r.gks)),
-    ] {
-        let (_, _, reply) = client::parse_reply(&server.handle_frame(&frame).unwrap()).unwrap();
-        assert_eq!(reply, Reply::KeyRegistered);
-    }
+    let session = register_session(&mut server, r);
     (server, session)
 }
 
@@ -130,16 +137,86 @@ fn modeled_server<'a>(
     let mut server = HeaxServer::with_system(ctx, system)
         .with_board_model(cores)
         .unwrap();
-    let reply = server.handle_frame(&client::open_session()).unwrap();
-    let (session, _, _) = client::parse_reply(&reply).unwrap();
-    for frame in [
-        client::register_relin_key(session, &serialize_relin_key(&r.rlk)),
-        client::register_galois_keys(session, &serialize_galois_keys(&r.gks)),
-    ] {
-        let (_, _, reply) = client::parse_reply(&server.handle_frame(&frame).unwrap()).unwrap();
-        assert_eq!(reply, Reply::KeyRegistered);
-    }
+    let session = register_session(&mut server, r);
     (server, session)
+}
+
+/// Submits one chained stream (each op reads the parked intermediate
+/// and re-parks it, closed by a wire-returned fetch) to `server`,
+/// returning the number of requests queued.
+fn submit_chain(
+    server: &mut HeaxServer<'_>,
+    session: u64,
+    ct_bytes: &[u8],
+    ops: &[StreamOp],
+) -> u64 {
+    let mut id = session << 32;
+    let mut submit = |server: &mut HeaxServer<'_>, req: &Request<'_>| {
+        id += 1;
+        assert!(server
+            .handle_frame(&client::request(session, id, req))
+            .is_none());
+    };
+    submit(
+        server,
+        &Request {
+            op: OpCode::Fetch,
+            step: 0,
+            compress_reply: false,
+            park_as: Some("acc"),
+            operands: vec![WireOperand::Inline(ct_bytes)],
+        },
+    );
+    let mut count = 1u64;
+    for op in ops {
+        let reqs: Vec<Request<'_>> = match op {
+            StreamOp::Rotate(step) => vec![Request {
+                op: OpCode::Rotate,
+                step: *step,
+                compress_reply: false,
+                park_as: Some("acc"),
+                operands: vec![WireOperand::Parked("acc")],
+            }],
+            StreamOp::Add => vec![Request {
+                op: OpCode::Add,
+                step: 0,
+                compress_reply: false,
+                park_as: Some("acc"),
+                operands: vec![WireOperand::Parked("acc"), WireOperand::Parked("acc")],
+            }],
+            StreamOp::SquareRescale => vec![
+                Request {
+                    op: OpCode::SquareRelin,
+                    step: 0,
+                    compress_reply: false,
+                    park_as: Some("acc"),
+                    operands: vec![WireOperand::Parked("acc")],
+                },
+                Request {
+                    op: OpCode::Rescale,
+                    step: 0,
+                    compress_reply: false,
+                    park_as: Some("acc"),
+                    operands: vec![WireOperand::Parked("acc")],
+                },
+            ],
+        };
+        for req in &reqs {
+            submit(server, req);
+            count += 1;
+        }
+    }
+    submit(
+        server,
+        &Request {
+            op: OpCode::Fetch,
+            step: 0,
+            compress_reply: false,
+            park_as: None,
+            operands: vec![WireOperand::Parked("acc")],
+        },
+    );
+    count + 1
 }
 
 /// One step of a random chained op stream.
@@ -446,6 +523,93 @@ proptest! {
             prop_assert!(server.cluster_report().is_some());
             let billed: u64 = stats.per_session.iter().map(|&(_, s)| s.modeled_cycles).sum();
             prop_assert!(billed > 0, "per-session attribution must flow from the cluster");
+        }
+    }
+
+    /// A random seeded fault plan — board crashes, slowdowns, link
+    /// stalls, DMA degradation, corrupted resident keys — attached to
+    /// the cluster model reshapes modeled placement and timing **only**:
+    /// every reply of a two-session workload stays byte-identical to
+    /// the fault-free server's (hence decrypt-identical), at every
+    /// pinned boards × cores shape in {2, 4} × {1, 4}. CI re-runs this
+    /// under `HEAX_THREADS=4` in the chaos job.
+    #[test]
+    fn faulted_cluster_serving_is_byte_identical(
+        ops_a in arb_stream(),
+        ops_b in arb_stream(),
+        seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        crash_level in 0u32..=2,
+    ) {
+        let c = ctx();
+        let r = rig(&c, seed);
+        let eval = Evaluator::new(&c);
+        let mut want = deserialize_ciphertext(&serialize_ciphertext(&r.ct), &c).unwrap();
+        for op in &ops_a {
+            want = match op {
+                StreamOp::Rotate(step) => eval.rotate(&want, *step, &r.gks).unwrap(),
+                StreamOp::Add => eval.add(&want, &want).unwrap(),
+                StreamOp::SquareRescale => {
+                    let sq = eval.multiply_relin(&want, &want, &r.rlk).unwrap();
+                    eval.rescale(&sq).unwrap()
+                }
+            };
+        }
+
+        for (boards, cores) in [(2usize, 1usize), (2, 4), (4, 1), (4, 4)] {
+            let (mut healthy, sess_a) = cluster_server(&c, system(&c), &r, boards, cores);
+            let sess_b = register_session(&mut healthy, &r);
+            let mut faulted = HeaxServer::with_system(&c, system(&c))
+                .with_cluster_model(boards, cores)
+                .unwrap();
+            prop_assert_eq!(register_session(&mut faulted, &r), sess_a);
+            prop_assert_eq!(register_session(&mut faulted, &r), sess_b);
+
+            let rates = FaultRates {
+                crash: crash_level as f64 * 0.25,
+                slowdown: 0.4,
+                link: 0.4,
+                dma: 0.4,
+                ksk_corruption: 0.4,
+            };
+            let plan = FaultPlan::generate(fault_seed, boards, 1 << 22, &[sess_a, sess_b], &rates);
+            let plan_empty = plan.is_empty();
+            faulted = faulted.with_fault_plan(plan);
+
+            let ct_bytes = serialize_ciphertext(&r.ct);
+            let mut count_a = 0usize;
+            for server in [&mut healthy, &mut faulted] {
+                count_a = submit_chain(server, sess_a, &ct_bytes, &ops_a) as usize;
+                submit_chain(server, sess_b, &ct_bytes, &ops_b);
+            }
+            let replies_h = healthy.flush();
+            let replies_f = faulted.flush();
+            prop_assert_eq!(
+                &replies_h, &replies_f,
+                "faults must never perturb serving (boards {}, cores {})", boards, cores
+            );
+
+            // The faulted chain still decrypts to the evaluator golden
+            // (session A's closing fetch is its last reply).
+            let (_, _, body) = client::parse_reply(&replies_f[count_a - 1]).unwrap();
+            let Reply::Ciphertext(bytes) = body else {
+                panic!("chain must end in a ciphertext reply, got {body:?}");
+            };
+            prop_assert_eq!(&deserialize_ciphertext(&bytes, &c).unwrap(), &want);
+
+            // Fault accounting stays coherent: never more survivors than
+            // boards, an empty plan loses nothing, and recovery work
+            // only appears alongside the faults that caused it.
+            let s = faulted.stats().cluster.expect("cluster model enabled");
+            prop_assert!(s.boards_alive <= boards);
+            if plan_empty {
+                prop_assert_eq!(s.boards_alive, boards);
+                prop_assert_eq!(s.failovers, 0);
+                prop_assert_eq!(s.re_replications, 0);
+                prop_assert_eq!(s.recovery_cycles, 0);
+            }
+            prop_assert!(s.re_replications >= s.failovers);
+            prop_assert!(s.re_replications >= s.corrupt_ksk_evictions);
         }
     }
 }

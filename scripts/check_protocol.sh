@@ -42,8 +42,12 @@ check_enum_table crates/server/src/wire.rs MessageKind
 check_enum_table crates/server/src/wire.rs OpCode
 
 # The error-code table must not list codes the source does not define.
+# The variant names are re-derived from the enum (not hardcoded here),
+# so adding an ErrorCode without its PROTOCOL.md row fails this check
+# instead of silently shrinking it.
+err_names=$(enum_pairs crates/server/src/error.rs ErrorCode | awk '{print $1}' | paste -sd'|' -)
 doc_codes=$(grep -Eo '^\| *[0-9]+ *\| *[A-Za-z]+ *\|' PROTOCOL.md |
-    awk -F'|' '$3 ~ /Malformed|UnknownSession|UnknownHandle|MissingKey|Crypto|Capacity|Unsupported/ {gsub(/ /,"",$2); print $2}' | sort -n)
+    awk -F'|' -v names="^(${err_names})\$" '{gsub(/ /,"",$3)} $3 ~ names {gsub(/ /,"",$2); print $2}' | sort -n)
 src_codes=$(enum_pairs crates/server/src/error.rs ErrorCode | awk '{print $2}' | sort -n)
 if [ "$doc_codes" != "$src_codes" ]; then
     err "PROTOCOL.md error-code table disagrees with ErrorCode: doc={$doc_codes} src={$src_codes}"
