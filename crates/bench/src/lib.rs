@@ -13,6 +13,8 @@
 //! The library part holds shared table formatting and the CPU-side
 //! measurement loop reused by both the binaries and the Criterion benches.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Renders an ASCII table with a title.

@@ -548,27 +548,27 @@ impl<'a> Evaluator<'a> {
                     let ka = &ksk_a[chain_idx * n..(chain_idx + 1) * n];
                     if first {
                         for ((d, &x), c) in d0.iter_mut().zip(b_ntt).zip(kb) {
-                            *d = c.mul_red_lazy(x, m);
+                            *d = c.mul_red_lazy(x, m); // DOMAIN: [0,2p)
                         }
                         for ((d, &x), c) in d1.iter_mut().zip(b_ntt).zip(ka) {
-                            *d = c.mul_red_lazy(x, m);
+                            *d = c.mul_red_lazy(x, m); // DOMAIN: [0,2p)
                         }
                     } else if lazy_acc_fits(m, level) {
                         for ((d, &x), c) in d0.iter_mut().zip(b_ntt).zip(kb) {
-                            *d += c.mul_red_lazy(x, m);
+                            *d += c.mul_red_lazy(x, m); // DOMAIN: [0,2p)
                         }
                         for ((d, &x), c) in d1.iter_mut().zip(b_ntt).zip(ka) {
-                            *d += c.mul_red_lazy(x, m);
+                            *d += c.mul_red_lazy(x, m); // DOMAIN: [0,2p)
                         }
                     } else {
                         // Wide-modulus fallback: correct to [0, 2p) per add.
                         let two_p = 2 * m.value();
                         for ((d, &x), c) in d0.iter_mut().zip(b_ntt).zip(kb) {
-                            let s = *d + c.mul_red_lazy(x, m);
+                            let s = *d + c.mul_red_lazy(x, m); // DOMAIN: [0,2p)
                             *d = if s >= two_p { s - two_p } else { s };
                         }
                         for ((d, &x), c) in d1.iter_mut().zip(b_ntt).zip(ka) {
-                            let s = *d + c.mul_red_lazy(x, m);
+                            let s = *d + c.mul_red_lazy(x, m); // DOMAIN: [0,2p)
                             *d = if s >= two_p { s - two_p } else { s };
                         }
                     }
@@ -941,22 +941,22 @@ impl<'a> Evaluator<'a> {
                         if first {
                             for ((&idx, (d0t, d1t)), (kbt, kat)) in iter.zip(kb.iter().zip(ka)) {
                                 let x = dig[idx];
-                                *d0t = kbt.mul_red_lazy(x, m);
-                                *d1t = kat.mul_red_lazy(x, m);
+                                *d0t = kbt.mul_red_lazy(x, m); // DOMAIN: [0,2p)
+                                *d1t = kat.mul_red_lazy(x, m); // DOMAIN: [0,2p)
                             }
                         } else if lazy_acc_fits(m, level) {
                             for ((&idx, (d0t, d1t)), (kbt, kat)) in iter.zip(kb.iter().zip(ka)) {
                                 let x = dig[idx];
-                                *d0t += kbt.mul_red_lazy(x, m);
-                                *d1t += kat.mul_red_lazy(x, m);
+                                *d0t += kbt.mul_red_lazy(x, m); // DOMAIN: [0,2p)
+                                *d1t += kat.mul_red_lazy(x, m); // DOMAIN: [0,2p)
                             }
                         } else {
                             let two_p = 2 * m.value();
                             for ((&idx, (d0t, d1t)), (kbt, kat)) in iter.zip(kb.iter().zip(ka)) {
                                 let x = dig[idx];
-                                let s = *d0t + kbt.mul_red_lazy(x, m);
+                                let s = *d0t + kbt.mul_red_lazy(x, m); // DOMAIN: [0,2p)
                                 *d0t = if s >= two_p { s - two_p } else { s };
-                                let s = *d1t + kat.mul_red_lazy(x, m);
+                                let s = *d1t + kat.mul_red_lazy(x, m); // DOMAIN: [0,2p)
                                 *d1t = if s >= two_p { s - two_p } else { s };
                             }
                         }
@@ -997,6 +997,7 @@ impl<'a> Evaluator<'a> {
 /// Holds for every paper parameter set (and any chain of ≤ 60-bit primes
 /// up to depth 8); the wide-modulus fallback corrects per add instead.
 #[inline]
+// DOMAIN: [0,2p)
 fn lazy_acc_fits(m: &Modulus, level: usize) -> bool {
     (level as u128 + 1) * (2 * m.value() as u128 - 1) <= u64::MAX as u128
 }

@@ -118,13 +118,14 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CkksError> {
-        // `n > remaining` (not `pos + n > len`): the latter overflows for
-        // hostile 64-bit length fields routed here by the container
-        // formats.
-        if n > self.buf.len() - self.pos {
-            return Err(Self::error("truncated"));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+        // `get(..n)` on the tail (not `pos + n > len`): the latter
+        // overflows for hostile 64-bit length fields routed here by the
+        // container formats.
+        let s = self
+            .buf
+            .get(self.pos..)
+            .and_then(|rest| rest.get(..n))
+            .ok_or_else(|| Self::error("truncated"))?;
         self.pos += n;
         Ok(s)
     }
@@ -146,17 +147,24 @@ impl<'a> Reader<'a> {
     }
 
     fn u8(&mut self) -> Result<u8, CkksError> {
-        Ok(self.take(1)?[0])
+        match self.take(1)? {
+            &[b] => Ok(b),
+            _ => Err(Self::error("truncated")),
+        }
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CkksError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| Self::error("truncated"))
     }
 
     fn u64(&mut self) -> Result<u64, CkksError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, CkksError> {
-        let b = self.take(8)?;
-        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(self.array()?))
     }
 
     fn words(&mut self) -> Result<Vec<u64>, CkksError> {
@@ -403,11 +411,13 @@ impl PolyView<'_> {
     /// already validated, so in-range access never fails).
     #[inline]
     pub fn word(&self, residue: usize, index: usize) -> u64 {
+        // heax-lint: allow(L2) -- documented `# Panics` precondition API, not a decode entry point
         assert!(
             residue < self.moduli.len() && index < self.n,
             "out of range"
         );
         let off = (residue * self.n + index) * 8;
+        // heax-lint: allow(L2) -- in range: the view's shape was bounds-checked at parse time
         u64::from_le_bytes(self.words[off..off + 8].try_into().expect("8 bytes"))
     }
 
@@ -419,16 +429,20 @@ impl PolyView<'_> {
     ///
     /// [`CkksError::InvalidParameters`] on a non-canonical residue.
     pub fn to_poly(&self) -> Result<RnsPoly, CkksError> {
-        let mut data = vec![0u64; self.moduli.len() * self.n];
-        for (i, m) in self.moduli.iter().enumerate() {
+        let mut data = Vec::with_capacity(self.moduli.len() * self.n);
+        let mut limbs = self.words.chunks_exact(8);
+        for m in &self.moduli {
             let bound = m.value();
-            for j in 0..self.n {
-                let off = (i * self.n + j) * 8;
-                let w = u64::from_le_bytes(self.words[off..off + 8].try_into().expect("8 bytes"));
+            for _ in 0..self.n {
+                let w = limbs
+                    .next()
+                    .and_then(|c| c.try_into().ok())
+                    .map(u64::from_le_bytes)
+                    .ok_or_else(|| Reader::error("truncated"))?;
                 if w >= bound {
                     return Err(Reader::error("non-canonical residue"));
                 }
-                data[i * self.n + j] = w;
+                data.push(w);
             }
         }
         Ok(RnsPoly::from_data(self.n, &self.moduli, data, self.repr)?)
@@ -554,8 +568,13 @@ impl<'a> CiphertextView<'a> {
     }
 
     /// Component `i` as a borrowed polynomial view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.size()`.
     #[inline]
     pub fn component(&self, i: usize) -> &PolyView<'a> {
+        // heax-lint: allow(L2) -- documented `# Panics` precondition API, not a decode entry point
         &self.components[i]
     }
 
@@ -720,14 +739,19 @@ pub fn serialize_relin_key(rlk: &RelinKey) -> Vec<u8> {
 /// Serializes Galois keys: the Galois elements followed by each element's
 /// key-switching key (permutation tables are regenerated on load).
 pub fn serialize_galois_keys(gks: &crate::keys::GaloisKeys) -> Vec<u8> {
-    let mut elements: Vec<usize> = gks.elements().collect();
-    elements.sort_unstable();
+    // `elements()` only yields stored keys, so the lookup cannot miss;
+    // stay total anyway (drop the pair) rather than panic in a serializer.
+    let mut keyed: Vec<(usize, &KeySwitchKey)> = gks
+        .elements()
+        .filter_map(|e| gks.key(e).ok().map(|k| (e, k)))
+        .collect();
+    keyed.sort_unstable_by_key(|&(e, _)| e);
     let mut buf = Vec::new();
     let mut w = Writer { buf: &mut buf };
     w.header(Tag::KeySwitchKey); // container reuses the ksk tag + count
-    w.u64(elements.len() as u64);
-    for &elt in &elements {
-        let ksk_bytes = serialize_ksk(gks.key(elt).expect("listed element"));
+    w.u64(keyed.len() as u64);
+    for (elt, key) in keyed {
+        let ksk_bytes = serialize_ksk(key);
         w.u64(elt as u64);
         w.u64(ksk_bytes.len() as u64);
         w.buf.extend_from_slice(&ksk_bytes);

@@ -41,6 +41,9 @@ impl CountingAlloc {
     }
 }
 
+// SAFETY: pure pass-through to `System`, which upholds the `GlobalAlloc`
+// contract; `record()` only bumps a thread-local counter and never
+// allocates, so re-entrancy into the allocator is impossible.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         Self::record();

@@ -99,14 +99,14 @@ impl DyadicCore {
     /// One dyadic multiplication. Counts the operation.
     #[inline]
     pub fn compute(&mut self, op1: u64, op2: u64, modulus: &Modulus) -> u64 {
-        self.ops += 1;
+        self.ops = self.ops.saturating_add(1);
         modulus.mul_mod(op1, op2)
     }
 
     /// Fused multiply-accumulate, as used in the KeySwitch DyadMult stage.
     #[inline]
     pub fn compute_acc(&mut self, acc: u64, op1: u64, op2: u64, modulus: &Modulus) -> u64 {
-        self.ops += 1;
+        self.ops = self.ops.saturating_add(1);
         modulus.add_mod(acc, modulus.mul_mod(op1, op2))
     }
 
@@ -123,10 +123,10 @@ impl DyadicCore {
         key: &MulRedConstant,
         modulus: &Modulus,
     ) -> u64 {
-        self.ops += 1;
+        self.ops = self.ops.saturating_add(1);
         debug_assert!(acc < 2 * modulus.value());
         let two_p = 2 * modulus.value();
-        let s = acc + key.mul_red_lazy(x, modulus);
+        let s = acc + key.mul_red_lazy(x, modulus); // DOMAIN: [0,2p)
         if s >= two_p {
             s - two_p
         } else {
@@ -164,7 +164,7 @@ impl NttCore {
         w: &MulRedConstant,
         modulus: &Modulus,
     ) -> (u64, u64) {
-        self.butterflies += 1;
+        self.butterflies = self.butterflies.saturating_add(1);
         let v = w.mul_red(b, modulus);
         (modulus.add_mod(a, v), modulus.sub_mod(a, v))
     }
@@ -198,7 +198,7 @@ impl InttCore {
         w_half: &MulRedConstant,
         modulus: &Modulus,
     ) -> (u64, u64) {
-        self.butterflies += 1;
+        self.butterflies = self.butterflies.saturating_add(1);
         let v = modulus.sub_mod(a, b);
         (
             modulus.div2_mod(modulus.add_mod(a, b)),

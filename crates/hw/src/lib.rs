@@ -59,6 +59,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod board;
 pub mod bram;

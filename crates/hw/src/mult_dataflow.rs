@@ -174,7 +174,7 @@ impl MultModuleSim {
                         me3[l] = core.compute_acc(acc[l], me1[l], me2[l], &self.modulus);
                     }
                     out_banks[t].write_me(row, &me3);
-                    stats.cycles += 1;
+                    stats.cycles = stats.cycles.saturating_add(1);
                 }
             }
         }

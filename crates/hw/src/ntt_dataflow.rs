@@ -217,7 +217,9 @@ impl<'a> NttModuleSim<'a> {
             let m = 1usize << stage; // number of butterfly blocks
             stats.stage_kinds.push(self.config.stage_kind(stage));
             self.run_forward_stage(stage, m, &mut bank, &mut core, &mut stats);
-            stats.cycles += (n / self.config.me_words()) as u64;
+            stats.cycles = stats
+                .cycles
+                .saturating_add((n / self.config.me_words()) as u64);
         }
         stats.me_reads = bank.reads();
         stats.me_writes = bank.writes();
@@ -309,7 +311,9 @@ impl<'a> NttModuleSim<'a> {
             let m = 1usize << stage;
             stats.stage_kinds.push(self.config.stage_kind(stage));
             self.run_inverse_stage(stage, m, &mut bank, &mut core, &mut stats);
-            stats.cycles += (n / self.config.me_words()) as u64;
+            stats.cycles = stats
+                .cycles
+                .saturating_add((n / self.config.me_words()) as u64);
         }
         stats.me_reads = bank.reads();
         stats.me_writes = bank.writes();
@@ -379,7 +383,7 @@ impl<'a> NttModuleSim<'a> {
         // behavior of Section 4.2).
         let me = (twiddle_index / self.config.num_cores) as u64;
         if me != *last {
-            stats.twiddle_me_reads += 1;
+            stats.twiddle_me_reads = stats.twiddle_me_reads.saturating_add(1);
             *last = me;
         }
     }

@@ -1,0 +1,327 @@
+//! **L6 · protocol-constants** — PROTOCOL.md cannot drift from the
+//! source of truth.
+//!
+//! Port of the retired `scripts/check_protocol.sh` awk/grep gate into
+//! the rule engine. PROTOCOL.md pins wire constants and enum tables in
+//! prose; this rule re-derives every pinned value from the Rust source
+//! and fails on any mismatch:
+//!
+//! * every variant of `ErrorCode` / `MessageKind` / `OpCode` must have a
+//!   `| value | name |` table row in PROTOCOL.md, and the error-code
+//!   table must not list codes the source does not define;
+//! * the pinned wire constants (`WIRE_V1 = 1`, `WIRE_V2 = 2`,
+//!   `REQUEST_FLAG_COMPRESS_REPLY = 0x01`, the 26-byte
+//!   `FRAME_HEADER_LEN`, `EXPAND_SEED_LEN = 32`, the seeded-ciphertext
+//!   tag `7`) must still hold wherever they are declared — changing one
+//!   means updating PROTOCOL.md *and* this rule, which is the point;
+//! * the `"HEAW"` frame magic and `"HEAX"` object magic must still
+//!   appear in their implementation files.
+//!
+//! The rule is silent when the linted tree has no `PROTOCOL.md`.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::scanner::SourceFile;
+use crate::Doc;
+
+/// Enums whose variants PROTOCOL.md tabulates.
+const TABLED_ENUMS: [&str; 3] = ["ErrorCode", "MessageKind", "OpCode"];
+
+/// One `Variant = value` row extracted from a `#[repr(..)]` enum.
+struct EnumRow {
+    enum_name: &'static str,
+    variant: String,
+    value: u64,
+    file: std::path::PathBuf,
+    line: usize,
+}
+
+/// Extracts tabled-enum rows from every scanned file.
+fn enum_rows(files: &[SourceFile]) -> Vec<EnumRow> {
+    let mut rows = Vec::new();
+    for file in files {
+        for (i, l) in file.lines.iter().enumerate() {
+            let Some(enum_name) = TABLED_ENUMS.iter().find(|e| {
+                l.code.contains(&format!("enum {e} ")) || l.code.contains(&format!("enum {e}{{"))
+            }) else {
+                continue;
+            };
+            if l.in_test {
+                continue;
+            }
+            for (j, body) in file.lines.iter().enumerate().skip(i + 1) {
+                if body.depth <= l.depth {
+                    break;
+                }
+                let t = body.code.trim().trim_end_matches(',');
+                if let Some((variant, value)) = t.split_once('=') {
+                    let variant = variant.trim();
+                    if let (true, Ok(value)) = (
+                        !variant.is_empty() && variant.chars().all(|c| c.is_alphanumeric()),
+                        value.trim().parse::<u64>(),
+                    ) {
+                        rows.push(EnumRow {
+                            enum_name,
+                            variant: variant.to_string(),
+                            value,
+                            file: file.rel.clone(),
+                            line: j + 1,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// `(value, name)` cells of a markdown table row, when the first cell is
+/// numeric.
+fn table_row(line: &str) -> Option<(u64, String)> {
+    let t = line.trim();
+    if !t.starts_with('|') {
+        return None;
+    }
+    let cells: Vec<&str> = t.split('|').map(str::trim).collect();
+    // split() yields a leading empty cell before the first `|`.
+    let value = cells.get(1)?.parse::<u64>().ok()?;
+    let name = cells.get(2)?.to_string();
+    (!name.is_empty()).then_some((value, name))
+}
+
+/// Searches all files for `NAME: <ty> = ` and returns the trimmed
+/// right-hand side (up to `;`) with its location.
+fn const_decl<'a>(
+    files: &'a [SourceFile],
+    name: &str,
+) -> Option<(String, &'a std::path::Path, usize)> {
+    let needle = format!("{name}: ");
+    for file in files {
+        for (i, l) in file.lines.iter().enumerate() {
+            if l.in_test || !l.code.contains("const ") {
+                continue;
+            }
+            if let Some(at) = l.code.find(&needle) {
+                let rest = &l.code[at + needle.len()..];
+                let rhs = rest.split_once('=')?.1.trim().trim_end_matches(';').trim();
+                return Some((rhs.to_string(), &file.rel, i + 1));
+            }
+        }
+    }
+    None
+}
+
+/// Runs the rule over the whole workspace.
+pub fn check(files: &[SourceFile], protocol: Option<&Doc>) -> Vec<Diagnostic> {
+    let Some(doc) = protocol else {
+        return Vec::new();
+    };
+    let mut diags = Vec::new();
+    let rows = enum_rows(files);
+    let doc_rows: Vec<(usize, u64, String)> = doc
+        .text
+        .lines()
+        .enumerate()
+        .filter_map(|(i, l)| table_row(l).map(|(v, n)| (i + 1, v, n)))
+        .collect();
+
+    // Forward: every source variant appears as a doc table row.
+    for r in &rows {
+        if !doc_rows
+            .iter()
+            .any(|(_, v, n)| *v == r.value && *n == r.variant)
+        {
+            diags.push(Diagnostic::new(
+                RuleId::L6,
+                &r.file,
+                r.line,
+                format!(
+                    "{}::{} = {} has no `| {} | {} |` table row in {}",
+                    r.enum_name,
+                    r.variant,
+                    r.value,
+                    r.value,
+                    r.variant,
+                    doc.rel.display()
+                ),
+            ));
+        }
+    }
+    // Reverse: the error-code table must not list codes the source does
+    // not define (names are re-derived from the enum, so adding an
+    // ErrorCode without its doc row fails forward, and deleting one
+    // while its row lingers fails here).
+    let err_variants: Vec<&EnumRow> = rows.iter().filter(|r| r.enum_name == "ErrorCode").collect();
+    if !err_variants.is_empty() {
+        for (line, v, n) in &doc_rows {
+            let names_match = err_variants.iter().any(|r| r.variant == *n);
+            let pair_match = err_variants
+                .iter()
+                .any(|r| r.variant == *n && r.value == *v);
+            if names_match && !pair_match {
+                diags.push(Diagnostic::new(
+                    RuleId::L6,
+                    &doc.rel,
+                    *line,
+                    format!(
+                        "error-code table row `| {v} | {n} |` disagrees with the ErrorCode enum"
+                    ),
+                ));
+            }
+        }
+    }
+    // Pinned wire constants, wherever declared.
+    let pins: [(&str, &str, &str); 4] = [
+        (
+            "WIRE_V1",
+            "1",
+            "update PROTOCOL.md §1.2 and rules/protocol.rs",
+        ),
+        (
+            "WIRE_V2",
+            "2",
+            "update PROTOCOL.md §1.2 and rules/protocol.rs",
+        ),
+        (
+            "REQUEST_FLAG_COMPRESS_REPLY",
+            "0b0000_0001",
+            "update PROTOCOL.md §2 and rules/protocol.rs",
+        ),
+        (
+            "EXPAND_SEED_LEN",
+            "32",
+            "update PROTOCOL.md §4.4 and rules/protocol.rs",
+        ),
+    ];
+    for (name, want, action) in pins {
+        if let Some((rhs, file, line)) = const_decl(files, name) {
+            if rhs != want {
+                diags.push(Diagnostic::new(
+                    RuleId::L6,
+                    file,
+                    line,
+                    format!("{name} is `{rhs}`, no longer `{want}`; {action}"),
+                ));
+            }
+        }
+    }
+    if let Some((rhs, file, line)) = const_decl(files, "FRAME_HEADER_LEN") {
+        if rhs != "4 + 1 + 1 + 8 + 8 + 4" {
+            diags.push(Diagnostic::new(
+                RuleId::L6,
+                file,
+                line,
+                format!("FRAME_HEADER_LEN is `{rhs}`; update the PROTOCOL.md §1 frame table and rules/protocol.rs"),
+            ));
+        } else if !doc.text.contains("The header is 26 bytes") {
+            diags.push(Diagnostic::new(
+                RuleId::L6,
+                &doc.rel,
+                1,
+                "PROTOCOL.md no longer states `The header is 26 bytes`",
+            ));
+        }
+    }
+    // The seeded-ciphertext object tag (an enum variant, not a const).
+    for file in files {
+        for (i, l) in file.lines.iter().enumerate() {
+            if l.in_test || !l.code.contains("SeededCiphertext =") {
+                continue;
+            }
+            if !l.code.contains("SeededCiphertext = 7") {
+                diags.push(Diagnostic::new(
+                    RuleId::L6,
+                    &file.rel,
+                    i + 1,
+                    "the seeded-ciphertext tag is no longer 7; update PROTOCOL.md §4 and rules/protocol.rs",
+                ));
+            }
+        }
+    }
+    // Magic bytes in their implementation files.
+    for (suffix, magic) in [
+        ("crates/server/src/wire.rs", "HEAW"),
+        ("crates/ckks/src/serialize.rs", "HEAX"),
+    ] {
+        for file in files {
+            if !file.rel.as_os_str().to_string_lossy().ends_with(suffix) {
+                continue;
+            }
+            let found = file
+                .lines
+                .iter()
+                .any(|l| l.strings.iter().any(|s| s == magic));
+            if !found {
+                diags.push(Diagnostic::new(
+                    RuleId::L6,
+                    &file.rel,
+                    1,
+                    format!("magic `{magic}` no longer appears in this file; update PROTOCOL.md and rules/protocol.rs"),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+    use std::path::{Path, PathBuf};
+
+    fn doc(text: &str) -> Doc {
+        Doc {
+            rel: PathBuf::from("PROTOCOL.md"),
+            text: text.to_string(),
+        }
+    }
+
+    fn src(name: &str, text: &str) -> SourceFile {
+        scan(Path::new(name), Path::new(name), text)
+    }
+
+    const ENUM: &str = "pub enum ErrorCode {\n    Malformed = 1,\n    Crypto = 5,\n}\n";
+
+    #[test]
+    fn matching_table_passes() {
+        let files = vec![src("error.rs", ENUM)];
+        let d = doc("| code | name |\n|---|---|\n| 1 | Malformed |\n| 5 | Crypto |\n");
+        assert!(check(&files, Some(&d)).is_empty());
+    }
+
+    #[test]
+    fn missing_row_fires_at_the_variant() {
+        let files = vec![src("error.rs", ENUM)];
+        let d = doc("| 1 | Malformed |\n");
+        let out = check(&files, Some(&d));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("Crypto"));
+    }
+
+    #[test]
+    fn stale_doc_row_fires_at_the_doc() {
+        let files = vec![src("error.rs", ENUM)];
+        let d = doc("| 1 | Malformed |\n| 9 | Crypto |\n");
+        let out = check(&files, Some(&d));
+        assert_eq!(out.len(), 2); // forward miss for Crypto=5 + reverse hit on row 2
+        assert!(out
+            .iter()
+            .any(|x| x.path == Path::new("PROTOCOL.md") && x.line == 2));
+    }
+
+    #[test]
+    fn drifted_pin_fires() {
+        let files = vec![src("wire.rs", "pub const WIRE_V1: u8 = 3;\n")];
+        let d = doc("anything");
+        let out = check(&files, Some(&d));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("WIRE_V1"));
+    }
+
+    #[test]
+    fn silent_without_protocol_doc() {
+        let files = vec![src("error.rs", ENUM)];
+        assert!(check(&files, None).is_empty());
+    }
+}

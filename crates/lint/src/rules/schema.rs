@@ -1,0 +1,117 @@
+//! **L7 · schema-names** — every bench snapshot schema is documented.
+//!
+//! The bench binaries stamp each `BENCH_*.json` with a schema name of
+//! the form `heax-bench-<kind>/<version>`; EXPERIMENTS.md is the
+//! catalogue readers use to interpret the snapshots. This rule (ported
+//! from `scripts/check_protocol.sh`) scans every string literal in the
+//! tree for schema names and requires each to appear verbatim in
+//! EXPERIMENTS.md. Silent when the tree has no EXPERIMENTS.md.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::scanner::SourceFile;
+use crate::Doc;
+
+/// Extracts `heax-bench-<kind>/<version>` names embedded in `s`.
+fn schema_names(s: &str) -> Vec<String> {
+    const PREFIX: &str = "heax-bench-";
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = s[from..].find(PREFIX) {
+        let start = from + at;
+        let rest = &s[start + PREFIX.len()..];
+        let kind: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_lowercase())
+            .collect();
+        let after = &rest[kind.len()..];
+        let version: String = after
+            .strip_prefix('/')
+            .map(|v| v.chars().take_while(char::is_ascii_digit).collect())
+            .unwrap_or_default();
+        if !kind.is_empty() && !version.is_empty() {
+            out.push(format!("{PREFIX}{kind}/{version}"));
+        }
+        from = start + PREFIX.len();
+    }
+    out
+}
+
+/// Runs the rule over the whole workspace.
+pub fn check(files: &[SourceFile], experiments: Option<&Doc>) -> Vec<Diagnostic> {
+    let Some(doc) = experiments else {
+        return Vec::new();
+    };
+    let mut diags = Vec::new();
+    for file in files {
+        for (i, l) in file.lines.iter().enumerate() {
+            // Test code may fabricate schema names to exercise codecs.
+            if l.in_test {
+                continue;
+            }
+            for s in &l.strings {
+                for schema in schema_names(s) {
+                    if !doc.text.contains(&schema) {
+                        diags.push(Diagnostic::new(
+                            RuleId::L7,
+                            &file.rel,
+                            i + 1,
+                            format!(
+                                "snapshot schema `{schema}` is not documented in {}",
+                                doc.rel.display()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+    use std::path::{Path, PathBuf};
+
+    #[test]
+    fn schema_extraction() {
+        assert_eq!(
+            schema_names("\"schema\": \"heax-bench-faults/1\""),
+            vec!["heax-bench-faults/1"]
+        );
+        assert!(schema_names("heax-bench-").is_empty());
+        assert!(schema_names("heax-bench-x/").is_empty());
+    }
+
+    #[test]
+    fn undocumented_schema_fires() {
+        let f = scan(
+            Path::new("b.rs"),
+            Path::new("b.rs"),
+            "const S: &str = \"heax-bench-newthing/1\";\n",
+        );
+        let doc = Doc {
+            rel: PathBuf::from("EXPERIMENTS.md"),
+            text: "heax-bench-parallel/1".into(),
+        };
+        let d = check(&[f], Some(&doc));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn documented_schema_passes_and_absent_doc_is_silent() {
+        let f = scan(
+            Path::new("b.rs"),
+            Path::new("b.rs"),
+            "const S: &str = \"heax-bench-parallel/1\";\n",
+        );
+        let doc = Doc {
+            rel: PathBuf::from("EXPERIMENTS.md"),
+            text: "see heax-bench-parallel/1".into(),
+        };
+        assert!(check(std::slice::from_ref(&f), Some(&doc)).is_empty());
+        assert!(check(&[f], None).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! **L2 · decode-totality** — wire-decode paths must be total.
+//!
+//! PROTOCOL.md guarantees that every `deserialize_*` / wire-decode entry
+//! point returns `Err` on hostile input and never panics (PRs 4/7 fuzz
+//! this with `adversarial_decode`). This rule enforces the property
+//! syntactically in the files that implement the codec (`serialize.rs`,
+//! `wire.rs`) and in any function named `deserialize_*` anywhere else:
+//!
+//! * no `.unwrap()` / `.expect(`;
+//! * no `panic!` / `unreachable!` / `todo!` / `unimplemented!` /
+//!   `assert!` family (`debug_assert!` is tolerated: tier-1 and the
+//!   adversarial fuzz suites run with debug assertions on, so a
+//!   reachable one already fails tests);
+//! * no unchecked indexing `expr[...]` — use `get(..)` and propagate.
+//!
+//! `#[cfg(test)]` modules inside those files are exempt.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::rules::{last_nonspace, token_positions};
+use crate::scanner::SourceFile;
+
+/// File names whose entire (non-test) contents are decode/codec surface.
+const CODEC_FILES: [&str; 2] = ["serialize.rs", "wire.rs"];
+/// Panicking macros forbidden on decode paths.
+const PANIC_MACROS: [&str; 7] = [
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+];
+
+/// True when byte `pos` in `code` opens an index expression (`a[`,
+/// `foo()[`, `x]?[`) rather than a slice type, attribute, or literal.
+fn is_index_open(code: &str, pos: usize) -> bool {
+    let before = &code[..pos];
+    match last_nonspace(before) {
+        Some(c) if c.is_alphanumeric() || c == '_' => {
+            // `&'a [u8]` is a slice type, not indexing: walk back over the
+            // identifier and reject it when it turns out to be a lifetime.
+            let t = before.trim_end();
+            let ident: usize = t
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .map(char::len_utf8)
+                .sum();
+            !t[..t.len() - ident].ends_with('\'')
+        }
+        Some(c) => c == ')' || c == ']' || c == '?',
+        None => false,
+    }
+}
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.is_test_path() {
+        return Vec::new();
+    }
+    let whole_file = CODEC_FILES.contains(&file.file_name());
+    let mut diags = Vec::new();
+    for (i, l) in file.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let in_decode_fn = l
+            .fn_name
+            .as_deref()
+            .is_some_and(|f| f.starts_with("deserialize_"));
+        if !whole_file && !in_decode_fn {
+            continue;
+        }
+        let mut report = |msg: String| {
+            diags.push(Diagnostic::new(RuleId::L2, &file.rel, i + 1, msg));
+        };
+        if !token_positions(&l.code, ".unwrap()").is_empty() {
+            report("`.unwrap()` on a decode path; propagate an error instead".into());
+        }
+        if !token_positions(&l.code, ".expect(").is_empty() {
+            report("`.expect(...)` on a decode path; propagate an error instead".into());
+        }
+        for m in PANIC_MACROS {
+            if !token_positions(&l.code, m).is_empty() {
+                report(format!(
+                    "`{m}(...)` on a decode path; decoding must be total"
+                ));
+            }
+        }
+        let trimmed = l.code.trim_start();
+        if !trimmed.starts_with("#[") && !trimmed.starts_with("#![") {
+            let hits = l
+                .code
+                .char_indices()
+                .filter(|&(p, c)| c == '[' && is_index_open(&l.code, p))
+                .count();
+            if hits > 0 {
+                report("unchecked indexing on a decode path; use `get(..)` and propagate".into());
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+    use std::path::Path;
+
+    fn run_named(name: &str, src: &str) -> Vec<Diagnostic> {
+        check(&scan(Path::new(name), Path::new(name), src))
+    }
+
+    #[test]
+    fn unwrap_in_wire_rs_fires() {
+        let d = run_named(
+            "wire.rs",
+            "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn other_files_only_deserialize_fns_are_checked() {
+        let src = "fn a(x: Option<u8>) -> u8 { x.unwrap() }\nfn deserialize_k(b: &[u8]) -> u8 {\n    b[0]\n}\n";
+        let d = run_named("keys.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn debug_assert_and_get_are_tolerated() {
+        let src = "fn deserialize_k(b: &[u8]) -> Option<u8> {\n    debug_assert!(!b.is_empty());\n    b.get(0).copied()\n}\n";
+        assert!(run_named("s.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slice_types_and_macros_are_not_indexing() {
+        let src = "fn deserialize_k(b: &[u8]) -> Vec<u8> {\n    let _t: [u8; 4] = Default::default();\n    vec![0u8]\n}\n";
+        assert!(run_named("s.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lifetime_slice_types_are_not_indexing() {
+        let src = "struct R<'a> {\n    buf: &'a [u8],\n}\nfn deserialize_k<'a>(b: &'a [u8]) -> &'a [u8] {\n    b\n}\n";
+        assert!(run_named("wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) { x.unwrap(); }\n}\n";
+        assert!(run_named("wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macro_fires() {
+        let d = run_named("wire.rs", "fn f() {\n    panic!(\"no\");\n}\n");
+        assert_eq!(d.len(), 1);
+    }
+}

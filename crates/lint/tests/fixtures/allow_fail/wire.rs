@@ -1,0 +1,4 @@
+fn first(x: Option<u8>) -> u8 {
+    // heax-lint: allow(L2)
+    x.unwrap()
+}

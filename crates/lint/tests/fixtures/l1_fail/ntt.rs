@@ -1,0 +1,12 @@
+pub fn forward_lazy(a: &mut [u64]) {
+    let _ = a;
+}
+
+/// DOMAIN: [0,2p)
+fn mul_red_lazy(x: u64) -> u64 {
+    x
+}
+
+fn caller() -> u64 {
+    mul_red_lazy(3) // DOMAIN: [0,4p)
+}

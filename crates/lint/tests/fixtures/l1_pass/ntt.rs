@@ -1,0 +1,15 @@
+/// Forward NTT over one residue, Harvey butterflies.
+/// DOMAIN: [0,4p)
+pub fn forward_lazy(a: &mut [u64]) {
+    let _ = a;
+}
+
+/// Shoup multiplication without the final correction.
+/// DOMAIN: [0,2p)
+fn mul_red_lazy(x: u64) -> u64 {
+    x
+}
+
+fn caller() -> u64 {
+    mul_red_lazy(3) // DOMAIN: [0,2p)
+}

@@ -1,0 +1,7 @@
+pub fn decode(b: &[u8]) -> u8 {
+    b[0]
+}
+
+pub fn first(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,10 @@
+pub fn decode(b: &[u8]) -> Option<u8> {
+    b.get(0).copied()
+}
+
+pub fn deserialize_pair(b: &[u8]) -> Option<(u8, u8)> {
+    match b {
+        &[x, y] => Some((x, y)),
+        _ => None,
+    }
+}

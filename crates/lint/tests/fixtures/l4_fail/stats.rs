@@ -1,0 +1,9 @@
+pub struct RunStats {
+    pub ops: u64,
+}
+
+impl RunStats {
+    pub fn bump(&mut self) {
+        self.ops += 1;
+    }
+}

@@ -1,0 +1,5 @@
+use std::sync::Mutex;
+
+pub fn drain(m: &Mutex<Vec<u64>>) -> usize {
+    m.lock().unwrap().len()
+}

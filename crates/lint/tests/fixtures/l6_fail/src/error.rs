@@ -1,0 +1,4 @@
+pub enum ErrorCode {
+    Malformed = 1,
+    Crypto = 5,
+}

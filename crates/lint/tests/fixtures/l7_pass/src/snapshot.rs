@@ -1,0 +1,1 @@
+pub const SCHEMA: &str = "heax-bench-faults/1";

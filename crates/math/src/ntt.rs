@@ -258,7 +258,7 @@ impl NttTable {
     #[inline]
     pub fn inverse_auto(&self, a: &mut [u64]) {
         if self.modulus.bits() <= 60 {
-            self.inverse_lazy(a);
+            self.inverse_lazy(a); // DOMAIN: [0,2p)
         } else {
             self.inverse(a);
         }
@@ -272,6 +272,7 @@ impl NttTable {
     /// # Panics
     ///
     /// Panics if `a.len() != n` or the modulus exceeds 60 bits.
+    // DOMAIN: [0,2p)
     pub fn inverse_lazy(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length must equal n");
         assert!(self.modulus.bits() <= 60, "lazy NTT requires p < 2^60");
@@ -293,7 +294,7 @@ impl NttTable {
                     }
                     a[j] = u;
                     // (x − y)·w, computed lazily from x − y + 2p < 4p.
-                    a[j + t] = w.mul_red_lazy(x + two_p - y, p);
+                    a[j + t] = w.mul_red_lazy(x + two_p - y, p); // DOMAIN: [0,2p)
                 }
             }
             m /= 2;
@@ -314,7 +315,7 @@ impl NttTable {
     #[inline]
     pub fn forward_auto(&self, a: &mut [u64]) {
         if self.modulus.bits() <= 60 {
-            self.forward_lazy(a);
+            self.forward_lazy(a); // DOMAIN: [0,4p)
         } else {
             self.forward(a);
         }
@@ -330,6 +331,7 @@ impl NttTable {
     ///
     /// Panics if `a.len() != n` or the modulus exceeds 60 bits (the lazy
     /// domain needs `4p < 2^64` with headroom for the additions).
+    // DOMAIN: [0,4p)
     pub fn forward_lazy(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length must equal n");
         assert!(self.modulus.bits() <= 60, "lazy NTT requires p < 2^60");
@@ -349,7 +351,7 @@ impl NttTable {
                         x -= two_p;
                     }
                     // v = w·y in [0, 2p) without the final correction.
-                    let v = w.mul_red_lazy(a[j + t], p);
+                    let v = w.mul_red_lazy(a[j + t], p); // DOMAIN: [0,2p)
                     a[j] = x + v; // < 4p
                     a[j + t] = x + two_p - v; // < 4p
                 }
@@ -379,9 +381,10 @@ impl NttTable {
     ///
     /// Panics if either slice length differs from `n`.
     #[inline]
+    // DOMAIN: [0,4p)
     pub fn forward_auto2(&self, a: &mut [u64], b: &mut [u64]) {
         if self.modulus.bits() <= 60 {
-            self.forward_lazy2(a, b);
+            self.forward_lazy2(a, b); // DOMAIN: [0,4p)
         } else {
             self.forward(a);
             self.forward(b);
@@ -395,6 +398,7 @@ impl NttTable {
     ///
     /// Panics if a slice length differs from `n` or the modulus exceeds
     /// 60 bits.
+    // DOMAIN: [0,4p)
     pub fn forward_lazy2(&self, a: &mut [u64], b: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length must equal n");
         assert_eq!(b.len(), self.n, "polynomial length must equal n");
@@ -413,7 +417,7 @@ impl NttTable {
                     if x >= two_p {
                         x -= two_p;
                     }
-                    let v = w.mul_red_lazy(a[j + t], p);
+                    let v = w.mul_red_lazy(a[j + t], p); // DOMAIN: [0,2p)
                     a[j] = x + v;
                     a[j + t] = x + two_p - v;
 
@@ -421,7 +425,7 @@ impl NttTable {
                     if y >= two_p {
                         y -= two_p;
                     }
-                    let u = w.mul_red_lazy(b[j + t], p);
+                    let u = w.mul_red_lazy(b[j + t], p); // DOMAIN: [0,2p)
                     b[j] = y + u;
                     b[j + t] = y + two_p - u;
                 }
@@ -459,6 +463,7 @@ impl NttTable {
     /// # Panics
     ///
     /// Panics if either slice length differs from `n`.
+    // DOMAIN: [0,4p)
     pub fn forward_reduced_auto(&self, src: &[u64], dst: &mut [u64]) {
         assert_eq!(src.len(), self.n, "polynomial length must equal n");
         assert_eq!(dst.len(), self.n, "polynomial length must equal n");
@@ -478,7 +483,7 @@ impl NttTable {
             let w = &self.fwd[1];
             for j in 0..t {
                 let x = p.reduce_u64(src[j]);
-                let v = w.mul_red_lazy(p.reduce_u64(src[j + t]), p);
+                let v = w.mul_red_lazy(p.reduce_u64(src[j + t]), p); // DOMAIN: [0,2p)
                 dst[j] = x + v;
                 dst[j + t] = x + two_p - v;
             }
@@ -494,7 +499,7 @@ impl NttTable {
                     if x >= two_p {
                         x -= two_p;
                     }
-                    let v = w.mul_red_lazy(dst[j + t], p);
+                    let v = w.mul_red_lazy(dst[j + t], p); // DOMAIN: [0,2p)
                     dst[j] = x + v;
                     dst[j + t] = x + two_p - v;
                 }
@@ -510,6 +515,7 @@ impl NttTable {
     /// # Panics
     ///
     /// Panics if any slice length differs from `n`.
+    // DOMAIN: [0,4p)
     pub fn forward_reduced_auto2(
         &self,
         src0: &[u64],
@@ -540,12 +546,12 @@ impl NttTable {
             let w = &self.fwd[1];
             for j in 0..t {
                 let x = p.reduce_u64(src0[j]);
-                let v = w.mul_red_lazy(p.reduce_u64(src0[j + t]), p);
+                let v = w.mul_red_lazy(p.reduce_u64(src0[j + t]), p); // DOMAIN: [0,2p)
                 dst0[j] = x + v;
                 dst0[j + t] = x + two_p - v;
 
                 let y = p.reduce_u64(src1[j]);
-                let u = w.mul_red_lazy(p.reduce_u64(src1[j + t]), p);
+                let u = w.mul_red_lazy(p.reduce_u64(src1[j + t]), p); // DOMAIN: [0,2p)
                 dst1[j] = y + u;
                 dst1[j + t] = y + two_p - u;
             }
@@ -561,7 +567,7 @@ impl NttTable {
                     if x >= two_p {
                         x -= two_p;
                     }
-                    let v = w.mul_red_lazy(dst0[j + t], p);
+                    let v = w.mul_red_lazy(dst0[j + t], p); // DOMAIN: [0,2p)
                     dst0[j] = x + v;
                     dst0[j + t] = x + two_p - v;
 
@@ -569,7 +575,7 @@ impl NttTable {
                     if y >= two_p {
                         y -= two_p;
                     }
-                    let u = w.mul_red_lazy(dst1[j + t], p);
+                    let u = w.mul_red_lazy(dst1[j + t], p); // DOMAIN: [0,2p)
                     dst1[j] = y + u;
                     dst1[j + t] = y + two_p - u;
                 }
@@ -586,9 +592,10 @@ impl NttTable {
     ///
     /// Panics if either slice length differs from `n`.
     #[inline]
+    // DOMAIN: [0,2p)
     pub fn inverse_auto2(&self, a: &mut [u64], b: &mut [u64]) {
         if self.modulus.bits() <= 60 {
-            self.inverse_lazy2(a, b);
+            self.inverse_lazy2(a, b); // DOMAIN: [0,2p)
         } else {
             self.inverse(a);
             self.inverse(b);
@@ -602,6 +609,7 @@ impl NttTable {
     ///
     /// Panics if a slice length differs from `n` or the modulus exceeds
     /// 60 bits.
+    // DOMAIN: [0,2p)
     pub fn inverse_lazy2(&self, a: &mut [u64], b: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length must equal n");
         assert_eq!(b.len(), self.n, "polynomial length must equal n");
@@ -623,7 +631,7 @@ impl NttTable {
                         u -= two_p;
                     }
                     a[j] = u;
-                    a[j + t] = w.mul_red_lazy(x + two_p - y, p);
+                    a[j + t] = w.mul_red_lazy(x + two_p - y, p); // DOMAIN: [0,2p)
 
                     let x = b[j];
                     let y = b[j + t];
@@ -632,7 +640,7 @@ impl NttTable {
                         u -= two_p;
                     }
                     b[j] = u;
-                    b[j + t] = w.mul_red_lazy(x + two_p - y, p);
+                    b[j + t] = w.mul_red_lazy(x + two_p - y, p); // DOMAIN: [0,2p)
                 }
             }
             m /= 2;

@@ -339,7 +339,7 @@ impl MulRedConstant {
     /// multiplications.
     #[inline]
     pub fn mul_red(&self, x: u64, modulus: &Modulus) -> u64 {
-        let r = self.mul_red_lazy(x, modulus);
+        let r = self.mul_red_lazy(x, modulus); // DOMAIN: [0,2p)
         if r >= modulus.value() {
             r - modulus.value()
         } else {
@@ -351,6 +351,7 @@ impl MulRedConstant {
     /// in `[0, 2p)`. Useful for lazy-reduction pipelines (the hardware NTT
     /// core defers the correction to a later pipeline stage).
     #[inline]
+    // DOMAIN: [0,2p)
     pub fn mul_red_lazy(&self, x: u64, modulus: &Modulus) -> u64 {
         // t <- floor(x*y'/2^64): the upper word of the product (Alg. 2 l.2).
         let t = ((x as u128 * self.quotient as u128) >> 64) as u64;

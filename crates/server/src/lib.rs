@@ -140,6 +140,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod error;
 pub mod metrics;

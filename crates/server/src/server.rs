@@ -730,7 +730,7 @@ impl<'a> HeaxServer<'a> {
             // well-formed by construction.
             if let Ok(report) = model.config.schedule_stream(&plan.ops) {
                 let s = &mut model.stats;
-                s.flushes += 1;
+                s.flushes = s.flushes.saturating_add(1);
                 s.modeled_ops = s.modeled_ops.saturating_add(report.ops.len() as u64);
                 s.modeled_requests = s.modeled_requests.saturating_add(report.requests());
                 s.modeled_cycles = s.modeled_cycles.saturating_add(report.total_cycles);
@@ -763,7 +763,7 @@ impl<'a> HeaxServer<'a> {
                     .schedule_stream_faulted(&plan.ops, model.policy, &model.faults)
             {
                 let s = &mut model.stats;
-                s.flushes += 1;
+                s.flushes = s.flushes.saturating_add(1);
                 s.modeled_ops = s.modeled_ops.saturating_add(plan.ops.len() as u64);
                 s.modeled_requests = s.modeled_requests.saturating_add(report.requests());
                 s.modeled_cycles = s.modeled_cycles.saturating_add(report.total_cycles);

@@ -242,6 +242,7 @@ pub fn encode_frame_into(
     payload: &[u8],
     out: &mut Vec<u8>,
 ) {
+    // heax-lint: allow(L2) -- documented `# Panics` guard on an encode path; rejects caller bugs, not input
     assert!(
         (WIRE_V1..=WIRE_VERSION).contains(&version),
         "unknown wire version {version}"
@@ -297,6 +298,7 @@ fn put_operand(out: &mut Vec<u8>, operand: &WireOperand<'_>) {
 /// If `req.compress_reply` is set at [`WIRE_V1`] — the v1 body cannot
 /// carry the flag, and silently dropping it would corrupt intent.
 pub fn encode_request(version: u8, req: &Request<'_>) -> Vec<u8> {
+    // heax-lint: allow(L2) -- documented `# Panics` guard on an encode path; rejects caller bugs, not input
     assert!(
         version >= WIRE_V2 || !req.compress_reply,
         "compress_reply requires wire v2"
@@ -347,12 +349,18 @@ pub fn encode_reply(body: &ReplyBody<'_>) -> Vec<u8> {
 /// tag, and body written in one pass, so a megabyte ciphertext result
 /// is copied exactly once on the serving hot path (no intermediate
 /// payload buffer). `version` is echoed from the request frame.
+///
+/// # Panics
+///
+/// If `version` is not a known wire version — emitting undecodable
+/// frames is a caller bug, not an input condition.
 pub fn encode_response_frame(
     version: u8,
     session: u64,
     request: u64,
     body: &ReplyBody<'_>,
 ) -> Vec<u8> {
+    // heax-lint: allow(L2) -- documented `# Panics` guard on an encode path; rejects caller bugs, not input
     assert!(
         (WIRE_V1..=WIRE_VERSION).contains(&version),
         "unknown wire version {version}"
@@ -397,30 +405,40 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ServerError> {
-        // `n > remaining`, never `pos + n > len`: the latter overflows
-        // on hostile length fields.
-        if n > self.buf.len() - self.pos {
-            return Err(ServerError::malformed("truncated"));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+        // `get(..n)` on the tail, never `pos + n > len`: the latter
+        // overflows on hostile length fields.
+        let s = self
+            .buf
+            .get(self.pos..)
+            .and_then(|rest| rest.get(..n))
+            .ok_or_else(|| ServerError::malformed("truncated"))?;
         self.pos += n;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, ServerError> {
-        Ok(self.take(1)?[0])
+        match self.take(1)? {
+            &[b] => Ok(b),
+            _ => Err(ServerError::malformed("truncated")),
+        }
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], ServerError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| ServerError::malformed("truncated"))
     }
 
     fn u32(&mut self) -> Result<u32, ServerError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, ServerError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn i64(&mut self) -> Result<i64, ServerError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     /// A `u32`-length-prefixed byte run; the length is bounded by the
@@ -549,10 +567,12 @@ pub fn decode_request(buf: &[u8], version: u8) -> Result<Request<'_>, ServerErro
 ///
 /// [`ServerError::Malformed`] on an unknown tag or non-UTF-8 park name.
 pub fn decode_reply(buf: &[u8]) -> Result<ReplyBody<'_>, ServerError> {
-    let mut r = Reader::new(buf);
-    match r.u8()? {
-        0 => Ok(ReplyBody::Ciphertext(&buf[1..])),
-        1 => core::str::from_utf8(&buf[1..])
+    let (&tag, body) = buf
+        .split_first()
+        .ok_or_else(|| ServerError::malformed("empty reply"))?;
+    match tag {
+        0 => Ok(ReplyBody::Ciphertext(body)),
+        1 => core::str::from_utf8(body)
             .map(ReplyBody::Parked)
             .map_err(|_| ServerError::malformed("park name is not UTF-8")),
         _ => Err(ServerError::malformed("unknown reply tag")),
@@ -562,10 +582,10 @@ pub fn decode_reply(buf: &[u8]) -> Result<ReplyBody<'_>, ServerError> {
 /// Decodes an error payload into `(code, message)`. Total: short
 /// payloads decode to an empty message, invalid UTF-8 is replaced.
 pub fn decode_error(buf: &[u8]) -> (ErrorCode, String) {
-    let code = buf
-        .get(..2)
-        .map(|b| u16::from_le_bytes(b.try_into().expect("2")))
-        .unwrap_or(0);
+    let code = match buf {
+        &[a, b, ..] => u16::from_le_bytes([a, b]),
+        _ => 0,
+    };
     let message = String::from_utf8_lossy(buf.get(2..).unwrap_or_default()).into_owned();
     (ErrorCode::from_u16(code), message)
 }
