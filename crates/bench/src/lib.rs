@@ -1195,6 +1195,479 @@ pub mod faults {
     }
 }
 
+/// Workloads and measurement helpers for the real-socket serving path
+/// (`bench_sockets`): a fleet of virtual sessions multiplexed over a
+/// pool of loopback TCP connections into the epoll-driven
+/// [`heax_server::net::NetServer`], measuring closed-loop and
+/// Poisson-arrival request latency (p50/p99) plus the saturation
+/// throughput of the event loop. A functional leg first serves
+/// fragmented frames over a real socket and verifies every reply
+/// byte-identical to the same frames driven through an in-process
+/// [`heax_server::HeaxServer`], then decrypt-checks the result —
+/// transport must be invisible to the protocol before any figure is
+/// reported.
+pub mod sockets {
+    use std::io::{self, Read, Write};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    use heax_ckks::serialize::{deserialize_ciphertext, serialize_ciphertext};
+    use heax_ckks::{
+        CkksContext, CkksEncoder, CkksParams, Decryptor, Encryptor, ParamSet, PublicKey, SecretKey,
+    };
+    use heax_hw::board::Board;
+    use heax_server::net::{FrameAssembler, NetConfig, NetServer};
+    use heax_server::wire::client::{self, Reply};
+    use heax_server::wire::{Request, WireOperand};
+    use heax_server::{HeaxServer, OpCode};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Parameter set of the socket workload. `Add` requests carry two
+    /// inline Set-A ciphertexts (~200 KB each), so every request really
+    /// exercises the read path, the assembler, and the reply writer —
+    /// without needing per-session evaluation keys, which is what lets
+    /// the rig open a thousand sessions in one setup pass.
+    pub const SET: ParamSet = ParamSet::SetA;
+    /// Requests verified byte-identical in the functional leg.
+    pub const FUNCTIONAL_REQUESTS: usize = 4;
+
+    /// Virtual sessions in the fleet: the acceptance scale, or a small
+    /// fleet under `HEAX_BENCH_QUICK` (CI smoke budget).
+    pub fn sessions() -> usize {
+        if std::env::var_os("HEAX_BENCH_QUICK").is_some() {
+            128
+        } else {
+            1_024
+        }
+    }
+
+    /// Loopback connections the fleet is multiplexed over.
+    pub fn conns() -> usize {
+        if std::env::var_os("HEAX_BENCH_QUICK").is_some() {
+            8
+        } else {
+            64
+        }
+    }
+
+    /// Requests in the saturation (zero-think closed-loop) scenario.
+    pub fn saturation_requests() -> usize {
+        if std::env::var_os("HEAX_BENCH_QUICK").is_some() {
+            96
+        } else {
+            4_096
+        }
+    }
+
+    /// Requests in each latency-oriented scenario.
+    pub fn latency_requests() -> usize {
+        if std::env::var_os("HEAX_BENCH_QUICK").is_some() {
+            48
+        } else {
+            1_024
+        }
+    }
+
+    /// The prepared socket workload: one client key set and one
+    /// serialized ciphertext every virtual session's `Add` requests
+    /// reuse (the op needs no session keys, so the fleet shares it).
+    pub struct SocketWorkload {
+        /// Shared context (client and server agree on parameters).
+        pub ctx: CkksContext,
+        /// Secret key, for the functional leg's decrypt check.
+        pub sk: SecretKey,
+        /// Serialized sample ciphertext, the inline operand of every
+        /// request.
+        pub ct_bytes: Vec<u8>,
+        /// Slot values the functional leg expects from `ct + ct`.
+        pub expected: Vec<f64>,
+    }
+
+    /// Builds the shared workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal errors (cannot happen for the built-in set).
+    pub fn prepare() -> SocketWorkload {
+        let ctx = CkksContext::new(CkksParams::from_set(SET).expect("params")).expect("ctx");
+        let mut rng = StdRng::seed_from_u64(0x534F_434B); // "SOCK"
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let enc = CkksEncoder::new(&ctx);
+        let vals: Vec<f64> = (0..8).map(|i| i as f64 * 0.25 - 1.0).collect();
+        let ct = Encryptor::new(&ctx, &pk)
+            .encrypt(
+                &enc.encode_real(&vals, ctx.params().scale(), ctx.max_level())
+                    .expect("encode"),
+                &mut rng,
+            )
+            .expect("encrypt");
+        SocketWorkload {
+            ctx,
+            sk,
+            ct_bytes: serialize_ciphertext(&ct),
+            expected: vals.iter().map(|v| 2.0 * v).collect(),
+        }
+    }
+
+    /// One `Add` request frame for `session`/`request` over the shared
+    /// operand.
+    pub fn add_frame(w: &SocketWorkload, session: u64, request: u64) -> Vec<u8> {
+        client::request(
+            session,
+            request,
+            &Request {
+                op: OpCode::Add,
+                step: 0,
+                compress_reply: false,
+                park_as: None,
+                operands: vec![
+                    WireOperand::Inline(&w.ct_bytes),
+                    WireOperand::Inline(&w.ct_bytes),
+                ],
+            },
+        )
+    }
+
+    /// One driver-side connection: its share of the virtual sessions,
+    /// a partial-write outbox, and the single in-flight request slot.
+    struct BenchConn {
+        stream: TcpStream,
+        asm: FrameAssembler,
+        out: Vec<u8>,
+        out_at: usize,
+        sessions: Vec<u64>,
+        next_session: usize,
+        in_flight: Option<Instant>,
+        next_send_at: Instant,
+        sent: usize,
+        quota: usize,
+    }
+
+    impl BenchConn {
+        /// Drains the outbox as far as the socket accepts.
+        fn pump_out(&mut self) -> io::Result<()> {
+            while self.out_at < self.out.len() {
+                match self.stream.write(&self.out[self.out_at..]) {
+                    Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                    Ok(n) => self.out_at += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            if self.out_at == self.out.len() {
+                self.out.clear();
+                self.out_at = 0;
+            }
+            Ok(())
+        }
+
+        /// Reads everything available and returns the completed frames.
+        fn drain_in(&mut self) -> io::Result<Vec<Vec<u8>>> {
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match self.stream.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => self.asm.push(&buf[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            let mut frames = Vec::new();
+            while let Some(f) = self.asm.next_frame().expect("server frames are clean") {
+                frames.push(f);
+            }
+            Ok(frames)
+        }
+    }
+
+    /// The bound server plus its pool of driver connections, sessions
+    /// already opened.
+    pub struct Rig<'w> {
+        /// The epoll-driven server under measurement.
+        pub net: NetServer<'w>,
+        conns: Vec<BenchConn>,
+    }
+
+    /// Binds a `NetServer`, connects `conn_count` loopback connections,
+    /// and opens `session_count` sessions round-robin across them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/poller failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server answers a session-open with anything but
+    /// `SessionOpened`.
+    pub fn rig(w: &SocketWorkload, session_count: usize, conn_count: usize) -> io::Result<Rig<'_>> {
+        let inner = HeaxServer::new(&w.ctx, Board::stratix10()).expect("paper set");
+        let mut net = NetServer::bind("127.0.0.1:0", inner, NetConfig::default())?;
+        let addr = net.local_addr()?;
+        let mut conns = Vec::with_capacity(conn_count);
+        for c in 0..conn_count {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nonblocking(true)?;
+            while net.connections() < c + 1 {
+                net.poll(1)?;
+            }
+            let share = session_count / conn_count + usize::from(c < session_count % conn_count);
+            let mut out = Vec::with_capacity(share * 32);
+            for _ in 0..share {
+                out.extend_from_slice(&client::open_session());
+            }
+            conns.push(BenchConn {
+                stream,
+                asm: FrameAssembler::new(),
+                out,
+                out_at: 0,
+                sessions: Vec::with_capacity(share),
+                next_session: 0,
+                in_flight: None,
+                next_send_at: Instant::now(),
+                sent: 0,
+                quota: 0,
+            });
+        }
+        let mut opened = 0;
+        while opened < session_count {
+            for conn in &mut conns {
+                conn.pump_out()?;
+            }
+            net.poll(1)?;
+            for conn in &mut conns {
+                for frame in conn.drain_in()? {
+                    let (sid, _, reply) = client::parse_reply(&frame).expect("reply");
+                    assert!(
+                        matches!(reply, Reply::SessionOpened),
+                        "expected SessionOpened, got {reply:?}"
+                    );
+                    conn.sessions.push(sid);
+                    opened += 1;
+                }
+            }
+        }
+        Ok(Rig { net, conns })
+    }
+
+    /// Outcome of one scenario run.
+    pub struct ScenarioOutcome {
+        /// Per-request latency samples in milliseconds, completion
+        /// order.
+        pub latencies_ms: Vec<f64>,
+        /// Wall time from first send to last reply.
+        pub elapsed: Duration,
+        /// Error replies observed (load sheds surface here).
+        pub errors: u64,
+        /// Virtual sessions the run actually touched.
+        pub sessions_touched: usize,
+    }
+
+    impl ScenarioOutcome {
+        /// Completed requests per second of wall time.
+        pub fn requests_per_sec(&self) -> f64 {
+            self.latencies_ms.len() as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Runs one scenario: `total` `Add` requests over the first
+    /// `active_conns` connections, each connection keeping at most one
+    /// request in flight and cycling through its sessions round-robin.
+    /// `think` is `None` for a zero-think closed loop, or
+    /// `Some((seed, mean_ms))` for Poisson arrivals — after each reply
+    /// the connection waits an exponentially distributed think time
+    /// before its next send.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/poller failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_conns` exceeds the rig's pool or a reply frame
+    /// fails to parse.
+    pub fn run_scenario(
+        rig: &mut Rig<'_>,
+        w: &SocketWorkload,
+        total: usize,
+        active_conns: usize,
+        think: Option<(u64, f64)>,
+    ) -> io::Result<ScenarioOutcome> {
+        assert!(active_conns <= rig.conns.len());
+        let conns = &mut rig.conns[..active_conns];
+        let mut rng = think.map(|(seed, _)| StdRng::seed_from_u64(seed));
+        let mean_ms = think.map_or(0.0, |(_, m)| m);
+        let start = Instant::now();
+        for (c, conn) in conns.iter_mut().enumerate() {
+            conn.in_flight = None;
+            conn.next_send_at = start;
+            conn.sent = 0;
+            conn.quota = total / active_conns + usize::from(c < total % active_conns);
+        }
+        let mut request_id = 1u64;
+        let mut latencies_ms = Vec::with_capacity(total);
+        let mut errors = 0u64;
+        let mut done = 0usize;
+        while done < total {
+            let now = Instant::now();
+            for conn in conns.iter_mut() {
+                if conn.in_flight.is_none()
+                    && conn.sent < conn.quota
+                    && conn.out.is_empty()
+                    && now >= conn.next_send_at
+                {
+                    let session = conn.sessions[conn.next_session];
+                    conn.next_session = (conn.next_session + 1) % conn.sessions.len();
+                    conn.out = add_frame(w, session, request_id);
+                    conn.out_at = 0;
+                    request_id += 1;
+                    conn.sent += 1;
+                    conn.in_flight = Some(Instant::now());
+                }
+                conn.pump_out()?;
+            }
+            rig.net.poll(0)?;
+            for conn in conns.iter_mut() {
+                for frame in conn.drain_in()? {
+                    let (_, _, reply) = client::parse_reply(&frame).expect("reply");
+                    if matches!(reply, Reply::Error { .. }) {
+                        errors += 1;
+                    }
+                    let sent_at = conn.in_flight.take().expect("reply matches an in-flight");
+                    latencies_ms.push(sent_at.elapsed().as_secs_f64() * 1e3);
+                    done += 1;
+                    if let Some(rng) = rng.as_mut() {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        let wait_ms = -mean_ms * (1.0 - u).ln();
+                        conn.next_send_at = Instant::now() + Duration::from_secs_f64(wait_ms / 1e3);
+                    }
+                }
+            }
+        }
+        let sessions_touched = conns
+            .iter()
+            .map(|c| c.sessions.len().min(c.sent))
+            .sum::<usize>();
+        Ok(ScenarioOutcome {
+            latencies_ms,
+            elapsed: start.elapsed(),
+            errors,
+            sessions_touched,
+        })
+    }
+
+    /// Nearest-rank percentile of a latency sample (`p` in `0..=100`).
+    pub fn percentile(samples: &[f64], p: f64) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Functional leg: serves [`FUNCTIONAL_REQUESTS`] `Add` requests
+    /// over a real loopback socket — the first request's bytes
+    /// delivered in deliberately misaligned 3 791-byte chunks with a
+    /// server poll between each, so frames straddle reads — and asserts
+    /// every reply **byte-identical** to the same frames driven through
+    /// an in-process [`HeaxServer`], then decrypt-checks the sum.
+    /// Returns the number of verified replies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any byte or slot disagreement.
+    pub fn functional_pass(w: &SocketWorkload) -> usize {
+        let inner = HeaxServer::new(&w.ctx, Board::stratix10()).expect("paper set");
+        let mut net = NetServer::bind("127.0.0.1:0", inner, NetConfig::default()).expect("bind");
+        let mut mirror = HeaxServer::new(&w.ctx, Board::stratix10()).expect("paper set");
+        let mut stream = TcpStream::connect(net.local_addr().expect("addr")).expect("connect");
+        while net.connections() < 1 {
+            net.poll(1).expect("poll");
+        }
+
+        // Sends `bytes` in `chunk`-sized pieces, polling the server
+        // until the whole buffer is ingested before returning.
+        let mut send = |net: &mut NetServer<'_>, bytes: &[u8], chunk: usize| {
+            let target = net.stats().bytes_in + bytes.len() as u64;
+            for piece in bytes.chunks(chunk) {
+                stream.write_all(piece).expect("write");
+                net.poll(0).expect("poll");
+            }
+            let mut settles = 0;
+            while net.stats().bytes_in < target {
+                net.poll(1).expect("poll");
+                settles += 1;
+                assert!(settles < 5_000, "server never ingested the frame");
+            }
+        };
+
+        let open = client::open_session();
+        send(&mut net, &open, open.len());
+        let mirror_open = mirror.handle_frame(&open).expect("mirror opens");
+        let (sid, _, _) = client::parse_reply(&mirror_open).expect("reply");
+
+        let mut mirror_replies = vec![mirror_open];
+        for r in 1..=FUNCTIONAL_REQUESTS as u64 {
+            let frame = add_frame(w, sid, r);
+            let chunk = if r == 1 { 3_791 } else { frame.len() };
+            send(&mut net, &frame, chunk);
+            assert!(mirror.handle_frame(&frame).is_none(), "mirror queues");
+        }
+        mirror_replies.extend(mirror.flush());
+
+        let mut asm = FrameAssembler::new();
+        let mut socket_replies = Vec::new();
+        stream.set_nonblocking(true).expect("nonblocking");
+        let mut settles = 0;
+        while socket_replies.len() < mirror_replies.len() {
+            net.poll(1).expect("poll");
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) => panic!("server hung up mid-verification"),
+                    Ok(n) => asm.push(&buf[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => panic!("read: {e}"),
+                }
+            }
+            while let Some(f) = asm.next_frame().expect("clean frames") {
+                socket_replies.push(f);
+            }
+            settles += 1;
+            assert!(settles < 10_000, "replies never arrived");
+        }
+        assert_eq!(
+            socket_replies, mirror_replies,
+            "socket replies must be byte-identical to the in-process server"
+        );
+
+        let (_, _, reply) = client::parse_reply(&socket_replies[1]).expect("reply");
+        let Reply::Ciphertext(bytes) = reply else {
+            panic!("expected a ciphertext reply, got {reply:?}");
+        };
+        let ct = deserialize_ciphertext(&bytes, &w.ctx).expect("ct");
+        let enc = CkksEncoder::new(&w.ctx);
+        let got = enc
+            .decode_real(&Decryptor::new(&w.ctx, &w.sk).decrypt(&ct).expect("decrypt"))
+            .expect("decode");
+        for (slot, want) in w.expected.iter().enumerate() {
+            assert!(
+                (got[slot] - want).abs() < 2e-2,
+                "slot {slot}: {} vs {want}",
+                got[slot]
+            );
+        }
+        assert!(
+            net.stats().partial_frame_reads > 0,
+            "the chunked send must actually fragment frames"
+        );
+        FUNCTIONAL_REQUESTS
+    }
+}
+
 /// Shared machinery for the `BENCH_*.json` snapshot binaries: CLI
 /// budget parsing, per-binary snapshot paths, a tiny hand-rolled JSON
 /// document builder (the workspace is offline; no serde), and the
@@ -1704,6 +2177,72 @@ pub mod bench_json {
         doc.render()
     }
 
+    /// One measured real-socket serving point (`BENCH_sockets.json`).
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct SockRecord {
+        /// Scenario label (`closed-loop-8`, `saturation`,
+        /// `poisson-half-load`).
+        pub scenario: String,
+        /// Virtual sessions live on the server during the run.
+        pub sessions: usize,
+        /// Loopback connections driving the scenario.
+        pub conns: usize,
+        /// Executor lanes of the global backend (`HEAX_THREADS`).
+        pub threads: usize,
+        /// Requests completed in the run.
+        pub requests: usize,
+        /// Completed requests per second of wall time.
+        pub requests_per_sec: f64,
+        /// Median request latency, send to reply, in milliseconds.
+        pub p50_ms: f64,
+        /// 99th-percentile request latency in milliseconds.
+        pub p99_ms: f64,
+        /// Admission-control load sheds during the run.
+        pub sheds: u64,
+        /// Connections dropped during the run (overflow + hostile).
+        pub drops: u64,
+    }
+
+    /// Renders the socket snapshot document (schema
+    /// `heax-bench-sockets/1`). `functional_requests` is the size of
+    /// the byte-identity leg that gated the run.
+    pub fn render_sockets(
+        records: &[SockRecord],
+        set: &str,
+        sessions: usize,
+        functional_requests: usize,
+    ) -> String {
+        let mut doc = Doc::new("heax-bench-sockets/1")
+            .host_parallelism()
+            .field("set", format!("\"{}\"", esc(set)))
+            .field("sessions", sessions)
+            .field(
+                "functional",
+                format!(
+                    "{{\"requests\": {functional_requests}, \
+                     \"verified_byte_identical\": true}}"
+                ),
+            );
+        for r in records {
+            doc.push_row(format!(
+                "{{\"scenario\": \"{}\", \"sessions\": {}, \"conns\": {}, \"threads\": {}, \
+                 \"requests\": {}, \"requests_per_sec\": {:.3}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"sheds\": {}, \"drops\": {}}}",
+                esc(&r.scenario),
+                r.sessions,
+                r.conns,
+                r.threads,
+                r.requests,
+                r.requests_per_sec,
+                r.p50_ms,
+                r.p99_ms,
+                r.sheds,
+                r.drops,
+            ));
+        }
+        doc.render()
+    }
+
     /// Renders the key-switch snapshot document
     /// (schema `heax-bench-keyswitch/1`).
     pub fn render_keyswitch(records: &[KsRecord], budget_ms: u64, rotate_steps: usize) -> String {
@@ -1955,6 +2494,57 @@ mod tests {
         // The acceptance picker finds the headline row.
         assert!((faults::acceptance_retention(&records) - 0.693).abs() < 1e-9);
         assert_eq!(faults::acceptance_retention(&records[..1]), 0.0);
+    }
+
+    #[test]
+    fn sockets_json_renders_valid_shape() {
+        use bench_json::SockRecord;
+        let records = vec![
+            SockRecord {
+                scenario: "closed-loop-8".into(),
+                sessions: 1_024,
+                conns: 8,
+                threads: 1,
+                requests: 1_024,
+                requests_per_sec: 850.0,
+                p50_ms: 8.4,
+                p99_ms: 21.7,
+                sheds: 0,
+                drops: 0,
+            },
+            SockRecord {
+                scenario: "saturation".into(),
+                sessions: 1_024,
+                conns: 64,
+                threads: 1,
+                requests: 4_096,
+                requests_per_sec: 1_900.0,
+                p50_ms: 31.0,
+                p99_ms: 74.5,
+                sheds: 2,
+                drops: 0,
+            },
+        ];
+        let json = bench_json::render_sockets(&records, "Set-A", 1_024, 4);
+        assert!(json.contains("\"schema\": \"heax-bench-sockets/1\""));
+        assert!(json.contains("\"set\": \"Set-A\""));
+        assert!(json.contains("\"verified_byte_identical\": true"));
+        assert!(json.contains("\"scenario\": \"saturation\""));
+        assert!(json.contains("\"p99_ms\": 74.500"));
+        assert!(json.contains("\"sheds\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn socket_percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(sockets::percentile(&samples, 50.0), 50.0);
+        assert_eq!(sockets::percentile(&samples, 99.0), 99.0);
+        assert_eq!(sockets::percentile(&samples, 100.0), 100.0);
+        assert_eq!(sockets::percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(sockets::percentile(&[], 99.0), 0.0);
     }
 
     #[test]

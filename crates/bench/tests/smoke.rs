@@ -73,6 +73,13 @@ fn run_binary(name: &str, path: &str) {
                     env!("CARGO_TARGET_TMPDIR")
                 ),
             )
+            .env(
+                "HEAX_BENCH_SOCKETS_JSON",
+                format!(
+                    "{}/BENCH_sockets_smoke_{threads}.json",
+                    env!("CARGO_TARGET_TMPDIR")
+                ),
+            )
             .output()
             .unwrap_or_else(|e| panic!("failed to spawn {name} ({path}): {e}"));
         assert!(
@@ -122,6 +129,7 @@ smoke!(
     bench_pipeline,
     bench_cluster,
     bench_faults,
+    bench_sockets,
     extension_scaling,
     noise_growth,
 );

@@ -92,7 +92,7 @@ impl<'a> HeaxSystem<'a> {
     pub fn store(&mut self, name: &str, ct: Ciphertext) -> Result<(), CoreError> {
         let bytes = Self::ct_bytes(&ct);
         let replaced = self.memory_map.get(name).map(Self::ct_bytes).unwrap_or(0);
-        let capacity = self.accel.board().dram_gib() as u64 * (1 << 30);
+        let capacity = self.dram_capacity_bytes();
         let used_after_evict = self.dram_used_bytes - replaced;
         if used_after_evict + bytes > capacity {
             return Err(CoreError::DramFull {
@@ -131,6 +131,21 @@ impl<'a> HeaxSystem<'a> {
     /// DRAM bytes in use by mapped results.
     pub fn dram_used_bytes(&self) -> u64 {
         self.dram_used_bytes
+    }
+
+    /// Modeled board DRAM capacity in bytes — the budget everything
+    /// DRAM-resident (parked results, cached session keys) is billed
+    /// against.
+    pub fn dram_capacity_bytes(&self) -> u64 {
+        self.accel.board().dram_gib() as u64 * (1 << 30)
+    }
+
+    /// Modeled DRAM bytes still free for parked results. Transport
+    /// layers size their session-key caches from this budget (see
+    /// `heax_server::net`).
+    pub fn dram_available_bytes(&self) -> u64 {
+        self.dram_capacity_bytes()
+            .saturating_sub(self.dram_used_bytes)
     }
 
     /// Models a batch of identical operations whose per-op report is
@@ -267,6 +282,20 @@ mod tests {
             "overlap must beat serial execution"
         );
         assert!(host.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn dram_budget_hooks_are_consistent() {
+        let c = ctx();
+        let mut sys = HeaxSystem::new(accel(&c));
+        let capacity = sys.dram_capacity_bytes();
+        assert!(capacity > 0);
+        assert_eq!(sys.dram_available_bytes(), capacity);
+        let ct = sample_ct(&c);
+        sys.store("x", ct).unwrap();
+        assert_eq!(sys.dram_available_bytes(), capacity - sys.dram_used_bytes());
+        sys.remove("x").unwrap();
+        assert_eq!(sys.dram_available_bytes(), capacity);
     }
 
     #[test]

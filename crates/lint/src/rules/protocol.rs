@@ -11,9 +11,10 @@
 //!   table must not list codes the source does not define;
 //! * the pinned wire constants (`WIRE_V1 = 1`, `WIRE_V2 = 2`,
 //!   `REQUEST_FLAG_COMPRESS_REPLY = 0x01`, the 26-byte
-//!   `FRAME_HEADER_LEN`, `EXPAND_SEED_LEN = 32`, the seeded-ciphertext
-//!   tag `7`) must still hold wherever they are declared — changing one
-//!   means updating PROTOCOL.md *and* this rule, which is the point;
+//!   `FRAME_HEADER_LEN`, `EXPAND_SEED_LEN = 32`, the transport intake
+//!   cap `MAX_FRAME_PAYLOAD = 1 << 26`, the seeded-ciphertext tag `7`)
+//!   must still hold wherever they are declared — changing one means
+//!   updating PROTOCOL.md *and* this rule, which is the point;
 //! * the `"HEAW"` frame magic and `"HEAX"` object magic must still
 //!   appear in their implementation files.
 //!
@@ -170,7 +171,7 @@ pub fn check(files: &[SourceFile], protocol: Option<&Doc>) -> Vec<Diagnostic> {
         }
     }
     // Pinned wire constants, wherever declared.
-    let pins: [(&str, &str, &str); 4] = [
+    let pins: [(&str, &str, &str); 5] = [
         (
             "WIRE_V1",
             "1",
@@ -190,6 +191,11 @@ pub fn check(files: &[SourceFile], protocol: Option<&Doc>) -> Vec<Diagnostic> {
             "EXPAND_SEED_LEN",
             "32",
             "update PROTOCOL.md §4.4 and rules/protocol.rs",
+        ),
+        (
+            "MAX_FRAME_PAYLOAD",
+            "1 << 26",
+            "update PROTOCOL.md §7.2 and rules/protocol.rs",
         ),
     ];
     for (name, want, action) in pins {
@@ -317,6 +323,19 @@ mod tests {
         let out = check(&files, Some(&d));
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("WIRE_V1"));
+    }
+
+    #[test]
+    fn drifted_intake_cap_fires() {
+        let files = vec![src(
+            "net.rs",
+            "pub const MAX_FRAME_PAYLOAD: u32 = 1 << 27;\n",
+        )];
+        let d = doc("anything");
+        let out = check(&files, Some(&d));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("MAX_FRAME_PAYLOAD"));
+        assert!(out[0].message.contains("§7.2"));
     }
 
     #[test]

@@ -13,9 +13,14 @@
 //! ([`server`]). Per-op and per-session counters surface as a
 //! [`ServerStats`] snapshot ([`metrics`]).
 //!
-//! The engine is transport-agnostic: frames in, frames out. Wrap it in
-//! TCP, RPC, or drive it inline as the tests, examples, and the
-//! `bench_server` snapshot do.
+//! The engine is transport-agnostic: frames in, frames out. Drive it
+//! inline as the tests, examples, and the `bench_server` snapshot do —
+//! or serve it over real sockets with [`net`]: a hand-rolled
+//! epoll-based nonblocking TCP event loop (no tokio/mio; raw Linux
+//! syscalls behind the vendored `epoll` shim) that multiplexes
+//! thousands of concurrent sessions onto the batch scheduler, with
+//! admission-control backpressure, a DRAM-budgeted session-key LRU,
+//! and per-connection failure containment.
 //!
 //! Every flush lowers its requests into the shared op-stream IR of
 //! `heax_hw::ir` (rotation fusion is an IR pass), executes from the
@@ -144,12 +149,14 @@
 
 pub mod error;
 pub mod metrics;
+pub mod net;
 pub mod server;
 pub mod session;
 pub mod wire;
 
 pub use error::{ErrorCode, ServerError};
 pub use metrics::{ModeledBoardStats, ModeledClusterStats, OpStats, ServerStats, SessionStats};
+pub use net::{NetConfig, NetServer, NetStats, SessionKeyLru};
 pub use server::{FlushPolicy, HeaxServer};
 pub use session::SessionRegistry;
 pub use wire::{MessageKind, OpCode};

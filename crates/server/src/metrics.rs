@@ -253,6 +253,14 @@ pub struct ServerStats {
     pub degraded_replies: u64,
     /// Execution retries attempted under the flush retry policy.
     pub retries: u64,
+    /// Sessions whose cached (Shoup-ready) keys were evicted from the
+    /// modeled DRAM key cache under budget pressure (see
+    /// `HeaxServer::evict_session_keys` and `heax_server::net`'s LRU).
+    pub key_evictions: u64,
+    /// Key registrations that re-uploaded a previously evicted
+    /// session's keys (the evict + re-register-on-miss cycle of the
+    /// transport-layer key cache).
+    pub key_reregistrations: u64,
     /// Results currently parked in board DRAM.
     pub parked_entries: usize,
     /// Modeled DRAM bytes used by parked results.
@@ -308,6 +316,8 @@ pub(crate) struct Metrics {
     pub(crate) shed_requests: u64,
     pub(crate) degraded_replies: u64,
     pub(crate) retries: u64,
+    pub(crate) key_evictions: u64,
+    pub(crate) key_reregistrations: u64,
     pub(crate) per_op: [OpStats; OpCode::ALL.len()],
 }
 

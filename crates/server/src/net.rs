@@ -1,0 +1,1462 @@
+//! Real-socket nonblocking server runtime: a hand-rolled epoll event
+//! loop multiplexing many concurrent TCP connections — each carrying
+//! any number of sessions — onto the batch scheduler of
+//! [`HeaxServer`].
+//!
+//! ## Runtime model
+//!
+//! [`NetServer`] owns a nonblocking [`TcpListener`], a level-triggered
+//! readiness poller (the vendored `epoll` shim: raw Linux syscalls, no
+//! `libc`, no tokio/mio — the same own-your-substrate policy as
+//! `heax_math::exec`), and one `Conn` state machine per accepted
+//! connection. A connection is a byte pipe, nothing more: frames may
+//! arrive fragmented at any byte boundary and replies are written in
+//! whatever chunks the socket accepts, with the remainder parked in a
+//! per-connection write ring until the peer drains it.
+//!
+//! Each [`NetServer::poll`] turn is one event-loop iteration: accept
+//! pending connections, read every readable connection into its
+//! [`FrameAssembler`], dispatch completed frames into the inner
+//! [`HeaxServer`], decide whether to flush the batch queue, and write
+//! pending reply bytes back out. The loop is single-threaded by
+//! design — parallelism lives *below* the server, in the executor's
+//! limb lanes — so driving it from a test, a binary, or a bench loop
+//! is the same `while … { poll() }`.
+//!
+//! ## Admission control and backpressure
+//!
+//! Request frames are admitted against [`NetConfig::max_queue_depth`]:
+//! past the bound the request is answered immediately with the same
+//! structured [`ErrorCode::LoadShed`] frame the [`crate::FlushPolicy`]
+//! deadline machinery uses when a queued request's budget runs out —
+//! one load-shedding vocabulary whether pressure shows up at the door
+//! or inside the batch. A connection whose peer stops reading
+//! (its write ring exceeding [`NetConfig::max_write_buffer`]) is
+//! dropped rather than allowed to wedge the loop.
+//!
+//! ## The session-key LRU
+//!
+//! Cached, Shoup-ready session keys live in modeled board DRAM, and
+//! DRAM is finite ([`heax_core::HeaxSystem::dram_capacity_bytes`]).
+//! [`SessionKeyLru`] bounds the resident key bytes: registrations
+//! stash the serialized key payload host-side and make the session
+//! *resident* (billed against the budget), evicting the
+//! least-recently-used idle session when space runs out — the evicted
+//! session's deserialized keys are dropped from the inner server
+//! ([`HeaxServer::evict_session_keys`]) and transparently re-registered
+//! from the host-side copy on that session's next request. Sessions
+//! with in-flight (queued) requests are never evicted. Evictions and
+//! re-registrations are billed through
+//! [`ServerStats`](crate::ServerStats) (`key_evictions`,
+//! `key_reregistrations`).
+//!
+//! ## Failure containment
+//!
+//! A hostile connection (bad frame magic, oversized frame) is answered
+//! with a structured [`ErrorCode::Malformed`] error frame and dropped;
+//! a dying or stalled connection is reaped; replies whose connection
+//! is gone are discarded. None of it disturbs co-scheduled sessions:
+//! the batch still flushes and every other connection's replies still
+//! route. The loopback suites (`tests/net_loopback.rs`) pin this
+//! behavior against the in-process server byte-for-byte.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+
+use crate::error::ErrorCode;
+use crate::server::HeaxServer;
+use crate::wire::{self, MessageKind, FRAME_HEADER_LEN, FRAME_MAGIC};
+
+/// Hard cap on a single frame's payload length accepted by the
+/// transport (64 MiB). A header announcing more is a framing attack
+/// (or a corrupt stream), not a request — the connection is dropped
+/// with a structured error before any allocation of that size.
+/// Pinned by PROTOCOL.md §7 and the heax-lint L6 rule.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 26;
+
+/// Poller token reserved for the listening socket.
+const LISTENER_TOKEN: u64 = 0;
+
+/// Read-chunk size for draining a readable connection.
+const READ_CHUNK: usize = 16 * 1024;
+
+// ---------------------------------------------------------------------
+// Byte ring
+// ---------------------------------------------------------------------
+
+/// A growable byte ring: bytes pushed at the tail, consumed at the
+/// head, no per-frame allocations on the steady-state path. Backs both
+/// directions of a connection — inbound bytes awaiting frame assembly
+/// and outbound reply bytes awaiting a writable socket.
+#[derive(Debug, Default)]
+pub struct RingBuf {
+    data: Vec<u8>,
+    head: usize,
+    len: usize,
+}
+
+impl RingBuf {
+    /// An empty ring (first push allocates).
+    pub fn new() -> Self {
+        RingBuf::default()
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current allocation size.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Re-linearizes into an allocation of at least `need` bytes.
+    fn grow(&mut self, need: usize) {
+        let mut cap = self.data.len().max(64);
+        while cap < need {
+            cap *= 2;
+        }
+        let mut fresh = vec![0u8; cap];
+        let copied = self.peek(&mut fresh[..self.len]);
+        debug_assert_eq!(copied, self.len);
+        self.data = fresh;
+        self.head = 0;
+    }
+
+    /// Appends `bytes` at the tail, growing as needed.
+    pub fn push_slice(&mut self, bytes: &[u8]) {
+        if self.len + bytes.len() > self.data.len() {
+            self.grow(self.len + bytes.len());
+        }
+        let cap = self.data.len();
+        let tail = (self.head + self.len) % cap;
+        let first = (cap - tail).min(bytes.len());
+        self.data[tail..tail + first].copy_from_slice(&bytes[..first]);
+        let rest = bytes.len() - first;
+        if rest > 0 {
+            self.data[..rest].copy_from_slice(&bytes[first..]);
+        }
+        self.len += bytes.len();
+    }
+
+    /// Copies up to `out.len()` bytes from the head without consuming;
+    /// returns the number copied.
+    pub fn peek(&self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.len);
+        if n == 0 {
+            return 0;
+        }
+        let cap = self.data.len();
+        let first = (cap - self.head).min(n);
+        out[..first].copy_from_slice(&self.data[self.head..self.head + first]);
+        if n > first {
+            out[first..n].copy_from_slice(&self.data[..n - first]);
+        }
+        n
+    }
+
+    /// The longest contiguous slice at the head (what one `write` call
+    /// can take without copying).
+    pub fn first_slice(&self) -> &[u8] {
+        let end = (self.head + self.len).min(self.data.len());
+        &self.data[self.head..end]
+    }
+
+    /// Drops up to `n` bytes from the head; returns the number dropped.
+    pub fn consume(&mut self, n: usize) -> usize {
+        let n = n.min(self.len);
+        if self.data.is_empty() {
+            return 0;
+        }
+        self.head = (self.head + n) % self.data.len();
+        self.len -= n;
+        if self.len == 0 {
+            self.head = 0;
+        }
+        n
+    }
+
+    /// Copies and consumes up to `n` bytes from the head.
+    pub fn take(&mut self, n: usize) -> Vec<u8> {
+        let n = n.min(self.len);
+        let mut out = vec![0u8; n];
+        self.peek(&mut out);
+        self.consume(n);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame assembly
+// ---------------------------------------------------------------------
+
+/// A framing-layer violation: the stream can no longer be trusted to
+/// contain frames, so the connection must be dropped (after a
+/// best-effort structured error frame).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameIntakeError {
+    /// The next 4 buffered bytes are not the `"HEAW"` frame magic —
+    /// either garbage or a desynchronized stream.
+    BadMagic,
+    /// The header announces a payload larger than the transport accepts.
+    Oversized {
+        /// Announced payload length.
+        len: u32,
+        /// The transport's cap ([`MAX_FRAME_PAYLOAD`] by default).
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for FrameIntakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameIntakeError::BadMagic => write!(f, "bad frame magic"),
+            FrameIntakeError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameIntakeError {}
+
+/// Incremental frame assembly over an arbitrarily fragmented byte
+/// stream: push whatever the socket produced, pop complete frames.
+///
+/// The assembler validates only what framing needs — the magic and the
+/// payload-length bound. Version, kind, and body validation stay with
+/// [`wire::decode_frame`] / the server, so a well-framed-but-invalid
+/// message is answered with an error frame while the connection lives
+/// on; only unframeable bytes kill the connection.
+///
+/// Standalone (no socket) by design: the fragmentation proptests in
+/// `tests/net_props.rs` drive it byte-at-a-time and in random chunks
+/// and require the decoded requests to be identical to whole-buffer
+/// decoding.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    buf: RingBuf,
+    max_payload: u32,
+}
+
+impl Default for FrameAssembler {
+    fn default() -> Self {
+        FrameAssembler::new()
+    }
+}
+
+impl FrameAssembler {
+    /// An assembler with the default [`MAX_FRAME_PAYLOAD`] cap.
+    pub fn new() -> Self {
+        FrameAssembler::with_max_payload(MAX_FRAME_PAYLOAD)
+    }
+
+    /// An assembler with an explicit payload cap (tests use tiny caps
+    /// to exercise the oversize path cheaply).
+    pub fn with_max_payload(max_payload: u32) -> Self {
+        FrameAssembler {
+            buf: RingBuf::new(),
+            max_payload,
+        }
+    }
+
+    /// Feeds bytes received from the stream, in any fragmentation.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.push_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame, if one is fully buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; a complete frame is returned
+    /// with header and payload as one `Vec` (exactly what
+    /// [`HeaxServer::handle_frame`] expects).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameIntakeError`] when the buffered bytes cannot be the start
+    /// of a frame; the stream is beyond recovery and the connection
+    /// must be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameIntakeError> {
+        if self.buf.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.buf.peek(&mut header);
+        if header[..4] != FRAME_MAGIC {
+            return Err(FrameIntakeError::BadMagic);
+        }
+        // Payload length: the little-endian u32 closing the header
+        // (after magic, version, kind, session, request).
+        let len = u32::from_le_bytes([header[22], header[23], header[24], header[25]]);
+        if len > self.max_payload {
+            return Err(FrameIntakeError::Oversized {
+                len,
+                max: self.max_payload,
+            });
+        }
+        let total = FRAME_HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        Ok(Some(self.buf.take(total)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session-key LRU
+// ---------------------------------------------------------------------
+
+/// Which evaluation key a cached payload is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyKind {
+    /// A relinearization key (`RegisterRelinKey` payload).
+    Relin,
+    /// A Galois key set (`RegisterGaloisKeys` payload).
+    Galois,
+}
+
+/// Why the key cache could not make a session resident.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeyCacheError {
+    /// This session's keys alone exceed the whole budget; no eviction
+    /// schedule can ever admit them.
+    EntryExceedsBudget {
+        /// Bytes the session's keys need.
+        need: u64,
+        /// The cache's total budget.
+        budget: u64,
+    },
+    /// Every resident session is protected by in-flight requests;
+    /// nothing can be evicted right now. The caller sheds the request
+    /// and the client retries after the batch drains.
+    CachePressure {
+        /// Bytes the session's keys need.
+        need: u64,
+        /// Bytes currently free under the budget.
+        free: u64,
+    },
+}
+
+impl std::fmt::Display for KeyCacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyCacheError::EntryExceedsBudget { need, budget } => {
+                write!(
+                    f,
+                    "session keys need {need} B, over the {budget} B DRAM budget"
+                )
+            }
+            KeyCacheError::CachePressure { need, free } => write!(
+                f,
+                "key cache under pressure: {need} B needed, {free} B free, all residents in flight"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KeyCacheError {}
+
+/// One session's cached key material.
+#[derive(Debug, Default)]
+struct KeyEntry {
+    /// Serialized relin-key payload, kept host-side for re-registration.
+    rlk: Option<Vec<u8>>,
+    /// Serialized Galois-keys payload, kept host-side.
+    gks: Option<Vec<u8>>,
+    /// Whether the deserialized (Shoup-ready) keys are DRAM-resident in
+    /// the inner server right now.
+    resident: bool,
+    /// LRU clock stamp of the last touch.
+    last_touch: u64,
+    /// Requests queued (submitted, not yet flushed) for this session.
+    inflight: u64,
+}
+
+impl KeyEntry {
+    fn bytes(&self) -> u64 {
+        self.rlk.as_ref().map_or(0, |b| b.len() as u64)
+            + self.gks.as_ref().map_or(0, |b| b.len() as u64)
+    }
+}
+
+/// An LRU cache bounding the modeled DRAM bytes held by resident
+/// session keys.
+///
+/// The serialized payloads are the billing proxy for the deserialized
+/// keys' DRAM footprint (same polynomial data, minus the rebuilt Shoup
+/// tables — a consistent under-approximation). Host-side copies are
+/// always kept; only *residency* is budgeted. Invariants, pinned by
+/// the `net_props` proptests:
+///
+/// * resident bytes never exceed the budget;
+/// * a session with in-flight requests is never evicted;
+/// * a re-registered (evicted, then restored) session serves from
+///   byte-identical key material, so its Shoup tables rebuild
+///   bit-identical.
+#[derive(Debug)]
+pub struct SessionKeyLru {
+    budget: u64,
+    resident_bytes: u64,
+    clock: u64,
+    entries: HashMap<u64, KeyEntry>,
+}
+
+impl SessionKeyLru {
+    /// A cache with the given byte budget.
+    pub fn new(budget: u64) -> Self {
+        SessionKeyLru {
+            budget,
+            resident_bytes: 0,
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently billed as resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Number of sessions currently resident.
+    pub fn resident_sessions(&self) -> usize {
+        self.entries.values().filter(|e| e.resident).count()
+    }
+
+    /// Whether the session has any cached key material.
+    pub fn has_entry(&self, session: u64) -> bool {
+        self.entries.contains_key(&session)
+    }
+
+    /// Whether the session's keys are resident.
+    pub fn is_resident(&self, session: u64) -> bool {
+        self.entries.get(&session).is_some_and(|e| e.resident)
+    }
+
+    /// Bumps the session's LRU stamp.
+    pub fn touch(&mut self, session: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self.entries.get_mut(&session) {
+            e.last_touch = clock;
+        }
+    }
+
+    /// Marks one request of this session queued (eviction-protected).
+    pub fn begin_request(&mut self, session: u64) {
+        if let Some(e) = self.entries.get_mut(&session) {
+            e.inflight = e.inflight.saturating_add(1);
+        }
+    }
+
+    /// Marks one request of this session answered.
+    pub fn end_request(&mut self, session: u64) {
+        if let Some(e) = self.entries.get_mut(&session) {
+            e.inflight = e.inflight.saturating_sub(1);
+        }
+    }
+
+    /// Stores (or replaces) one serialized key payload for a session
+    /// and makes the session resident, evicting idle sessions as
+    /// needed. Returns the evicted session ids — the caller must drop
+    /// those sessions' keys from the inner server.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyCacheError`] when residency is impossible; the payload is
+    /// **not** kept (registration failed from the client's view).
+    pub fn store(
+        &mut self,
+        session: u64,
+        kind: KeyKind,
+        payload: &[u8],
+    ) -> Result<Vec<u64>, KeyCacheError> {
+        // Take the entry off-budget while its contents change.
+        let entry = self.entries.entry(session).or_default();
+        let was_resident = entry.resident;
+        if entry.resident {
+            self.resident_bytes -= entry.bytes();
+            entry.resident = false;
+        }
+        let slot = match kind {
+            KeyKind::Relin => &mut entry.rlk,
+            KeyKind::Galois => &mut entry.gks,
+        };
+        let previous = slot.replace(payload.to_vec());
+        match self.make_resident(session) {
+            Ok(evicted) => Ok(evicted),
+            Err(e) => {
+                // Roll the slot back so a rejected upload leaves no
+                // half-registered state behind; a previously-resident
+                // entry gets its residency back too (its old bytes fit
+                // before, and nothing was evicted on the failed path).
+                let mut emptied = false;
+                if let Some(entry) = self.entries.get_mut(&session) {
+                    let slot = match kind {
+                        KeyKind::Relin => &mut entry.rlk,
+                        KeyKind::Galois => &mut entry.gks,
+                    };
+                    *slot = previous;
+                    if entry.bytes() == 0 {
+                        self.entries.remove(&session);
+                        emptied = true;
+                    }
+                }
+                if was_resident && !emptied {
+                    let _ = self.make_resident(session);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Makes an evicted session resident again, returning the sessions
+    /// evicted to make room and the host-side payloads to re-register
+    /// (in registration order: relin first, then Galois). A session
+    /// with no cached keys restores trivially (empty payload list).
+    ///
+    /// # Errors
+    ///
+    /// [`KeyCacheError`] when residency is impossible right now; the
+    /// caller sheds the triggering request.
+    #[allow(clippy::type_complexity)]
+    pub fn restore(
+        &mut self,
+        session: u64,
+    ) -> Result<(Vec<u64>, Vec<(KeyKind, Vec<u8>)>), KeyCacheError> {
+        if !self.entries.contains_key(&session) {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        if self.is_resident(session) {
+            self.touch(session);
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let evicted = self.make_resident(session)?;
+        let entry = &self.entries[&session];
+        let mut payloads = Vec::new();
+        if let Some(b) = &entry.rlk {
+            payloads.push((KeyKind::Relin, b.clone()));
+        }
+        if let Some(b) = &entry.gks {
+            payloads.push((KeyKind::Galois, b.clone()));
+        }
+        Ok((evicted, payloads))
+    }
+
+    /// Drops a session's cached keys entirely (session closed),
+    /// releasing its resident bytes.
+    pub fn remove(&mut self, session: u64) {
+        if let Some(e) = self.entries.remove(&session) {
+            if e.resident {
+                self.resident_bytes -= e.bytes();
+            }
+        }
+    }
+
+    /// Charges `session`'s entry to the budget, evicting
+    /// least-recently-touched idle sessions first. Eviction is
+    /// all-or-nothing: the victim schedule is computed before anything
+    /// is evicted, so a failure leaves the cache untouched.
+    fn make_resident(&mut self, session: u64) -> Result<Vec<u64>, KeyCacheError> {
+        let need = self.entries.get(&session).map_or(0, KeyEntry::bytes);
+        if need > self.budget {
+            return Err(KeyCacheError::EntryExceedsBudget {
+                need,
+                budget: self.budget,
+            });
+        }
+        // Victims: resident, idle, not the session itself, oldest first.
+        let mut candidates: Vec<(u64, u64, u64)> = self
+            .entries
+            .iter()
+            .filter(|&(&id, e)| id != session && e.resident && e.inflight == 0)
+            .map(|(&id, e)| (e.last_touch, id, e.bytes()))
+            .collect();
+        candidates.sort_unstable();
+        let mut freed = 0u64;
+        let mut victims = Vec::new();
+        for &(_, id, bytes) in &candidates {
+            if self.resident_bytes - freed + need <= self.budget {
+                break;
+            }
+            freed += bytes;
+            victims.push(id);
+        }
+        if self.resident_bytes - freed + need > self.budget {
+            return Err(KeyCacheError::CachePressure {
+                need,
+                free: self.budget - self.resident_bytes,
+            });
+        }
+        for &id in &victims {
+            if let Some(e) = self.entries.get_mut(&id) {
+                e.resident = false;
+            }
+        }
+        self.resident_bytes = self.resident_bytes - freed + need;
+        if let Some(e) = self.entries.get_mut(&session) {
+            e.resident = true;
+        }
+        self.touch(session);
+        Ok(victims)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration and counters
+// ---------------------------------------------------------------------
+
+/// Tunables of the socket runtime.
+///
+/// The admission bound (`max_queue_depth`) is the transport half of
+/// the [`FlushPolicy`] load-shedding contract: the policy sheds queued
+/// requests whose modeled deadline budget runs out, the transport
+/// sheds at the door once the queue is this deep — both answer with
+/// [`ErrorCode::LoadShed`] so clients see one backpressure vocabulary.
+///
+/// [`FlushPolicy`]: crate::server::FlushPolicy
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Accepted-connection cap; connections past it are refused at
+    /// accept time.
+    pub max_conns: usize,
+    /// Queue-depth bound for request admission; requests arriving at a
+    /// deeper queue are answered with a load-shed error frame.
+    pub max_queue_depth: usize,
+    /// Per-connection write-ring cap: a peer that stops reading until
+    /// this many reply bytes pile up is dropped (stalled-reader
+    /// containment).
+    pub max_write_buffer: usize,
+    /// Per-frame payload cap fed to each connection's
+    /// [`FrameAssembler`].
+    pub max_frame_payload: u32,
+    /// Byte budget of the [`SessionKeyLru`]; `0` derives one eighth of
+    /// the modeled board's free DRAM at bind time.
+    pub key_cache_budget: u64,
+    /// Flush the batch queue as soon as this many requests are pending.
+    pub flush_threshold: usize,
+    /// Flush whenever a poll turn ingests no new frame and requests are
+    /// pending (latency floor for idle periods). Tests that script
+    /// exact batch boundaries turn this off and call
+    /// [`NetServer::flush_now`] themselves.
+    pub flush_on_idle: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_conns: 4096,
+            max_queue_depth: 1024,
+            max_write_buffer: 8 * 1024 * 1024,
+            max_frame_payload: MAX_FRAME_PAYLOAD,
+            key_cache_budget: 0,
+            flush_threshold: 64,
+            flush_on_idle: true,
+        }
+    }
+}
+
+/// Counters of the socket runtime (all saturating), one layer above
+/// the inner server's [`ServerStats`](crate::ServerStats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused at the `max_conns` cap.
+    pub refused: u64,
+    /// Connections that closed or errored from the peer side.
+    pub disconnects: u64,
+    /// Connections dropped for framing violations (bad magic, oversized
+    /// frame), each answered first with a structured error frame.
+    pub hostile_drops: u64,
+    /// Connections dropped because their write ring exceeded the cap
+    /// (peer stopped reading).
+    pub overflow_drops: u64,
+    /// Complete frames assembled and dispatched.
+    pub frames_in: u64,
+    /// Reads that ended with a partial frame still buffered — the
+    /// fragmentation reality the assembler exists for.
+    pub partial_frame_reads: u64,
+    /// Writes that could not take the whole pending reply in one call.
+    pub short_writes: u64,
+    /// Bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+    /// Requests answered with a load-shed error at admission (queue
+    /// bound or key-cache pressure).
+    pub admission_sheds: u64,
+    /// Flushes the runtime triggered.
+    pub flushes: u64,
+    /// Replies routed back to their submitting connection.
+    pub replies_routed: u64,
+    /// Replies whose connection died before the batch finished.
+    pub orphaned_replies: u64,
+    /// Sessions evicted from the key LRU (billed in the inner server's
+    /// `key_evictions` too).
+    pub key_evictions: u64,
+    /// Evicted sessions transparently re-registered on their next
+    /// request.
+    pub key_restores: u64,
+    /// Most connections ever open at once.
+    pub conns_high_water: u64,
+}
+
+/// What one [`NetServer::poll`] turn did — handy for driving tests and
+/// closed-loop benches without peeking at internals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetTick {
+    /// Connections accepted this turn.
+    pub accepted: usize,
+    /// Complete frames ingested this turn.
+    pub frames: usize,
+    /// Replies routed (flush output) this turn.
+    pub replies: usize,
+    /// Connections dropped this turn (any cause).
+    pub dropped: usize,
+    /// Whether this turn flushed the batch queue.
+    pub flushed: bool,
+}
+
+// ---------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------
+
+/// Routing record for one queued request: which connection gets the
+/// reply that [`HeaxServer::flush`] will emit at this queue position.
+#[derive(Clone, Copy, Debug)]
+struct Route {
+    token: u64,
+    session: u64,
+}
+
+/// Per-connection state machine.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    out: RingBuf,
+    /// Interest bits currently registered with the poller.
+    interest: u32,
+    /// Marked for reaping at the end of the poll turn.
+    dying: bool,
+}
+
+/// The nonblocking TCP runtime around a [`HeaxServer`] (see the module
+/// docs for the serving model).
+#[derive(Debug)]
+pub struct NetServer<'a> {
+    listener: TcpListener,
+    poller: epoll::Poller,
+    events: Vec<epoll::Event>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    pending: VecDeque<Route>,
+    keys: SessionKeyLru,
+    config: NetConfig,
+    stats: NetStats,
+    inner: HeaxServer<'a>,
+}
+
+impl<'a> NetServer<'a> {
+    /// Binds a listener and wraps the given engine in the socket
+    /// runtime. Bind to port 0 for an ephemeral port
+    /// ([`NetServer::local_addr`] reports it).
+    ///
+    /// # Errors
+    ///
+    /// Socket or poller creation failure.
+    pub fn bind(addr: &str, inner: HeaxServer<'a>, config: NetConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let poller = epoll::Poller::new()?;
+        poller.add(listener.as_raw_fd(), LISTENER_TOKEN, epoll::READABLE)?;
+        let budget = if config.key_cache_budget == 0 {
+            inner.system().dram_available_bytes() / 8
+        } else {
+            config.key_cache_budget
+        };
+        Ok(NetServer {
+            listener,
+            poller,
+            events: Vec::new(),
+            conns: HashMap::new(),
+            next_token: LISTENER_TOKEN + 1,
+            pending: VecDeque::new(),
+            keys: SessionKeyLru::new(budget),
+            config,
+            stats: NetStats::default(),
+            inner,
+        })
+    }
+
+    /// The bound listening address.
+    ///
+    /// # Errors
+    ///
+    /// The raw `getsockname` failure, if any.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The inner engine (stats, queue inspection).
+    pub fn server(&self) -> &HeaxServer<'a> {
+        &self.inner
+    }
+
+    /// Mutable access to the inner engine (tests attach models and
+    /// policies through the builder before `bind`; this is for
+    /// inspection-with-side-effects like `stats()`).
+    pub fn server_mut(&mut self) -> &mut HeaxServer<'a> {
+        &mut self.inner
+    }
+
+    /// The session-key LRU (inspection).
+    pub fn key_cache(&self) -> &SessionKeyLru {
+        &self.keys
+    }
+
+    /// A snapshot of the runtime counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Connections currently open.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Requests queued in the batch whose replies are still owed to
+    /// connections.
+    pub fn pending_replies(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Runs one event-loop turn: wait up to `timeout_ms` for readiness
+    /// (`0` = nonblocking), accept/read/dispatch, auto-flush per
+    /// config, write, reap.
+    ///
+    /// # Errors
+    ///
+    /// Only poller-level failures; per-connection socket errors are
+    /// contained (the connection is dropped, the loop lives).
+    pub fn poll(&mut self, timeout_ms: i32) -> io::Result<NetTick> {
+        let mut tick = NetTick::default();
+        let mut events = std::mem::take(&mut self.events);
+        self.poller.wait(&mut events, timeout_ms)?;
+        for ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                tick.accepted = tick.accepted.saturating_add(self.accept_ready());
+            } else if self.conns.contains_key(&ev.token) {
+                if ev.is_readable() {
+                    tick.frames = tick.frames.saturating_add(self.read_ready(ev.token));
+                }
+                if ev.is_writable() {
+                    self.write_ready(ev.token);
+                }
+            }
+        }
+        self.events = events;
+        let depth = self.inner.queue_depth();
+        if depth > 0
+            && (depth >= self.config.flush_threshold
+                || (self.config.flush_on_idle && tick.frames == 0))
+        {
+            tick.replies = tick.replies.saturating_add(self.flush_now());
+            tick.flushed = true;
+        }
+        // Write pass: push out whatever the sockets will take now.
+        let writable: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.out.is_empty() && !c.dying)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in writable {
+            self.write_ready(token);
+        }
+        tick.dropped = tick.dropped.saturating_add(self.reap());
+        Ok(tick)
+    }
+
+    /// Drains the batch queue now and routes every reply to its
+    /// connection; returns the number of replies routed (orphans
+    /// included in the count's complement, see
+    /// [`NetStats::orphaned_replies`]).
+    pub fn flush_now(&mut self) -> usize {
+        let replies = self.inner.flush();
+        if replies.is_empty() {
+            return 0;
+        }
+        self.stats.flushes = self.stats.flushes.saturating_add(1);
+        let mut routed = 0;
+        for reply in replies {
+            // One route per queued request, submission order — the
+            // flush contract.
+            let Some(route) = self.pending.pop_front() else {
+                break;
+            };
+            self.keys.end_request(route.session);
+            if self.enqueue_reply(route.token, &reply) {
+                routed += 1;
+                self.stats.replies_routed = self.stats.replies_routed.saturating_add(1);
+            }
+        }
+        routed
+    }
+
+    /// Accepts every pending connection; returns how many.
+    fn accept_ready(&mut self) -> usize {
+        let mut accepted = 0;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.config.max_conns {
+                        self.stats.refused = self.stats.refused.saturating_add(1);
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        self.stats.refused = self.stats.refused.saturating_add(1);
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, epoll::READABLE)
+                        .is_err()
+                    {
+                        self.stats.refused = self.stats.refused.saturating_add(1);
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            assembler: FrameAssembler::with_max_payload(
+                                self.config.max_frame_payload,
+                            ),
+                            out: RingBuf::new(),
+                            interest: epoll::READABLE,
+                            dying: false,
+                        },
+                    );
+                    accepted += 1;
+                    self.stats.accepted = self.stats.accepted.saturating_add(1);
+                    self.stats.conns_high_water =
+                        self.stats.conns_high_water.max(self.conns.len() as u64);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        accepted
+    }
+
+    /// Reads a readable connection to `WouldBlock`, assembles frames,
+    /// and dispatches each; returns the number of frames ingested.
+    fn read_ready(&mut self, token: u64) -> usize {
+        let mut frames = Vec::new();
+        let mut hostile: Option<FrameIntakeError> = None;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return 0;
+            };
+            let mut buf = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.dying = true;
+                        self.stats.disconnects = self.stats.disconnects.saturating_add(1);
+                        break;
+                    }
+                    Ok(n) => {
+                        self.stats.bytes_in = self.stats.bytes_in.saturating_add(n as u64);
+                        conn.assembler.push(&buf[..n]);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dying = true;
+                        self.stats.disconnects = self.stats.disconnects.saturating_add(1);
+                        break;
+                    }
+                }
+            }
+            loop {
+                match conn.assembler.next_frame() {
+                    Ok(Some(frame)) => frames.push(frame),
+                    Ok(None) => break,
+                    Err(e) => {
+                        hostile = Some(e);
+                        break;
+                    }
+                }
+            }
+            if hostile.is_none() && conn.assembler.buffered() > 0 {
+                self.stats.partial_frame_reads = self.stats.partial_frame_reads.saturating_add(1);
+            }
+        }
+        let count = frames.len();
+        self.stats.frames_in = self.stats.frames_in.saturating_add(count as u64);
+        for frame in frames {
+            self.dispatch(token, &frame);
+        }
+        if let Some(e) = hostile {
+            // Structured error frame, then the axe: the stream is
+            // unframeable, so this is the last thing the peer hears.
+            let payload = wire::encode_error(ErrorCode::Malformed, &e.to_string());
+            let reply = wire::encode_frame(wire::WIRE_V1, MessageKind::Error, 0, 0, &payload);
+            self.enqueue_reply(token, &reply);
+            self.write_ready(token);
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.dying = true;
+            }
+            self.stats.hostile_drops = self.stats.hostile_drops.saturating_add(1);
+        }
+        count
+    }
+
+    /// Routes one complete frame: key registrations pass through the
+    /// LRU, requests pass admission control, everything else goes
+    /// straight to the engine.
+    fn dispatch(&mut self, token: u64, frame: &[u8]) {
+        let Ok(decoded) = wire::decode_frame(frame) else {
+            // Well-framed but undecodable (bad version/kind): the
+            // engine answers a structured error; the connection lives.
+            if let Some(reply) = self.inner.handle_frame(frame) {
+                self.enqueue_reply(token, &reply);
+            }
+            return;
+        };
+        let (version, kind, session, request) = (
+            decoded.version,
+            decoded.kind,
+            decoded.session,
+            decoded.request,
+        );
+        match kind {
+            MessageKind::RegisterRelinKey | MessageKind::RegisterGaloisKeys => {
+                let key_kind = if kind == MessageKind::RegisterRelinKey {
+                    KeyKind::Relin
+                } else {
+                    KeyKind::Galois
+                };
+                let payload = decoded.payload.to_vec();
+                let Some(reply) = self.inner.handle_frame(frame) else {
+                    return;
+                };
+                let registered = wire::decode_frame(&reply)
+                    .map(|f| f.kind == MessageKind::KeyRegistered)
+                    .unwrap_or(false);
+                if !registered {
+                    self.enqueue_reply(token, &reply);
+                    return;
+                }
+                match self.keys.store(session, key_kind, &payload) {
+                    Ok(evicted) => {
+                        self.apply_evictions(&evicted);
+                        self.enqueue_reply(token, &reply);
+                    }
+                    Err(e) => {
+                        // The cache can't hold these keys resident, so
+                        // the registration must fail: drop them from
+                        // the engine again and shed.
+                        let _ = self.inner.evict_session_keys(session);
+                        self.stats.admission_sheds = self.stats.admission_sheds.saturating_add(1);
+                        let shed = self.shed_frame(version, session, request, &e.to_string());
+                        self.enqueue_reply(token, &shed);
+                    }
+                }
+            }
+            MessageKind::Request => {
+                if self.inner.queue_depth() >= self.config.max_queue_depth {
+                    self.stats.admission_sheds = self.stats.admission_sheds.saturating_add(1);
+                    let msg = format!(
+                        "queue depth {} at the {}-request admission bound",
+                        self.inner.queue_depth(),
+                        self.config.max_queue_depth
+                    );
+                    let shed = self.shed_frame(version, session, request, &msg);
+                    self.enqueue_reply(token, &shed);
+                    return;
+                }
+                if self.keys.has_entry(session) && !self.keys.is_resident(session) {
+                    match self.keys.restore(session) {
+                        Ok((evicted, payloads)) => {
+                            self.apply_evictions(&evicted);
+                            for (key_kind, bytes) in payloads {
+                                let reg = match key_kind {
+                                    KeyKind::Relin => {
+                                        wire::client::register_relin_key(session, &bytes)
+                                    }
+                                    KeyKind::Galois => {
+                                        wire::client::register_galois_keys(session, &bytes)
+                                    }
+                                };
+                                // Replies to transparent re-uploads are
+                                // the runtime's business, not the
+                                // client's; drop them.
+                                let _ = self.inner.handle_frame(&reg);
+                            }
+                            self.stats.key_restores = self.stats.key_restores.saturating_add(1);
+                        }
+                        Err(e) => {
+                            self.stats.admission_sheds =
+                                self.stats.admission_sheds.saturating_add(1);
+                            let shed = self.shed_frame(version, session, request, &e.to_string());
+                            self.enqueue_reply(token, &shed);
+                            return;
+                        }
+                    }
+                }
+                match self.inner.handle_frame(frame) {
+                    None => {
+                        self.pending.push_back(Route { token, session });
+                        self.keys.begin_request(session);
+                        self.keys.touch(session);
+                    }
+                    Some(reply) => {
+                        self.enqueue_reply(token, &reply);
+                    }
+                }
+            }
+            MessageKind::CloseSession => {
+                if let Some(reply) = self.inner.handle_frame(frame) {
+                    let closed = wire::decode_frame(&reply)
+                        .map(|f| f.kind == MessageKind::SessionClosed)
+                        .unwrap_or(false);
+                    if closed {
+                        self.keys.remove(session);
+                    }
+                    self.enqueue_reply(token, &reply);
+                }
+            }
+            _ => {
+                if let Some(reply) = self.inner.handle_frame(frame) {
+                    self.enqueue_reply(token, &reply);
+                }
+            }
+        }
+    }
+
+    /// Drops the named sessions' deserialized keys from the engine and
+    /// bills the evictions.
+    fn apply_evictions(&mut self, evicted: &[u64]) {
+        for &victim in evicted {
+            // The session may have closed since; the cache entry is
+            // gone either way.
+            let _ = self.inner.evict_session_keys(victim);
+            self.stats.key_evictions = self.stats.key_evictions.saturating_add(1);
+        }
+    }
+
+    /// A load-shed error frame at the peer's wire version.
+    fn shed_frame(&self, version: u8, session: u64, request: u64, msg: &str) -> Vec<u8> {
+        let payload = wire::encode_error(ErrorCode::LoadShed, msg);
+        wire::encode_frame(version, MessageKind::Error, session, request, &payload)
+    }
+
+    /// Queues reply bytes on a connection's write ring; `false` when
+    /// the connection is gone or was dropped for overflow.
+    fn enqueue_reply(&mut self, token: u64, bytes: &[u8]) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            self.stats.orphaned_replies = self.stats.orphaned_replies.saturating_add(1);
+            return false;
+        };
+        if conn.dying {
+            self.stats.orphaned_replies = self.stats.orphaned_replies.saturating_add(1);
+            return false;
+        }
+        if conn.out.len() + bytes.len() > self.config.max_write_buffer {
+            // Stalled reader: the peer owes us a read before it gets
+            // more replies; containment is dropping it, not buffering
+            // without bound.
+            conn.dying = true;
+            self.stats.overflow_drops = self.stats.overflow_drops.saturating_add(1);
+            self.stats.orphaned_replies = self.stats.orphaned_replies.saturating_add(1);
+            return false;
+        }
+        conn.out.push_slice(bytes);
+        self.update_interest(token);
+        true
+    }
+
+    /// Writes as much pending output as the socket takes.
+    fn write_ready(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while !conn.out.is_empty() {
+            let slice = conn.out.first_slice();
+            let want = slice.len();
+            match conn.stream.write(slice) {
+                Ok(0) => {
+                    conn.dying = true;
+                    self.stats.disconnects = self.stats.disconnects.saturating_add(1);
+                    break;
+                }
+                Ok(n) => {
+                    self.stats.bytes_out = self.stats.bytes_out.saturating_add(n as u64);
+                    conn.out.consume(n);
+                    if n < want {
+                        self.stats.short_writes = self.stats.short_writes.saturating_add(1);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.stats.short_writes = self.stats.short_writes.saturating_add(1);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dying = true;
+                    self.stats.disconnects = self.stats.disconnects.saturating_add(1);
+                    break;
+                }
+            }
+        }
+        self.update_interest(token);
+    }
+
+    /// Re-arms the poller with `READABLE` (+ `WRITABLE` while output is
+    /// pending), skipping the syscall when nothing changed.
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want = if conn.out.is_empty() {
+            epoll::READABLE
+        } else {
+            epoll::READABLE | epoll::WRITABLE
+        };
+        if want != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    /// Removes every connection marked dying; returns how many.
+    fn reap(&mut self) -> usize {
+        let dead: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.dying)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in &dead {
+            if let Some(conn) = self.conns.remove(token) {
+                let _ = self.poller.delete(conn.stream.as_raw_fd());
+            }
+        }
+        dead.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ----- RingBuf -----
+
+    #[test]
+    fn ringbuf_push_peek_consume_across_wraps() {
+        let mut rb = RingBuf::new();
+        assert!(rb.is_empty());
+        rb.push_slice(b"hello");
+        assert_eq!(rb.len(), 5);
+        let mut out = [0u8; 3];
+        assert_eq!(rb.peek(&mut out), 3);
+        assert_eq!(&out, b"hel");
+        assert_eq!(rb.consume(2), 2);
+        assert_eq!(rb.take(3), b"llo");
+        assert!(rb.is_empty());
+        // Force wrap-around: fill, drain half, refill past the seam.
+        let big = vec![7u8; 100];
+        rb.push_slice(&big);
+        rb.consume(90);
+        rb.push_slice(b"abcdefghij");
+        assert_eq!(rb.len(), 20);
+        let all = rb.take(20);
+        assert_eq!(&all[..10], &[7u8; 10]);
+        assert_eq!(&all[10..], b"abcdefghij");
+        // Totality: over-consume and over-take are clamped.
+        rb.push_slice(b"xy");
+        assert_eq!(rb.consume(99), 2);
+        assert_eq!(rb.take(99), b"");
+    }
+
+    #[test]
+    fn ringbuf_growth_preserves_order() {
+        let mut rb = RingBuf::new();
+        for i in 0..1000u32 {
+            rb.push_slice(&i.to_le_bytes());
+        }
+        for i in 0..1000u32 {
+            assert_eq!(rb.take(4), i.to_le_bytes());
+        }
+    }
+
+    // ----- FrameAssembler -----
+
+    fn sample_frames() -> Vec<Vec<u8>> {
+        vec![
+            wire::client::open_session(),
+            wire::encode_frame(wire::WIRE_V2, MessageKind::CloseSession, 3, 9, &[]),
+            wire::encode_frame(wire::WIRE_V1, MessageKind::Request, 1, 2, &[1, 2, 3, 4]),
+        ]
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_at_a_time() {
+        let frames = sample_frames();
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            asm.push(&[b]);
+            while let Some(f) = asm.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_rejects_bad_magic_and_oversize() {
+        let mut asm = FrameAssembler::new();
+        asm.push(b"GARBAGE-GARBAGE-GARBAGE-GARBAGE");
+        assert_eq!(asm.next_frame(), Err(FrameIntakeError::BadMagic));
+
+        let mut tiny = FrameAssembler::with_max_payload(8);
+        let frame = wire::encode_frame(wire::WIRE_V1, MessageKind::Request, 1, 1, &[0u8; 9]);
+        tiny.push(&frame);
+        assert_eq!(
+            tiny.next_frame(),
+            Err(FrameIntakeError::Oversized { len: 9, max: 8 })
+        );
+    }
+
+    #[test]
+    fn assembler_needs_full_header_and_payload() {
+        let frame = wire::client::open_session();
+        let mut asm = FrameAssembler::new();
+        asm.push(&frame[..FRAME_HEADER_LEN - 1]);
+        assert_eq!(asm.next_frame().unwrap(), None);
+        asm.push(&frame[FRAME_HEADER_LEN - 1..]);
+        assert_eq!(asm.next_frame().unwrap(), Some(frame));
+    }
+
+    // ----- SessionKeyLru -----
+
+    #[test]
+    fn lru_budget_is_a_hard_bound() {
+        let mut lru = SessionKeyLru::new(100);
+        assert_eq!(lru.store(1, KeyKind::Galois, &[0; 60]).unwrap(), vec![]);
+        assert_eq!(lru.resident_bytes(), 60);
+        // Session 2 fits only by evicting session 1 (LRU victim).
+        assert_eq!(lru.store(2, KeyKind::Galois, &[0; 60]).unwrap(), vec![1]);
+        assert_eq!(lru.resident_bytes(), 60);
+        assert!(!lru.is_resident(1));
+        assert!(lru.is_resident(2));
+        // A single entry over the whole budget is refused outright.
+        assert_eq!(
+            lru.store(3, KeyKind::Galois, &[0; 101]),
+            Err(KeyCacheError::EntryExceedsBudget {
+                need: 101,
+                budget: 100
+            })
+        );
+        assert!(!lru.has_entry(3), "rejected upload leaves no state");
+        assert_eq!(lru.resident_bytes(), 60);
+    }
+
+    #[test]
+    fn lru_never_evicts_inflight_sessions() {
+        let mut lru = SessionKeyLru::new(100);
+        lru.store(1, KeyKind::Galois, &[0; 60]).unwrap();
+        lru.begin_request(1);
+        // Session 2 cannot fit without evicting 1, and 1 is protected.
+        assert!(matches!(
+            lru.store(2, KeyKind::Galois, &[0; 60]),
+            Err(KeyCacheError::CachePressure { .. })
+        ));
+        assert!(lru.is_resident(1));
+        lru.end_request(1);
+        assert_eq!(lru.store(2, KeyKind::Galois, &[0; 60]).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn lru_restore_returns_stored_payloads_in_registration_order() {
+        let mut lru = SessionKeyLru::new(100);
+        lru.store(1, KeyKind::Relin, &[1, 2, 3]).unwrap();
+        lru.store(1, KeyKind::Galois, &[4, 5]).unwrap();
+        lru.store(2, KeyKind::Galois, &[0; 97]).unwrap(); // evicts 1
+        assert!(!lru.is_resident(1));
+        let (evicted, payloads) = lru.restore(1).unwrap();
+        assert_eq!(evicted, vec![2]);
+        assert_eq!(
+            payloads,
+            vec![
+                (KeyKind::Relin, vec![1, 2, 3]),
+                (KeyKind::Galois, vec![4, 5])
+            ]
+        );
+        assert!(lru.is_resident(1));
+        // Restoring a resident session (or one with no entry) is a
+        // cheap no-op.
+        assert_eq!(lru.restore(1).unwrap(), (vec![], vec![]));
+        assert_eq!(lru.restore(777).unwrap(), (vec![], vec![]));
+    }
+
+    #[test]
+    fn lru_remove_releases_bytes() {
+        let mut lru = SessionKeyLru::new(100);
+        lru.store(1, KeyKind::Galois, &[0; 80]).unwrap();
+        lru.remove(1);
+        assert_eq!(lru.resident_bytes(), 0);
+        assert_eq!(lru.resident_sessions(), 0);
+        lru.store(2, KeyKind::Galois, &[0; 100]).unwrap();
+        assert_eq!(lru.resident_bytes(), 100);
+    }
+
+    #[test]
+    fn lru_eviction_order_is_least_recently_touched() {
+        let mut lru = SessionKeyLru::new(100);
+        lru.store(1, KeyKind::Galois, &[0; 40]).unwrap();
+        lru.store(2, KeyKind::Galois, &[0; 40]).unwrap();
+        lru.touch(1); // 2 is now the LRU victim
+        assert_eq!(lru.store(3, KeyKind::Galois, &[0; 40]).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = NetConfig::default();
+        assert!(c.max_conns > 0 && c.max_queue_depth > 0);
+        assert_eq!(c.max_frame_payload, MAX_FRAME_PAYLOAD);
+        assert!(c.flush_on_idle);
+    }
+}

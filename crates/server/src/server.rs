@@ -462,6 +462,7 @@ impl<'a> HeaxServer<'a> {
                 // Deserialize (rebuilding Shoup tables) once; every later
                 // request of this session hits the cache.
                 let rlk = deserialize_relin_key(frame.payload, self.ctx)?;
+                self.note_key_registration(frame.session);
                 self.sessions.get_mut(frame.session)?.rlk = Some(rlk);
                 Ok(Some(wire::encode_frame(
                     frame.version,
@@ -474,6 +475,7 @@ impl<'a> HeaxServer<'a> {
             MessageKind::RegisterGaloisKeys => {
                 self.sessions.get(frame.session)?;
                 let gks = deserialize_galois_keys(frame.payload, self.ctx)?;
+                self.note_key_registration(frame.session);
                 self.sessions.get_mut(frame.session)?.gks = Some(gks);
                 Ok(Some(wire::encode_frame(
                     frame.version,
@@ -554,6 +556,54 @@ impl<'a> HeaxServer<'a> {
     /// Requests currently waiting for a flush.
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Requests currently queued for one session — the in-flight count
+    /// a transport-layer key cache must consult before evicting that
+    /// session's keys (an evicted session with queued work would fail
+    /// its own batch).
+    pub fn queued_for(&self, session: u64) -> usize {
+        self.queue.iter().filter(|p| p.session == session).count()
+    }
+
+    /// Drops a session's cached (Shoup-ready) evaluation keys to free
+    /// modeled DRAM, leaving the session itself open. The next key
+    /// registration for this session is billed as a re-registration
+    /// ([`ServerStats::key_reregistrations`]); the eviction itself
+    /// increments [`ServerStats::key_evictions`] only when there was
+    /// key material to drop.
+    ///
+    /// Callers (the [`crate::net`] session-key LRU) must not evict a
+    /// session with queued requests — check
+    /// [`HeaxServer::queued_for`] first; this method does not second-
+    /// guess the cache policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSession`] for ids never opened or already
+    /// closed.
+    pub fn evict_session_keys(&mut self, session: u64) -> Result<(), ServerError> {
+        let sess = self.sessions.get_mut(session)?;
+        if sess.rlk.is_some() || sess.gks.is_some() {
+            sess.rlk = None;
+            sess.gks = None;
+            sess.keys_evicted = true;
+            self.metrics.key_evictions = self.metrics.key_evictions.saturating_add(1);
+        }
+        Ok(())
+    }
+
+    /// Bills a key registration: a first upload is free, a re-upload
+    /// after [`HeaxServer::evict_session_keys`] counts as a
+    /// re-registration.
+    fn note_key_registration(&mut self, session: u64) {
+        if let Ok(sess) = self.sessions.get_mut(session) {
+            if sess.keys_evicted {
+                sess.keys_evicted = false;
+                self.metrics.key_reregistrations =
+                    self.metrics.key_reregistrations.saturating_add(1);
+            }
+        }
     }
 
     /// Lowers the currently queued requests into the shared op-stream
@@ -1006,6 +1056,8 @@ impl<'a> HeaxServer<'a> {
             shed_requests: self.metrics.shed_requests,
             degraded_replies: self.metrics.degraded_replies,
             retries: self.metrics.retries,
+            key_evictions: self.metrics.key_evictions,
+            key_reregistrations: self.metrics.key_reregistrations,
             parked_entries: self.system.mapped_entries(),
             parked_bytes: self.system.dram_used_bytes(),
             per_op: self.metrics.per_op_snapshot(),

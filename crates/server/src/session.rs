@@ -25,6 +25,10 @@ pub struct Session {
     pub(crate) gks: Option<GaloisKeys>,
     /// Unscoped names of results this session parked in board DRAM.
     pub(crate) parked: Vec<String>,
+    /// Whether this session's cached keys were evicted under DRAM
+    /// pressure (see `HeaxServer::evict_session_keys`): the next key
+    /// registration is billed as a re-registration, not a first upload.
+    pub(crate) keys_evicted: bool,
     /// Per-session traffic counters.
     pub(crate) stats: SessionStats,
 }
