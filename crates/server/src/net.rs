@@ -133,6 +133,12 @@ impl RingBuf {
 
     /// Appends `bytes` at the tail, growing as needed.
     pub fn push_slice(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            // Guards the tail computation below: a never-allocated
+            // ring has capacity 0, and an empty push must not reach
+            // the `% cap`.
+            return;
+        }
         if self.len + bytes.len() > self.data.len() {
             self.grow(self.len + bytes.len());
         }
@@ -481,7 +487,12 @@ impl SessionKeyLru {
     /// # Errors
     ///
     /// [`KeyCacheError`] when residency is impossible; the payload is
-    /// **not** kept (registration failed from the client's view).
+    /// **not** kept (registration failed from the client's view) and a
+    /// previously-resident session is left *evicted*. The caller drops
+    /// the session's engine-side keys on this path, so advertising
+    /// residency here would desynchronize cache and engine — staying
+    /// evicted makes the pre-upload keys come back through
+    /// [`SessionKeyLru::restore`] instead.
     pub fn store(
         &mut self,
         session: u64,
@@ -490,7 +501,6 @@ impl SessionKeyLru {
     ) -> Result<Vec<u64>, KeyCacheError> {
         // Take the entry off-budget while its contents change.
         let entry = self.entries.entry(session).or_default();
-        let was_resident = entry.resident;
         if entry.resident {
             self.resident_bytes -= entry.bytes();
             entry.resident = false;
@@ -504,10 +514,8 @@ impl SessionKeyLru {
             Ok(evicted) => Ok(evicted),
             Err(e) => {
                 // Roll the slot back so a rejected upload leaves no
-                // half-registered state behind; a previously-resident
-                // entry gets its residency back too (its old bytes fit
-                // before, and nothing was evicted on the failed path).
-                let mut emptied = false;
+                // half-registered state behind. Residency is NOT
+                // restored (see Errors above).
                 if let Some(entry) = self.entries.get_mut(&session) {
                     let slot = match kind {
                         KeyKind::Relin => &mut entry.rlk,
@@ -516,11 +524,7 @@ impl SessionKeyLru {
                     *slot = previous;
                     if entry.bytes() == 0 {
                         self.entries.remove(&session);
-                        emptied = true;
                     }
-                }
-                if was_resident && !emptied {
-                    let _ = self.make_resident(session);
                 }
                 Err(e)
             }
@@ -1080,8 +1084,16 @@ impl<'a> NetServer<'a> {
                     Err(e) => {
                         // The cache can't hold these keys resident, so
                         // the registration must fail: drop them from
-                        // the engine again and shed.
+                        // the engine again and shed. store() left the
+                        // session evicted, so immediately re-seat the
+                        // pre-upload keys (if any) — queued requests
+                        // for this session still need them engine-side;
+                        // if even that fails under pressure, the next
+                        // request retries through the restore path.
                         let _ = self.inner.evict_session_keys(session);
+                        if self.keys.has_entry(session) {
+                            let _ = self.restore_session_keys(session);
+                        }
                         self.stats.admission_sheds = self.stats.admission_sheds.saturating_add(1);
                         let shed = self.shed_frame(version, session, request, &e.to_string());
                         self.enqueue_reply(token, &shed);
@@ -1101,32 +1113,11 @@ impl<'a> NetServer<'a> {
                     return;
                 }
                 if self.keys.has_entry(session) && !self.keys.is_resident(session) {
-                    match self.keys.restore(session) {
-                        Ok((evicted, payloads)) => {
-                            self.apply_evictions(&evicted);
-                            for (key_kind, bytes) in payloads {
-                                let reg = match key_kind {
-                                    KeyKind::Relin => {
-                                        wire::client::register_relin_key(session, &bytes)
-                                    }
-                                    KeyKind::Galois => {
-                                        wire::client::register_galois_keys(session, &bytes)
-                                    }
-                                };
-                                // Replies to transparent re-uploads are
-                                // the runtime's business, not the
-                                // client's; drop them.
-                                let _ = self.inner.handle_frame(&reg);
-                            }
-                            self.stats.key_restores = self.stats.key_restores.saturating_add(1);
-                        }
-                        Err(e) => {
-                            self.stats.admission_sheds =
-                                self.stats.admission_sheds.saturating_add(1);
-                            let shed = self.shed_frame(version, session, request, &e.to_string());
-                            self.enqueue_reply(token, &shed);
-                            return;
-                        }
+                    if let Err(e) = self.restore_session_keys(session) {
+                        self.stats.admission_sheds = self.stats.admission_sheds.saturating_add(1);
+                        let shed = self.shed_frame(version, session, request, &e.to_string());
+                        self.enqueue_reply(token, &shed);
+                        return;
                     }
                 }
                 match self.inner.handle_frame(frame) {
@@ -1157,6 +1148,25 @@ impl<'a> NetServer<'a> {
                 }
             }
         }
+    }
+
+    /// Re-seats an evicted session's host-cached keys into the engine:
+    /// makes the session resident (evicting idle victims) and replays
+    /// the stored registrations. Replies to these transparent
+    /// re-uploads are the runtime's business, not the client's; they
+    /// are dropped.
+    fn restore_session_keys(&mut self, session: u64) -> Result<(), KeyCacheError> {
+        let (evicted, payloads) = self.keys.restore(session)?;
+        self.apply_evictions(&evicted);
+        for (key_kind, bytes) in payloads {
+            let reg = match key_kind {
+                KeyKind::Relin => wire::client::register_relin_key(session, &bytes),
+                KeyKind::Galois => wire::client::register_galois_keys(session, &bytes),
+            };
+            let _ = self.inner.handle_frame(&reg);
+        }
+        self.stats.key_restores = self.stats.key_restores.saturating_add(1);
+        Ok(())
     }
 
     /// Drops the named sessions' deserialized keys from the engine and
@@ -1309,6 +1319,17 @@ mod tests {
     }
 
     #[test]
+    fn ringbuf_empty_push_is_a_no_op_even_before_first_allocation() {
+        let mut rb = RingBuf::new();
+        rb.push_slice(&[]);
+        assert!(rb.is_empty());
+        assert_eq!(rb.capacity(), 0);
+        rb.push_slice(b"abc");
+        rb.push_slice(&[]);
+        assert_eq!(rb.take(3), b"abc");
+    }
+
+    #[test]
     fn ringbuf_growth_preserves_order() {
         let mut rb = RingBuf::new();
         for i in 0..1000u32 {
@@ -1407,6 +1428,32 @@ mod tests {
         assert!(lru.is_resident(1));
         lru.end_request(1);
         assert_eq!(lru.store(2, KeyKind::Galois, &[0; 60]).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn lru_failed_store_leaves_prior_session_evicted_but_restorable() {
+        let mut lru = SessionKeyLru::new(100);
+        lru.store(1, KeyKind::Relin, &[7; 40]).unwrap();
+        assert!(lru.is_resident(1));
+        // Replacing the key with one that can never fit fails the
+        // store...
+        assert!(matches!(
+            lru.store(1, KeyKind::Relin, &[0; 101]),
+            Err(KeyCacheError::EntryExceedsBudget { .. })
+        ));
+        // ...keeps the pre-upload payload host-side but leaves the
+        // session evicted — the caller drops its engine keys on this
+        // path, so residency here would desynchronize cache and
+        // engine...
+        assert!(lru.has_entry(1));
+        assert!(!lru.is_resident(1));
+        assert_eq!(lru.resident_bytes(), 0);
+        // ...and a restore re-seats exactly the pre-upload payload.
+        let (evicted, payloads) = lru.restore(1).unwrap();
+        assert!(evicted.is_empty());
+        assert_eq!(payloads, vec![(KeyKind::Relin, vec![7; 40])]);
+        assert!(lru.is_resident(1));
+        assert_eq!(lru.resident_bytes(), 40);
     }
 
     #[test]

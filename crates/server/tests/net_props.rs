@@ -198,8 +198,11 @@ proptest! {
                             prop_assert!(lru.is_resident(session));
                         }
                         Err(_) => {
-                            // Rejected uploads leave the prior state
-                            // (payloads and residency) untouched.
+                            // Rejected uploads leave the prior payloads
+                            // untouched but the target session evicted
+                            // (the caller drops its engine-side keys on
+                            // this path and re-seats them via restore).
+                            prop_assert!(!lru.is_resident(session));
                         }
                     }
                 }

@@ -163,6 +163,73 @@ mod sys {
         ret
     }
 
+    /// Issues one Linux syscall with up to six arguments.
+    ///
+    /// Returns the raw kernel result: `>= 0` on success, `-errno` on
+    /// failure.
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        // SAFETY: the `svc 0` instruction with the aarch64 Linux
+        // calling convention (number in x8, args in x0..x5, result in
+        // x0). All pointers passed through this wrapper reference
+        // live, correctly-sized buffers owned by the caller for the
+        // duration of the call, so the kernel never reads or writes
+        // out of bounds.
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                in("x8") n,
+                inlateout("x0") a => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                in("x4") e,
+                in("x5") f,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Raw epoll wait at the architecture's ABI. x86_64 has the
+    /// 4-argument `epoll_wait`; aarch64 only ships the 6-argument
+    /// `epoll_pwait`, whose sigmask and sigsetsize arguments must be
+    /// pinned to zero explicitly — a 4-register call would leave x4/x5
+    /// holding whatever the compiler last put there, handing the
+    /// kernel a garbage signal mask.
+    ///
+    /// # Safety
+    ///
+    /// `events` must point to a live array of at least `maxevents`
+    /// kernel-layout `epoll_event` slots for the duration of the call.
+    unsafe fn sys_epoll_wait(
+        epfd: usize,
+        events: usize,
+        maxevents: usize,
+        timeout: usize,
+    ) -> isize {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: caller upholds the buffer contract; plain forward.
+        unsafe {
+            syscall4(nr::EPOLL_WAIT, epfd, events, maxevents, timeout)
+        }
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: caller upholds the buffer contract; sigmask is NULL
+        // (so the kernel touches no mask and ignores sigsetsize).
+        unsafe {
+            syscall6(nr::EPOLL_WAIT, epfd, events, maxevents, timeout, 0, 0)
+        }
+    }
+
     /// Converts a raw kernel result to `io::Result<usize>`.
     fn check(ret: isize) -> io::Result<usize> {
         if ret < 0 {
@@ -235,8 +302,7 @@ mod sys {
             // maxevents argument passed equals its length, so the
             // kernel writes in bounds only.
             let ret = unsafe {
-                syscall4(
-                    nr::EPOLL_WAIT,
+                sys_epoll_wait(
                     self.epfd as usize,
                     buf.as_mut_ptr() as usize,
                     MAX_EVENTS,
@@ -283,12 +349,16 @@ mod sys {
     use super::{Event, MAX_EVENTS, READABLE, WRITABLE};
     use std::io;
     use std::os::unix::io::RawFd;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Mutex, PoisonError};
 
     /// A registry-backed stand-in for an epoll instance.
     #[derive(Debug, Default)]
     pub struct Poller {
         registered: Mutex<Vec<(RawFd, u64, u32)>>,
+        /// Round-robin start of the next wait's reporting window, so
+        /// registrations beyond [`MAX_EVENTS`] still get reported.
+        cursor: AtomicUsize,
     }
 
     impl Poller {
@@ -334,7 +404,17 @@ mod sys {
                 .registered
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
-            for &(_, token, interest) in reg.iter().take(MAX_EVENTS) {
+            let len = reg.len();
+            if len == 0 {
+                return Ok(());
+            }
+            // Rotate the reporting window across wait() calls: with
+            // more than MAX_EVENTS registrations a fixed window would
+            // starve the tail of the registry forever.
+            let take = len.min(MAX_EVENTS);
+            let start = self.cursor.fetch_add(take, Ordering::Relaxed) % len;
+            for i in 0..take {
+                let (_, token, interest) = reg[(start + i) % len];
                 out.push(Event {
                     readiness: interest & (READABLE | WRITABLE),
                     token,
